@@ -1,0 +1,14 @@
+//! # hierdiff-bench
+//!
+//! Shared measurement machinery for the Section 8 experiment reproduction
+//! (the `experiments` binary) and the Criterion benchmarks. See DESIGN.md's
+//! experiment index (E1–E7) and EXPERIMENTS.md for the results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod table;
+
+pub use measure::{measure_pair, PairMeasurement};

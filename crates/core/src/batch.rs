@@ -1,0 +1,125 @@
+//! Batch change detection — the data-warehousing scenario of Section 1
+//! ("detecting changes given old and new versions of the data" across many
+//! snapshot pairs from "uncooperative legacy databases"). Pairs are
+//! independent, so they diff concurrently on scoped threads.
+
+use std::num::NonZeroUsize;
+
+use hierdiff_tree::{NodeValue, Tree};
+
+use crate::{diff, DiffError, DiffOptions, DiffResult, Matcher};
+
+/// One batch slot being filled by a worker.
+type Slot<'s, V> = (usize, &'s mut Option<Result<DiffResult<V>, DiffError>>);
+
+/// Diffs every `(old, new)` pair concurrently, preserving input order.
+///
+/// `options` applies to every pair; [`Matcher::Provided`] is rejected (a
+/// single provided matching cannot describe multiple pairs — run [`diff`]
+/// per pair instead).
+pub fn diff_batch<V: NodeValue + Send + Sync + 'static>(
+    pairs: &[(&Tree<V>, &Tree<V>)],
+    options: &DiffOptions,
+) -> Vec<Result<DiffResult<V>, DiffError>> {
+    if options.matcher == Matcher::Provided {
+        return pairs
+            .iter()
+            .map(|_| Err(DiffError::MissingProvidedMatching))
+            .collect();
+    }
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(pairs.len());
+    let mut results: Vec<Option<Result<DiffResult<V>, DiffError>>> =
+        (0..pairs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        // Static chunking: pair i goes to worker i % workers. Each worker
+        // gets a disjoint mutable view of the results.
+        let mut slots: Vec<Vec<Slot<'_, V>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, slot) in results.iter_mut().enumerate() {
+            slots[i % workers].push((i, slot));
+        }
+        for worker in slots {
+            scope.spawn(move || {
+                for (i, slot) in worker {
+                    let (old, new) = pairs[i];
+                    *slot = Some(diff(old, new, options));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdiff_tree::isomorphic;
+
+    fn doc(s: &str) -> Tree<String> {
+        Tree::parse_sexpr(s).unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let olds: Vec<Tree<String>> = (0..6)
+            .map(|i| doc(&format!(r#"(D (P (S "a{i}") (S "b{i}") (S "c{i}")))"#)))
+            .collect();
+        let news: Vec<Tree<String>> = (0..6)
+            .map(|i| doc(&format!(r#"(D (P (S "a{i}") (S "c{i}") (S "d{i}")))"#)))
+            .collect();
+        let pairs: Vec<(&Tree<String>, &Tree<String>)> =
+            olds.iter().zip(news.iter()).collect();
+        let batch = diff_batch(&pairs, &DiffOptions::new());
+        assert_eq!(batch.len(), 6);
+        for (i, r) in batch.iter().enumerate() {
+            let r = r.as_ref().unwrap();
+            let seq = diff(&olds[i], &news[i], &DiffOptions::new()).unwrap();
+            assert_eq!(r.script, seq.script, "pair {i}");
+            assert!(isomorphic(&r.mces.edited, &news[i]));
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let pairs: Vec<(&Tree<String>, &Tree<String>)> = Vec::new();
+        assert!(diff_batch(&pairs, &DiffOptions::new()).is_empty());
+    }
+
+    #[test]
+    fn provided_matcher_rejected() {
+        let a = doc(r#"(D)"#);
+        let b = doc(r#"(D)"#);
+        let pairs = vec![(&a, &b)];
+        let opts = DiffOptions {
+            matcher: Matcher::Provided,
+            ..DiffOptions::default()
+        };
+        let out = diff_batch(&pairs, &opts);
+        assert!(matches!(out[0], Err(DiffError::MissingProvidedMatching)));
+    }
+
+    #[test]
+    fn more_pairs_than_cores() {
+        let olds: Vec<Tree<String>> = (0..40)
+            .map(|i| doc(&format!(r#"(D (S "x{i}") (S "z{i}") (S "w{i}"))"#)))
+            .collect();
+        let news: Vec<Tree<String>> = (0..40)
+            .map(|i| doc(&format!(r#"(D (S "x{i}") (S "y{i}") (S "z{i}") (S "w{i}"))"#)))
+            .collect();
+        let pairs: Vec<(&Tree<String>, &Tree<String>)> =
+            olds.iter().zip(news.iter()).collect();
+        let out = diff_batch(&pairs, &DiffOptions::default());
+        for (i, r) in out.into_iter().enumerate() {
+            let r = r.unwrap();
+            assert_eq!(r.script.op_counts().inserts, 1, "pair {i}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! `treediff` — generic change detection between two tree files in the
+//! workspace's s-expression notation (see `hierdiff_tree::Tree::parse_sexpr`).
+//!
+//! ```text
+//! treediff [OPTIONS] <OLD.sexpr> <NEW.sexpr>
+//!
+//!   -t, --threshold <0.5..1>    inner-node match threshold   [default 0.6]
+//!   -f, --leaf-threshold <0..1> leaf compare threshold       [default 0.5]
+//!   -k, --optimality <N>        A(k) optimality level        [default 0]
+//!       --output script|delta|stats|json                     [default script]
+//! ```
+
+use std::process::ExitCode;
+
+use hierdiff_core::{diff, match_with_optimality, DiffOptions, Matcher};
+use hierdiff_matching::MatchParams;
+use hierdiff_tree::Tree;
+
+const USAGE: &str = "usage: treediff [OPTIONS] <OLD.sexpr> <NEW.sexpr>\n\
+  -t, --threshold <0.5..1>      inner-node match threshold (default 0.6)\n\
+  -f, --leaf-threshold <0..1>   leaf compare threshold (default 0.5)\n\
+  -k, --optimality <N>          A(k) optimality level (default 0)\n\
+      --output script|delta|stats|json   what to print (default script)\n\
+  -h, --help                    show this help";
+
+fn run() -> Result<(), String> {
+    let mut t = 0.6f64;
+    let mut f = 0.5f64;
+    let mut k = 0u32;
+    let mut output = "script".to_string();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "-t" | "--threshold" => t = take("-t")?.parse().map_err(|e| format!("bad -t: {e}"))?,
+            "-f" | "--leaf-threshold" => {
+                f = take("-f")?.parse().map_err(|e| format!("bad -f: {e}"))?
+            }
+            "-k" | "--optimality" => {
+                k = take("-k")?.parse().map_err(|e| format!("bad -k: {e}"))?
+            }
+            "--output" => output = take("--output")?,
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(format!("expected 2 input files, got {}\n{USAGE}", positional.len()));
+    }
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let old = Tree::parse_sexpr(&read(&positional[0])?)
+        .map_err(|e| format!("{}: {e}", positional[0]))?;
+    let new = Tree::parse_sexpr(&read(&positional[1])?)
+        .map_err(|e| format!("{}: {e}", positional[1]))?;
+
+    let params = MatchParams::with_inner_threshold(t).with_leaf_threshold(f);
+    let options = if k == 0 {
+        DiffOptions {
+            params,
+            ..DiffOptions::new()
+        }
+    } else {
+        let hybrid = match_with_optimality(&old, &new, params, k);
+        DiffOptions {
+            params,
+            matcher: Matcher::Provided,
+            provided: Some(hybrid.matching),
+            build_delta: true,
+            ..DiffOptions::default()
+        }
+    };
+    let result = diff(&old, &new, &options).map_err(|e| e.to_string())?;
+
+    match output.as_str() {
+        "script" => println!("{}", result.script),
+        "delta" => {
+            let delta = result.delta.as_ref().expect("delta built");
+            print!("{}", hierdiff_delta::render_text(delta));
+        }
+        "stats" => {
+            let c = result.script.op_counts();
+            println!("old nodes:          {}", old.len());
+            println!("new nodes:          {}", new.len());
+            println!("matched pairs:      {}", result.matching.len());
+            println!(
+                "script:             {} ops (ins {}, del {}, upd {}, mov {})",
+                c.total(),
+                c.inserts,
+                c.deletes,
+                c.updates,
+                c.moves
+            );
+            println!("weighted distance:  {}", result.weighted_distance());
+            println!(
+                "comparisons:        {} leaf compares + {} partner checks",
+                result.counters.leaf_compares, result.counters.partner_checks
+            );
+        }
+        "json" => {
+            let json = serde_json::json!({
+                "old_nodes": old.len(),
+                "new_nodes": new.len(),
+                "matched": result.matching.len(),
+                "weighted_distance": result.weighted_distance(),
+                "unweighted_distance": result.unweighted_distance(),
+                "script": result.script,
+            });
+            println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+        }
+        other => return Err(format!("unknown output {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

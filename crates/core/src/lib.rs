@@ -1,0 +1,298 @@
+//! # hierdiff-core
+//!
+//! The high-level change-detection API for hierarchically structured
+//! information — a Rust reproduction of *Chawathe, Rajaraman,
+//! Garcia-Molina, Widom: "Change Detection in Hierarchically Structured
+//! Information" (SIGMOD 1996)*.
+//!
+//! The paper splits change detection into two subproblems (Section 3):
+//!
+//! 1. **Good Matching** — find the correspondence between the nodes of the
+//!    old and new trees (`hierdiff-matching`: Algorithms *Match* and
+//!    *FastMatch*, Figures 10–11);
+//! 2. **Minimum Conforming Edit Script** — given the matching, produce the
+//!    cheapest insert/delete/update/move script transforming the old tree
+//!    into the new (`hierdiff-edit`: Algorithm *EditScript*, Figures 8–9).
+//!
+//! [`diff`] runs both, plus the delta-tree construction of Section 6:
+//!
+//! ```
+//! use hierdiff_core::{diff, DiffOptions};
+//! use hierdiff_tree::Tree;
+//!
+//! let old = Tree::parse_sexpr(r#"(D (P (S "a") (S "b")) (P (S "c")))"#).unwrap();
+//! let new = Tree::parse_sexpr(r#"(D (P (S "c")) (P (S "a") (S "b")))"#).unwrap();
+//!
+//! let result = diff(&old, &new, &DiffOptions::default()).unwrap();
+//! assert_eq!(result.script.len(), 1); // the paragraphs swapped: one move
+//! println!("{}", result.script);      // MOV(n2, n0, 2)
+//! ```
+//!
+//! For structured *documents* (LaTeX/HTML text in, marked-up text out), use
+//! the `hierdiff-doc` crate's `ladiff` pipeline, which layers parsing and
+//! Table 2 markup on top of this API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod hybrid;
+
+pub use batch::diff_batch;
+pub use hybrid::{match_with_optimality, zs_budget, HybridMatch};
+
+use hierdiff_delta::{build_delta_tree, DeltaTree};
+use hierdiff_edit::{edit_script, EditScript, Matching, McesError, McesResult};
+use hierdiff_matching::{
+    fast_match, match_simple, postprocess, MatchCounters, MatchParams,
+};
+use hierdiff_tree::{NodeValue, Tree};
+
+pub use hierdiff_matching::MatchParams as Params;
+
+/// Matching algorithm selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Matcher {
+    /// Algorithm *FastMatch* (Figure 11) — the paper's recommendation:
+    /// `O((ne + e²)c + 2lne)`.
+    #[default]
+    Fast,
+    /// Algorithm *Match* (Figure 10) — the simple `O(n²c + mn)` matcher.
+    Simple,
+    /// Use a caller-provided matching and skip the Good Matching phase
+    /// entirely — the paper's "if the information ... does have unique
+    /// identifiers, then our algorithms can take advantage of them"
+    /// fast path.
+    Provided,
+}
+
+/// Options for [`diff`].
+#[derive(Clone, Debug, Default)]
+pub struct DiffOptions {
+    /// Matching criteria parameters `f` and `t` (Section 5.1).
+    pub params: MatchParams,
+    /// Which matcher to run.
+    pub matcher: Matcher,
+    /// A caller-provided matching (required iff `matcher` is
+    /// [`Matcher::Provided`]; key-based domains construct this directly).
+    pub provided: Option<Matching>,
+    /// Run the Section 8 post-processing pass after matching.
+    pub postprocess: bool,
+    /// Also build the delta tree (Section 6). On by default; turn off for
+    /// benchmarking the core algorithms alone.
+    pub build_delta: bool,
+}
+
+impl DiffOptions {
+    /// Default options with delta-tree construction enabled.
+    pub fn new() -> DiffOptions {
+        DiffOptions {
+            build_delta: true,
+            ..DiffOptions::default()
+        }
+    }
+
+    /// Options using a caller-provided matching (key-based domains).
+    pub fn with_matching(matching: Matching) -> DiffOptions {
+        DiffOptions {
+            matcher: Matcher::Provided,
+            provided: Some(matching),
+            build_delta: true,
+            ..DiffOptions::default()
+        }
+    }
+}
+
+/// Errors from [`diff`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// `Matcher::Provided` selected but no matching supplied.
+    MissingProvidedMatching,
+    /// The edit-script generator rejected the matching.
+    Mces(McesError),
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::MissingProvidedMatching => {
+                write!(f, "Matcher::Provided requires DiffOptions::provided")
+            }
+            DiffError::Mces(e) => write!(f, "edit script generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+impl From<McesError> for DiffError {
+    fn from(e: McesError) -> DiffError {
+        DiffError::Mces(e)
+    }
+}
+
+/// The full result of change detection between two trees.
+#[derive(Debug)]
+pub struct DiffResult<V: NodeValue> {
+    /// The (partial) matching fed into edit-script generation.
+    pub matching: Matching,
+    /// The minimum conforming edit script.
+    pub script: EditScript<V>,
+    /// The raw edit-script generation result (total matching, edited tree,
+    /// instrumentation).
+    pub mces: McesResult<V>,
+    /// The delta tree (Section 6), if requested.
+    pub delta: Option<DeltaTree<V>>,
+    /// Matching comparison counters (zero when a matching was provided).
+    pub counters: MatchCounters,
+    /// Nodes re-matched by post-processing (0 when disabled).
+    pub rematched: usize,
+}
+
+impl<V: NodeValue> DiffResult<V> {
+    /// The unweighted edit distance `d` (operation count).
+    pub fn unweighted_distance(&self) -> usize {
+        self.script.len()
+    }
+
+    /// The weighted edit distance `e` (Section 5.3).
+    pub fn weighted_distance(&self) -> usize {
+        self.mces.stats.weighted_distance
+    }
+}
+
+/// Detects the changes from `old` to `new`: computes a good matching,
+/// generates the minimum conforming edit script, and (optionally) builds
+/// the delta tree.
+pub fn diff<V: NodeValue>(
+    old: &Tree<V>,
+    new: &Tree<V>,
+    options: &DiffOptions,
+) -> Result<DiffResult<V>, DiffError> {
+    let (mut matching, counters) = match options.matcher {
+        Matcher::Fast => {
+            let r = fast_match(old, new, options.params);
+            (r.matching, r.counters)
+        }
+        Matcher::Simple => {
+            let r = match_simple(old, new, options.params);
+            (r.matching, r.counters)
+        }
+        Matcher::Provided => {
+            let m = options
+                .provided
+                .clone()
+                .ok_or(DiffError::MissingProvidedMatching)?;
+            (m, MatchCounters::default())
+        }
+    };
+    let rematched = if options.postprocess {
+        postprocess(old, new, options.params, &mut matching)
+    } else {
+        0
+    };
+    let mces = edit_script(old, new, &matching)?;
+    let delta = options
+        .build_delta
+        .then(|| build_delta_tree(old, new, &matching, &mces));
+    Ok(DiffResult {
+        script: mces.script.clone(),
+        matching,
+        mces,
+        delta,
+        counters,
+        rematched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdiff_tree::isomorphic;
+
+    fn doc(s: &str) -> Tree<String> {
+        Tree::parse_sexpr(s).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_default() {
+        let old = doc(r#"(D (P (S "a") (S "b") (S "c")) (P (S "d") (S "e")))"#);
+        let new = doc(r#"(D (P (S "a") (S "c")) (P (S "d") (S "e") (S "f")))"#);
+        let r = diff(&old, &new, &DiffOptions::new()).unwrap();
+        assert!(isomorphic(&r.mces.edited, &new));
+        let c = r.script.op_counts();
+        assert_eq!(c.deletes, 1);
+        assert_eq!(c.inserts, 1);
+        let delta = r.delta.expect("delta requested by default options");
+        assert!(isomorphic(&delta.project_new(), &new));
+        assert!(isomorphic(&delta.project_old(), &old));
+    }
+
+    #[test]
+    fn provided_matching_skips_matching_phase() {
+        let old = doc(r#"(D (S "x"))"#);
+        let new = doc(r#"(D (S "y"))"#);
+        let mut m = Matching::new();
+        m.insert(old.root(), new.root()).unwrap();
+        m.insert(old.children(old.root())[0], new.children(new.root())[0]).unwrap();
+        let r = diff(&old, &new, &DiffOptions::with_matching(m)).unwrap();
+        assert_eq!(r.counters.total(), 0, "no comparisons with provided keys");
+        assert_eq!(r.script.op_counts().updates, 1);
+    }
+
+    #[test]
+    fn provided_matching_missing_is_an_error() {
+        let old = doc(r#"(D)"#);
+        let new = doc(r#"(D)"#);
+        let opts = DiffOptions {
+            matcher: Matcher::Provided,
+            ..DiffOptions::default()
+        };
+        assert!(matches!(
+            diff(&old, &new, &opts).map(|_| ()).unwrap_err(),
+            DiffError::MissingProvidedMatching
+        ));
+    }
+
+    #[test]
+    fn matchers_agree_on_clean_input() {
+        let old = doc(r#"(D (P (S "u1") (S "u2")) (P (S "u3") (S "u4")))"#);
+        let new = doc(r#"(D (P (S "u3") (S "u4")) (P (S "u1") (S "u2")))"#);
+        let fast = diff(&old, &new, &DiffOptions::default()).unwrap();
+        let simple = diff(
+            &old,
+            &new,
+            &DiffOptions {
+                matcher: Matcher::Simple,
+                ..DiffOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fast.script, simple.script);
+    }
+
+    #[test]
+    fn distances_exposed() {
+        let old = doc(r#"(D (P (S "a") (S "b") (S "c")))"#);
+        let new = doc(r#"(D (P (S "a") (S "b")))"#);
+        let r = diff(&old, &new, &DiffOptions::default()).unwrap();
+        assert_eq!(r.unweighted_distance(), 1);
+        assert_eq!(r.weighted_distance(), 1);
+    }
+
+    #[test]
+    fn delta_skippable() {
+        let old = doc(r#"(D (S "a"))"#);
+        let new = doc(r#"(D (S "a"))"#);
+        let r = diff(
+            &old,
+            &new,
+            &DiffOptions {
+                build_delta: false,
+                ..DiffOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(r.delta.is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end tests of the `treediff` binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn treediff() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_treediff"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("hierdiff-treediff-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const OLD: &str = r#"(D (P (S "a") (S "b")) (P (S "c")))"#;
+const NEW: &str = r#"(D (P (S "c")) (P (S "a") (S "b") (S "new")))"#;
+
+#[test]
+fn script_output_default() {
+    let old = write_temp("old.sexpr", OLD);
+    let new = write_temp("new.sexpr", NEW);
+    let out = treediff().arg(&old).arg(&new).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MOV("), "{stdout}");
+    assert!(stdout.contains("INS("), "{stdout}");
+}
+
+#[test]
+fn delta_output() {
+    let old = write_temp("d_old.sexpr", OLD);
+    let new = write_temp("d_new.sexpr", NEW);
+    let out = treediff()
+        .args(["--output", "delta"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("+ S \"new\""), "{stdout}");
+}
+
+#[test]
+fn json_output_parses() {
+    let old = write_temp("j_old.sexpr", OLD);
+    let new = write_temp("j_new.sexpr", NEW);
+    let out = treediff()
+        .args(["--output", "json"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["unweighted_distance"], 2);
+    assert_eq!(v["old_nodes"], 6);
+}
+
+#[test]
+fn optimality_flag() {
+    // Heavily reworded sentence: k=0 reports del+ins, k=2 recovers an
+    // update via the local ZS refinement.
+    let old = write_temp(
+        "k_old.sexpr",
+        r#"(D (P (S "anchor one") (S "totally original phrasing here") (S "anchor two")))"#,
+    );
+    let new = write_temp(
+        "k_new.sexpr",
+        r#"(D (P (S "anchor one") (S "completely different wording now") (S "anchor two")))"#,
+    );
+    let run = |k: &str| {
+        let out = treediff()
+            .args(["-k", k, "--output", "json"])
+            .arg(&old)
+            .arg(&new)
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+        v["unweighted_distance"].as_u64().unwrap()
+    };
+    assert_eq!(run("0"), 2);
+    assert_eq!(run("2"), 1);
+}
+
+#[test]
+fn parse_error_reported() {
+    let bad = write_temp("bad.sexpr", "(D (S \"unterminated");
+    let good = write_temp("good.sexpr", OLD);
+    let out = treediff().arg(&bad).arg(&good).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad.sexpr"));
+}

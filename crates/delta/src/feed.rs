@@ -1,0 +1,168 @@
+//! A flat, serializable *change feed* derived from a delta tree — the
+//! delta-relation analogy of Section 6 made literal: where relational
+//! systems expose `inserted(R)` / `deleted(R)` / `old-updated(R)` /
+//! `new-updated(R)` tables, a hierarchical delta flattens to one record per
+//! change, addressed by positional path (delta trees deliberately carry no
+//! node identifiers).
+//!
+//! Feeds serialize with serde, so they are the natural wire format for
+//! downstream consumers — notification systems, audit logs, warehouse
+//! maintenance queues.
+
+use hierdiff_tree::NodeValue;
+use serde::{Deserialize, Serialize};
+
+use crate::{Annotation, DeltaTree};
+
+/// Kind of one change record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeedKind {
+    /// Node inserted.
+    Insert,
+    /// Subtree deleted (one record per deleted node).
+    Delete,
+    /// Value updated.
+    Update,
+    /// Subtree moved.
+    Move,
+}
+
+/// One flattened change.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChangeRecord<V> {
+    /// What happened.
+    pub kind: FeedKind,
+    /// Positional path of the node in the delta tree (new position for
+    /// inserts/updates/moves, old position for deletes).
+    pub path: String,
+    /// Node label.
+    pub label: hierdiff_tree::Label,
+    /// Value before the change (deletes, updates, updated moves).
+    pub old_value: Option<V>,
+    /// Value after the change (inserts, updates, moves).
+    pub new_value: Option<V>,
+    /// For moves: the positional path of the old position (the marker).
+    pub moved_from: Option<String>,
+}
+
+/// Flattens `delta` into change records, in pre-order of the delta tree.
+pub fn change_feed<V: NodeValue>(delta: &DeltaTree<V>) -> Vec<ChangeRecord<V>> {
+    let mut out = Vec::new();
+    for id in delta.preorder() {
+        let label = delta.label(id);
+        match delta.annotation(id) {
+            Annotation::Identical | Annotation::Marker { .. } => {}
+            Annotation::Inserted => out.push(ChangeRecord {
+                kind: FeedKind::Insert,
+                path: delta.path_of(id),
+                label,
+                old_value: None,
+                new_value: Some(delta.value(id).clone()),
+                moved_from: None,
+            }),
+            Annotation::Deleted => out.push(ChangeRecord {
+                kind: FeedKind::Delete,
+                path: delta.path_of(id),
+                label,
+                old_value: Some(delta.value(id).clone()),
+                new_value: None,
+                moved_from: None,
+            }),
+            Annotation::Updated { old } => out.push(ChangeRecord {
+                kind: FeedKind::Update,
+                path: delta.path_of(id),
+                label,
+                old_value: Some(old.clone()),
+                new_value: Some(delta.value(id).clone()),
+                moved_from: None,
+            }),
+            Annotation::Moved { mark, old } => out.push(ChangeRecord {
+                kind: FeedKind::Move,
+                path: delta.path_of(id),
+                label,
+                old_value: old.clone(),
+                new_value: Some(delta.value(id).clone()),
+                moved_from: Some(delta.path_of(*mark)),
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdiff_edit::edit_script;
+    use hierdiff_matching::{fast_match, MatchParams};
+    use hierdiff_tree::Tree;
+
+    fn feed(t1: &str, t2: &str) -> Vec<ChangeRecord<String>> {
+        let t1 = Tree::parse_sexpr(t1).unwrap();
+        let t2 = Tree::parse_sexpr(t2).unwrap();
+        let m = fast_match(&t1, &t2, MatchParams::default());
+        let res = edit_script(&t1, &t2, &m.matching).unwrap();
+        let delta = crate::build_delta_tree(&t1, &t2, &m.matching, &res);
+        change_feed(&delta)
+    }
+
+    #[test]
+    fn records_cover_all_change_kinds() {
+        let records = feed(
+            r#"(D (P (S "k1") (S "k2") (S "k3") (S "k4") (S "gone") (S "mover")))"#,
+            r#"(D (P (S "mover") (S "k1") (S "k2") (S "k3") (S "k4") (S "fresh")))"#,
+        );
+        let kinds: Vec<FeedKind> = records.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&FeedKind::Insert));
+        assert!(kinds.contains(&FeedKind::Delete));
+        assert!(kinds.contains(&FeedKind::Move));
+        let mv = records.iter().find(|r| r.kind == FeedKind::Move).unwrap();
+        assert!(mv.moved_from.is_some());
+        assert_ne!(mv.moved_from.as_deref(), Some(mv.path.as_str()));
+        assert_eq!(mv.new_value.as_deref(), Some("mover"));
+    }
+
+    #[test]
+    fn update_carries_both_values() {
+        use hierdiff_edit::Matching;
+        let t1 = Tree::parse_sexpr(r#"(D (S "before"))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(D (S "after"))"#).unwrap();
+        let mut m = Matching::new();
+        m.insert(t1.root(), t2.root()).unwrap();
+        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0]).unwrap();
+        let res = edit_script(&t1, &t2, &m).unwrap();
+        let delta = crate::build_delta_tree(&t1, &t2, &m, &res);
+        let records = change_feed(&delta);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind, FeedKind::Update);
+        assert_eq!(records[0].old_value.as_deref(), Some("before"));
+        assert_eq!(records[0].new_value.as_deref(), Some("after"));
+        assert!(records[0].path.starts_with("D/S"));
+    }
+
+    #[test]
+    fn empty_feed_for_identical() {
+        assert!(feed(r#"(D (S "a"))"#, r#"(D (S "a"))"#).is_empty());
+    }
+
+    #[test]
+    fn feed_serializes() {
+        let records = feed(
+            r#"(D (S "a") (S "b") (S "c"))"#,
+            r#"(D (S "a") (S "b") (S "c") (S "d"))"#,
+        );
+        let json = serde_json::to_string(&records).unwrap();
+        let back: Vec<ChangeRecord<String>> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, records);
+        assert!(json.contains("\"Insert\""));
+    }
+
+    #[test]
+    fn deleted_subtrees_flatten_per_node() {
+        let records = feed(
+            r#"(D (P (S "x") (S "y")) (S "k1") (S "k2") (S "k3") (S "k4"))"#,
+            r#"(D (S "k1") (S "k2") (S "k3") (S "k4"))"#,
+        );
+        let deletes = records.iter().filter(|r| r.kind == FeedKind::Delete).count();
+        assert_eq!(deletes, 3, "P and its two sentences");
+    }
+}

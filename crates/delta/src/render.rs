@@ -1,0 +1,162 @@
+//! Plain-text rendering of delta trees — a domain-neutral sibling of
+//! LaDiff's LaTeX markup (which lives in `hierdiff-doc`), handy in
+//! terminals, logs, and the examples.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use hierdiff_tree::NodeValue;
+
+use crate::{Annotation, DeltaNodeId, DeltaTree};
+
+/// Renders `delta` as an indented text diagram. Each changed node is
+/// prefixed with a change sigil, and move pairs are cross-referenced with
+/// `#k` labels:
+///
+/// ```text
+///   D
+///     ~ S "new text" (was "old text")
+///     + S "inserted"
+///     - S "deleted"
+///     → S "moved here" (from #1)
+///     ⌫ S "moved away" (#1)
+/// ```
+pub fn render_text<V: NodeValue>(delta: &DeltaTree<V>) -> String {
+    // Assign stable small numbers to move pairs (by marker visit order).
+    let mut mark_no: HashMap<DeltaNodeId, usize> = HashMap::new();
+    for id in delta.preorder() {
+        if let Annotation::Marker { .. } = delta.annotation(id) {
+            let n = mark_no.len() + 1;
+            mark_no.insert(id, n);
+        }
+    }
+    let mut out = String::new();
+    render(delta, delta.root(), 0, &mark_no, &mut out);
+    out
+}
+
+fn render<V: NodeValue>(
+    delta: &DeltaTree<V>,
+    id: DeltaNodeId,
+    depth: usize,
+    mark_no: &HashMap<DeltaNodeId, usize>,
+    out: &mut String,
+) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let label = delta.label(id);
+    match delta.annotation(id) {
+        Annotation::Identical => {
+            let _ = write!(out, "{label}");
+        }
+        Annotation::Updated { old } => {
+            let _ = write!(out, "~ {label}");
+            if !delta.value(id).is_null() {
+                let _ = write!(out, " {:?} (was {:?})", delta.value(id), old);
+            }
+        }
+        Annotation::Inserted => {
+            let _ = write!(out, "+ {label}");
+        }
+        Annotation::Deleted => {
+            let _ = write!(out, "- {label}");
+        }
+        Annotation::Moved { mark, old } => {
+            let n = mark_no.get(mark).copied().unwrap_or(0);
+            let _ = write!(out, "\u{2192} {label}");
+            if let Some(old) = old {
+                if !delta.value(id).is_null() {
+                    let _ = write!(out, " {:?} (was {:?})", delta.value(id), old);
+                }
+            } else if !delta.value(id).is_null() {
+                let _ = write!(out, " {:?}", delta.value(id));
+            }
+            let _ = write!(out, " (from #{n})");
+            // Value printing handled above; skip the generic value print.
+            out.push('\n');
+            for &c in delta.children(id) {
+                render(delta, c, depth + 1, mark_no, out);
+            }
+            return;
+        }
+        Annotation::Marker { .. } => {
+            let n = mark_no.get(&id).copied().unwrap_or(0);
+            let _ = write!(out, "\u{232B} {label}");
+            if !delta.value(id).is_null() {
+                let _ = write!(out, " {:?}", delta.value(id));
+            }
+            let _ = write!(out, " (#{n})");
+            out.push('\n');
+            return;
+        }
+    }
+    // Generic value print for IDN/INS/DEL (UPD printed its own).
+    if !matches!(delta.annotation(id), Annotation::Updated { .. })
+        && !delta.value(id).is_null()
+    {
+        let _ = write!(out, " {:?}", delta.value(id));
+    }
+    out.push('\n');
+    for &c in delta.children(id) {
+        render(delta, c, depth + 1, mark_no, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdiff_edit::edit_script;
+    use hierdiff_matching::{fast_match, MatchParams};
+    use hierdiff_tree::Tree;
+
+    fn delta(t1: &str, t2: &str) -> DeltaTree<String> {
+        let t1 = Tree::parse_sexpr(t1).unwrap();
+        let t2 = Tree::parse_sexpr(t2).unwrap();
+        let m = fast_match(&t1, &t2, MatchParams::default());
+        let res = edit_script(&t1, &t2, &m.matching).unwrap();
+        crate::build_delta_tree(&t1, &t2, &m.matching, &res)
+    }
+
+    #[test]
+    fn renders_all_sigils() {
+        let d = delta(
+            r#"(D (S "keep") (S "gone") (S "mover") (S "tail"))"#,
+            r#"(D (S "keep") (S "fresh") (S "tail") (S "mover"))"#,
+        );
+        let text = render_text(&d);
+        assert!(text.contains("+ S \"fresh\""), "{text}");
+        assert!(text.contains("- S \"gone\""), "{text}");
+        assert!(text.contains("\u{2192} S \"mover\" (from #1)"), "{text}");
+        assert!(text.contains("\u{232B} S \"mover\" (#1)"), "{text}");
+        assert!(text.contains("S \"keep\""), "{text}");
+    }
+
+    #[test]
+    fn update_shows_old_and_new() {
+        use hierdiff_edit::Matching;
+        let t1 = Tree::parse_sexpr(r#"(D (S "before"))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(D (S "after"))"#).unwrap();
+        let mut m = Matching::new();
+        m.insert(t1.root(), t2.root()).unwrap();
+        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0]).unwrap();
+        let res = edit_script(&t1, &t2, &m).unwrap();
+        let d = crate::build_delta_tree(&t1, &t2, &m, &res);
+        let text = render_text(&d);
+        assert!(text.contains("~ S \"after\" (was \"before\")"), "{text}");
+    }
+
+    #[test]
+    fn indentation_follows_depth() {
+        let d = delta(
+            r#"(D (P (S "a")))"#,
+            r#"(D (P (S "a")))"#,
+        );
+        let text = render_text(&d);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with('D'));
+        assert!(lines[1].starts_with("  P"));
+        assert!(lines[2].starts_with("    S"));
+    }
+}

@@ -1,0 +1,192 @@
+//! `ladiff` — command-line front end for the LaDiff pipeline (Section 7 of
+//! Chawathe et al., SIGMOD 1996).
+//!
+//! ```text
+//! ladiff [OPTIONS] <OLD> <NEW>
+//!
+//!   -t, --threshold <0.5..1.0>   inner-node match threshold t  [default 0.6]
+//!   -f, --leaf-threshold <0..1>  leaf compare threshold f      [default 0.5]
+//!       --engine fast|simple     matching algorithm            [default fast]
+//!       --format latex|html|markdown|auto input format                  [default auto]
+//!       --postprocess            run the Section 8 recovery pass
+//!       --output markup|html|markdown|script|delta|stats|json
+//!                                 what to print                [default markup]
+//! ```
+
+use std::process::ExitCode;
+
+use hierdiff_doc::{ladiff, DocFormat, Engine, LaDiffOptions};
+use hierdiff_matching::MatchParams;
+
+struct Args {
+    old: String,
+    new: String,
+    t: f64,
+    f: f64,
+    engine: Engine,
+    format: Option<DocFormat>,
+    postprocess: bool,
+    output: Output,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Output {
+    Markup,
+    Html,
+    Markdown,
+    Script,
+    Delta,
+    Stats,
+    Json,
+}
+
+const USAGE: &str = "usage: ladiff [OPTIONS] <OLD> <NEW>\n\
+  -t, --threshold <0.5..1.0>    inner-node match threshold t (default 0.6)\n\
+  -f, --leaf-threshold <0..1>   leaf compare threshold f (default 0.5)\n\
+      --engine fast|simple      matching algorithm (default fast)\n\
+      --format latex|html|markdown|auto  input format (default auto)\n\
+      --postprocess             run the Section 8 recovery pass\n\
+      --output markup|html|markdown|script|delta|stats|json   what to print (default markup)\n\
+  -h, --help                    show this help";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        old: String::new(),
+        new: String::new(),
+        t: 0.6,
+        f: 0.5,
+        engine: Engine::Fast,
+        format: None,
+        postprocess: false,
+        output: Output::Markup,
+    };
+    let mut positional = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "-t" | "--threshold" => {
+                args.t = take("--threshold")?.parse().map_err(|e| format!("bad -t: {e}"))?
+            }
+            "-f" | "--leaf-threshold" => {
+                args.f = take("--leaf-threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad -f: {e}"))?
+            }
+            "--engine" => {
+                args.engine = match take("--engine")?.as_str() {
+                    "fast" => Engine::Fast,
+                    "simple" => Engine::Simple,
+                    other => return Err(format!("unknown engine {other:?}")),
+                }
+            }
+            "--format" => {
+                args.format = match take("--format")?.as_str() {
+                    "latex" => Some(DocFormat::Latex),
+                    "html" => Some(DocFormat::Html),
+                    "markdown" | "md" => Some(DocFormat::Markdown),
+                    "auto" => None,
+                    other => return Err(format!("unknown format {other:?}")),
+                }
+            }
+            "--postprocess" => args.postprocess = true,
+            "--output" => {
+                args.output = match take("--output")?.as_str() {
+                    "markup" => Output::Markup,
+                    "html" => Output::Html,
+                    "markdown" | "md" => Output::Markdown,
+                    "script" => Output::Script,
+                    "delta" => Output::Delta,
+                    "stats" => Output::Stats,
+                    "json" => Output::Json,
+                    other => return Err(format!("unknown output {other:?}")),
+                }
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.len() {
+        2 => {
+            args.old = positional.remove(0);
+            args.new = positional.remove(0);
+            Ok(args)
+        }
+        n => Err(format!("expected 2 input files, got {n}\n{USAGE}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let old_src =
+        std::fs::read_to_string(&args.old).map_err(|e| format!("{}: {e}", args.old))?;
+    let new_src =
+        std::fs::read_to_string(&args.new).map_err(|e| format!("{}: {e}", args.new))?;
+    let format = args
+        .format
+        .unwrap_or_else(|| DocFormat::sniff(&old_src));
+    let options = LaDiffOptions {
+        params: MatchParams::with_inner_threshold(args.t).with_leaf_threshold(args.f),
+        engine: args.engine,
+        postprocess: args.postprocess,
+        format,
+    };
+    let out = ladiff(&old_src, &new_src, &options).map_err(|e| e.to_string())?;
+    match args.output {
+        Output::Markup => println!("{}", out.markup),
+        Output::Html => println!("{}", out.markup_html()),
+        Output::Markdown => println!("{}", out.markup_markdown()),
+        Output::Script => println!("{}", out.result.script),
+        Output::Delta => println!("{}", hierdiff_delta::render_text(&out.delta)),
+        Output::Stats => {
+            let s = &out.stats;
+            println!("old nodes:         {}", s.old_nodes);
+            println!("new nodes:         {}", s.new_nodes);
+            println!("matched pairs:     {}", s.matched);
+            println!("rematched (post):  {}", s.rematched);
+            println!(
+                "edit script:       {} ops (ins {}, del {}, upd {}, mov {})",
+                s.ops.total(),
+                s.ops.inserts,
+                s.ops.deletes,
+                s.ops.updates,
+                s.ops.moves
+            );
+            println!("weighted distance: {}", s.weighted_distance);
+            println!(
+                "comparisons:       r1 = {} leaf compares, r2 = {} partner checks",
+                s.counters.leaf_compares, s.counters.partner_checks
+            );
+        }
+        Output::Json => {
+            let json = serde_json::json!({
+                "old_nodes": out.stats.old_nodes,
+                "new_nodes": out.stats.new_nodes,
+                "matched": out.stats.matched,
+                "ops": {
+                    "insert": out.stats.ops.inserts,
+                    "delete": out.stats.ops.deletes,
+                    "update": out.stats.ops.updates,
+                    "move": out.stats.ops.moves,
+                },
+                "weighted_distance": out.stats.weighted_distance,
+                "script": out.result.script,
+            });
+            println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

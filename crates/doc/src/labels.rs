@@ -1,0 +1,68 @@
+//! The document schema's labels (Section 5.1's running example schema):
+//! `Sentence < Paragraph < Item < List < Subsection < Section < Document`.
+//!
+//! Per the paper, the three LaTeX list environments (`itemize`, `enumerate`,
+//! `description`) are *merged into a single `List` label* to restore the
+//! acyclic-labels condition.
+
+use hierdiff_tree::Label;
+
+/// Label of the document root.
+pub fn document() -> Label {
+    Label::intern("Document")
+}
+
+/// Label of `\section` nodes (value = heading text).
+pub fn section() -> Label {
+    Label::intern("Section")
+}
+
+/// Label of `\subsection` nodes (value = heading text).
+pub fn subsection() -> Label {
+    Label::intern("Subsection")
+}
+
+/// Label of paragraph nodes.
+pub fn paragraph() -> Label {
+    Label::intern("Paragraph")
+}
+
+/// Label of list nodes (`itemize` / `enumerate` / `description` merged).
+pub fn list() -> Label {
+    Label::intern("List")
+}
+
+/// Label of `\item` nodes.
+pub fn item() -> Label {
+    Label::intern("Item")
+}
+
+/// Label of sentence leaves (value = sentence text).
+pub fn sentence() -> Label {
+    Label::intern("Sentence")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_distinct_and_stable() {
+        let all = [
+            document(),
+            section(),
+            subsection(),
+            paragraph(),
+            list(),
+            item(),
+            sentence(),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(i == j, a == b);
+            }
+        }
+        assert_eq!(sentence(), sentence());
+        assert_eq!(sentence().as_str(), "Sentence");
+    }
+}

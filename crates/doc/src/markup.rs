@@ -1,0 +1,346 @@
+//! The LaDiff mark-up emitter — Table 2 of the paper:
+//!
+//! | Textual unit | Insert | Delete | Update | Move |
+//! |---|---|---|---|---|
+//! | Sentence | bold font | small font | italic font | footnote + label |
+//! | Paragraph | marginal note | marginal note | marginal note | marginal note + label |
+//! | Item | marginal note | marginal note | marginal note | marginal note + label |
+//! | Subsection / Section | annotation `(ins/del/upd/mov)` in heading ||||
+//!
+//! The emitter walks the delta tree in pre-order (Section 6: "a preorder
+//! traversal of the delta tree is performed to produce an output Latex
+//! document with annotations describing the changes") and renders a LaTeX
+//! document. Moved units show their old content at the old position in
+//! small font with a label (`S1:[...]` / `P1`), and a footnote or marginal
+//! note "Moved from S1/P1" at the new position — exactly the conventions of
+//! the Appendix A sample run. A unit that was moved *and* updated gets both
+//! markings at once.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use hierdiff_delta::{Annotation, DeltaNodeId, DeltaTree};
+
+use crate::labels;
+use crate::value::DocValue;
+
+/// Renders the delta tree of a document pair as annotated LaTeX.
+pub fn render_latex(delta: &DeltaTree<DocValue>) -> String {
+    let mut marks = MarkNames::default();
+    // Assign names in order of first appearance of either endpoint of a
+    // move (the new position or the tombstone), matching Figure 16's
+    // numbering where the intro's "Moved from S1" footnote precedes the S1
+    // label near the end of the document.
+    for id in delta.preorder() {
+        match delta.annotation(id) {
+            Annotation::Marker { .. } => marks.assign(delta, id),
+            Annotation::Moved { mark, .. } => marks.assign(delta, *mark),
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    let mut r = Renderer {
+        delta,
+        marks,
+        out: &mut out,
+    };
+    r.children(delta.root());
+    out
+}
+
+#[derive(Default)]
+struct MarkNames {
+    names: HashMap<DeltaNodeId, String>,
+    sentence_count: usize,
+    block_count: usize,
+}
+
+impl MarkNames {
+    /// Names `marker` if it has no name yet (idempotent: the first-seen
+    /// endpoint of a move wins).
+    fn assign(&mut self, delta: &DeltaTree<DocValue>, marker: DeltaNodeId) {
+        if self.names.contains_key(&marker) {
+            return;
+        }
+        let name = if delta.label(marker) == labels::sentence() {
+            self.sentence_count += 1;
+            format!("S{}", self.sentence_count)
+        } else {
+            self.block_count += 1;
+            format!("P{}", self.block_count)
+        };
+        self.names.insert(marker, name);
+    }
+
+    fn of(&self, marker: DeltaNodeId) -> &str {
+        self.names.get(&marker).map(String::as_str).unwrap_or("?")
+    }
+}
+
+struct Renderer<'a> {
+    delta: &'a DeltaTree<DocValue>,
+    marks: MarkNames,
+    out: &'a mut String,
+}
+
+impl Renderer<'_> {
+    fn children(&mut self, id: DeltaNodeId) {
+        for &c in self.delta.children(id) {
+            self.node(c);
+        }
+    }
+
+    fn node(&mut self, id: DeltaNodeId) {
+        let label = self.delta.label(id);
+        if label == labels::sentence() {
+            self.sentence(id);
+        } else if label == labels::section() || label == labels::subsection() {
+            self.heading(id);
+        } else if label == labels::paragraph() || label == labels::item() {
+            self.block(id);
+        } else if label == labels::list() {
+            self.list(id);
+        } else {
+            // Unknown structural node (e.g. a dummy root): recurse.
+            self.children(id);
+        }
+    }
+
+    fn text_of(&self, id: DeltaNodeId) -> &str {
+        self.delta.value(id).as_text().unwrap_or("")
+    }
+
+    fn sentence(&mut self, id: DeltaNodeId) {
+        let text = self.text_of(id).to_owned();
+        match self.delta.annotation(id) {
+            Annotation::Identical => {
+                let _ = write!(self.out, "{text} ");
+            }
+            Annotation::Inserted => {
+                let _ = write!(self.out, "\\textbf{{{text}}} ");
+            }
+            Annotation::Deleted => {
+                let _ = write!(self.out, "{{\\small {text}}} ");
+            }
+            Annotation::Updated { .. } => {
+                let _ = write!(self.out, "\\textit{{{text}}} ");
+            }
+            Annotation::Moved { mark, old } => {
+                // New position: the (possibly updated) text with a footnote.
+                let name = self.marks.of(*mark).to_owned();
+                if old.is_some() {
+                    let _ = write!(
+                        self.out,
+                        "\\textit{{{text}}}\\footnote{{Moved from {name}}} "
+                    );
+                } else {
+                    let _ = write!(self.out, "{text}\\footnote{{Moved from {name}}} ");
+                }
+            }
+            Annotation::Marker { .. } => {
+                // Old position: small font, labeled.
+                let name = self.marks.of(id).to_owned();
+                let _ = write!(self.out, "{name}:[{{\\small {text}}}] ");
+            }
+        }
+    }
+
+    fn heading(&mut self, id: DeltaNodeId) {
+        let cmd = if self.delta.label(id) == labels::section() {
+            "section"
+        } else {
+            "subsection"
+        };
+        let title = self.text_of(id).to_owned();
+        let ann = match self.delta.annotation(id) {
+            Annotation::Identical => None,
+            Annotation::Inserted => Some("ins".to_string()),
+            Annotation::Deleted => Some("del".to_string()),
+            Annotation::Updated { .. } => Some("upd".to_string()),
+            Annotation::Moved { mark, .. } => {
+                Some(format!("mov from {}", self.marks.of(*mark)))
+            }
+            Annotation::Marker { .. } => {
+                // Old position of a moved section: emit only the label.
+                let name = self.marks.of(id).to_owned();
+                let _ = writeln!(self.out, "\\noindent {name}: [section moved]\n");
+                return;
+            }
+        };
+        match ann {
+            None => {
+                let _ = writeln!(self.out, "\\{cmd}{{{title}}}");
+            }
+            Some(a) => {
+                let _ = writeln!(self.out, "\\{cmd}{{({a}) {title}}}");
+            }
+        }
+        self.children(id);
+    }
+
+    fn block(&mut self, id: DeltaNodeId) {
+        let item = self.delta.label(id) == labels::item();
+        let (note, label_prefix): (Option<String>, Option<String>) =
+            match self.delta.annotation(id) {
+                Annotation::Identical | Annotation::Updated { .. } => (None, None),
+                Annotation::Inserted => (
+                    Some(format!("Inserted {}", if item { "item" } else { "para" })),
+                    None,
+                ),
+                Annotation::Deleted => (
+                    Some(format!("Deleted {}", if item { "item" } else { "para" })),
+                    None,
+                ),
+                Annotation::Moved { mark, .. } => {
+                    (Some(format!("Moved from {}", self.marks.of(*mark))), None)
+                }
+                Annotation::Marker { .. } => {
+                    let name = self.marks.of(id).to_owned();
+                    (None, Some(name))
+                }
+            };
+        if item {
+            let _ = write!(self.out, "\\item ");
+        }
+        if let Some(name) = &label_prefix {
+            // Old position of a moved block: show the label only.
+            let _ = writeln!(self.out, "\\noindent {name}\n");
+            return;
+        }
+        if let Some(note) = note {
+            let _ = write!(self.out, "\\marginpar{{{note}}} ");
+        }
+        self.children(id);
+        let _ = writeln!(self.out, "\n");
+    }
+
+    fn list(&mut self, id: DeltaNodeId) {
+        let _ = writeln!(self.out, "\\begin{{itemize}}");
+        self.children(id);
+        let _ = writeln!(self.out, "\\end{{itemize}}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latex::parse_latex;
+    use hierdiff_delta::build_delta_tree;
+    use hierdiff_edit::edit_script;
+    use hierdiff_matching::{fast_match, MatchParams};
+
+    fn markup(old: &str, new: &str) -> String {
+        let t1 = parse_latex(old);
+        let t2 = parse_latex(new);
+        let m = fast_match(&t1, &t2, MatchParams::default());
+        let res = edit_script(&t1, &t2, &m.matching).unwrap();
+        let delta = build_delta_tree(&t1, &t2, &m.matching, &res);
+        render_latex(&delta)
+    }
+
+    #[test]
+    fn inserted_sentence_bold() {
+        let old = "One stays here. Two stays here. Three stays here.";
+        let new = "One stays here. Two stays here. Brand new sentence. Three stays here.";
+        let out = markup(old, new);
+        assert!(out.contains("\\textbf{Brand new sentence.}"), "{out}");
+        assert!(out.contains("One stays here."), "{out}");
+    }
+
+    #[test]
+    fn deleted_sentence_small() {
+        let old = "One stays here. Doomed sentence. Two stays here. Three stays here.";
+        let new = "One stays here. Two stays here. Three stays here.";
+        let out = markup(old, new);
+        assert!(out.contains("{\\small Doomed sentence.}"), "{out}");
+    }
+
+    #[test]
+    fn updated_sentence_italic() {
+        let old = "The quick brown fox jumps over the dog. Second sentence stays.";
+        let new = "The quick brown fox leaps over the dog. Second sentence stays.";
+        let out = markup(old, new);
+        assert!(
+            out.contains("\\textit{The quick brown fox leaps over the dog.}"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn moved_sentence_footnote_and_label() {
+        let old = "Mover goes last eventually. Anchor one stays. Anchor two stays.";
+        let new = "Anchor one stays. Anchor two stays. Mover goes last eventually.";
+        let out = markup(old, new);
+        assert!(out.contains("S1:[{\\small Mover goes last eventually.}]"), "{out}");
+        assert!(
+            out.contains("Mover goes last eventually.\\footnote{Moved from S1}"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn moved_and_updated_sentence_italic_with_footnote() {
+        // Like the TeXbook example's first sentence: moved and updated.
+        let old = "\\section{A}\nThe old form of the mover sentence here. Anchor a one. Anchor a two.\n\\section{B}\nAnchor b one. Anchor b two.";
+        let new = "\\section{A}\nAnchor a one. Anchor a two.\n\\section{B}\nThe new form of the mover sentence here. Anchor b one. Anchor b two.";
+        let out = markup(old, new);
+        assert!(
+            out.contains("\\textit{The new form of the mover sentence here.}\\footnote{Moved from S1}"),
+            "{out}"
+        );
+        assert!(out.contains("S1:[{\\small The old form of the mover sentence here.}]"), "{out}");
+    }
+
+    #[test]
+    fn inserted_paragraph_marginal_note() {
+        let old = "Stable paragraph sentence one. Stable paragraph sentence two.";
+        let new = "Stable paragraph sentence one. Stable paragraph sentence two.\n\nEntirely fresh paragraph content here.";
+        let out = markup(old, new);
+        assert!(out.contains("\\marginpar{Inserted para}"), "{out}");
+    }
+
+    #[test]
+    fn deleted_paragraph_marginal_note() {
+        let old = "Stable paragraph sentence one. Stable paragraph sentence two.\n\nDoomed paragraph content entirely different.";
+        let new = "Stable paragraph sentence one. Stable paragraph sentence two.";
+        let out = markup(old, new);
+        assert!(out.contains("\\marginpar{Deleted para}"), "{out}");
+    }
+
+    #[test]
+    fn section_heading_annotations() {
+        let old = "\\section{Old Title Words}\nShared body sentence one. Shared body sentence two. Shared three.";
+        let new = "\\section{New Title Words}\nShared body sentence one. Shared body sentence two. Shared three.";
+        let out = markup(old, new);
+        assert!(out.contains("\\section{(upd) New Title Words}"), "{out}");
+    }
+
+    #[test]
+    fn inserted_section_annotated() {
+        let old = "\\section{Stable}\nBody one here. Body two here. Body three here.";
+        let new = "\\section{Stable}\nBody one here. Body two here. Body three here.\n\\section{Fresh}\nCompletely new section body.";
+        let out = markup(old, new);
+        assert!(out.contains("\\section{(ins) Fresh}"), "{out}");
+    }
+
+    #[test]
+    fn unchanged_document_has_no_annotations() {
+        let src = "\\section{Title}\nSentence one here. Sentence two here.";
+        let out = markup(src, src);
+        assert!(!out.contains("\\textbf"), "{out}");
+        assert!(!out.contains("\\textit"), "{out}");
+        assert!(!out.contains("\\small"), "{out}");
+        assert!(!out.contains("\\marginpar"), "{out}");
+        assert!(!out.contains("(upd)"), "{out}");
+    }
+
+    #[test]
+    fn items_render_in_lists() {
+        let old = "\\begin{itemize}\n\\item First point stays here.\n\\item Second point stays here.\n\\end{itemize}";
+        let new = "\\begin{itemize}\n\\item First point stays here.\n\\item Second point stays here.\n\\item Third point is new here.\n\\end{itemize}";
+        let out = markup(old, new);
+        assert!(out.contains("\\begin{itemize}"), "{out}");
+        assert!(out.contains("\\end{itemize}"), "{out}");
+        assert!(out.contains("\\item \\marginpar{Inserted item}"), "{out}");
+    }
+}

@@ -1,0 +1,366 @@
+//! HTML rendering of document deltas — the paper's browser scenario
+//! (Section 1: a changed page "could be marked with a 'tombstone' in its
+//! old position and be highlighted in its new position"; Section 9: "we
+//! also plan to incorporate the diff program in a web browser").
+//!
+//! Table 2's LaTeX conventions translate to semantic HTML:
+//!
+//! | unit × op | markup |
+//! |---|---|
+//! | sentence insert | `<ins>…</ins>` |
+//! | sentence delete | `<del>…</del>` |
+//! | sentence update | `<em class="upd">…</em>` |
+//! | sentence move | `<span class="mov" id="movN">…</span>` at the new position, `<del class="mrk"><a href="#movN">…</a></del>` tombstone at the old |
+//! | paragraph/item change | `class="ins|del|mov"` on the block element |
+//! | section change | `(ins)`/`(del)`/`(upd)`/`(mov)` badge in the heading |
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use hierdiff_delta::{Annotation, DeltaNodeId, DeltaTree};
+use hierdiff_lcs::{sequence_diff, SeqEdit};
+
+use crate::labels;
+use crate::value::DocValue;
+
+/// Options for [`render_html_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HtmlOptions {
+    /// Refine updated sentences to the word level: instead of one
+    /// `<em class="upd">` span, render kept words plain and changed words
+    /// as `<del>`/`<ins>` runs — the intra-line refinement idea of the
+    /// *ediff* front end the paper cites in Section 2.
+    pub word_refine: bool,
+}
+
+/// Renders the delta tree of a document pair as a self-contained HTML
+/// fragment (no `<html>`/`<head>` wrapper; style it with the classes in the
+/// module docs).
+pub fn render_html(delta: &DeltaTree<DocValue>) -> String {
+    render_html_with(delta, &HtmlOptions::default())
+}
+
+/// [`render_html`] with explicit [`HtmlOptions`].
+pub fn render_html_with(delta: &DeltaTree<DocValue>, options: &HtmlOptions) -> String {
+    let mut mark_ids: HashMap<DeltaNodeId, usize> = HashMap::new();
+    for id in delta.preorder() {
+        if let Annotation::Marker { .. } = delta.annotation(id) {
+            let n = mark_ids.len() + 1;
+            mark_ids.insert(id, n);
+        }
+    }
+    let mut out = String::new();
+    let mut r = HtmlRenderer {
+        delta,
+        mark_ids,
+        options: *options,
+        out: &mut out,
+    };
+    r.children(delta.root());
+    out
+}
+
+/// Word-level refinement of an updated sentence: kept words plain, removed
+/// words in `<del>`, added words in `<ins>` (all HTML-escaped).
+pub fn refine_words(old: &str, new: &str) -> String {
+    let old_words: Vec<&str> = old.split_whitespace().collect();
+    let new_words: Vec<&str> = new.split_whitespace().collect();
+    let runs = sequence_diff(&old_words, &new_words);
+    let mut out = String::new();
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let joined = escape_html(&run.items().join(" "));
+        match run {
+            SeqEdit::Keep(_) => out.push_str(&joined),
+            SeqEdit::Delete(_) => {
+                let _ = write!(out, "<del>{joined}</del>");
+            }
+            SeqEdit::Insert(_) => {
+                let _ = write!(out, "<ins>{joined}</ins>");
+            }
+        }
+    }
+    out
+}
+
+/// Escapes text for HTML content position.
+pub fn escape_html(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct HtmlRenderer<'a> {
+    delta: &'a DeltaTree<DocValue>,
+    mark_ids: HashMap<DeltaNodeId, usize>,
+    options: HtmlOptions,
+    out: &'a mut String,
+}
+
+impl HtmlRenderer<'_> {
+    fn children(&mut self, id: DeltaNodeId) {
+        for &c in self.delta.children(id) {
+            self.node(c);
+        }
+    }
+
+    fn node(&mut self, id: DeltaNodeId) {
+        let label = self.delta.label(id);
+        if label == labels::sentence() {
+            self.sentence(id);
+        } else if label == labels::section() || label == labels::subsection() {
+            self.heading(id);
+        } else if label == labels::paragraph() {
+            self.block(id, "p");
+        } else if label == labels::item() {
+            self.block(id, "li");
+        } else if label == labels::list() {
+            let _ = writeln!(self.out, "<ul>");
+            self.children(id);
+            let _ = writeln!(self.out, "</ul>");
+        } else {
+            self.children(id);
+        }
+    }
+
+    fn text(&self, id: DeltaNodeId) -> String {
+        escape_html(self.delta.value(id).as_text().unwrap_or(""))
+    }
+
+    fn sentence(&mut self, id: DeltaNodeId) {
+        let text = self.text(id);
+        match self.delta.annotation(id) {
+            Annotation::Identical => {
+                let _ = write!(self.out, "{text} ");
+            }
+            Annotation::Inserted => {
+                let _ = write!(self.out, "<ins>{text}</ins> ");
+            }
+            Annotation::Deleted => {
+                let _ = write!(self.out, "<del>{text}</del> ");
+            }
+            Annotation::Updated { old } => {
+                if self.options.word_refine {
+                    let refined = refine_words(
+                        old.as_text().unwrap_or(""),
+                        self.delta.value(id).as_text().unwrap_or(""),
+                    );
+                    let _ = write!(self.out, "<em class=\"upd\">{refined}</em> ");
+                } else {
+                    let old = escape_html(old.as_text().unwrap_or(""));
+                    let _ = write!(
+                        self.out,
+                        "<em class=\"upd\" title=\"was: {old}\">{text}</em> "
+                    );
+                }
+            }
+            Annotation::Moved { mark, old } => {
+                let n = self.mark_ids.get(mark).copied().unwrap_or(0);
+                let inner = if old.is_some() {
+                    format!("<em class=\"upd\">{text}</em>")
+                } else {
+                    text
+                };
+                let _ = write!(self.out, "<span class=\"mov\" id=\"mov{n}\">{inner}</span> ");
+            }
+            Annotation::Marker { .. } => {
+                let n = self.mark_ids.get(&id).copied().unwrap_or(0);
+                let _ = write!(
+                    self.out,
+                    "<del class=\"mrk\"><a href=\"#mov{n}\">{text}</a></del> "
+                );
+            }
+        }
+    }
+
+    fn heading(&mut self, id: DeltaNodeId) {
+        let tag = if self.delta.label(id) == labels::section() {
+            "h1"
+        } else {
+            "h2"
+        };
+        let title = self.text(id);
+        let (badge, anchor) = match self.delta.annotation(id) {
+            Annotation::Identical => ("", None),
+            Annotation::Inserted => ("(ins) ", None),
+            Annotation::Deleted => ("(del) ", None),
+            Annotation::Updated { .. } => ("(upd) ", None),
+            Annotation::Moved { mark, .. } => {
+                ("(mov) ", Some(self.mark_ids.get(mark).copied().unwrap_or(0)))
+            }
+            Annotation::Marker { .. } => {
+                let n = self.mark_ids.get(&id).copied().unwrap_or(0);
+                let _ = writeln!(
+                    self.out,
+                    "<div class=\"mrk\"><a href=\"#mov{n}\">[section moved]</a></div>"
+                );
+                return;
+            }
+        };
+        match anchor {
+            Some(n) => {
+                let _ = writeln!(self.out, "<{tag} id=\"mov{n}\">{badge}{title}</{tag}>");
+            }
+            None => {
+                let _ = writeln!(self.out, "<{tag}>{badge}{title}</{tag}>");
+            }
+        }
+        self.children(id);
+    }
+
+    fn block(&mut self, id: DeltaNodeId, tag: &str) {
+        let (class, anchor) = match self.delta.annotation(id) {
+            Annotation::Identical | Annotation::Updated { .. } => (None, None),
+            Annotation::Inserted => (Some("ins"), None),
+            Annotation::Deleted => (Some("del"), None),
+            Annotation::Moved { mark, .. } => (
+                Some("mov"),
+                Some(self.mark_ids.get(mark).copied().unwrap_or(0)),
+            ),
+            Annotation::Marker { .. } => {
+                let n = self.mark_ids.get(&id).copied().unwrap_or(0);
+                let _ = writeln!(
+                    self.out,
+                    "<{tag} class=\"mrk\"><a href=\"#mov{n}\">[moved]</a></{tag}>"
+                );
+                return;
+            }
+        };
+        match (class, anchor) {
+            (Some(c), Some(n)) => {
+                let _ = write!(self.out, "<{tag} class=\"{c}\" id=\"mov{n}\">");
+            }
+            (Some(c), None) => {
+                let _ = write!(self.out, "<{tag} class=\"{c}\">");
+            }
+            _ => {
+                let _ = write!(self.out, "<{tag}>");
+            }
+        }
+        self.children(id);
+        let _ = writeln!(self.out, "</{tag}>");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::parse_html;
+    use crate::pipeline::{diff_trees, LaDiffOptions};
+
+    fn html_delta(old: &str, new: &str) -> String {
+        let t1 = parse_html(old);
+        let t2 = parse_html(new);
+        let out = diff_trees(t1, t2, &LaDiffOptions::default()).unwrap();
+        render_html(&out.delta)
+    }
+
+    #[test]
+    fn inserted_sentence_ins_tag() {
+        let out = html_delta(
+            "<p>Stable one here. Stable two here. Stable three here.</p>",
+            "<p>Stable one here. Fresh addition now. Stable two here. Stable three here.</p>",
+        );
+        assert!(out.contains("<ins>Fresh addition now.</ins>"), "{out}");
+    }
+
+    #[test]
+    fn deleted_sentence_del_tag() {
+        let out = html_delta(
+            "<p>Stable one here. Doomed middle line. Stable two here. Stable three here.</p>",
+            "<p>Stable one here. Stable two here. Stable three here.</p>",
+        );
+        assert!(out.contains("<del>Doomed middle line.</del>"), "{out}");
+    }
+
+    #[test]
+    fn moved_sentence_anchor_pair() {
+        let out = html_delta(
+            "<p>Mover starts in front here. Anchor alpha one. Anchor beta two.</p>",
+            "<p>Anchor alpha one. Anchor beta two. Mover starts in front here.</p>",
+        );
+        assert!(
+            out.contains("<span class=\"mov\" id=\"mov1\">Mover starts in front here.</span>"),
+            "{out}"
+        );
+        assert!(
+            out.contains("<del class=\"mrk\"><a href=\"#mov1\">Mover starts in front here.</a></del>"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn updated_sentence_carries_old_text() {
+        let out = html_delta(
+            "<p>The quick brown fox jumps over the dog. Second stays put.</p>",
+            "<p>The quick brown fox leaps over the dog. Second stays put.</p>",
+        );
+        assert!(
+            out.contains("title=\"was: The quick brown fox jumps over the dog.\""),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn word_refinement_marks_changed_words_only() {
+        use crate::pipeline::{diff_trees, LaDiffOptions};
+        let t1 = parse_html("<p>The quick brown fox jumps over the dog. Second stays put.</p>");
+        let t2 = parse_html("<p>The quick red fox jumps over the lazy dog. Second stays put.</p>");
+        let out = diff_trees(t1, t2, &LaDiffOptions::default()).unwrap();
+        let html = render_html_with(&out.delta, &HtmlOptions { word_refine: true });
+        assert!(html.contains("<del>brown</del>"), "{html}");
+        assert!(html.contains("<ins>red</ins>"), "{html}");
+        assert!(html.contains("<ins>lazy</ins>"), "{html}");
+        // Kept words are not wrapped.
+        assert!(html.contains("quick"), "{html}");
+        assert!(!html.contains("<del>quick"), "{html}");
+    }
+
+    #[test]
+    fn refine_words_escapes() {
+        let r = refine_words("a <b> c", "a <b> d");
+        assert!(r.contains("&lt;b&gt;"), "{r}");
+        assert!(r.contains("<del>c</del>"), "{r}");
+        assert!(r.contains("<ins>d</ins>"), "{r}");
+    }
+
+    #[test]
+    fn heading_badges() {
+        let out = html_delta(
+            "<h1>Old Title Entirely</h1><p>Body one stays. Body two stays. Body three stays.</p>",
+            "<h1>New Title Entirely</h1><p>Body one stays. Body two stays. Body three stays.</p>",
+        );
+        assert!(out.contains("<h1>(upd) New Title Entirely</h1>"), "{out}");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_html("a < b & c > \"d\""), "a &lt; b &amp; c &gt; &quot;d&quot;");
+        let out = html_delta(
+            "<p>Tom &amp; Jerry cartoon one. Filler line two. Filler line three.</p>",
+            "<p>Tom &amp; Jerry cartoon one. Filler line two. Filler line three. Less &lt;cool&gt; now.</p>",
+        );
+        assert!(out.contains("<ins>Less &lt;cool&gt; now.</ins>"), "{out}");
+        assert!(out.contains("Tom &amp; Jerry"), "{out}");
+    }
+
+    #[test]
+    fn lists_render_items() {
+        let out = html_delta(
+            "<ul><li>First point stays.</li><li>Second point stays.</li></ul>",
+            "<ul><li>First point stays.</li><li>Second point stays.</li><li>Third point added.</li></ul>",
+        );
+        assert!(out.contains("<ul>"), "{out}");
+        assert!(out.contains("<li class=\"ins\">"), "{out}");
+    }
+}

@@ -1,0 +1,314 @@
+//! The end-to-end *LaDiff* pipeline (Section 7): parse two document
+//! versions, find the good matching, generate the minimum conforming edit
+//! script, build the delta tree, and render the marked-up output.
+
+use hierdiff_delta::{build_delta_tree, AnnotationCounts, DeltaTree};
+use hierdiff_edit::{edit_script, McesError, McesResult};
+use hierdiff_matching::{fast_match, match_simple, postprocess, MatchCounters, MatchParams};
+use hierdiff_tree::Tree;
+
+use crate::html::parse_html;
+use crate::latex::parse_latex;
+use crate::markdown::parse_markdown;
+use crate::markup::render_latex;
+use crate::value::DocValue;
+
+/// Input document format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DocFormat {
+    /// LaTeX subset (Section 7).
+    #[default]
+    Latex,
+    /// HTML subset (the Section 9 extension).
+    Html,
+    /// Markdown subset (modern analog of the LaTeX subset).
+    Markdown,
+}
+
+impl DocFormat {
+    /// Guesses the format from content: leading `<` (after whitespace) or an
+    /// `<html>`/`<!doctype` marker means HTML; a LaTeX command prefix means
+    /// LaTeX; `#`-style headings or list markers at line starts mean
+    /// Markdown; plain prose defaults to LaTeX (whose body rules accept it).
+    pub fn sniff(src: &str) -> DocFormat {
+        let t = src.trim_start().to_ascii_lowercase();
+        if t.starts_with('<') || t.contains("<html") || t.contains("<!doctype") {
+            return DocFormat::Html;
+        }
+        if t.starts_with('\\') || src.contains("\\section{") || src.contains("\\begin{") {
+            return DocFormat::Latex;
+        }
+        let markdownish = src.lines().any(|l| {
+            let l = l.trim_start();
+            (l.starts_with('#') && l.chars().find(|&c| c != '#') == Some(' '))
+                || l.starts_with("- ")
+                || l.starts_with("* ")
+                || l.starts_with("```")
+        });
+        if markdownish {
+            DocFormat::Markdown
+        } else {
+            DocFormat::Latex
+        }
+    }
+
+    /// Parses `src` in this format.
+    pub fn parse(self, src: &str) -> Tree<DocValue> {
+        match self {
+            DocFormat::Latex => parse_latex(src),
+            DocFormat::Html => parse_html(src),
+            DocFormat::Markdown => parse_markdown(src),
+        }
+    }
+}
+
+/// Which matching algorithm drives the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Algorithm *FastMatch* (Figure 11) — the paper's recommendation.
+    #[default]
+    Fast,
+    /// Algorithm *Match* (Figure 10) — the simple quadratic matcher.
+    Simple,
+}
+
+/// Pipeline options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LaDiffOptions {
+    /// Matching criteria parameters (`f`, `t`).
+    pub params: MatchParams,
+    /// Matching algorithm.
+    pub engine: Engine,
+    /// Whether to run the Section 8 post-processing pass.
+    pub postprocess: bool,
+    /// Input format (use [`DocFormat::sniff`] when unsure).
+    pub format: DocFormat,
+}
+
+/// Everything the pipeline produced.
+pub struct LaDiffOutput {
+    /// The old document tree.
+    pub old_tree: Tree<DocValue>,
+    /// The new document tree.
+    pub new_tree: Tree<DocValue>,
+    /// The matching fed to the edit-script generator (post-processed if
+    /// requested).
+    pub matching: hierdiff_edit::Matching,
+    /// The edit-script generation result.
+    pub result: McesResult<DocValue>,
+    /// The delta tree.
+    pub delta: DeltaTree<DocValue>,
+    /// The marked-up LaTeX output (Table 2 conventions).
+    pub markup: String,
+    /// Summary statistics.
+    pub stats: LaDiffStats,
+}
+
+impl LaDiffOutput {
+    /// Renders the delta as annotated HTML (see
+    /// [`render_html`](crate::render_html)).
+    pub fn markup_html(&self) -> String {
+        crate::markup_html::render_html(&self.delta)
+    }
+
+    /// Renders the delta as annotated Markdown (see
+    /// [`render_markdown`](crate::render_markdown)).
+    pub fn markup_markdown(&self) -> String {
+        crate::markup_md::render_markdown(&self.delta)
+    }
+}
+
+/// Summary statistics of one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LaDiffStats {
+    /// Nodes in the old tree.
+    pub old_nodes: usize,
+    /// Nodes in the new tree.
+    pub new_nodes: usize,
+    /// Matched pairs.
+    pub matched: usize,
+    /// Matching comparison counters (`r1`, `r2`).
+    pub counters: MatchCounters,
+    /// Nodes re-matched by post-processing (0 when disabled).
+    pub rematched: usize,
+    /// Edit-script operation counts.
+    pub ops: hierdiff_edit::OpCounts,
+    /// Weighted edit distance `e`.
+    pub weighted_distance: usize,
+    /// Delta-tree annotation counts.
+    pub annotations: AnnotationCounts,
+}
+
+/// Runs the full LaDiff pipeline on two document sources.
+pub fn ladiff(
+    old_src: &str,
+    new_src: &str,
+    options: &LaDiffOptions,
+) -> Result<LaDiffOutput, McesError> {
+    let old_tree = options.format.parse(old_src);
+    let new_tree = options.format.parse(new_src);
+    diff_trees(old_tree, new_tree, options)
+}
+
+/// Runs matching + edit script + delta + markup on already-parsed trees.
+pub fn diff_trees(
+    old_tree: Tree<DocValue>,
+    new_tree: Tree<DocValue>,
+    options: &LaDiffOptions,
+) -> Result<LaDiffOutput, McesError> {
+    let mut matched = match options.engine {
+        Engine::Fast => fast_match(&old_tree, &new_tree, options.params),
+        Engine::Simple => match_simple(&old_tree, &new_tree, options.params),
+    };
+    let rematched = if options.postprocess {
+        postprocess(&old_tree, &new_tree, options.params, &mut matched.matching)
+    } else {
+        0
+    };
+    let result = edit_script(&old_tree, &new_tree, &matched.matching)?;
+    let delta = build_delta_tree(&old_tree, &new_tree, &matched.matching, &result);
+    let markup = render_latex(&delta);
+    let stats = LaDiffStats {
+        old_nodes: old_tree.len(),
+        new_nodes: new_tree.len(),
+        matched: matched.matching.len(),
+        counters: matched.counters,
+        rematched,
+        ops: result.script.op_counts(),
+        weighted_distance: result.stats.weighted_distance,
+        annotations: delta.annotation_counts(),
+    };
+    Ok(LaDiffOutput {
+        old_tree,
+        new_tree,
+        matching: matched.matching,
+        result,
+        delta,
+        markup,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdiff_tree::isomorphic;
+
+    const OLD: &str = "\\section{First things first}\nComputer system manuals usually make dull reading. \
+        This one contains jokes every once in a while. Most jokes require understanding a technical point.\n\n\
+        Another noteworthy characteristic of this manual is that it does not always tell the truth. \
+        The author feels that this technique of deliberate lying will make it easier to learn the ideas.\n\
+        \\section{Conclusion}\nBoth languages have been called TeX. Let us keep the name TeX for the new language.";
+
+    const NEW: &str = "\\section{Introduction}\nComputer system manuals usually make dull reading. \
+        This one contains jokes every once in a while. Most jokes require understanding a technical point.\n\n\
+        Another noteworthy characteristic of this manual is that it does not always tell the truth. \
+        This feature may seem strange but it is not. \
+        The author feels that this technique of deliberate lying will make it easier to learn the ideas.\n\
+        \\section{Conclusion}\nBoth languages have been called TeX. Let us keep the name TeX for the new language.";
+
+    #[test]
+    fn end_to_end_latex() {
+        let out = ladiff(OLD, NEW, &LaDiffOptions::default()).unwrap();
+        // The inserted sentence is bold in the markup.
+        assert!(
+            out.markup.contains("\\textbf{This feature may seem strange but it is not.}"),
+            "{}",
+            out.markup
+        );
+        // The renamed section is an update.
+        assert!(out.markup.contains("(upd) Introduction"), "{}", out.markup);
+        // The result tree is isomorphic to the new tree.
+        assert!(isomorphic(&out.result.edited, &out.new_tree) || out.result.wrapped);
+        assert!(out.stats.ops.inserts >= 1);
+        assert!(out.stats.matched > 0);
+        assert!(out.stats.counters.total() > 0);
+    }
+
+    #[test]
+    fn engines_agree_on_clean_documents() {
+        let fast = ladiff(OLD, NEW, &LaDiffOptions::default()).unwrap();
+        let simple = ladiff(
+            OLD,
+            NEW,
+            &LaDiffOptions {
+                engine: Engine::Simple,
+                ..LaDiffOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fast.stats.matched, simple.stats.matched);
+        assert_eq!(fast.stats.ops, simple.stats.ops);
+    }
+
+    #[test]
+    fn html_pipeline() {
+        let old = "<h1>Title</h1><p>Alpha sentence one. Beta sentence two.</p>";
+        let new = "<h1>Title</h1><p>Alpha sentence one. Beta sentence two. Gamma inserted three.</p>";
+        let out = ladiff(
+            old,
+            new,
+            &LaDiffOptions {
+                format: DocFormat::Html,
+                ..LaDiffOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.stats.ops.inserts, 1);
+        assert!(out.markup.contains("\\textbf{Gamma inserted three.}"));
+    }
+
+    #[test]
+    fn sniff_detects_formats() {
+        assert_eq!(DocFormat::sniff("<html><p>x</p>"), DocFormat::Html);
+        assert_eq!(DocFormat::sniff("  <!DOCTYPE html>"), DocFormat::Html);
+        assert_eq!(DocFormat::sniff("\\section{X}"), DocFormat::Latex);
+        assert_eq!(DocFormat::sniff("plain prose text"), DocFormat::Latex);
+        assert_eq!(DocFormat::sniff("# Title\n\nBody."), DocFormat::Markdown);
+        assert_eq!(DocFormat::sniff("- item one\n- item two"), DocFormat::Markdown);
+        assert_eq!(
+            DocFormat::sniff("text\n\\begin{itemize}\n\\item x\n\\end{itemize}"),
+            DocFormat::Latex
+        );
+    }
+
+    #[test]
+    fn markdown_pipeline() {
+        let old = "# Doc\n\nAlpha stays here. Beta stays here.\n";
+        let new = "# Doc\n\nAlpha stays here. Beta stays here. Gamma is new.\n";
+        let out = ladiff(
+            old,
+            new,
+            &LaDiffOptions {
+                format: DocFormat::Markdown,
+                ..LaDiffOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.stats.ops.inserts, 1);
+    }
+
+    #[test]
+    fn identical_documents_produce_empty_script() {
+        let out = ladiff(OLD, OLD, &LaDiffOptions::default()).unwrap();
+        assert_eq!(out.stats.ops.total(), 0);
+        assert_eq!(out.stats.annotations.changes(), 0);
+    }
+
+    #[test]
+    fn postprocess_runs_when_enabled() {
+        let out = ladiff(
+            OLD,
+            NEW,
+            &LaDiffOptions {
+                postprocess: true,
+                ..LaDiffOptions::default()
+            },
+        )
+        .unwrap();
+        // Clean documents: nothing to re-match, but the pass must not break
+        // anything.
+        assert_eq!(out.stats.rematched, 0);
+        assert!(isomorphic(&out.result.edited, &out.new_tree) || out.result.wrapped);
+    }
+}

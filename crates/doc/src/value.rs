@@ -1,0 +1,176 @@
+//! The document node value and the sentence `compare` function.
+//!
+//! Section 7: "Our comparison function for leaf nodes — which are
+//! sentences — first computes the LCS of the words in the sentences, then
+//! counts the number of words not in the LCS." Normalized into the
+//! `[0, 2]` range required by the cost model (Section 3.2):
+//!
+//! ```text
+//! compare(s1, s2) = (|w1| + |w2| − 2·|LCS(w1, w2)|) / max(|w1|, |w2|)
+//! ```
+//!
+//! Identical sentences score 0; completely disjoint equal-length sentences
+//! score 2; and the cost-model consistency rule holds — an update is cheaper
+//! than delete + insert exactly when more than half the words survive.
+
+use hierdiff_lcs::lcs_dp;
+use hierdiff_tree::NodeValue;
+use serde::{Deserialize, Serialize};
+
+/// Value carried by document tree nodes: sentence text on `Sentence` leaves,
+/// heading text on `Section`/`Subsection` nodes, nothing elsewhere.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DocValue {
+    /// No value (interior structural nodes).
+    #[default]
+    None,
+    /// Text content (sentence or heading).
+    Text(String),
+}
+
+impl DocValue {
+    /// Builds a text value.
+    pub fn text(s: impl Into<String>) -> DocValue {
+        DocValue::Text(s.into())
+    }
+
+    /// The text content, if any.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            DocValue::None => None,
+            DocValue::Text(s) => Some(s),
+        }
+    }
+}
+
+impl NodeValue for DocValue {
+    fn null() -> Self {
+        DocValue::None
+    }
+
+    fn compare(&self, other: &Self) -> f64 {
+        match (self, other) {
+            (DocValue::None, DocValue::None) => 0.0,
+            (DocValue::Text(a), DocValue::Text(b)) => word_distance(a, b),
+            _ => 2.0,
+        }
+    }
+}
+
+/// Splits `text` into word tokens: maximal alphanumeric runs (apostrophes
+/// kept inside words so contractions survive).
+pub fn words(text: &str) -> Vec<&str> {
+    text.split(|c: char| !(c.is_alphanumeric() || c == '\''))
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+/// The paper's sentence distance in `[0, 2]` (see module docs). Word
+/// equality is ASCII-case-insensitive. Two sentences with no words at all
+/// (pure punctuation) compare equal iff their raw text is equal.
+pub fn word_distance(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let wa = words(a);
+    let wb = words(b);
+    if wa.is_empty() && wb.is_empty() {
+        return 2.0; // different punctuation-only strings
+    }
+    let common = lcs_dp(&wa, &wb, |x, y| x.eq_ignore_ascii_case(y)).len();
+    let max = wa.len().max(wb.len()) as f64;
+    (wa.len() + wb.len() - 2 * common) as f64 / max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_tokenize() {
+        assert_eq!(words("Hello, world!"), vec!["Hello", "world"]);
+        assert_eq!(words("don't stop"), vec!["don't", "stop"]);
+        assert_eq!(words("  a  b  "), vec!["a", "b"]);
+        assert!(words("...").is_empty());
+        assert_eq!(words("TeX78 rocks"), vec!["TeX78", "rocks"]);
+    }
+
+    #[test]
+    fn identical_sentences_distance_zero() {
+        assert_eq!(word_distance("the cat sat", "the cat sat"), 0.0);
+    }
+
+    #[test]
+    fn case_insensitive_words() {
+        assert_eq!(word_distance("The Cat", "the cat"), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sentences_distance_two() {
+        assert_eq!(word_distance("alpha beta", "gamma delta"), 2.0);
+    }
+
+    #[test]
+    fn small_edits_stay_below_one() {
+        // One word changed out of five: distance (5+5−2·4)/5 = 0.4 < 1 —
+        // update beats delete+insert, per the cost-model consistency rule.
+        let d = word_distance("one two three four five", "one two three four SIX");
+        assert!((d - 0.4).abs() < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn heavy_edits_exceed_one() {
+        // One shared word out of four: (4+4−2)/4 = 1.5 > 1.
+        let d = word_distance("a b c d", "a x y z");
+        assert!(d > 1.0, "{d}");
+    }
+
+    #[test]
+    fn range_bounds() {
+        for (a, b) in [
+            ("", ""),
+            ("x", ""),
+            ("", "y"),
+            ("a b", "a"),
+            ("lorem ipsum dolor", "ipsum lorem dolor"),
+        ] {
+            let d = word_distance(a, b);
+            assert!((0.0..=2.0).contains(&d), "({a:?}, {b:?}) -> {d}");
+            assert_eq!(d, word_distance(b, a), "symmetry for ({a:?}, {b:?})");
+        }
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_one() {
+        assert_eq!(word_distance("", "hello"), 1.0);
+    }
+
+    #[test]
+    fn docvalue_compare_dispatch() {
+        use hierdiff_tree::NodeValue;
+        assert_eq!(DocValue::None.compare(&DocValue::None), 0.0);
+        assert_eq!(DocValue::None.compare(&DocValue::text("x")), 2.0);
+        assert_eq!(
+            DocValue::text("same words").compare(&DocValue::text("same words")),
+            0.0
+        );
+        assert!(DocValue::None.is_null());
+        assert!(!DocValue::text("x").is_null());
+    }
+
+    #[test]
+    fn word_order_matters() {
+        // Reordered words reduce the LCS: "a b c" vs "c b a" share LCS of
+        // length 1 ("b" or "a"/"c") → distance (3+3−2)/3 = 4/3.
+        let d = word_distance("a b c", "c b a");
+        assert!(d > 1.0, "{d}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = DocValue::text("hello");
+        let j = serde_json::to_string(&v).unwrap();
+        let back: DocValue = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, v);
+    }
+}

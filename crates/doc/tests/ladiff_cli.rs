@@ -1,0 +1,133 @@
+//! End-to-end tests of the `ladiff` binary (invoked as a real process via
+//! the `CARGO_BIN_EXE_ladiff` path Cargo provides to integration tests).
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn ladiff() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ladiff"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("hierdiff-ladiff-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const OLD: &str = "\\section{Intro}\nStable sentence number one. Stable sentence number two. Doomed sentence goes away.\n";
+const NEW: &str = "\\section{Intro}\nStable sentence number one. Freshly inserted sentence here. Stable sentence number two.\n";
+
+#[test]
+fn markup_output_default() {
+    let old = write_temp("m_old.tex", OLD);
+    let new = write_temp("m_new.tex", NEW);
+    let out = ladiff().args([&old, &new]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\\textbf{Freshly inserted sentence here.}"), "{stdout}");
+    assert!(stdout.contains("{\\small Doomed sentence goes away.}"), "{stdout}");
+}
+
+#[test]
+fn stats_output() {
+    let old = write_temp("s_old.tex", OLD);
+    let new = write_temp("s_new.tex", NEW);
+    let out = ladiff()
+        .args(["--output", "stats"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("edit script:"), "{stdout}");
+    assert!(stdout.contains("ins 1, del 1"), "{stdout}");
+}
+
+#[test]
+fn json_output_parses() {
+    let old = write_temp("j_old.tex", OLD);
+    let new = write_temp("j_new.tex", NEW);
+    let out = ladiff()
+        .args(["--output", "json"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["ops"]["insert"], 1);
+    assert_eq!(v["ops"]["delete"], 1);
+}
+
+#[test]
+fn threshold_flag_accepted() {
+    let old = write_temp("t_old.tex", OLD);
+    let new = write_temp("t_new.tex", NEW);
+    let out = ladiff()
+        .args(["-t", "0.8", "-f", "0.7", "--engine", "simple", "--postprocess"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = ladiff()
+        .args(["/nonexistent/a.tex", "/nonexistent/b.tex"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("a.tex"));
+}
+
+#[test]
+fn bad_option_reports_usage() {
+    let out = ladiff().args(["--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown option"), "{err}");
+}
+
+#[test]
+fn markdown_format_flag_and_sniffing() {
+    let old = write_temp("md_old.md", "# T\n\nAlpha stays here. Beta stays here.\n");
+    let new = write_temp("md_new.md", "# T\n\nAlpha stays here. Beta stays here. Gamma is new.\n");
+    // Explicit flag.
+    let out = ladiff()
+        .args(["--format", "markdown", "--output", "stats"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ins 1"));
+    // Auto-sniffed.
+    let out = ladiff()
+        .args(["--output", "stats"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ins 1"));
+}
+
+#[test]
+fn html_format_flag() {
+    let old = write_temp("h_old.html", "<p>Alpha one stays. Beta two stays.</p>");
+    let new = write_temp("h_new.html", "<p>Alpha one stays. Beta two stays. Gamma three added.</p>");
+    let out = ladiff()
+        .args(["--format", "html", "--output", "stats"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ins 1"));
+}

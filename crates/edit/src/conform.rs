@@ -1,0 +1,140 @@
+//! Conformance and correctness checking for edit scripts.
+//!
+//! "We say that the edit script *conforms* to the original matching M
+//! provided that M' ⊇ M. (... an edit script conforms to partial matching M
+//! as long as the script does not insert or delete nodes participating in
+//! M.)" — Section 3.1.
+//!
+//! These checks back the test suites and let downstream users validate
+//! scripts from untrusted sources before applying them.
+
+use std::fmt;
+
+use hierdiff_tree::{isomorphic, NodeValue, Tree};
+
+use crate::apply::{apply, ApplyError};
+use crate::matching::Matching;
+use crate::mces::{McesResult, DUMMY_ROOT_LABEL};
+use crate::ops::{EditOp, EditScript};
+
+/// Why a script failed verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A `DEL` targets a node matched in `M` — the script does not conform.
+    DeletesMatchedNode(hierdiff_tree::NodeId),
+    /// The script did not apply cleanly.
+    Apply(ApplyError),
+    /// The script applied, but the result is not isomorphic to `T2`.
+    NotIsomorphic,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::DeletesMatchedNode(n) => {
+                write!(f, "script deletes node {n}, which is matched in M")
+            }
+            VerifyError::Apply(e) => write!(f, "script failed to apply: {e}"),
+            VerifyError::NotIsomorphic => {
+                write!(f, "script applied but the result is not isomorphic to T2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks the conformance condition: no `DEL` of a node in `M`. (`INS`
+/// introduces fresh identifiers, so it cannot touch `M`.)
+pub fn conforms_to<V: NodeValue>(script: &EditScript<V>, matching: &Matching) -> bool {
+    script.iter().all(|op| match op {
+        EditOp::Delete { node } => matching.partner1(*node).is_none(),
+        _ => true,
+    })
+}
+
+/// Full verification of a generated result: the script conforms to `M`,
+/// replays cleanly on `T1`, and yields a tree isomorphic to `T2` — the
+/// definition of "E transforms T1 into T2" from Section 3.2.
+pub fn verify_result<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    matching: &Matching,
+    result: &McesResult<V>,
+) -> Result<(), VerifyError> {
+    if let Some(op) = result.script.iter().find(|op| match op {
+        EditOp::Delete { node } => matching.partner1(*node).is_some(),
+        _ => false,
+    }) {
+        return Err(VerifyError::DeletesMatchedNode(op.node()));
+    }
+    let mut work = t1.clone();
+    let mut target = t2.clone();
+    if result.wrapped {
+        let l = hierdiff_tree::Label::intern(DUMMY_ROOT_LABEL);
+        work.wrap_root(l, V::null());
+        target.wrap_root(l, V::null());
+    }
+    apply(&mut work, &result.script).map_err(VerifyError::Apply)?;
+    if !isomorphic(&work, &target) {
+        return Err(VerifyError::NotIsomorphic);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mces::edit_script;
+    use hierdiff_tree::NodeId;
+
+    #[test]
+    fn generated_scripts_verify() {
+        let t1 = Tree::parse_sexpr(r#"(D (P (S "a") (S "b")) (P (S "c")))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(D (P (S "b")) (P (S "c") (S "d")))"#).unwrap();
+        let mut m = Matching::new();
+        m.insert(t1.root(), t2.root()).unwrap();
+        let res = edit_script(&t1, &t2, &m).unwrap();
+        verify_result(&t1, &t2, &m, &res).unwrap();
+    }
+
+    #[test]
+    fn conformance_rejects_matched_delete() {
+        let mut m = Matching::new();
+        m.insert(NodeId::from_index(3), NodeId::from_index(9)).unwrap();
+        let bad: EditScript<String> = EditScript::from_ops(vec![EditOp::Delete {
+            node: NodeId::from_index(3),
+        }]);
+        assert!(!conforms_to(&bad, &m));
+        let ok: EditScript<String> = EditScript::from_ops(vec![EditOp::Delete {
+            node: NodeId::from_index(4),
+        }]);
+        assert!(conforms_to(&ok, &m));
+    }
+
+    #[test]
+    fn verify_detects_wrong_target() {
+        let t1 = Tree::parse_sexpr(r#"(D (S "a"))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(D (S "b"))"#).unwrap();
+        let t3 = Tree::parse_sexpr(r#"(D (S "c"))"#).unwrap();
+        let mut m = Matching::new();
+        m.insert(t1.root(), t2.root()).unwrap();
+        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0]).unwrap();
+        let res = edit_script(&t1, &t2, &m).unwrap();
+        verify_result(&t1, &t2, &m, &res).unwrap();
+        assert_eq!(
+            verify_result(&t1, &t3, &m, &res).unwrap_err(),
+            VerifyError::NotIsomorphic
+        );
+    }
+
+    #[test]
+    fn verify_wrapped_results() {
+        let t1 = Tree::parse_sexpr(r#"(A (S "x"))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(B (S "y"))"#).unwrap();
+        let m = Matching::new();
+        let res = edit_script(&t1, &t2, &m).unwrap();
+        assert!(res.wrapped);
+        verify_result(&t1, &t2, &m, &res).unwrap();
+    }
+}

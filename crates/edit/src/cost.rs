@@ -1,0 +1,182 @@
+//! The cost model for edit operations and scripts (Section 3.2).
+//!
+//! The paper adopts unit costs for insert, delete, and subtree move
+//! (`c_D(x) = c_I(x) = c_M(x) = 1`), and charges an update by how different
+//! the old and new values are: `c_U(x) = compare(v, v') ∈ [0, 2]`. The
+//! consistency requirement is that a *move + cheap update* (cost `1 +
+//! compare < 2`) beats a *delete + insert* (cost `2`) exactly when the
+//! values are similar (`compare < 1`).
+
+use hierdiff_tree::{NodeValue, Tree};
+
+use crate::apply::{apply_script, ApplyError};
+use crate::ops::{EditOp, EditScript};
+
+/// Costs for the four edit operations. The default is the paper's model;
+/// custom weights support domains where, say, moves are more disruptive than
+/// inserts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cost of inserting one node.
+    pub insert: f64,
+    /// Cost of deleting one node.
+    pub delete: f64,
+    /// Cost of moving one subtree (regardless of its size — the *weighted
+    /// edit distance* of Section 5.3 is a separate notion, see
+    /// [`weighted_edit_distance`](crate::weighted_edit_distance)).
+    pub move_subtree: f64,
+    /// Multiplier applied to `compare(old, new)` for an update.
+    pub update_scale: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            insert: 1.0,
+            delete: 1.0,
+            move_subtree: 1.0,
+            update_scale: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// The paper's unit-cost model.
+    pub fn paper() -> CostModel {
+        CostModel::default()
+    }
+
+    /// Cost of one operation. For updates this needs the *old* value, so the
+    /// script must be costed against the tree it applies to; see
+    /// [`script_cost`].
+    pub fn op_cost<V: NodeValue>(&self, op: &EditOp<V>, old_value: Option<&V>) -> f64 {
+        match op {
+            EditOp::Insert { .. } => self.insert,
+            EditOp::Delete { .. } => self.delete,
+            EditOp::Move { .. } => self.move_subtree,
+            EditOp::Update { value, .. } => {
+                let old = old_value.expect("update cost needs the old value");
+                self.update_scale * old.compare(value)
+            }
+        }
+    }
+}
+
+/// Total cost of `script` when applied to `tree` under `model`.
+///
+/// Replays the script on a scratch clone so update costs can consult the
+/// value each node holds *at the time of its update*.
+pub fn script_cost<V: NodeValue>(
+    tree: &Tree<V>,
+    script: &EditScript<V>,
+    model: &CostModel,
+) -> Result<f64, ApplyError> {
+    let mut work = tree.clone();
+    let mut total = 0.0;
+    apply_script(&mut work, script, |op, ctx| {
+        let old = match op {
+            EditOp::Update { node, .. } => Some(ctx.tree().value(ctx.resolve(*node)).clone()),
+            _ => None,
+        };
+        total += model.op_cost(op, old.as_ref());
+    })?;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdiff_tree::{Label, NodeId};
+
+    #[test]
+    fn default_is_unit_cost() {
+        let m = CostModel::paper();
+        let ins: EditOp<String> = EditOp::Insert {
+            node: NodeId::from_index(9),
+            label: Label::intern("S"),
+            value: "v".into(),
+            parent: NodeId::from_index(0),
+            pos: 0,
+        };
+        let del: EditOp<String> = EditOp::Delete {
+            node: NodeId::from_index(1),
+        };
+        let mov: EditOp<String> = EditOp::Move {
+            node: NodeId::from_index(1),
+            parent: NodeId::from_index(0),
+            pos: 0,
+        };
+        assert_eq!(m.op_cost(&ins, None), 1.0);
+        assert_eq!(m.op_cost(&del, None), 1.0);
+        assert_eq!(m.op_cost(&mov, None), 1.0);
+    }
+
+    #[test]
+    fn update_cost_uses_compare() {
+        let m = CostModel::paper();
+        let upd: EditOp<String> = EditOp::Update {
+            node: NodeId::from_index(1),
+            value: "new".into(),
+        };
+        assert_eq!(m.op_cost(&upd, Some(&"new".to_string())), 0.0);
+        assert_eq!(m.op_cost(&upd, Some(&"old".to_string())), 2.0);
+    }
+
+    #[test]
+    fn script_cost_replays_old_values() {
+        use hierdiff_tree::Tree;
+        let t = Tree::parse_sexpr(r#"(D (S "a") (S "b"))"#).unwrap();
+        let kids: Vec<_> = t.children(t.root()).to_vec();
+        // Update "a" -> "a" costs 0; deleting "b" costs 1.
+        let script = EditScript::from_ops(vec![
+            EditOp::Update {
+                node: kids[0],
+                value: "a".to_string(),
+            },
+            EditOp::Delete { node: kids[1] },
+        ]);
+        let cost = script_cost(&t, &script, &CostModel::paper()).unwrap();
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn update_after_update_sees_intermediate_value() {
+        use hierdiff_tree::Tree;
+        let t = Tree::parse_sexpr(r#"(D (S "a"))"#).unwrap();
+        let kid = t.children(t.root())[0];
+        let script = EditScript::from_ops(vec![
+            EditOp::Update {
+                node: kid,
+                value: "b".to_string(),
+            },
+            EditOp::Update {
+                node: kid,
+                value: "b".to_string(),
+            },
+        ]);
+        // First update a->b costs 2 (exact-match compare), second b->b costs 0.
+        let cost = script_cost(&t, &script, &CostModel::paper()).unwrap();
+        assert_eq!(cost, 2.0);
+    }
+
+    #[test]
+    fn custom_weights() {
+        let m = CostModel {
+            insert: 3.0,
+            delete: 2.0,
+            move_subtree: 0.5,
+            update_scale: 10.0,
+        };
+        let mov: EditOp<String> = EditOp::Move {
+            node: NodeId::from_index(1),
+            parent: NodeId::from_index(0),
+            pos: 0,
+        };
+        assert_eq!(m.op_cost(&mov, None), 0.5);
+        let upd: EditOp<String> = EditOp::Update {
+            node: NodeId::from_index(1),
+            value: "x".into(),
+        };
+        assert_eq!(m.op_cost(&upd, Some(&"y".to_string())), 20.0);
+    }
+}

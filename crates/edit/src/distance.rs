@@ -1,0 +1,102 @@
+//! Edit distances (Section 5.3 and Section 8).
+//!
+//! * The **weighted edit distance** `e` of a script: `Σ wᵢ` with `wᵢ = 1`
+//!   for an insert or delete, `wᵢ = |x|` (leaves of the moved subtree) for a
+//!   move, and `wᵢ = 0` for an update. `e` drives the running-time bound of
+//!   Algorithm *FastMatch* (`O((ne + e²)c + 2lne)`).
+//! * The **unweighted edit distance** `d`: the number of edit operations —
+//!   "a more natural measure of the input size" (Section 8). Figure 13(a)
+//!   studies the ratio `e/d` empirically.
+
+use hierdiff_tree::{NodeValue, Tree};
+
+use crate::apply::{apply_script, ApplyError};
+use crate::ops::{EditOp, EditScript};
+
+/// The weighted edit distance `e` of `script` relative to the tree it
+/// applies to. Move weights use `|x|` *at the time of the move*, so the
+/// script is replayed on a scratch clone.
+pub fn weighted_edit_distance<V: NodeValue>(
+    tree: &Tree<V>,
+    script: &EditScript<V>,
+) -> Result<usize, ApplyError> {
+    let mut e = 0usize;
+    let mut work = tree.clone();
+    apply_script(&mut work, script, |op, ctx| match op {
+        EditOp::Insert { .. } | EditOp::Delete { .. } => e += 1,
+        EditOp::Update { .. } => {}
+        EditOp::Move { node, .. } => {
+            e += ctx.tree().leaf_count(ctx.resolve(*node));
+        }
+    })?;
+    Ok(e)
+}
+
+/// The unweighted edit distance `d`: the operation count.
+pub fn unweighted_edit_distance<V: NodeValue>(script: &EditScript<V>) -> usize {
+    script.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdiff_tree::{Label, NodeId, Tree};
+
+    #[test]
+    fn weights_match_definition() {
+        let t = Tree::parse_sexpr(
+            r#"(D (P (S "a") (S "b") (S "c")) (P (S "d")))"#,
+        )
+        .unwrap();
+        let root = t.root();
+        let p1 = t.children(root)[0];
+        let p2 = t.children(root)[1];
+        let d_leaf = t.children(p2)[0];
+        let script = EditScript::from_ops(vec![
+            // Move the 3-leaf paragraph: weight 3.
+            EditOp::Move { node: p1, parent: root, pos: 1 },
+            // Update: weight 0.
+            EditOp::Update { node: d_leaf, value: "dd".to_string() },
+            // Insert: weight 1.
+            EditOp::Insert {
+                node: NodeId::from_index(900),
+                label: Label::intern("S"),
+                value: "x".to_string(),
+                parent: p2,
+                pos: 1,
+            },
+            // Delete: weight 1.
+            EditOp::Delete { node: d_leaf },
+        ]);
+        assert_eq!(weighted_edit_distance(&t, &script).unwrap(), 5);
+        assert_eq!(unweighted_edit_distance(&script), 4);
+    }
+
+    #[test]
+    fn move_weight_reflects_tree_state_at_move_time() {
+        // Insert a leaf into a paragraph *before* moving it: the move then
+        // weighs 2, not 1.
+        let t = Tree::parse_sexpr(r#"(D (P (S "a")) (P))"#).unwrap();
+        let root = t.root();
+        let p1 = t.children(root)[0];
+        let script = EditScript::from_ops(vec![
+            EditOp::Insert {
+                node: NodeId::from_index(900),
+                label: Label::intern("S"),
+                value: "b".to_string(),
+                parent: p1,
+                pos: 1,
+            },
+            EditOp::Move { node: p1, parent: root, pos: 1 },
+        ]);
+        assert_eq!(weighted_edit_distance(&t, &script).unwrap(), 1 + 2);
+    }
+
+    #[test]
+    fn empty_script_zero_distance() {
+        let t = Tree::parse_sexpr(r#"(D)"#).unwrap();
+        let script: EditScript<String> = EditScript::new();
+        assert_eq!(weighted_edit_distance(&t, &script).unwrap(), 0);
+        assert_eq!(unweighted_edit_distance(&script), 0);
+    }
+}

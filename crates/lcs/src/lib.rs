@@ -1,0 +1,167 @@
+//! # hierdiff-lcs
+//!
+//! Longest-common-subsequence algorithms with a *pluggable equality
+//! function*, as required throughout Chawathe et al. (SIGMOD 1996):
+//!
+//! * Section 4.2 treats Myers' algorithm as the procedure
+//!   `LCS(S1, S2, equal)` — "we treat it as having three inputs: the two
+//!   sequences ... and an equality function `equal(x, y)`". Child alignment
+//!   uses `equal(u, v) ⇔ (u, v) ∈ M`.
+//! * Algorithm *FastMatch* (Figure 11) calls the same procedure per label
+//!   chain, with `equal` being the leaf/internal matching criteria.
+//! * The *LaDiff* sentence comparison (Section 7) computes the LCS of the
+//!   words of two sentences.
+//!
+//! Section 7 notes: "we cannot use the LCS algorithm used by the standard
+//! UNIX diff program, because it requires inequality comparisons in addition
+//! to equality comparisons" — hence every algorithm here needs only an
+//! equality predicate.
+//!
+//! Three interchangeable implementations are provided and cross-checked by
+//! property tests:
+//!
+//! * [`lcs_myers`] — Myers' O(ND) greedy algorithm \[Mye86\], the one the
+//!   paper uses (`N = |S1| + |S2|`, `D = N − 2|LCS|`). Fast when the
+//!   sequences are similar, which is the paper's common case.
+//! * [`lcs_dp`] — the classic O(N·M) dynamic program. Simple, predictable;
+//!   the oracle for tests and the right choice for short, dissimilar
+//!   sequences (e.g. sentence words).
+//! * [`lcs_hirschberg`] — linear-space divide-and-conquer DP, for very long
+//!   sequences where the quadratic table would not fit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diffops;
+mod dp;
+mod hirschberg;
+mod myers;
+
+pub use diffops::{sequence_diff, SeqEdit};
+pub use dp::lcs_dp;
+pub use hirschberg::lcs_hirschberg;
+pub use myers::lcs_myers;
+
+/// A pair of indices `(i, j)` meaning `S1[i]` is matched with `S2[j]` in the
+/// common subsequence.
+pub type Pair = (usize, usize);
+
+/// Which implementation [`lcs_with`] dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LcsAlgorithm {
+    /// Myers O(ND) (the paper's choice).
+    #[default]
+    Myers,
+    /// Quadratic dynamic programming.
+    Dp,
+    /// Hirschberg linear-space DP.
+    Hirschberg,
+}
+
+/// The paper's `LCS(S1, S2, equal)` procedure: returns the index pairs of a
+/// longest common subsequence of `a` and `b` under `equal`, in increasing
+/// order of both coordinates.
+///
+/// ```
+/// let a = [1, 2, 3, 4, 5];
+/// let b = [2, 4, 5, 9];
+/// let pairs = hierdiff_lcs::lcs(&a, &b, |x, y| x == y);
+/// assert_eq!(pairs, vec![(1, 0), (3, 1), (4, 2)]);
+/// ```
+pub fn lcs<T, U>(a: &[T], b: &[U], equal: impl FnMut(&T, &U) -> bool) -> Vec<Pair> {
+    lcs_myers(a, b, equal)
+}
+
+/// Like [`lcs`] but with an explicit algorithm choice (used by the ablation
+/// benchmarks).
+pub fn lcs_with<T, U>(
+    algorithm: LcsAlgorithm,
+    a: &[T],
+    b: &[U],
+    equal: impl FnMut(&T, &U) -> bool,
+) -> Vec<Pair> {
+    match algorithm {
+        LcsAlgorithm::Myers => lcs_myers(a, b, equal),
+        LcsAlgorithm::Dp => lcs_dp(a, b, equal),
+        LcsAlgorithm::Hirschberg => lcs_hirschberg(a, b, equal),
+    }
+}
+
+/// `|LCS(S1, S2)|` without materializing the pairs.
+pub fn lcs_len<T, U>(a: &[T], b: &[U], equal: impl FnMut(&T, &U) -> bool) -> usize {
+    lcs_myers(a, b, equal).len()
+}
+
+/// Validates that `pairs` is a common subsequence of `a` and `b` under
+/// `equal`: strictly increasing in both coordinates, all pairs equal.
+/// (Used by tests; exported because the matching crate's tests reuse it.)
+pub fn is_common_subsequence<T, U>(
+    pairs: &[Pair],
+    a: &[T],
+    b: &[U],
+    mut equal: impl FnMut(&T, &U) -> bool,
+) -> bool {
+    let mut last: Option<Pair> = None;
+    for &(i, j) in pairs {
+        if i >= a.len() || j >= b.len() || !equal(&a[i], &b[j]) {
+            return false;
+        }
+        if let Some((pi, pj)) = last {
+            if i <= pi || j <= pj {
+                return false;
+            }
+        }
+        last = Some((i, j));
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_dispatch_is_myers() {
+        let a = ['a', 'b', 'c'];
+        let b = ['b', 'c', 'd'];
+        assert_eq!(lcs(&a, &b, |x, y| x == y), lcs_myers(&a, &b, |x, y| x == y));
+    }
+
+    #[test]
+    fn lcs_with_dispatches_all() {
+        let a = [1, 3, 5, 7];
+        let b = [1, 5, 7, 9];
+        for alg in [LcsAlgorithm::Myers, LcsAlgorithm::Dp, LcsAlgorithm::Hirschberg] {
+            let pairs = lcs_with(alg, &a, &b, |x, y| x == y);
+            assert_eq!(pairs.len(), 3, "{alg:?}");
+            assert!(is_common_subsequence(&pairs, &a, &b, |x, y| x == y));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_item_types() {
+        // The equality function may compare different element types — e.g.
+        // FastMatch compares T1 nodes against T2 nodes.
+        let a = [1usize, 2, 3];
+        let b = ["1", "3"];
+        let pairs = lcs(&a, &b, |x, y| x.to_string() == **y);
+        assert_eq!(pairs, vec![(0, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn is_common_subsequence_rejects_bad_pairs() {
+        let a = ['x', 'y'];
+        let b = ['x', 'y'];
+        assert!(!is_common_subsequence(&[(0, 0), (0, 1)], &a, &b, |x, y| x == y));
+        assert!(!is_common_subsequence(&[(1, 0)], &a, &b, |x, y| x == y));
+        assert!(!is_common_subsequence(&[(5, 0)], &a, &b, |x, y| x == y));
+        assert!(is_common_subsequence(&[(0, 0), (1, 1)], &a, &b, |x, y| x == y));
+    }
+
+    #[test]
+    fn lcs_len_matches_pairs() {
+        let a: Vec<u8> = b"kitten".to_vec();
+        let b: Vec<u8> = b"sitting".to_vec();
+        assert_eq!(lcs_len(&a, &b, |x, y| x == y), 4); // i t t n
+    }
+}

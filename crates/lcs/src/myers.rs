@@ -1,0 +1,237 @@
+//! Myers' O(ND) greedy LCS algorithm \[Mye86\], the paper's choice
+//! (Section 4.2): time O((N)·D) where `N = |a| + |b|` and
+//! `D = N − 2·|LCS|` is the length of the shortest edit script. Near-equal
+//! sequences (small `D`) — the common case in FastMatch's per-label chains
+//! and in child alignment — run in near-linear time.
+//!
+//! The backtracking trace stores the frontier of each round, so memory is
+//! O(D²). For pathologically dissimilar long sequences prefer
+//! [`crate::lcs_hirschberg`], which is O(min(|a|,|b|)) space.
+
+use crate::Pair;
+
+/// LCS via Myers' greedy O(ND) algorithm. See [`crate::lcs`] for the
+/// contract.
+pub fn lcs_myers<T, U>(a: &[T], b: &[U], mut equal: impl FnMut(&T, &U) -> bool) -> Vec<Pair> {
+    let n = a.len() as isize;
+    let m = b.len() as isize;
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let max = (n + m) as usize;
+
+    // v[k + offset] = furthest x reached on diagonal k (k = x − y) with the
+    // current number of edits. trace[d] snapshots the frontier for
+    // diagonals −d..=d *after* round d, compacted to 2d+1 slots.
+    let offset = max as isize;
+    let mut v = vec![0isize; 2 * max + 1];
+    let mut trace: Vec<Vec<isize>> = Vec::new();
+    let mut found_d: Option<isize> = None;
+
+    'outer: for d in 0..=(max as isize) {
+        let mut k = -d;
+        while k <= d {
+            let idx = (k + offset) as usize;
+            let mut x = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1] // move down (insertion into `a`'s view)
+            } else {
+                v[idx - 1] + 1 // move right (deletion)
+            };
+            let mut y = x - k;
+            while x < n && y < m && equal(&a[x as usize], &b[y as usize]) {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                trace.push(compact(&v, d, offset));
+                found_d = Some(d);
+                break 'outer;
+            }
+            k += 2;
+        }
+        trace.push(compact(&v, d, offset));
+    }
+
+    let d_final = found_d.expect("D is bounded by n + m, so the loop always terminates");
+
+    // Backtrack from (n, m) through the stored frontiers, collecting the
+    // diagonal runs ("snakes") — each diagonal step is one matched pair.
+    let mut pairs = Vec::new();
+    let (mut x, mut y) = (n, m);
+    let mut d = d_final;
+    while d > 0 {
+        let k = x - y;
+        let prev = &trace[(d - 1) as usize];
+        let at = |kk: isize| -> isize {
+            let i = kk + (d - 1);
+            if i < 0 || i >= prev.len() as isize {
+                // Diagonal not reached in the previous round; treat as -1 so
+                // it never wins the max comparison.
+                -1
+            } else {
+                prev[i as usize]
+            }
+        };
+        let prev_k = if k == -d || (k != d && at(k - 1) < at(k + 1)) {
+            k + 1
+        } else {
+            k - 1
+        };
+        let prev_x = at(prev_k);
+        let prev_y = prev_x - prev_k;
+        // Position right after the single edit of this round:
+        let (mid_x, mid_y) = if prev_k == k + 1 {
+            (prev_x, prev_y + 1)
+        } else {
+            (prev_x + 1, prev_y)
+        };
+        // Snake from (mid_x, mid_y) to (x, y).
+        let mut sx = x;
+        let mut sy = y;
+        while sx > mid_x && sy > mid_y {
+            sx -= 1;
+            sy -= 1;
+            pairs.push((sx as usize, sy as usize));
+        }
+        x = prev_x;
+        y = prev_y;
+        d -= 1;
+    }
+    // Leading snake at d = 0 from (0, 0) to (x, y).
+    while x > 0 && y > 0 {
+        x -= 1;
+        y -= 1;
+        pairs.push((x as usize, y as usize));
+    }
+
+    pairs.reverse();
+    pairs
+}
+
+/// Extracts diagonals −d..=d from the working frontier into a compact
+/// vector indexed by `k + d`.
+fn compact(v: &[isize], d: isize, offset: isize) -> Vec<isize> {
+    let lo = (-d + offset) as usize;
+    let hi = (d + offset) as usize;
+    v[lo..=hi].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_common_subsequence, lcs_dp};
+
+    fn eq(a: &char, b: &char) -> bool {
+        a == b
+    }
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    fn check(a: &str, b: &str) {
+        let av = chars(a);
+        let bv = chars(b);
+        let m = lcs_myers(&av, &bv, eq);
+        let d = lcs_dp(&av, &bv, eq);
+        assert!(
+            is_common_subsequence(&m, &av, &bv, eq),
+            "invalid subsequence for ({a:?}, {b:?}): {m:?}"
+        );
+        assert_eq!(m.len(), d.len(), "length mismatch for ({a:?}, {b:?})");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e: [char; 0] = [];
+        let a = chars("abc");
+        assert!(lcs_myers(&e, &e, eq).is_empty());
+        assert!(lcs_myers(&a, &e, eq).is_empty());
+        assert!(lcs_myers(&e, &a, eq).is_empty());
+    }
+
+    #[test]
+    fn myers_original_example() {
+        // The worked example from the Myers paper.
+        check("ABCABBA", "CBABAC");
+    }
+
+    #[test]
+    fn assorted_pairs_match_dp_oracle() {
+        check("", "");
+        check("a", "a");
+        check("a", "b");
+        check("abc", "abc");
+        check("abc", "xyz");
+        check("abcdef", "abdf");
+        check("abdf", "abcdef");
+        check("kitten", "sitting");
+        check("sunday", "saturday");
+        check("aaaa", "aa");
+        check("ababab", "bababa");
+        check("xabcx", "yabcy");
+        check("the quick brown fox", "the quack brewn fix");
+    }
+
+    #[test]
+    fn prefix_and_suffix() {
+        check("abcdef", "abc");
+        check("abc", "abcdef");
+        check("def", "abcdef");
+        check("abcdef", "def");
+    }
+
+    #[test]
+    fn identical_long_sequence_is_linear_pairs() {
+        let a: Vec<u32> = (0..5000).collect();
+        let pairs = lcs_myers(&a, &a, |x, y| x == y);
+        assert_eq!(pairs.len(), 5000);
+        assert!(pairs.iter().enumerate().all(|(i, &(x, y))| x == i && y == i));
+    }
+
+    #[test]
+    fn randomized_against_dp_oracle() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for case in 0..300 {
+            let n = rng.gen_range(0..24);
+            let m = rng.gen_range(0..24);
+            let sigma = rng.gen_range(1..5u8);
+            let a: Vec<u8> = (0..n).map(|_| rng.gen_range(0..sigma)).collect();
+            let b: Vec<u8> = (0..m).map(|_| rng.gen_range(0..sigma)).collect();
+            let my = lcs_myers(&a, &b, |x, y| x == y);
+            let dp = lcs_dp(&a, &b, |x, y| x == y);
+            assert!(
+                is_common_subsequence(&my, &a, &b, |x, y| x == y),
+                "case {case}: invalid pairs {my:?} for {a:?} / {b:?}"
+            );
+            assert_eq!(my.len(), dp.len(), "case {case}: {a:?} / {b:?}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_matches_dp_len(a in proptest::collection::vec(0u8..4, 0..40),
+                               b in proptest::collection::vec(0u8..4, 0..40)) {
+            let my = lcs_myers(&a, &b, |x, y| x == y);
+            let dp = lcs_dp(&a, &b, |x, y| x == y);
+            proptest::prop_assert!(is_common_subsequence(&my, &a, &b, |x, y| x == y));
+            proptest::prop_assert_eq!(my.len(), dp.len());
+        }
+
+        #[test]
+        fn prop_lcs_of_self_is_identity(a in proptest::collection::vec(0u8..6, 0..60)) {
+            let my = lcs_myers(&a, &a, |x, y| x == y);
+            proptest::prop_assert_eq!(my.len(), a.len());
+        }
+
+        #[test]
+        fn prop_symmetric_length(a in proptest::collection::vec(0u8..4, 0..30),
+                                 b in proptest::collection::vec(0u8..4, 0..30)) {
+            let ab = lcs_myers(&a, &b, |x, y| x == y).len();
+            let ba = lcs_myers(&b, &a, |x, y| x == y).len();
+            proptest::prop_assert_eq!(ab, ba);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Analytic running-time bounds of Appendix B, used by the Figure 13(b)
+//! experiment to quantify how loose the bounds are in practice (the paper:
+//! "on the average, FastMatch makes approximately 20 times fewer comparisons
+//! than those predicted by the analytical bound").
+
+/// Inputs to the bound formulas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundInputs {
+    /// `n`: total number of leaf nodes in `T1` and `T2`.
+    pub leaves: usize,
+    /// `m`: total number of internal nodes in `T1` and `T2`.
+    pub internal: usize,
+    /// `l`: number of internal-node labels.
+    pub internal_labels: usize,
+    /// `e`: weighted edit distance between the trees.
+    pub weighted_distance: usize,
+    /// `d`: unweighted edit distance (operation count).
+    pub unweighted_distance: usize,
+}
+
+/// Predicted comparison counts for one matching run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bound {
+    /// Bound on `r1` (leaf `compare` invocations).
+    pub leaf_compares: f64,
+    /// Bound on `r2` (partner checks).
+    pub partner_checks: f64,
+}
+
+impl Bound {
+    /// Combined bound with unit compare cost (`c = 1`), comparable with
+    /// [`crate::MatchCounters::total`].
+    pub fn total(&self) -> f64 {
+        self.leaf_compares + self.partner_checks
+    }
+}
+
+/// Appendix B's FastMatch bound: `r1 ≤ ne + e²`, `r2 ≤ 2lne`.
+pub fn fastmatch_bound(i: &BoundInputs) -> Bound {
+    let n = i.leaves as f64;
+    let e = i.weighted_distance as f64;
+    let l = i.internal_labels as f64;
+    Bound {
+        leaf_compares: n * e + e * e,
+        partner_checks: 2.0 * l * n * e,
+    }
+}
+
+/// Appendix B's Match bound: `r1 ≤ n²`, `r2 ≤ mn`.
+pub fn match_bound(i: &BoundInputs) -> Bound {
+    let n = i.leaves as f64;
+    let m = i.internal as f64;
+    Bound {
+        leaf_compares: n * n,
+        partner_checks: m * n,
+    }
+}
+
+/// The `e/d` ratio studied in Figure 13(a) (`NaN` when `d = 0`).
+pub fn e_over_d(i: &BoundInputs) -> f64 {
+    i.weighted_distance as f64 / i.unweighted_distance as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> BoundInputs {
+        BoundInputs {
+            leaves: 100,
+            internal: 20,
+            internal_labels: 3,
+            weighted_distance: 10,
+            unweighted_distance: 4,
+        }
+    }
+
+    #[test]
+    fn fastmatch_formula() {
+        let b = fastmatch_bound(&inputs());
+        assert_eq!(b.leaf_compares, 100.0 * 10.0 + 100.0);
+        assert_eq!(b.partner_checks, 2.0 * 3.0 * 100.0 * 10.0);
+        assert_eq!(b.total(), 1100.0 + 6000.0);
+    }
+
+    #[test]
+    fn match_formula() {
+        let b = match_bound(&inputs());
+        assert_eq!(b.leaf_compares, 10_000.0);
+        assert_eq!(b.partner_checks, 2_000.0);
+    }
+
+    #[test]
+    fn fastmatch_beats_match_for_small_e() {
+        let b_fast = fastmatch_bound(&inputs());
+        let b_match = match_bound(&inputs());
+        assert!(b_fast.leaf_compares < b_match.leaf_compares);
+    }
+
+    #[test]
+    fn e_over_d_ratio() {
+        assert_eq!(e_over_d(&inputs()), 2.5);
+    }
+}

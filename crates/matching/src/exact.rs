@@ -1,0 +1,175 @@
+//! Identical-subtree pre-matching — the introduction's "quickly match
+//! fragments that have not changed" promise, realized via subtree
+//! fingerprints (the technique later tree differs such as GumTree adopted
+//! as their top-down phase).
+//!
+//! [`prematch_unique_identical`] pairs every subtree whose fingerprint
+//! occurs exactly once in each tree (confirmed by real isomorphism, so hash
+//! collisions cannot corrupt the matching), pairing the whole subtree
+//! node-by-node. Feeding the result to
+//! [`fast_match_seeded`](crate::fast_match_seeded) — packaged as
+//! [`fast_match_accelerated`] — skips all `compare` calls inside unchanged
+//! regions. Uniqueness on *both* sides keeps the pre-pass consistent with
+//! Criterion 3: an ambiguous fragment (duplicate) is left to the regular
+//! algorithms.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use hierdiff_edit::Matching;
+use hierdiff_tree::{isomorphic_subtrees, subtree_hashes, NodeId, NodeValue, Tree};
+
+use crate::criteria::MatchParams;
+use crate::fast::fast_match_seeded;
+use crate::simple::MatchResult;
+
+/// Pairs subtrees that are bit-identical and unique on both sides,
+/// top-down (a matched subtree's interior is paired wholesale and not
+/// revisited). Returns the seed matching.
+pub fn prematch_unique_identical<V: NodeValue + Hash>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+) -> Matching {
+    let h1 = subtree_hashes(t1);
+    let h2 = subtree_hashes(t2);
+    let mut count1: HashMap<u64, (usize, NodeId)> = HashMap::new();
+    for id in t1.preorder() {
+        let e = count1.entry(h1[id.index()]).or_insert((0, id));
+        e.0 += 1;
+    }
+    let mut count2: HashMap<u64, (usize, NodeId)> = HashMap::new();
+    for id in t2.preorder() {
+        let e = count2.entry(h2[id.index()]).or_insert((0, id));
+        e.0 += 1;
+    }
+
+    let mut m = Matching::with_capacity(t1.arena_len(), t2.arena_len());
+    // Top-down: recurse into children only when the node itself was not
+    // wholesale-matched.
+    let mut stack = vec![t1.root()];
+    while let Some(x) = stack.pop() {
+        let hash = h1[x.index()];
+        let unique_here = count1.get(&hash).is_some_and(|&(c, _)| c == 1);
+        let candidate = count2.get(&hash).and_then(|&(c, id)| (c == 1).then_some(id));
+        if unique_here {
+            if let Some(y) = candidate {
+                if isomorphic_subtrees(t1, x, t2, y) {
+                    // Pair the whole subtree node-by-node (shapes are
+                    // identical, so parallel pre-orders line up).
+                    let xs: Vec<NodeId> = hierdiff_tree::traverse::preorder_of(t1, x).collect();
+                    let ys: Vec<NodeId> = hierdiff_tree::traverse::preorder_of(t2, y).collect();
+                    debug_assert_eq!(xs.len(), ys.len());
+                    for (&a, &b) in xs.iter().zip(&ys) {
+                        m.insert(a, b).expect("disjoint subtrees, fresh pairs");
+                    }
+                    continue; // interior handled; do not descend
+                }
+            }
+        }
+        stack.extend(t1.children(x).iter().copied());
+    }
+    m
+}
+
+/// [`fast_match`](crate::fast_match) with the identical-subtree pre-pass.
+/// Produces criteria-conformant matchings (pre-matched pairs are identical,
+/// hence trivially within any `f`/`t`) while skipping comparisons inside
+/// unchanged regions.
+pub fn fast_match_accelerated<V: NodeValue + Hash>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    params: MatchParams,
+) -> MatchResult {
+    let seed = prematch_unique_identical(t1, t2);
+    fast_match_seeded(t1, t2, params, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fast::fast_match;
+
+    fn doc(s: &str) -> Tree<String> {
+        Tree::parse_sexpr(s).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_prematch_entirely() {
+        let t1 = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
+        let t2 = t1.clone();
+        let seed = prematch_unique_identical(&t1, &t2);
+        assert_eq!(seed.len(), t1.len(), "whole tree pre-matched");
+    }
+
+    #[test]
+    fn changed_regions_left_unmatched() {
+        let t1 = doc(r#"(D (P (S "a") (S "b")) (P (S "old")))"#);
+        let t2 = doc(r#"(D (P (S "a") (S "b")) (P (S "new")))"#);
+        let seed = prematch_unique_identical(&t1, &t2);
+        // The (a b) paragraph subtree pre-matches (3 nodes); the root and
+        // the changed paragraph do not.
+        let p1 = t1.children(t1.root())[0];
+        assert!(seed.is_matched1(p1));
+        assert!(seed.is_matched1(t1.children(p1)[0]));
+        assert!(!seed.is_matched1(t1.root()));
+        let changed = t1.children(t1.root())[1];
+        assert!(!seed.is_matched1(changed));
+    }
+
+    #[test]
+    fn duplicates_are_skipped() {
+        // Two identical paragraphs on each side: ambiguous, so the pre-pass
+        // must not touch them (Criterion 3 discipline). A changed sentence
+        // keeps the roots from wholesale-matching.
+        let t1 = doc(r#"(D (P (S "dup")) (P (S "dup")) (S "anchor") (S "old"))"#);
+        let t2 = doc(r#"(D (P (S "dup")) (P (S "dup")) (S "anchor") (S "new"))"#);
+        let seed = prematch_unique_identical(&t1, &t2);
+        let p1 = t1.children(t1.root())[0];
+        assert!(!seed.is_matched1(p1), "ambiguous subtree pre-matched");
+        // The unique anchor does pre-match.
+        let anchor = t1.children(t1.root())[2];
+        assert!(seed.is_matched1(anchor));
+    }
+
+    #[test]
+    fn accelerated_agrees_with_plain_fastmatch() {
+        use hierdiff_workload::{generate_document, perturb, DocProfile, EditMix};
+        let profile = DocProfile::default();
+        for seed_n in 0..6u64 {
+            let t1 = generate_document(4_400 + seed_n, &profile);
+            let (t2, _) = perturb(&t1, 4_500 + seed_n, 10, &EditMix::default(), &profile);
+            let plain = fast_match(&t1, &t2, MatchParams::default());
+            let fast = fast_match_accelerated(&t1, &t2, MatchParams::default());
+            assert_eq!(
+                plain.matching.len(),
+                fast.matching.len(),
+                "seed {seed_n}: matching sizes diverge"
+            );
+            // And it does real work: fewer leaf compares on mostly-unchanged
+            // documents.
+            assert!(
+                fast.counters.leaf_compares <= plain.counters.leaf_compares,
+                "seed {seed_n}: accelerated did {} > {} compares",
+                fast.counters.leaf_compares,
+                plain.counters.leaf_compares
+            );
+            // The resulting diffs are equally good.
+            let r1 = hierdiff_edit::edit_script(&t1, &t2, &plain.matching).unwrap();
+            let r2 = hierdiff_edit::edit_script(&t1, &t2, &fast.matching).unwrap();
+            assert_eq!(r1.script.len(), r2.script.len(), "seed {seed_n}");
+        }
+    }
+
+    #[test]
+    fn nested_unique_subtrees_not_double_matched() {
+        // The whole document is unique-identical: only one wholesale match
+        // should happen (at the root), covering everything exactly once.
+        let t1 = doc(r#"(D (P (S "x") (S "y")) (Q (S "z")))"#);
+        let t2 = t1.clone();
+        let seed = prematch_unique_identical(&t1, &t2);
+        assert_eq!(seed.len(), t1.len());
+        for (a, b) in seed.iter() {
+            assert_eq!(t1.label(a), t2.label(b));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Algorithm *FastMatch* (Figure 11): the paper's fast matcher,
+//! `O((ne + e²)c + 2lne)` where `e` is the weighted edit distance.
+//!
+//! "Algorithm FastMatch uses the longest common subsequence (LCS) routine
+//! ... to perform an initial matching of nodes that appear in the same
+//! order. Nodes still unmatched after the call to LCS are processed as in
+//! Algorithm Match." Per-label node chains provide the sequences; Myers'
+//! O(ND) LCS makes the common near-identical case cheap.
+
+use hierdiff_edit::Matching;
+use hierdiff_lcs::lcs;
+use hierdiff_tree::{NodeId, NodeValue, Tree};
+
+use crate::criteria::{MatchCtx, MatchParams};
+use crate::schema::LabelClasses;
+use crate::simple::{label_chains, MatchResult};
+
+/// Algorithm *FastMatch* (Figure 11).
+pub fn fast_match<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    params: MatchParams,
+) -> MatchResult {
+    fast_match_seeded(t1, t2, params, Matching::new())
+}
+
+/// Algorithm *FastMatch* starting from a pre-established partial matching
+/// `seed` (e.g. key-derived pairs, see [`crate::match_keyed_then_content`]).
+/// Seeded pairs are kept verbatim and — crucially — visible to Criterion 2
+/// while internal nodes are compared, so keyed leaves count toward their
+/// ancestors' `common` ratios.
+pub fn fast_match_seeded<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    params: MatchParams,
+    seed: Matching,
+) -> MatchResult {
+    let classes = LabelClasses::classify(t1, t2);
+    let mut ctx = MatchCtx::new(t1, t2, params, &classes);
+    let mut m = seed;
+    let chains1 = label_chains(t1);
+    let chains2 = label_chains(t2);
+
+    let empty: Vec<NodeId> = Vec::new();
+    for (phase, phase_labels) in [&classes.leaf_labels, &classes.internal_labels]
+        .into_iter()
+        .enumerate()
+    {
+        let is_leaf_phase = phase == 0;
+        for &label in phase_labels {
+            let s1 = chains1.get(&label).unwrap_or(&empty);
+            let s2 = chains2.get(&label).unwrap_or(&empty);
+            if s1.is_empty() || s2.is_empty() {
+                continue;
+            }
+            // 2c. Initial matching of same-order nodes via LCS. The equality
+            //     function is the phase's matching criterion, restricted to
+            //     still-unmatched nodes (seeded pairs are final).
+            let pairs = if is_leaf_phase {
+                lcs(s1, s2, |&x, &y| {
+                    !m.is_matched1(x) && !m.is_matched2(y) && ctx.equal_leaves(x, y)
+                })
+            } else {
+                lcs(s1, s2, |&x, &y| {
+                    !m.is_matched1(x) && !m.is_matched2(y) && ctx.equal_internal(x, y, &m)
+                })
+            };
+            // 2d. Adopt the LCS pairs.
+            for &(i, j) in &pairs {
+                m.insert(s1[i], s2[j])
+                    .expect("LCS pairs checked unmatched, strictly increasing");
+            }
+            // 2e. Pair remaining unmatched nodes as in Algorithm Match.
+            for &x in s1 {
+                if m.is_matched1(x) {
+                    continue;
+                }
+                for &y in s2 {
+                    if m.is_matched2(y) {
+                        continue;
+                    }
+                    let eq = if is_leaf_phase {
+                        ctx.equal_leaves(x, y)
+                    } else {
+                        ctx.equal_internal(x, y, &m)
+                    };
+                    if eq {
+                        m.insert(x, y).expect("both sides unmatched");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    MatchResult {
+        matching: m,
+        counters: ctx.counters,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::match_simple;
+
+    fn doc(s: &str) -> Tree<String> {
+        Tree::parse_sexpr(s).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_fully_matched() {
+        let t1 = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
+        let t2 = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
+        let res = fast_match(&t1, &t2, MatchParams::default());
+        assert_eq!(res.matching.len(), t1.len());
+    }
+
+    #[test]
+    fn agrees_with_match_on_running_example() {
+        let t1 = doc(r#"(D (P (S "a")) (P (S "b") (S "c") (S "e")) (P (S "d")))"#);
+        let t2 = doc(r#"(D (P (S "a")) (P (S "d")) (P (S "b") (S "e") (S "c")))"#);
+        let fast = fast_match(&t1, &t2, MatchParams::default());
+        let simple = match_simple(&t1, &t2, MatchParams::default());
+        assert_eq!(fast.matching.len(), simple.matching.len());
+        for (x, y) in simple.matching.iter() {
+            assert!(
+                fast.matching.contains(x, y),
+                "FastMatch missing pair ({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_leaf_compares_than_match_when_similar() {
+        // Two nearly identical documents: FastMatch's LCS pass should need
+        // far fewer compares than Match's quadratic scan.
+        let body: Vec<String> = (0..40).map(|i| format!("(S \"sent {i}\")")).collect();
+        let t1 = doc(&format!("(D (P {}))", body.join(" ")));
+        let mut body2 = body.clone();
+        body2[20] = "(S \"changed sentence\")".to_string();
+        let t2 = doc(&format!("(D (P {}))", body2.join(" ")));
+        let fast = fast_match(&t1, &t2, MatchParams::default());
+        let simple = match_simple(&t1, &t2, MatchParams::default());
+        assert!(
+            fast.counters.leaf_compares < simple.counters.leaf_compares,
+            "fast {} !< simple {}",
+            fast.counters.leaf_compares,
+            simple.counters.leaf_compares
+        );
+        // Same matching quality.
+        assert_eq!(fast.matching.len(), simple.matching.len());
+    }
+
+    #[test]
+    fn out_of_order_nodes_matched_by_fallback() {
+        // Reversed sentences: the LCS keeps one; the fallback pass pairs the
+        // rest. Everything still matches (Theorem 5.2's unique maximal
+        // matching is order-independent).
+        let t1 = doc(r#"(D (S "a") (S "b") (S "c"))"#);
+        let t2 = doc(r#"(D (S "c") (S "b") (S "a"))"#);
+        let res = fast_match(&t1, &t2, MatchParams::default());
+        assert_eq!(res.matching.len(), 4);
+        for x in t1.leaves() {
+            let y = res.matching.partner1(x).unwrap();
+            assert_eq!(t1.value(x), t2.value(y));
+        }
+    }
+
+    #[test]
+    fn moved_subtree_still_matches() {
+        let t1 = doc(r#"(D (Sec (P (S "a") (S "b"))) (Sec (P (S "c"))))"#);
+        let t2 = doc(r#"(D (Sec (P (S "c"))) (Sec (P (S "a") (S "b"))))"#);
+        let res = fast_match(&t1, &t2, MatchParams::default());
+        // Everything matches: 3 sentences, 2 paragraphs, 2 sections, root.
+        assert_eq!(res.matching.len(), 8);
+        let sec1 = t1.children(t1.root())[0];
+        let sec2_in_t2 = t2.children(t2.root())[1];
+        assert_eq!(res.matching.partner1(sec1), Some(sec2_in_t2));
+    }
+
+    #[test]
+    fn empty_chain_labels_skipped() {
+        let t1 = doc(r#"(D (S "a"))"#);
+        let t2 = doc(r#"(D (P (S "a")))"#);
+        // P exists only in t2; S chain matches; D roots match (1/1 common).
+        let res = fast_match(&t1, &t2, MatchParams::default());
+        assert_eq!(res.matching.len(), 2);
+    }
+
+    proptest::proptest! {
+        /// Under Matching Criterion 3 (unique values ⇒ unique close
+        /// counterpart), the maximal matching is unique (Theorem 5.2), so
+        /// FastMatch and Match must produce the *same* matching.
+        #[test]
+        fn prop_fast_match_equals_match_under_criterion3(seed in 0u64..60) {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Both trees draw distinct values from overlapping ranges, so no
+            // tree contains duplicates (Criterion 3 holds for the exact-match
+            // compare) but the trees share many sentences.
+            let mk = |rng: &mut StdRng, start: usize| {
+                let paras = rng.gen_range(1..5);
+                let mut next = start;
+                let mut s = String::from("(D ");
+                for _ in 0..paras {
+                    s.push_str("(P ");
+                    for _ in 0..rng.gen_range(1..5) {
+                        s.push_str(&format!("(S \"v{next}\") "));
+                        next += 1;
+                    }
+                    s.push_str(") ");
+                }
+                s.push(')');
+                s
+            };
+            let t1 = doc(&mk(&mut rng, 0));
+            let offset = rng.gen_range(0..6);
+            let t2 = doc(&mk(&mut rng, offset));
+            let fast = fast_match(&t1, &t2, MatchParams::default());
+            let simple = match_simple(&t1, &t2, MatchParams::default());
+            proptest::prop_assert_eq!(fast.matching.len(), simple.matching.len());
+            for (x, y) in simple.matching.iter() {
+                proptest::prop_assert!(fast.matching.contains(x, y));
+            }
+        }
+    }
+}

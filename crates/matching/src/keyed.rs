@@ -1,0 +1,146 @@
+//! Key-based matching — the paper's fast path for data *with* identifiers.
+//!
+//! "If the information we are comparing does have unique identifiers, then
+//! our algorithms can take advantage of them to quickly match fragments
+//! that have not changed" (Section 1). [`match_by_key`] builds a matching
+//! from a user-supplied key extractor in one linear pass per tree, and
+//! [`match_keyed_then_content`] combines it with *FastMatch* for the mixed
+//! case Section 5 describes — "we are not ruling out keys for some objects;
+//! if they exist they can be used to match those objects quickly" — where
+//! some objects carry keys (database records) and others do not (free
+//! text), or where ids "may not be valid across versions".
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use hierdiff_edit::Matching;
+use hierdiff_tree::{NodeId, NodeValue, Tree};
+
+use crate::criteria::MatchParams;
+use crate::fast::fast_match_seeded;
+use crate::simple::MatchResult;
+
+/// Builds a matching by pairing nodes with equal `(label, key)`. Nodes for
+/// which `key` returns `None` are left unmatched (feed the result to
+/// [`match_keyed_then_content`] to content-match them). Duplicate keys on
+/// either side match first-come-first-served in document order.
+pub fn match_by_key<V: NodeValue, K: Eq + Hash>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    mut key: impl FnMut(&Tree<V>, NodeId) -> Option<K>,
+) -> Matching {
+    let mut by_key: HashMap<(hierdiff_tree::Label, K), NodeId> = HashMap::new();
+    for x in t1.preorder() {
+        if let Some(k) = key(t1, x) {
+            by_key.entry((t1.label(x), k)).or_insert(x);
+        }
+    }
+    let mut m = Matching::with_capacity(t1.arena_len(), t2.arena_len());
+    for y in t2.preorder() {
+        if let Some(k) = key(t2, y) {
+            if let Some(&x) = by_key.get(&(t2.label(y), k)) {
+                // First-come-first-served: a key reused in T2 only binds
+                // once, and a T1 node already claimed stays claimed.
+                if !m.is_matched1(x) && !m.is_matched2(y) {
+                    m.insert(x, y).expect("both sides checked");
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Mixed-mode matching: pair keyed nodes first (cheap, exact), then run
+/// Algorithm *FastMatch* over the remainder with the key-derived pairs
+/// pre-seeded — so content matching neither re-pays for them nor
+/// contradicts them, and keyed leaves count toward their ancestors'
+/// Criterion 2 ratios (a keyed record whose value was rewritten still
+/// anchors its parent).
+pub fn match_keyed_then_content<V: NodeValue, K: Eq + Hash>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    params: MatchParams,
+    key: impl FnMut(&Tree<V>, NodeId) -> Option<K>,
+) -> MatchResult {
+    let seeded = match_by_key(t1, t2, key);
+    fast_match_seeded(t1, t2, params, seeded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdiff_tree::Tree;
+
+    /// Values like "id=K rest..." — the key is the id.
+    fn key_of(t: &Tree<String>, n: NodeId) -> Option<String> {
+        t.value(n)
+            .strip_prefix("id=")
+            .map(|rest| rest.split(' ').next().unwrap_or(rest).to_string())
+    }
+
+    #[test]
+    fn keys_match_across_positions() {
+        let t1 = Tree::parse_sexpr(r#"(D (R "id=a x") (R "id=b y") (R "id=c z"))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(D (R "id=c z") (R "id=a x2") (R "id=b y"))"#).unwrap();
+        let m = match_by_key(&t1, &t2, key_of);
+        assert_eq!(m.len(), 3);
+        // "id=a" pairs despite its payload changing and its position moving.
+        let a1 = t1.children(t1.root())[0];
+        let a2 = t2.children(t2.root())[1];
+        assert_eq!(m.partner1(a1), Some(a2));
+    }
+
+    #[test]
+    fn labels_must_agree() {
+        let t1 = Tree::parse_sexpr(r#"(D (R "id=a"))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(D (Q "id=a"))"#).unwrap();
+        let m = match_by_key(&t1, &t2, key_of);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_bind_once() {
+        let t1 = Tree::parse_sexpr(r#"(D (R "id=a 1") (R "id=a 2"))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(D (R "id=a 3") (R "id=a 4"))"#).unwrap();
+        let m = match_by_key(&t1, &t2, key_of);
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m.partner1(t1.children(t1.root())[0]),
+            Some(t2.children(t2.root())[0])
+        );
+    }
+
+    #[test]
+    fn unkeyed_nodes_left_for_content_matching() {
+        let t1 = Tree::parse_sexpr(
+            r#"(D (R "id=a rec") (S "free text sentence") (S "another line"))"#,
+        )
+        .unwrap();
+        let t2 = Tree::parse_sexpr(
+            r#"(D (S "another line") (R "id=a rec changed") (S "free text sentence"))"#,
+        )
+        .unwrap();
+        let keyed = match_by_key(&t1, &t2, key_of);
+        assert_eq!(keyed.len(), 1);
+        let mixed = match_keyed_then_content(&t1, &t2, MatchParams::default(), key_of);
+        // Keyed record + both sentences + the root.
+        assert_eq!(mixed.matching.len(), 4);
+        // The keyed pair survives even though its values differ beyond the
+        // content thresholds.
+        let a1 = t1.children(t1.root())[0];
+        let a2 = t2.children(t2.root())[1];
+        assert_eq!(mixed.matching.partner1(a1), Some(a2));
+    }
+
+    #[test]
+    fn keyed_pairs_override_content_disagreement() {
+        // Content matching would pair the identical texts; the key says the
+        // *records* correspond even though their texts were swapped.
+        let t1 = Tree::parse_sexpr(r#"(D (R "id=a alpha") (R "id=b beta"))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(D (R "id=a beta") (R "id=b alpha"))"#).unwrap();
+        let mixed = match_keyed_then_content(&t1, &t2, MatchParams::default(), key_of);
+        let a1 = t1.children(t1.root())[0];
+        let a2 = t2.children(t2.root())[0];
+        assert_eq!(mixed.matching.partner1(a1), Some(a2), "key beats content");
+    }
+}

@@ -1,0 +1,125 @@
+//! Matching quality metrics: precision/recall of a computed matching
+//! against a reference (e.g. the ZS-optimal mapping, or the ground-truth
+//! correspondence a workload generator knows). Used by the experiment
+//! harness to quantify the paper's optimality-vs-efficiency trade-off
+//! (Section 8: "a non-optimal matching compromises only the quality of an
+//! edit script ... not its correctness").
+
+use hierdiff_edit::Matching;
+
+/// Precision/recall of `candidate` against `reference`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchQuality {
+    /// Pairs present in both matchings.
+    pub agreed: usize,
+    /// Pairs only in `candidate`.
+    pub spurious: usize,
+    /// Pairs only in `reference`.
+    pub missed: usize,
+}
+
+impl MatchQuality {
+    /// `agreed / (agreed + spurious)`; 1.0 for an empty candidate.
+    pub fn precision(&self) -> f64 {
+        let denom = self.agreed + self.spurious;
+        if denom == 0 {
+            1.0
+        } else {
+            self.agreed as f64 / denom as f64
+        }
+    }
+
+    /// `agreed / (agreed + missed)`; 1.0 for an empty reference.
+    pub fn recall(&self) -> f64 {
+        let denom = self.agreed + self.missed;
+        if denom == 0 {
+            1.0
+        } else {
+            self.agreed as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Compares `candidate` pairs against `reference` pairs.
+pub fn match_quality(candidate: &Matching, reference: &Matching) -> MatchQuality {
+    let mut agreed = 0;
+    let mut spurious = 0;
+    for (x, y) in candidate.iter() {
+        if reference.contains(x, y) {
+            agreed += 1;
+        } else {
+            spurious += 1;
+        }
+    }
+    let missed = reference.len() - agreed;
+    MatchQuality {
+        agreed,
+        spurious,
+        missed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdiff_tree::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn m(pairs: &[(usize, usize)]) -> Matching {
+        let mut m = Matching::new();
+        for &(a, b) in pairs {
+            m.insert(n(a), n(b)).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn identical_matchings_are_perfect() {
+        let a = m(&[(0, 0), (1, 2), (3, 1)]);
+        let q = match_quality(&a, &a.clone());
+        assert_eq!(q.agreed, 3);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let candidate = m(&[(0, 0), (1, 1), (2, 9)]);
+        let reference = m(&[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let q = match_quality(&candidate, &reference);
+        assert_eq!(q.agreed, 2);
+        assert_eq!(q.spurious, 1);
+        assert_eq!(q.missed, 2);
+        assert!((q.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(q.recall(), 0.5);
+        assert!(q.f1() > 0.5 && q.f1() < 0.67);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let empty = Matching::new();
+        let some = m(&[(0, 0)]);
+        let q = match_quality(&empty, &some);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 0.0);
+        assert_eq!(q.f1(), 0.0);
+        let q = match_quality(&some, &empty);
+        assert_eq!(q.precision(), 0.0);
+        assert_eq!(q.recall(), 1.0);
+    }
+}

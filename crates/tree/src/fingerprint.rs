@@ -1,0 +1,107 @@
+//! Structural subtree fingerprints: one hash per node covering its label,
+//! value, and (ordered) children's fingerprints — so two subtrees hash
+//! equal whenever they are isomorphic (up to hash collisions, which
+//! consumers must confirm with [`crate::isomorphic_subtrees`]).
+//!
+//! This powers the identical-subtree pre-matching accelerator in
+//! `hierdiff-matching` (the "match unchanged fragments quickly" idea of the
+//! paper's introduction, realized the way later tree differs like GumTree
+//! do it).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::tree::Tree;
+use crate::value::NodeValue;
+
+/// Computes a fingerprint for every live node of `tree`, returned as a
+/// dense table indexed by `NodeId::index` (dead slots hold 0). One
+/// post-order pass.
+pub fn subtree_hashes<V: NodeValue + Hash>(tree: &Tree<V>) -> Vec<u64> {
+    let mut out = vec![0u64; tree.arena_len()];
+    for id in tree.postorder() {
+        let mut h = DefaultHasher::new();
+        tree.label(id).index().hash(&mut h);
+        tree.value(id).hash(&mut h);
+        tree.arity(id).hash(&mut h);
+        for &c in tree.children(id) {
+            out[c.index()].hash(&mut h);
+        }
+        out[id.index()] = h.finish();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Label, Tree};
+
+    fn doc(s: &str) -> Tree<String> {
+        Tree::parse_sexpr(s).unwrap()
+    }
+
+    #[test]
+    fn identical_subtrees_hash_equal() {
+        let t = doc(r#"(D (P (S "a") (S "b")) (P (S "a") (S "b")))"#);
+        let h = subtree_hashes(&t);
+        let kids = t.children(t.root());
+        assert_eq!(h[kids[0].index()], h[kids[1].index()]);
+    }
+
+    #[test]
+    fn value_difference_changes_hash() {
+        let t = doc(r#"(D (P (S "a")) (P (S "b")))"#);
+        let h = subtree_hashes(&t);
+        let kids = t.children(t.root());
+        assert_ne!(h[kids[0].index()], h[kids[1].index()]);
+    }
+
+    #[test]
+    fn label_difference_changes_hash() {
+        let t = doc(r#"(D (P (S "a")) (Q (S "a")))"#);
+        let h = subtree_hashes(&t);
+        let kids = t.children(t.root());
+        assert_ne!(h[kids[0].index()], h[kids[1].index()]);
+    }
+
+    #[test]
+    fn child_order_changes_hash() {
+        let t = doc(r#"(D (P (S "a") (S "b")) (P (S "b") (S "a")))"#);
+        let h = subtree_hashes(&t);
+        let kids = t.children(t.root());
+        assert_ne!(h[kids[0].index()], h[kids[1].index()]);
+    }
+
+    #[test]
+    fn hashes_agree_across_trees() {
+        // Same content parsed twice (different arenas): equal hashes.
+        let a = doc(r#"(D (P (S "x") (S "y")))"#);
+        let b = doc(r#"(E (Q) (P (S "x") (S "y")))"#);
+        let ha = subtree_hashes(&a);
+        let hb = subtree_hashes(&b);
+        let pa = a.children(a.root())[0];
+        let pb = b.children(b.root())[1];
+        assert_eq!(ha[pa.index()], hb[pb.index()]);
+    }
+
+    #[test]
+    fn leaf_count_independent_nodes_differ() {
+        // A leaf P and a P with an empty... (arity is hashed, so a childless
+        // P and a P with one child differ even if values match).
+        let t = doc(r#"(D (P) (P (S "")))"#);
+        let h = subtree_hashes(&t);
+        let kids = t.children(t.root());
+        assert_ne!(h[kids[0].index()], h[kids[1].index()]);
+    }
+
+    #[test]
+    fn works_after_edits() {
+        let mut t = doc(r#"(D (P (S "a")))"#);
+        let p = t.children(t.root())[0];
+        let before = subtree_hashes(&t)[p.index()];
+        t.push_child(p, Label::intern("S"), "b".into());
+        let after = subtree_hashes(&t)[p.index()];
+        assert_ne!(before, after);
+    }
+}

@@ -1,0 +1,124 @@
+//! Tree isomorphism.
+//!
+//! "We say that two trees are *isomorphic* if they are identical except for
+//! node identifiers" (Section 3.1). Algorithm *EditScript* transforms `T1`
+//! into a tree isomorphic to `T2`; this module provides the check used to
+//! verify that post-condition throughout the test suites.
+
+use crate::tree::{NodeId, Tree};
+use crate::value::NodeValue;
+
+/// Whether the subtrees rooted at `a` (in `ta`) and `b` (in `tb`) are
+/// identical except for node identifiers: same labels, same values, same
+/// child orders, recursively.
+pub fn isomorphic_subtrees<V: NodeValue>(
+    ta: &Tree<V>,
+    a: NodeId,
+    tb: &Tree<V>,
+    b: NodeId,
+) -> bool {
+    // Iterative pairwise comparison to avoid recursion-depth limits on deep
+    // trees.
+    let mut stack = vec![(a, b)];
+    while let Some((x, y)) = stack.pop() {
+        if ta.label(x) != tb.label(y) || ta.value(x) != tb.value(y) {
+            return false;
+        }
+        let cx = ta.children(x);
+        let cy = tb.children(y);
+        if cx.len() != cy.len() {
+            return false;
+        }
+        stack.extend(cx.iter().copied().zip(cy.iter().copied()));
+    }
+    true
+}
+
+/// Whole-tree isomorphism: see [`isomorphic_subtrees`].
+pub fn isomorphic<V: NodeValue>(a: &Tree<V>, b: &Tree<V>) -> bool {
+    a.len() == b.len() && isomorphic_subtrees(a, a.root(), b, b.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Label, NodeValue};
+
+    fn doc(s: &str) -> Tree<String> {
+        crate::Tree::parse_sexpr(s).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_are_isomorphic() {
+        let a = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
+        let b = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn clone_is_isomorphic() {
+        let a = doc(r#"(D (P (S "a")) (S "z"))"#);
+        assert!(isomorphic(&a, &a.clone()));
+    }
+
+    #[test]
+    fn different_ids_same_shape_are_isomorphic() {
+        // Build b in a different insertion order so arena ids differ.
+        let l = Label::intern;
+        let a = doc(r#"(D (S "x") (S "y"))"#);
+        let mut b = Tree::new(l("D"), String::null());
+        let r = b.root();
+        let y = b.insert(r, 0, l("S"), "y".into()).unwrap();
+        b.insert(r, 0, l("S"), "x".into()).unwrap();
+        let _ = y;
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn value_difference_breaks_isomorphism() {
+        let a = doc(r#"(D (S "x"))"#);
+        let b = doc(r#"(D (S "y"))"#);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn label_difference_breaks_isomorphism() {
+        let a = doc(r#"(D (S "x"))"#);
+        let b = doc(r#"(D (T "x"))"#);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn child_order_matters() {
+        let a = doc(r#"(D (S "x") (S "y"))"#);
+        let b = doc(r#"(D (S "y") (S "x"))"#);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn size_mismatch_short_circuits() {
+        let a = doc(r#"(D (S "x"))"#);
+        let b = doc(r#"(D (S "x") (S "x"))"#);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn subtree_isomorphism() {
+        let a = doc(r#"(D (P (S "a") (S "b")) (P (S "a") (S "b")))"#);
+        let kids = a.children(a.root());
+        assert!(isomorphic_subtrees(&a, kids[0], &a, kids[1]));
+        assert!(!isomorphic_subtrees(&a, a.root(), &a, kids[0]));
+    }
+
+    #[test]
+    fn deep_trees_do_not_overflow() {
+        let l = Label::intern;
+        let mut a: Tree<String> = Tree::new(l("N"), String::null());
+        let mut cur = a.root();
+        for _ in 0..50_000 {
+            cur = a.push_child(cur, l("N"), String::null());
+        }
+        let b = a.clone();
+        assert!(isomorphic(&a, &b));
+    }
+}

@@ -1,0 +1,79 @@
+//! ASCII rendering of trees for debugging and examples.
+
+use std::fmt::Write as _;
+
+use crate::tree::{NodeId, Tree};
+use crate::value::NodeValue;
+
+/// Renders `tree` as an indented ASCII diagram, one node per line:
+///
+/// ```text
+/// D n0
+/// ├── P n1
+/// │   ├── S n3 "a"
+/// │   └── S n4 "b"
+/// └── P n2
+///     └── S n5 "c"
+/// ```
+pub fn ascii_tree<V: NodeValue>(tree: &Tree<V>) -> String {
+    let mut out = String::new();
+    render_node(tree, tree.root(), "", "", &mut out);
+    out
+}
+
+fn render_node<V: NodeValue>(
+    tree: &Tree<V>,
+    id: NodeId,
+    prefix: &str,
+    child_prefix: &str,
+    out: &mut String,
+) {
+    let _ = write!(out, "{prefix}{} {id}", tree.label(id));
+    if !tree.value(id).is_null() {
+        let _ = write!(out, " {:?}", tree.value(id));
+    }
+    out.push('\n');
+    let children = tree.children(id);
+    for (i, &c) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let (branch, pad) = if last { ("└── ", "    ") } else { ("├── ", "│   ") };
+        render_node(
+            tree,
+            c,
+            &format!("{child_prefix}{branch}"),
+            &format!("{child_prefix}{pad}"),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_structure() {
+        let t = Tree::parse_sexpr(r#"(D (P (S "a") (S "b")) (P (S "c")))"#).unwrap();
+        let s = ascii_tree(&t);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].starts_with("D "));
+        assert!(lines[1].contains("P "));
+        assert!(lines[2].contains("\"a\""));
+        assert!(lines[5].contains("\"c\""));
+    }
+
+    #[test]
+    fn single_node_render() {
+        let t = Tree::parse_sexpr(r#"(D)"#).unwrap();
+        let s = ascii_tree(&t);
+        assert_eq!(s.lines().count(), 1);
+    }
+
+    #[test]
+    fn null_values_not_shown() {
+        let t = Tree::parse_sexpr(r#"(D (P))"#).unwrap();
+        let s = ascii_tree(&t);
+        assert!(!s.contains('"'));
+    }
+}

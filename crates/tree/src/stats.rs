@@ -1,0 +1,135 @@
+//! Structural statistics of a tree — corpus descriptions for the
+//! experiment reports and quick sanity summaries for users ("how big and
+//! how deep is this document, really?").
+
+use std::collections::HashMap;
+
+use crate::label::Label;
+use crate::tree::Tree;
+use crate::value::NodeValue;
+
+/// Aggregate shape statistics of one tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Live node count.
+    pub nodes: usize,
+    /// Leaf count.
+    pub leaves: usize,
+    /// Internal node count.
+    pub internal: usize,
+    /// Height of the tree (leaf-only tree = 0).
+    pub height: usize,
+    /// Maximum number of children on any node.
+    pub max_fanout: usize,
+    /// Mean number of children over internal nodes (0.0 if none).
+    pub mean_fanout: f64,
+    /// Node counts per label, sorted by descending count then label name.
+    pub by_label: Vec<(Label, usize)>,
+}
+
+impl TreeStats {
+    /// Computes the statistics in one traversal.
+    pub fn of<V: NodeValue>(tree: &Tree<V>) -> TreeStats {
+        let mut leaves = 0usize;
+        let mut internal = 0usize;
+        let mut max_fanout = 0usize;
+        let mut child_sum = 0usize;
+        let mut by_label: HashMap<Label, usize> = HashMap::new();
+        for id in tree.preorder() {
+            *by_label.entry(tree.label(id)).or_default() += 1;
+            let arity = tree.arity(id);
+            if arity == 0 {
+                leaves += 1;
+            } else {
+                internal += 1;
+                child_sum += arity;
+                max_fanout = max_fanout.max(arity);
+            }
+        }
+        let mut by_label: Vec<(Label, usize)> = by_label.into_iter().collect();
+        by_label.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.as_str().cmp(b.0.as_str())));
+        TreeStats {
+            nodes: tree.len(),
+            leaves,
+            internal,
+            height: tree.height(tree.root()),
+            max_fanout,
+            mean_fanout: if internal == 0 {
+                0.0
+            } else {
+                child_sum as f64 / internal as f64
+            },
+            by_label,
+        }
+    }
+
+    /// Count of nodes bearing `label` (0 when absent).
+    pub fn count_of(&self, label: Label) -> usize {
+        self.by_label
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} leaves, {} internal), height {}, fanout ≤ {} (mean {:.1})",
+            self.nodes, self.leaves, self.internal, self.height, self.max_fanout, self.mean_fanout
+        )?;
+        for (l, c) in &self.by_label {
+            write!(f, "; {l}×{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_shape() {
+        let t = Tree::parse_sexpr(r#"(D (P (S "a") (S "b") (S "c")) (P (S "d")))"#).unwrap();
+        let s = TreeStats::of(&t);
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.leaves, 4);
+        assert_eq!(s.internal, 3);
+        assert_eq!(s.height, 2);
+        assert_eq!(s.max_fanout, 3);
+        assert!((s.mean_fanout - 2.0).abs() < 1e-12);
+        assert_eq!(s.count_of(Label::intern("S")), 4);
+        assert_eq!(s.count_of(Label::intern("P")), 2);
+        assert_eq!(s.count_of(Label::intern("Zzz")), 0);
+    }
+
+    #[test]
+    fn label_histogram_sorted() {
+        let t = Tree::parse_sexpr(r#"(D (P (S "a") (S "b")) (P (S "c")))"#).unwrap();
+        let s = TreeStats::of(&t);
+        assert_eq!(s.by_label[0].0, Label::intern("S"));
+        assert_eq!(s.by_label[0].1, 3);
+    }
+
+    #[test]
+    fn single_node() {
+        let t = Tree::parse_sexpr(r#"(D)"#).unwrap();
+        let s = TreeStats::of(&t);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.internal, 0);
+        assert_eq!(s.mean_fanout, 0.0);
+        assert_eq!(s.height, 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = Tree::parse_sexpr(r#"(D (S "a"))"#).unwrap();
+        let text = TreeStats::of(&t).to_string();
+        assert!(text.contains("2 nodes"));
+        assert!(text.contains("S×1"));
+    }
+}

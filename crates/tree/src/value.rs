@@ -1,0 +1,112 @@
+//! The node-value abstraction and the paper's `compare` function.
+
+/// Values carried by tree nodes.
+///
+/// Section 3.2 of the paper assumes a `compare` function that "takes two nodes
+/// as arguments and returns a number in the range `[0, 2]`": `0` means the
+/// values are identical, values `< 1` mean an *update* is cheaper than a
+/// *delete + insert* pair, and values `> 1` mean the opposite. Matching
+/// Criterion 1 (Section 5.1) only lets leaves match when
+/// `compare(v(x), v(y)) <= f` for a parameter `f ∈ [0, 1]`.
+///
+/// The paper's label-value model has "defaults for the label and value of a
+/// node that does not specify them explicitly"; [`NodeValue::null`] is that
+/// default (interior nodes typically carry it).
+pub trait NodeValue: Clone + PartialEq + std::fmt::Debug {
+    /// The default ("null") value carried by nodes that do not specify one.
+    fn null() -> Self;
+
+    /// Whether this value is the null value.
+    fn is_null(&self) -> bool {
+        *self == Self::null()
+    }
+
+    /// Distance between two values in `[0, 2]`; `0.0` iff the values should
+    /// be considered identical for matching purposes.
+    ///
+    /// Implementations must be symmetric (`compare(a, b) == compare(b, a)`)
+    /// and return `0.0` when `a == b`.
+    fn compare(&self, other: &Self) -> f64;
+}
+
+/// `String` values compare by exact equality: distance `0` when equal,
+/// distance `2` otherwise (maximally different, so an unequal pair is never
+/// cheaper to update than to delete + insert).
+///
+/// Domain-specific similarity — e.g. the word-LCS sentence comparison of the
+/// paper's *LaDiff* system (Section 7) — lives in `hierdiff-doc`, which wraps
+/// text in its own value type.
+impl NodeValue for String {
+    fn null() -> Self {
+        String::new()
+    }
+
+    fn compare(&self, other: &Self) -> f64 {
+        if self == other {
+            0.0
+        } else {
+            2.0
+        }
+    }
+}
+
+/// Unit values for purely structural trees (every node null-valued).
+impl NodeValue for () {
+    fn null() -> Self {}
+
+    fn compare(&self, _other: &Self) -> f64 {
+        0.0
+    }
+}
+
+/// Integer values (useful for tests and synthetic workloads): distance `0`
+/// when equal, `2` otherwise.
+impl NodeValue for u64 {
+    fn null() -> Self {
+        0
+    }
+
+    fn compare(&self, other: &Self) -> f64 {
+        if self == other {
+            0.0
+        } else {
+            2.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_compare_is_exact() {
+        let a = "hello".to_string();
+        let b = "hello".to_string();
+        let c = "world".to_string();
+        assert_eq!(a.compare(&b), 0.0);
+        assert_eq!(a.compare(&c), 2.0);
+        assert_eq!(c.compare(&a), 2.0);
+    }
+
+    #[test]
+    fn string_null_is_empty() {
+        assert_eq!(String::null(), "");
+        assert!(String::null().is_null());
+        assert!(!"x".to_string().is_null());
+    }
+
+    #[test]
+    fn unit_values_always_equal() {
+        assert_eq!(().compare(&()), 0.0);
+        assert!(().is_null());
+    }
+
+    #[test]
+    fn u64_compare() {
+        assert_eq!(3u64.compare(&3), 0.0);
+        assert_eq!(3u64.compare(&4), 2.0);
+        assert!(0u64.is_null());
+        assert!(!7u64.is_null());
+    }
+}

@@ -1,0 +1,153 @@
+//! Version-chain simulation — the stand-in for the paper's three document
+//! sets (Section 8: "The files in each set represent different versions of
+//! a document (a conference paper). We ran FastMatch on pairs of files
+//! within each of these three sets.").
+
+use hierdiff_doc::DocValue;
+use hierdiff_tree::Tree;
+
+use crate::docgen::{generate_document, DocProfile};
+use crate::perturb::{perturb, EditMix, PerturbReport};
+
+/// Parameters of one simulated document set.
+#[derive(Clone, Copy, Debug)]
+pub struct DocSetProfile {
+    /// Seed identifying the set (the paper's three sets ↔ three seeds).
+    pub seed: u64,
+    /// Document shape.
+    pub doc: DocProfile,
+    /// Number of versions in the chain (the base version counts).
+    pub versions: usize,
+    /// Edits applied between consecutive versions (inclusive range; the
+    /// actual count is drawn per step).
+    pub edits_per_version: (usize, usize),
+    /// Edit mix between versions.
+    pub mix: EditMix,
+}
+
+impl DocSetProfile {
+    /// The three profiles standing in for the paper's three sets: same
+    /// generator, different seeds and sizes (small / medium / large
+    /// documents), document-like edit mixes.
+    pub fn paper_sets() -> [DocSetProfile; 3] {
+        [
+            DocSetProfile {
+                seed: 1001,
+                doc: DocProfile::small(),
+                versions: 6,
+                edits_per_version: (2, 8),
+                mix: EditMix::revision(),
+            },
+            DocSetProfile {
+                seed: 2002,
+                doc: DocProfile::default(),
+                versions: 6,
+                edits_per_version: (4, 14),
+                mix: EditMix::revision(),
+            },
+            DocSetProfile {
+                seed: 3003,
+                doc: DocProfile::large(),
+                versions: 6,
+                edits_per_version: (6, 24),
+                mix: EditMix::revision(),
+            },
+        ]
+    }
+}
+
+/// A simulated version chain.
+pub struct DocSet {
+    /// The versions, oldest first.
+    pub versions: Vec<Tree<DocValue>>,
+    /// What was applied between consecutive versions
+    /// (`reports[i]` = `versions[i]` → `versions[i+1]`).
+    pub reports: Vec<PerturbReport>,
+    /// The profile that produced the set.
+    pub profile: DocSetProfile,
+}
+
+impl DocSet {
+    /// All ordered intra-set pairs `(i, j)` with `i < j` — the paper
+    /// compares pairs of files within each set.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let n = self.versions.len();
+        (0..n).flat_map(move |i| (i + 1..n).map(move |j| (i, j)))
+    }
+}
+
+/// Generates a version chain from `profile`.
+pub fn generate_docset(profile: &DocSetProfile) -> DocSet {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x5eed);
+    let mut versions = vec![generate_document(profile.seed, &profile.doc)];
+    let mut reports = Vec::new();
+    for step in 1..profile.versions {
+        let (lo, hi) = profile.edits_per_version;
+        let edits = rng.gen_range(lo..=hi);
+        let prev = versions.last().expect("non-empty chain");
+        let (next, report) = perturb(
+            prev,
+            profile.seed.wrapping_mul(31).wrapping_add(step as u64),
+            edits,
+            &profile.mix,
+            &profile.doc,
+        );
+        versions.push(next);
+        reports.push(report);
+    }
+    DocSet {
+        versions,
+        reports,
+        profile: *profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_requested_length() {
+        let set = generate_docset(&DocSetProfile::paper_sets()[0]);
+        assert_eq!(set.versions.len(), 6);
+        assert_eq!(set.reports.len(), 5);
+        for v in &set.versions {
+            v.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn versions_actually_differ() {
+        let set = generate_docset(&DocSetProfile::paper_sets()[0]);
+        for w in set.versions.windows(2) {
+            assert!(!hierdiff_tree::isomorphic(&w[0], &w[1]));
+        }
+    }
+
+    #[test]
+    fn pairs_enumerates_all_ordered_pairs() {
+        let set = generate_docset(&DocSetProfile::paper_sets()[0]);
+        let pairs: Vec<_> = set.pairs().collect();
+        assert_eq!(pairs.len(), 6 * 5 / 2);
+        assert!(pairs.contains(&(0, 5)));
+        assert!(pairs.iter().all(|&(i, j)| i < j));
+    }
+
+    #[test]
+    fn deterministic_per_profile() {
+        let p = DocSetProfile::paper_sets()[1];
+        let a = generate_docset(&p);
+        let b = generate_docset(&p);
+        for (x, y) in a.versions.iter().zip(&b.versions) {
+            assert!(hierdiff_tree::isomorphic(x, y));
+        }
+    }
+
+    #[test]
+    fn three_paper_sets_have_increasing_size() {
+        let sets = DocSetProfile::paper_sets().map(|p| generate_docset(&p));
+        let sizes: Vec<usize> = sets.iter().map(|s| s.versions[0].len()).collect();
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's Appendix A scenario: LaDiff on two versions of a LaTeX
+//! document (a condensed take on the TeXbook excerpt of Figures 14–16).
+//!
+//! Run with: `cargo run --example latex_diff`
+//!
+//! Output: the marked-up LaTeX document using the Table 2 conventions —
+//! inserted sentences bold, deleted sentences small, updated sentences
+//! italic, moves labeled and footnoted, paragraph changes as marginal
+//! notes, section changes annotated in headings.
+
+use hierdiff::doc::{ladiff, LaDiffOptions};
+
+const OLD: &str = r#"\section{First things first}
+Computer system manuals usually make dull reading, but take heart: this one
+contains jokes every once in a while. Most of the jokes can only be
+appreciated properly if you understand a technical point that is being made.
+
+Another noteworthy characteristic of this manual is that it doesn't always
+tell the truth. When certain concepts of TeX are introduced informally,
+general rules will be stated. In general, the later chapters contain more
+reliable information than the earlier ones do. The author feels that this
+technique of deliberate lying will actually make it easier for you to learn
+the ideas.
+
+\section{Another way to look at it}
+In order to help you internalize what you're reading, exercises are
+sprinkled through this manual. It is generally intended that every reader
+should try every exercise. If you can't solve a problem, you can always look
+up the answer.
+
+\section{Conclusion}
+The TeX language described in this book is similar to the author's first
+attempt at a document formatting language. Both languages have been called
+TeX. Let's keep the name TeX for the language described here, since it is so
+much better.
+"#;
+
+const NEW: &str = r#"\section{Introduction}
+The TeX language described in this book is quite similar to the author's
+first attempt at a document formatting language. Computer system manuals
+usually make dull reading, but take heart: this one contains jokes every
+once in a while. Most of the jokes can only be appreciated properly if you
+understand a technical point that is being made.
+
+\section{The details}
+English words like technology stem from a Greek root beginning with letters
+tau epsilon chi. Hence the name TeX, which is an uppercase form of that
+root.
+
+Another noteworthy characteristic of this manual is that it doesn't always
+tell the truth. This feature may seem strange, but it isn't. When certain
+concepts of TeX are introduced informally, general rules will be stated.
+The author feels that this technique of deliberate lying will actually make
+it easier for you to learn the ideas.
+
+\section{Moving on}
+It is generally intended that every reader should try every exercise. If
+you can't solve a problem, you can always look up the answer. In order to
+help you better internalize what you read, exercises are sprinkled through
+this manual.
+
+\section{Conclusion}
+Both languages have been called TeX. Let's keep the name TeX for the
+language described here, since it is so much better.
+"#;
+
+fn main() {
+    let out = ladiff(OLD, NEW, &LaDiffOptions::default()).expect("documents parse and diff");
+
+    println!("=== LaDiff marked-up output (Table 2 conventions) ===\n");
+    println!("{}", out.markup);
+
+    let s = &out.stats;
+    println!("=== statistics ===");
+    println!("old: {} nodes, new: {} nodes, matched: {}", s.old_nodes, s.new_nodes, s.matched);
+    println!(
+        "edit script: {} ops — {} inserts, {} deletes, {} updates, {} moves",
+        s.ops.total(),
+        s.ops.inserts,
+        s.ops.deletes,
+        s.ops.updates,
+        s.ops.moves
+    );
+    println!(
+        "annotations: {} unchanged, {} updated, {} inserted, {} deleted, {} moved",
+        s.annotations.identical,
+        s.annotations.updated,
+        s.annotations.inserted,
+        s.annotations.deleted,
+        s.annotations.moved
+    );
+    println!(
+        "matching cost: {} sentence compares + {} partner checks",
+        s.counters.leaf_compares, s.counters.partner_checks
+    );
+}

@@ -1,0 +1,75 @@
+//! Data warehousing with active rules — the paper's warehouse motivation
+//! (Section 1) plus its C³ "active rule languages" direction (Section 9):
+//! periodically snapshot an uncooperative source, diff the snapshots, and
+//! let declarative rules decide which downstream actions fire.
+//!
+//! Run with: `cargo run --example warehouse_rules`
+
+use hierdiff::delta::{ChangeKind, Rule, RuleSet};
+use hierdiff::tree::{Label, TreeStats};
+use hierdiff::workload::{generate_document, perturb, DocProfile, EditMix};
+use hierdiff::{diff, DiffOptions};
+
+fn main() {
+    // The "source database dump": a catalog-like hierarchical snapshot.
+    let profile = DocProfile::default();
+    let monday = generate_document(77, &profile);
+    println!("Monday snapshot: {}", TreeStats::of(&monday));
+
+    // Tuesday's dump, after a day of upstream edits.
+    let (tuesday, _) = perturb(&monday, 78, 20, &EditMix::default(), &profile);
+    println!("Tuesday snapshot: {}", TreeStats::of(&tuesday));
+
+    // Warehouse maintenance policy, declaratively.
+    let sentence = Label::intern("Sentence");
+    let paragraph = Label::intern("Paragraph");
+    let section = Label::intern("Section");
+    let rules = RuleSet::new()
+        .rule(
+            Rule::on("refresh-fulltext-index", ChangeKind::Inserted)
+                .with_label(sentence),
+        )
+        .rule(
+            Rule::on("refresh-fulltext-index-deletes", ChangeKind::Deleted)
+                .with_label(sentence),
+        )
+        .rule(
+            Rule::on("recluster-storage", ChangeKind::Moved)
+                .with_label(paragraph)
+                .min_count(2),
+        )
+        .rule(
+            Rule::on("rebuild-toc", ChangeKind::Moved)
+                .with_label(section),
+        )
+        .rule(Rule::on_any_change("audit-log").min_count(1));
+
+    // Nightly job: diff + evaluate.
+    let result = diff(&monday, &tuesday, &DiffOptions::new()).expect("snapshots diff");
+    let delta = result.delta.as_ref().expect("delta built");
+    println!(
+        "\ndetected {} operations ({} ins, {} del, {} upd, {} mov)",
+        result.script.len(),
+        result.script.op_counts().inserts,
+        result.script.op_counts().deletes,
+        result.script.op_counts().updates,
+        result.script.op_counts().moves,
+    );
+
+    let firings = rules.evaluate(delta);
+    println!("\n=== maintenance actions triggered ===");
+    for firing in &firings {
+        println!("  {} ({} matching nodes)", firing.rule, firing.nodes.len());
+        for &node in firing.nodes.iter().take(3) {
+            println!("      at {}", delta.path_of(node));
+        }
+        if firing.nodes.len() > 3 {
+            println!("      ... and {} more", firing.nodes.len() - 3);
+        }
+    }
+    assert!(
+        firings.iter().any(|f| f.rule == "audit-log"),
+        "20 edits must trip the audit log"
+    );
+    println!("\n{} of {} rules fired.", firings.len(), rules.len());
+}

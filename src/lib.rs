@@ -1,0 +1,36 @@
+//! # hierdiff
+//!
+//! Change detection in hierarchically structured information — a Rust
+//! reproduction of Chawathe, Rajaraman, Garcia-Molina & Widom (SIGMOD 1996).
+//!
+//! This is the workspace facade: it re-exports the high-level API from
+//! [`hierdiff_core`] plus every layer crate for users who need the pieces.
+//! See the crate-level docs of [`hierdiff_core`] for the guided tour.
+//!
+//! ```
+//! use hierdiff::{diff, DiffOptions};
+//! use hierdiff::tree::Tree;
+//!
+//! let old = Tree::parse_sexpr(r#"(D (P (S "a") (S "b")) (P (S "c")))"#)?;
+//! let new = Tree::parse_sexpr(r#"(D (P (S "c")) (P (S "a") (S "b")))"#)?;
+//!
+//! let result = diff(&old, &new, &DiffOptions::new())?;
+//! assert_eq!(result.script.len(), 1); // the paragraphs swapped: one move
+//!
+//! // The delta tree projects back onto both versions — self-verifying.
+//! let delta = result.delta.unwrap();
+//! assert!(hierdiff::tree::isomorphic(&delta.project_new(), &new));
+//! assert!(hierdiff::tree::isomorphic(&delta.project_old(), &old));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use hierdiff_core::*;
+
+pub use hierdiff_delta as delta;
+pub use hierdiff_doc as doc;
+pub use hierdiff_edit as edit;
+pub use hierdiff_lcs as lcs;
+pub use hierdiff_matching as matching;
+pub use hierdiff_tree as tree;
+pub use hierdiff_workload as workload;
+pub use hierdiff_zs as zs;

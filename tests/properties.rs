@@ -1,0 +1,217 @@
+//! Property-based tests over randomly generated trees and edits: the
+//! system-level invariants of the paper, checked with proptest.
+
+use proptest::prelude::*;
+
+use hierdiff::edit::{edit_script, weighted_edit_distance, Matching};
+use hierdiff::matching::{fast_match, MatchParams};
+use hierdiff::tree::{isomorphic, Label, NodeId, NodeValue, Tree};
+
+/// A generated tree description: parent links + labels + values, decoded
+/// into a `Tree<String>`.
+fn arb_tree(max_nodes: usize, labels: &'static [&'static str]) -> impl Strategy<Value = Tree<String>> {
+    let labels_owned: Vec<&'static str> = labels.to_vec();
+    proptest::collection::vec((any::<u32>(), 0..labels.len(), 0..50u32), 0..max_nodes).prop_map(
+        move |nodes| {
+            let mut t = Tree::new(Label::intern(labels_owned[0]), String::null());
+            let mut ids = vec![t.root()];
+            for (parent_sel, label_idx, value_sel) in nodes {
+                let parent = ids[(parent_sel as usize) % ids.len()];
+                let pos = (parent_sel as usize / 7) % (t.arity(parent) + 1);
+                let id = t
+                    .insert(
+                        parent,
+                        pos,
+                        Label::intern(labels_owned[label_idx]),
+                        format!("v{value_sel}"),
+                    )
+                    .expect("valid position");
+                ids.push(id);
+            }
+            t
+        },
+    )
+}
+
+/// Random edits applied to a clone of `t`, returning the result.
+fn apply_random_edits(t: &Tree<String>, ops: &[(u8, u32, u32)]) -> Tree<String> {
+    let mut out = t.clone();
+    for &(kind, a, b) in ops {
+        let nodes: Vec<NodeId> = out.preorder().collect();
+        let pick = |sel: u32| nodes[(sel as usize) % nodes.len()];
+        match kind % 4 {
+            0 => {
+                // insert a leaf somewhere
+                let parent = pick(a);
+                let pos = (b as usize) % (out.arity(parent) + 1);
+                out.insert(parent, pos, Label::intern("X"), format!("n{b}"))
+                    .expect("valid insert");
+            }
+            1 => {
+                // delete a random leaf (skip the root)
+                let leaves: Vec<NodeId> =
+                    out.leaves().filter(|&l| l != out.root()).collect();
+                if !leaves.is_empty() {
+                    out.delete_leaf(leaves[(a as usize) % leaves.len()]).unwrap();
+                }
+            }
+            2 => {
+                // update
+                let n = pick(a);
+                out.update(n, format!("u{b}")).unwrap();
+            }
+            _ => {
+                // move, when legal
+                let node = pick(a);
+                let target = pick(b);
+                if node != out.root() && !out.is_ancestor(node, target) {
+                    let pos = (a as usize) % (out.arity(target) + 1);
+                    let arity_after =
+                        out.arity(target) - usize::from(out.parent(node) == Some(target));
+                    let pos = pos.min(arity_after);
+                    out.move_subtree(node, target, pos).unwrap();
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Central theorem (C.2, first half): for ANY pair of trees and ANY
+    /// (valid) matching — here: the empty matching plus the root pair —
+    /// EditScript transforms T1 into a tree isomorphic to T2.
+    #[test]
+    fn editscript_always_transforms(
+        t1 in arb_tree(20, &["D", "P", "S"]),
+        t2 in arb_tree(20, &["D", "P", "S"]),
+    ) {
+        let mut m = Matching::new();
+        m.insert(t1.root(), t2.root()).unwrap();
+        let res = edit_script(&t1, &t2, &m).unwrap();
+        let replayed = res.replay_on(&t1).unwrap();
+        prop_assert!(isomorphic(&replayed, &res.edited));
+    }
+
+    /// With the FastMatch matching, the same holds, and the script length
+    /// is bounded by the trivial rebuild (delete everything + insert
+    /// everything).
+    #[test]
+    fn fastmatch_script_bounded(
+        t1 in arb_tree(24, &["D", "P", "S"]),
+        t2 in arb_tree(24, &["D", "P", "S"]),
+    ) {
+        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let res = edit_script(&t1, &t2, &matched.matching).unwrap();
+        prop_assert!(res.script.len() <= t1.len() + t2.len() + 2);
+        let replayed = res.replay_on(&t1).unwrap();
+        prop_assert!(isomorphic(&replayed, &res.edited));
+    }
+
+    /// Self-diff is empty: matching a tree against itself finds the
+    /// identity and the script has no operations.
+    #[test]
+    fn self_diff_is_empty(t in arb_tree(24, &["D", "P", "S"])) {
+        let matched = fast_match(&t, &t.clone(), MatchParams::default());
+        prop_assert_eq!(matched.matching.len(), t.len());
+        let res = edit_script(&t, &t.clone(), &matched.matching).unwrap();
+        prop_assert!(res.script.is_empty(), "script: {}", res.script);
+    }
+
+    /// Perturb-and-recover: applying random edits and diffing yields a
+    /// script no longer than a constant factor of the edit count, and the
+    /// reported weighted distance matches an independent replay
+    /// computation.
+    #[test]
+    fn perturb_and_recover(
+        t1 in arb_tree(20, &["D", "P", "S"]),
+        ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..10),
+    ) {
+        let t2 = apply_random_edits(&t1, &ops);
+        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let res = edit_script(&t1, &t2, &matched.matching).unwrap();
+        let replayed = res.replay_on(&t1).unwrap();
+        prop_assert!(isomorphic(&replayed, &res.edited));
+
+        // Weighted distance recomputed by replay agrees with the stats.
+        if !res.wrapped {
+            let e = weighted_edit_distance(&t1, &res.script).unwrap();
+            prop_assert_eq!(e, res.stats.weighted_distance);
+        }
+    }
+
+    /// The matching always satisfies the criteria: matched leaves share
+    /// labels and values within f; matched pairs are one-to-one.
+    #[test]
+    fn matching_respects_criteria(
+        t1 in arb_tree(20, &["D", "P", "S"]),
+        t2 in arb_tree(20, &["D", "P", "S"]),
+    ) {
+        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let classes = hierdiff::matching::LabelClasses::classify(&t1, &t2);
+        for (x, y) in matched.matching.iter() {
+            prop_assert_eq!(t1.label(x), t2.label(y));
+            // Criterion 1 applies to leaf-classified labels (a label the
+            // generator happened to use on internal nodes falls under
+            // Criterion 2 instead).
+            if classes.is_leaf_label(t1.label(x)) {
+                prop_assert!(
+                    t1.value(x).compare(t2.value(y)) <= 0.5,
+                    "criterion 1 violated"
+                );
+            }
+            prop_assert_eq!(matched.matching.partner2(y), Some(x));
+        }
+    }
+
+    /// The strongest MCES fuzz: for ANY label-respecting random partial
+    /// matching between ANY two random trees, EditScript produces a
+    /// conforming script that transforms T1 into T2 (Theorem C.2 with no
+    /// help from the matching algorithms at all).
+    #[test]
+    fn editscript_handles_arbitrary_matchings(
+        t1 in arb_tree(18, &["D", "P", "S"]),
+        t2 in arb_tree(18, &["D", "P", "S"]),
+        picks in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..30),
+    ) {
+        // Build a random one-to-one, label-respecting matching.
+        let nodes1: Vec<NodeId> = t1.preorder().collect();
+        let nodes2: Vec<NodeId> = t2.preorder().collect();
+        let mut m = Matching::with_capacity(t1.arena_len(), t2.arena_len());
+        for (a, b) in picks {
+            let x = nodes1[(a as usize) % nodes1.len()];
+            let y = nodes2[(b as usize) % nodes2.len()];
+            if t1.label(x) == t2.label(y) && !m.is_matched1(x) && !m.is_matched2(y) {
+                m.insert(x, y).unwrap();
+            }
+        }
+        let res = edit_script(&t1, &t2, &m).unwrap();
+        let replayed = res.replay_on(&t1).unwrap();
+        prop_assert!(isomorphic(&replayed, &res.edited));
+        prop_assert!(hierdiff::edit::conforms_to(&res.script, &m));
+        prop_assert!(m.is_subset_of(&res.total_matching));
+    }
+
+    /// Delta trees project onto both versions for arbitrary pairs.
+    #[test]
+    fn delta_projections_roundtrip(
+        t1 in arb_tree(16, &["D", "P", "S"]),
+        ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..8),
+    ) {
+        let t2 = apply_random_edits(&t1, &ops);
+        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let res = edit_script(&t1, &t2, &matched.matching).unwrap();
+        let delta = hierdiff::delta::build_delta_tree(&t1, &t2, &matched.matching, &res);
+        let wrap = |t: &Tree<String>| {
+            let mut w = t.clone();
+            if res.wrapped {
+                w.wrap_root(Label::intern(hierdiff::edit::DUMMY_ROOT_LABEL), String::null());
+            }
+            w
+        };
+        prop_assert!(isomorphic(&delta.project_new(), &wrap(&t2)));
+        prop_assert!(isomorphic(&delta.project_old(), &wrap(&t1)));
+    }
+}
