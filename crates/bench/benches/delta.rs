@@ -17,7 +17,10 @@ fn setup(
     hierdiff_edit::Matching,
     hierdiff_edit::McesResult<hierdiff_doc::DocValue>,
 ) {
-    let profile = DocProfile { sections, ..DocProfile::default() };
+    let profile = DocProfile {
+        sections,
+        ..DocProfile::default()
+    };
     let t1 = generate_document(91, &profile);
     let (t2, _) = perturb(&t1, 92, 12, &EditMix::default(), &profile);
     let m = fast_match(&t1, &t2, MatchParams::default());

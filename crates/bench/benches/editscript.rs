@@ -11,10 +11,21 @@ fn bench_moves_sweep(c: &mut Criterion) {
     let profile = DocProfile::default();
     let t1 = generate_document(31, &profile);
     for &moves in &[0usize, 8, 32, 128] {
-        let (t2, _) = perturb(&t1, 32 + moves as u64, moves, &EditMix::moves_only(), &profile);
+        let (t2, _) = perturb(
+            &t1,
+            32 + moves as u64,
+            moves,
+            &EditMix::moves_only(),
+            &profile,
+        );
         let matched = fast_match(&t1, &t2, MatchParams::default());
         g.bench_with_input(BenchmarkId::from_parameter(moves), &moves, |bench, _| {
-            bench.iter(|| edit_script(&t1, &t2, &matched.matching).unwrap().script.len())
+            bench.iter(|| {
+                edit_script(&t1, &t2, &matched.matching)
+                    .unwrap()
+                    .script
+                    .len()
+            })
         });
     }
     g.finish();
@@ -24,7 +35,10 @@ fn bench_size_sweep(c: &mut Criterion) {
     // Fixed edit count, growing N: time should grow ~linearly.
     let mut g = c.benchmark_group("editscript/size");
     for &sections in &[2usize, 8, 32] {
-        let profile = DocProfile { sections, ..DocProfile::default() };
+        let profile = DocProfile {
+            sections,
+            ..DocProfile::default()
+        };
         let t1 = generate_document(41, &profile);
         let (t2, _) = perturb(&t1, 42, 8, &EditMix::default(), &profile);
         let matched = fast_match(&t1, &t2, MatchParams::default());
@@ -32,7 +46,12 @@ fn bench_size_sweep(c: &mut Criterion) {
             BenchmarkId::from_parameter(t1.len()),
             &sections,
             |bench, _| {
-                bench.iter(|| edit_script(&t1, &t2, &matched.matching).unwrap().script.len())
+                bench.iter(|| {
+                    edit_script(&t1, &t2, &matched.matching)
+                        .unwrap()
+                        .script
+                        .len()
+                })
             },
         );
     }

@@ -13,9 +13,13 @@ fn latex_of_size(sections: usize, mutate: bool) -> String {
         for p in 0..4 {
             for q in 0..4 {
                 if mutate && p == 1 && q == 2 {
-                    out.push_str(&format!("Changed sentence {s} {p} {q} entirely new words. "));
+                    out.push_str(&format!(
+                        "Changed sentence {s} {p} {q} entirely new words. "
+                    ));
                 } else {
-                    out.push_str(&format!("Stable sentence number {s} {p} {q} with body words. "));
+                    out.push_str(&format!(
+                        "Stable sentence number {s} {p} {q} with body words. "
+                    ));
                 }
             }
             out.push_str("\n\n");
@@ -29,15 +33,19 @@ fn bench_pipeline(c: &mut Criterion) {
     for &sections in &[2usize, 8, 24] {
         let old = latex_of_size(sections, false);
         let new = latex_of_size(sections, true);
-        g.bench_with_input(BenchmarkId::from_parameter(sections), &sections, |bench, _| {
-            bench.iter(|| {
-                ladiff(&old, &new, &LaDiffOptions::default())
-                    .unwrap()
-                    .stats
-                    .ops
-                    .total()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(sections),
+            &sections,
+            |bench, _| {
+                bench.iter(|| {
+                    ladiff(&old, &new, &LaDiffOptions::default())
+                        .unwrap()
+                        .stats
+                        .ops
+                        .total()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -14,7 +14,11 @@ fn bench_fastmatch_vs_e(c: &mut Criterion) {
     for &edits in &[2usize, 8, 32, 96] {
         let (t2, _) = perturb(&t1, 82, edits, &EditMix::revision(), &profile);
         g.bench_with_input(BenchmarkId::from_parameter(edits), &edits, |bench, _| {
-            bench.iter(|| fast_match(&t1, &t2, MatchParams::default()).counters.total())
+            bench.iter(|| {
+                fast_match(&t1, &t2, MatchParams::default())
+                    .counters
+                    .total()
+            })
         });
     }
     g.finish();

@@ -12,7 +12,11 @@ fn dump(tables: usize, rows: usize, seed: usize) -> Tree<DocValue> {
     let mut t = Tree::new(Label::intern("Dump"), DocValue::None);
     let root = t.root();
     for a in 0..tables {
-        let tb = t.push_child(root, Label::intern("Table"), DocValue::text(format!("id=t{a}")));
+        let tb = t.push_child(
+            root,
+            Label::intern("Table"),
+            DocValue::text(format!("id=t{a}")),
+        );
         for r in 0..rows {
             t.push_child(
                 tb,
@@ -41,7 +45,11 @@ fn bench_keyed_vs_content(c: &mut Criterion) {
             b.iter(|| match_by_key(&t1, &t2, key_of).len())
         });
         g.bench_with_input(BenchmarkId::new("keyed_then_content", n), &rows, |b, _| {
-            b.iter(|| match_keyed_then_content(&t1, &t2, MatchParams::default(), key_of).matching.len())
+            b.iter(|| {
+                match_keyed_then_content(&t1, &t2, MatchParams::default(), key_of)
+                    .matching
+                    .len()
+            })
         });
         g.bench_with_input(BenchmarkId::new("content_only", n), &rows, |b, _| {
             b.iter(|| fast_match(&t1, &t2, MatchParams::default()).matching.len())

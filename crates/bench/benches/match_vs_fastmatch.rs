@@ -10,7 +10,10 @@ use hierdiff_workload::{generate_document, perturb, DocProfile, EditMix};
 fn bench_matchers(c: &mut Criterion) {
     let mut g = c.benchmark_group("matching");
     for &sections in &[2usize, 6, 18] {
-        let profile = DocProfile { sections, ..DocProfile::default() };
+        let profile = DocProfile {
+            sections,
+            ..DocProfile::default()
+        };
         let t1 = generate_document(51, &profile);
         let (t2, _) = perturb(&t1, 52, 10, &EditMix::default(), &profile);
         let n = t1.leaves().count() + t2.leaves().count();
@@ -18,7 +21,11 @@ fn bench_matchers(c: &mut Criterion) {
             bench.iter(|| fast_match(&t1, &t2, MatchParams::default()).matching.len())
         });
         g.bench_with_input(BenchmarkId::new("match", n), &n, |bench, _| {
-            bench.iter(|| match_simple(&t1, &t2, MatchParams::default()).matching.len())
+            bench.iter(|| {
+                match_simple(&t1, &t2, MatchParams::default())
+                    .matching
+                    .len()
+            })
         });
     }
     g.finish();
@@ -35,7 +42,11 @@ fn bench_dissimilar_inputs(c: &mut Criterion) {
         bench.iter(|| fast_match(&t1, &t2, MatchParams::default()).matching.len())
     });
     g.bench_function("match", |bench| {
-        bench.iter(|| match_simple(&t1, &t2, MatchParams::default()).matching.len())
+        bench.iter(|| {
+            match_simple(&t1, &t2, MatchParams::default())
+                .matching
+                .len()
+        })
     });
     g.finish();
 }

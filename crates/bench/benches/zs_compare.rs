@@ -12,7 +12,10 @@ fn bench_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("chawathe_vs_zs");
     g.sample_size(10);
     for &sections in &[1usize, 3, 6, 12] {
-        let profile = DocProfile { sections, ..DocProfile::default() };
+        let profile = DocProfile {
+            sections,
+            ..DocProfile::default()
+        };
         let t1 = generate_document(71, &profile);
         let (t2, _) = perturb(&t1, 72, 8, &EditMix::default(), &profile);
         let nodes = t1.len();

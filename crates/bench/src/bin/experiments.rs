@@ -29,6 +29,7 @@ fn main() {
             "ak-sweep" => exp::ak_sweep(),
             "accuracy" => exp::accuracy(),
             "prematch-ablation" => exp::prematch_ablation(),
+            "batch-schedule" => exp::batch_schedule(),
             other => {
                 eprintln!("unknown experiment {other:?}");
                 std::process::exit(2);

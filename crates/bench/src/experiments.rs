@@ -16,8 +16,8 @@ use hierdiff_matching::{
 };
 use hierdiff_tree::Tree;
 use hierdiff_workload::{
-    generate_docset, generate_document, ground_truth_matching, perturb, DocProfile,
-    DocSetProfile, EditMix,
+    generate_docset, generate_document, ground_truth_matching, perturb, DocProfile, DocSetProfile,
+    EditMix,
 };
 use hierdiff_zs::{tree_distance, UnitCost};
 
@@ -167,12 +167,8 @@ pub fn table1() -> String {
     let para = Some(hierdiff_doc::labels::paragraph());
     let mut bounds = Vec::new();
     for t in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
-        let b = mismatch_upper_bound(
-            &base,
-            &edited,
-            MatchParams::with_inner_threshold(t),
-            para,
-        ) * 100.0;
+        let b = mismatch_upper_bound(&base, &edited, MatchParams::with_inner_threshold(t), para)
+            * 100.0;
         bounds.push(b);
         table.row(&[f1(t), f1(b)]);
     }
@@ -235,9 +231,24 @@ pub fn table2() -> String {
     let mk = &result.markup;
     let mut table = Table::new(&["textual unit", "operation", "convention", "fired"]);
     let checks: &[(&str, &str, &str, bool)] = &[
-        ("Sentence", "insert", "\\textbf{...}", mk.contains("\\textbf{")),
-        ("Sentence", "delete", "{\\small ...}", mk.contains("{\\small ")),
-        ("Sentence", "update", "\\textit{...}", mk.contains("\\textit{")),
+        (
+            "Sentence",
+            "insert",
+            "\\textbf{...}",
+            mk.contains("\\textbf{"),
+        ),
+        (
+            "Sentence",
+            "delete",
+            "{\\small ...}",
+            mk.contains("{\\small "),
+        ),
+        (
+            "Sentence",
+            "update",
+            "\\textit{...}",
+            mk.contains("\\textit{"),
+        ),
         (
             "Sentence",
             "move",
@@ -374,8 +385,12 @@ pub fn editscript_scaling() -> String {
     let mut out = String::from("## E6 — EditScript O(ND) scaling\n\n");
     let profile = DocProfile::large();
     let t1 = generate_document(11_000, &profile);
-    let mut table =
-        Table::new(&["applied shuffles", "D (intra moves)", "script ops", "time (µs)"]);
+    let mut table = Table::new(&[
+        "applied shuffles",
+        "D (intra moves)",
+        "script ops",
+        "time (µs)",
+    ]);
     for &moves in &[0usize, 8, 32, 128, 256] {
         let (t2, _) = perturb(
             &t1,
@@ -419,16 +434,18 @@ pub fn editscript_scaling() -> String {
     };
     let base = generate_document(11_900, &flat_profile);
     for &k in &[1usize, 16, 64, 256] {
-        let (t2, _) = perturb(&base, 11_950 + k as u64, k, &EditMix::shuffles_only(), &flat_profile);
+        let (t2, _) = perturb(
+            &base,
+            11_950 + k as u64,
+            k,
+            &EditMix::shuffles_only(),
+            &flat_profile,
+        );
         let matched = fast_match(&base, &t2, MatchParams::default());
         let start = Instant::now();
         let res = edit_script(&base, &t2, &matched.matching).expect("live matching");
         let dt = start.elapsed();
-        flat.row(&[
-            n(k),
-            n(res.stats.intra_moves),
-            f2(dt.as_secs_f64() * 1e3),
-        ]);
+        flat.row(&[n(k), n(res.stats.intra_moves), f2(dt.as_secs_f64() * 1e3)]);
     }
     out.push_str(&flat.to_markdown());
     let _ = writeln!(
@@ -527,7 +544,13 @@ pub fn accuracy() -> String {
         let seeds = 5u64;
         for seed in 0..seeds {
             let t1 = generate_document(16_000 + seed, &profile);
-            let (t2, _) = perturb(&t1, 16_100 + seed * 7 + edits as u64, edits, &EditMix::default(), &profile);
+            let (t2, _) = perturb(
+                &t1,
+                16_100 + seed * 7 + edits as u64,
+                edits,
+                &EditMix::default(),
+                &profile,
+            );
             let truth = ground_truth_matching(&t1, &t2);
             let found = fast_match(&t1, &t2, MatchParams::default());
             let q = match_quality(&found.matching, &truth);
@@ -645,7 +668,13 @@ pub fn align_ablation() -> String {
     let mut table = Table::new(&["shuffle moves", "lcs moves", "greedy moves", "saved"]);
     for &k in &[4usize, 16, 48, 96] {
         let t1 = generate_document(13_000 + k as u64, &profile);
-        let (t2, _) = perturb(&t1, 13_100 + k as u64, k, &EditMix::shuffles_only(), &profile);
+        let (t2, _) = perturb(
+            &t1,
+            13_100 + k as u64,
+            k,
+            &EditMix::shuffles_only(),
+            &profile,
+        );
         let matched = fast_match(&t1, &t2, MatchParams::default());
         let res = edit_script(&t1, &t2, &matched.matching).expect("live matching");
         let lcs_moves = res.stats.intra_moves;
@@ -669,11 +698,7 @@ pub fn align_ablation() -> String {
 /// Counts the intra-parent moves a greedy (non-LCS) aligner would emit:
 /// per matched parent pair, keep the greedy increasing run of children and
 /// move the rest.
-fn greedy_alignment_moves(
-    t1: &Tree<DocValue>,
-    t2: &Tree<DocValue>,
-    m: &Matching,
-) -> usize {
+fn greedy_alignment_moves(t1: &Tree<DocValue>, t2: &Tree<DocValue>, m: &Matching) -> usize {
     let mut moves = 0usize;
     for x1 in t1.preorder() {
         let Some(x2) = m.partner1(x1) else { continue };
@@ -693,7 +718,9 @@ fn greedy_alignment_moves(
         let mut cursor = 0usize;
         for &c2 in t2.children(x2) {
             let Some(c1) = m.partner2(c2) else { continue };
-            let Some(&p) = pos_in_s1.get(&c1) else { continue };
+            let Some(&p) = pos_in_s1.get(&c1) else {
+                continue;
+            };
             if p >= cursor {
                 cursor = p + 1;
             } else {
@@ -710,9 +737,8 @@ fn greedy_alignment_moves(
 /// the more of the document the pre-pass disposes of wholesale).
 pub fn prematch_ablation() -> String {
     use hierdiff_matching::fast_match_accelerated;
-    let mut out = String::from(
-        "## Ablation — identical-subtree pre-matching (fingerprint accelerator)\n\n",
-    );
+    let mut out =
+        String::from("## Ablation — identical-subtree pre-matching (fingerprint accelerator)\n\n");
     let profile = DocProfile::large();
     let t1 = generate_document(17_000, &profile);
     let mut table = Table::new(&[
@@ -723,7 +749,13 @@ pub fn prematch_ablation() -> String {
         "matching size equal",
     ]);
     for &edits in &[2usize, 8, 32, 128] {
-        let (t2, _) = perturb(&t1, 17_100 + edits as u64, edits, &EditMix::default(), &profile);
+        let (t2, _) = perturb(
+            &t1,
+            17_100 + edits as u64,
+            edits,
+            &EditMix::default(),
+            &profile,
+        );
         let plain = fast_match(&t1, &t2, MatchParams::default());
         let accel = fast_match_accelerated(&t1, &t2, MatchParams::default());
         let pc = plain.counters.total();
@@ -732,7 +764,10 @@ pub fn prematch_ablation() -> String {
             n(edits),
             n(pc),
             n(ac),
-            format!("{:.0}%", 100.0 * (pc.saturating_sub(ac)) as f64 / pc.max(1) as f64),
+            format!(
+                "{:.0}%",
+                100.0 * (pc.saturating_sub(ac)) as f64 / pc.max(1) as f64
+            ),
             (plain.matching.len() == accel.matching.len()).to_string(),
         ]);
     }
@@ -741,6 +776,132 @@ pub fn prematch_ablation() -> String {
         out,
         "\nthe pre-pass realizes the introduction's \"quickly match fragments \
          that have not changed\" promise; savings shrink as churn grows."
+    );
+    out
+}
+
+/// E13 — batch scheduling on a skewed workload: static `i % workers`
+/// chunking vs the work-stealing deques that replaced it. On a skewed batch
+/// (every heavy pair's index ≡ 0 mod workers) static assignment pins all
+/// heavy diffs on worker 0; stealing spreads them. The decisive metric is
+/// the *max per-worker busy share* — the wall-clock lower bound on a
+/// machine with ≥ `workers` cores. (Wall times are also shown but only
+/// meaningful on multi-core hosts; this report is scheduling-quality
+/// evidence that holds regardless.)
+pub fn batch_schedule() -> String {
+    use hierdiff_core::{diff, diff_batch_with, BatchOptions, DiffOptions};
+    use std::num::NonZeroUsize;
+    use std::time::Duration;
+
+    let workers = 4usize;
+    let mut out = String::from("## E13 — work-stealing vs static batch scheduling (skewed)\n\n");
+    let heavy: Vec<(Tree<DocValue>, Tree<DocValue>)> = (0..4)
+        .map(|i| {
+            let profile = DocProfile {
+                sections: 120,
+                ..DocProfile::default()
+            };
+            let t1 = generate_document(18_000 + i, &profile);
+            let (t2, _) = perturb(&t1, 18_100 + i, 10, &EditMix::revision(), &profile);
+            (t1, t2)
+        })
+        .collect();
+    let light: Vec<(Tree<DocValue>, Tree<DocValue>)> = (0..28)
+        .map(|i| {
+            let profile = DocProfile {
+                sections: 3,
+                ..DocProfile::default()
+            };
+            let t1 = generate_document(18_200 + i, &profile);
+            let (t2, _) = perturb(&t1, 18_300 + i, 2, &EditMix::default(), &profile);
+            (t1, t2)
+        })
+        .collect();
+    // Heavy pairs at indices ≡ 0 (mod workers): the static scheduler's
+    // worst case.
+    let mut pairs: Vec<(&Tree<DocValue>, &Tree<DocValue>)> = Vec::new();
+    let mut light_iter = light.iter();
+    for h in &heavy {
+        pairs.push((&h.0, &h.1));
+        for _ in 0..workers - 1 {
+            if let Some(l) = light_iter.next() {
+                pairs.push((&l.0, &l.1));
+            }
+        }
+    }
+    for l in light_iter {
+        pairs.push((&l.0, &l.1));
+    }
+    let options = DiffOptions {
+        build_delta: false,
+        ..DiffOptions::default()
+    };
+
+    // Static baseline: per-worker busy time under `i % workers` pinning.
+    let t0 = Instant::now();
+    let static_busy: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let pairs = &pairs;
+                let options = &options;
+                scope.spawn(move || {
+                    let mut busy = Duration::ZERO;
+                    for (a, b) in pairs.iter().skip(w).step_by(workers) {
+                        let t = Instant::now();
+                        let _ = diff(a, b, options).unwrap();
+                        busy += t.elapsed();
+                    }
+                    busy
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let static_wall = t0.elapsed();
+
+    let batch = BatchOptions {
+        diff: options.clone(),
+        workers: NonZeroUsize::new(workers),
+    };
+    let report = diff_batch_with(&pairs, &batch, |_, r| {
+        let _ = r.unwrap();
+    });
+
+    let share = |busy: &[Duration]| {
+        let total: f64 = busy.iter().map(Duration::as_secs_f64).sum();
+        let max = busy.iter().map(Duration::as_secs_f64).fold(0.0, f64::max);
+        (total, max / total.max(f64::MIN_POSITIVE))
+    };
+    let steal_busy: Vec<Duration> = report.workers.iter().map(|w| w.busy).collect();
+    let (static_total, static_share) = share(&static_busy);
+    let (steal_total, steal_share) = share(&steal_busy);
+
+    let mut table = Table::new(&["scheduler", "max worker busy share", "ideal", "wall ms"]);
+    table.row(&[
+        "static i % w".into(),
+        format!("{:.0}%", 100.0 * static_share),
+        format!("{:.0}%", 100.0 / workers as f64),
+        f1(1e3 * static_wall.as_secs_f64()),
+    ]);
+    table.row(&[
+        "work-stealing".into(),
+        format!("{:.0}%", 100.0 * steal_share),
+        format!("{:.0}%", 100.0 / workers as f64),
+        f1(1e3 * report.wall.as_secs_f64()),
+    ]);
+    out.push_str(&table.to_markdown());
+    let _ = writeln!(
+        out,
+        "\ntotal busy: static {:.1} ms vs stealing {:.1} ms; steals: {}; \
+         multi-core wall scales with the max busy share, so the stealing \
+         schedule is ~{:.1}x better balanced. (On hosts with fewer cores \
+         than workers, per-worker busy times include preemption while \
+         descheduled and wall times converge — the share column is the \
+         scheduling signal.)",
+        1e3 * static_total,
+        1e3 * steal_total,
+        report.steals(),
+        static_share / steal_share.max(f64::MIN_POSITIVE),
     );
     out
 }
@@ -759,6 +920,7 @@ pub fn run_all() -> String {
         ak_sweep(),
         accuracy(),
         prematch_ablation(),
+        batch_schedule(),
     ];
     sections.join("\n")
 }
@@ -782,7 +944,10 @@ mod tests {
     #[test]
     fn table1_is_monotone() {
         let report = table1();
-        assert!(report.contains("monotone non-decreasing in t: true"), "{report}");
+        assert!(
+            report.contains("monotone non-decreasing in t: true"),
+            "{report}"
+        );
     }
 
     #[test]
@@ -813,10 +978,7 @@ mod tests {
         let r = accuracy();
         let first_row = r
             .lines()
-            .find(|l| {
-                l.starts_with('|')
-                    && l.split('|').nth(1).map(str::trim) == Some("4")
-            })
+            .find(|l| l.starts_with('|') && l.split('|').nth(1).map(str::trim) == Some("4"))
             .expect("4-edit row");
         let f1: f64 = first_row
             .split('|')

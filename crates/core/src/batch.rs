@@ -1,60 +1,224 @@
 //! Batch change detection — the data-warehousing scenario of Section 1
 //! ("detecting changes given old and new versions of the data" across many
 //! snapshot pairs from "uncooperative legacy databases"). Pairs are
-//! independent, so they diff concurrently on scoped threads.
+//! independent, so they diff concurrently.
+//!
+//! Scheduling is **work-stealing**: each worker owns a deque seeded with a
+//! contiguous block of pairs and steals from its siblings when its own
+//! block runs dry. Unlike the static `i % workers` assignment this
+//! replaces, a skewed batch (a few giant pairs among many small ones)
+//! cannot strand one worker with all the heavy work while the rest idle —
+//! idle workers pull the excess over. [`BatchReport`] exposes per-worker
+//! completion/steal counts and busy-time utilization so the rebalancing is
+//! observable.
 
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
+use crossbeam::deque::{Steal, Stealer, Worker};
 use hierdiff_tree::{NodeValue, Tree};
 
 use crate::{diff, DiffError, DiffOptions, DiffResult, Matcher};
 
-/// One batch slot being filled by a worker.
-type Slot<'s, V> = (usize, &'s mut Option<Result<DiffResult<V>, DiffError>>);
+/// Options for [`diff_batch_with`].
+#[derive(Clone, Debug, Default)]
+pub struct BatchOptions {
+    /// Per-pair diff options; [`Matcher::Provided`] is rejected (a single
+    /// provided matching cannot describe multiple pairs).
+    pub diff: DiffOptions,
+    /// Worker-thread count; defaults to `available_parallelism` (capped at
+    /// the number of pairs).
+    pub workers: Option<NonZeroUsize>,
+}
+
+impl BatchOptions {
+    /// Batch options wrapping `diff` options, with default worker count.
+    pub fn new(diff: DiffOptions) -> BatchOptions {
+        BatchOptions {
+            diff,
+            workers: None,
+        }
+    }
+
+    /// Forces a specific worker count.
+    pub fn with_workers(mut self, workers: usize) -> BatchOptions {
+        self.workers = NonZeroUsize::new(workers);
+        self
+    }
+}
+
+/// What one worker did during a batch run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Pairs this worker completed.
+    pub completed: usize,
+    /// Of those, pairs stolen from another worker's deque.
+    pub stolen: usize,
+    /// Time spent diffing (as opposed to looking for work).
+    pub busy: Duration,
+}
+
+/// Scheduling telemetry for one batch run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Per-worker statistics, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock duration of the parallel section.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Total pairs completed across workers.
+    pub fn completed(&self) -> usize {
+        self.workers.iter().map(|w| w.completed).sum()
+    }
+
+    /// Total pairs that moved between workers.
+    pub fn steals(&self) -> usize {
+        self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Mean worker busy fraction in `[0, 1]`: total busy time over
+    /// `workers × wall`. Near 1 means no worker starved; static chunking of
+    /// a skewed batch drives this toward `1/workers`.
+    pub fn utilization(&self) -> f64 {
+        if self.workers.is_empty() || self.wall.is_zero() {
+            return 1.0;
+        }
+        let busy: Duration = self.workers.iter().map(|w| w.busy).sum();
+        (busy.as_secs_f64() / (self.wall.as_secs_f64() * self.workers.len() as f64)).min(1.0)
+    }
+}
+
+fn worker_count(requested: Option<NonZeroUsize>, pairs: usize) -> usize {
+    requested
+        .or_else(|| std::thread::available_parallelism().ok())
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(pairs)
+        .max(1)
+}
+
+/// Diffs every `(old, new)` pair concurrently on work-stealing workers,
+/// streaming each result to `sink` as it completes (in completion order —
+/// the pair's input index is passed alongside). Returns the scheduling
+/// report.
+///
+/// `sink` is shared by all workers behind a lock; keep it cheap (push to a
+/// channel or vector) or it becomes the bottleneck.
+pub fn diff_batch_with<V, F>(
+    pairs: &[(&Tree<V>, &Tree<V>)],
+    options: &BatchOptions,
+    sink: F,
+) -> BatchReport
+where
+    V: NodeValue + Send + Sync,
+    F: FnMut(usize, Result<DiffResult<V>, DiffError>) + Send,
+{
+    let sink = Mutex::new(sink);
+    if options.diff.matcher == Matcher::Provided {
+        let mut sink = sink.into_inner().expect("unused sink lock");
+        for i in 0..pairs.len() {
+            sink(i, Err(DiffError::MissingProvidedMatching));
+        }
+        return BatchReport::default();
+    }
+    if pairs.is_empty() {
+        return BatchReport::default();
+    }
+
+    let workers = worker_count(options.workers, pairs.len());
+    // Seed each deque with a contiguous block of the input: the owner
+    // drains it front-to-back, thieves take from the front of the heaviest
+    // remainder.
+    let deques: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    for (i, _) in pairs.iter().enumerate() {
+        deques[i * workers / pairs.len()].push(i);
+    }
+    let stealers: Vec<Stealer<usize>> = deques.iter().map(Worker::stealer).collect();
+
+    let start = Instant::now();
+    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = deques
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let stealers = &stealers;
+                let sink = &sink;
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    loop {
+                        let (i, stolen) = match local.pop() {
+                            Some(i) => (i, false),
+                            None => match steal_any(stealers, me) {
+                                Some(i) => (i, true),
+                                None => break,
+                            },
+                        };
+                        let (old, new) = pairs[i];
+                        let t0 = Instant::now();
+                        let result = diff(old, new, &options.diff);
+                        stats.busy += t0.elapsed();
+                        stats.completed += 1;
+                        stats.stolen += usize::from(stolen);
+                        (sink.lock().expect("sink poisoned"))(i, result);
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+
+    BatchReport {
+        workers: stats,
+        wall: start.elapsed(),
+    }
+}
+
+/// One round-robin steal attempt over every sibling deque.
+fn steal_any(stealers: &[Stealer<usize>], me: usize) -> Option<usize> {
+    // Retry while any sibling reports a racy `Steal::Retry`.
+    loop {
+        let mut retry = false;
+        for (w, stealer) in stealers.iter().enumerate() {
+            if w == me {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(i) => return Some(i),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
 
 /// Diffs every `(old, new)` pair concurrently, preserving input order.
 ///
 /// `options` applies to every pair; [`Matcher::Provided`] is rejected (a
 /// single provided matching cannot describe multiple pairs — run [`diff`]
-/// per pair instead).
-pub fn diff_batch<V: NodeValue + Send + Sync + 'static>(
+/// per pair instead). This is [`diff_batch_with`] collecting into a vector;
+/// use the `_with` variant to stream results or control worker count.
+pub fn diff_batch<V: NodeValue + Send + Sync>(
     pairs: &[(&Tree<V>, &Tree<V>)],
     options: &DiffOptions,
 ) -> Vec<Result<DiffResult<V>, DiffError>> {
-    if options.matcher == Matcher::Provided {
-        return pairs
-            .iter()
-            .map(|_| Err(DiffError::MissingProvidedMatching))
-            .collect();
-    }
-    if pairs.is_empty() {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(pairs.len());
-    let mut results: Vec<Option<Result<DiffResult<V>, DiffError>>> =
+    let mut slots: Vec<Option<Result<DiffResult<V>, DiffError>>> =
         (0..pairs.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        // Static chunking: pair i goes to worker i % workers. Each worker
-        // gets a disjoint mutable view of the results.
-        let mut slots: Vec<Vec<Slot<'_, V>>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, slot) in results.iter_mut().enumerate() {
-            slots[i % workers].push((i, slot));
-        }
-        for worker in slots {
-            scope.spawn(move || {
-                for (i, slot) in worker {
-                    let (old, new) = pairs[i];
-                    *slot = Some(diff(old, new, options));
-                }
-            });
-        }
+    diff_batch_with(pairs, &BatchOptions::new(options.clone()), |i, result| {
+        slots[i] = Some(result)
     });
-    results
+    slots
         .into_iter()
-        .map(|r| r.expect("every slot filled by its worker"))
+        .map(|r| r.expect("every pair visited exactly once"))
         .collect()
 }
 
@@ -75,8 +239,7 @@ mod tests {
         let news: Vec<Tree<String>> = (0..6)
             .map(|i| doc(&format!(r#"(D (P (S "a{i}") (S "c{i}") (S "d{i}")))"#)))
             .collect();
-        let pairs: Vec<(&Tree<String>, &Tree<String>)> =
-            olds.iter().zip(news.iter()).collect();
+        let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.iter().zip(news.iter()).collect();
         let batch = diff_batch(&pairs, &DiffOptions::new());
         assert_eq!(batch.len(), 6);
         for (i, r) in batch.iter().enumerate() {
@@ -112,14 +275,87 @@ mod tests {
             .map(|i| doc(&format!(r#"(D (S "x{i}") (S "z{i}") (S "w{i}"))"#)))
             .collect();
         let news: Vec<Tree<String>> = (0..40)
-            .map(|i| doc(&format!(r#"(D (S "x{i}") (S "y{i}") (S "z{i}") (S "w{i}"))"#)))
+            .map(|i| {
+                doc(&format!(
+                    r#"(D (S "x{i}") (S "y{i}") (S "z{i}") (S "w{i}"))"#
+                ))
+            })
             .collect();
-        let pairs: Vec<(&Tree<String>, &Tree<String>)> =
-            olds.iter().zip(news.iter()).collect();
+        let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.iter().zip(news.iter()).collect();
         let out = diff_batch(&pairs, &DiffOptions::default());
         for (i, r) in out.into_iter().enumerate() {
             let r = r.unwrap();
             assert_eq!(r.script.op_counts().inserts, 1, "pair {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_sink_sees_every_pair_once() {
+        let olds: Vec<Tree<String>> = (0..10)
+            .map(|i| doc(&format!(r#"(D (S "a{i}"))"#)))
+            .collect();
+        let news: Vec<Tree<String>> = (0..10)
+            .map(|i| doc(&format!(r#"(D (S "a{i}") (S "b{i}"))"#)))
+            .collect();
+        let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.iter().zip(news.iter()).collect();
+        let mut seen = vec![0usize; pairs.len()];
+        let report = diff_batch_with(
+            &pairs,
+            &BatchOptions::new(DiffOptions::default()).with_workers(3),
+            |i, r| {
+                seen[i] += 1;
+                assert!(r.is_ok());
+            },
+        );
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each pair exactly once: {seen:?}"
+        );
+        assert_eq!(report.completed(), pairs.len());
+        assert_eq!(report.workers.len(), 3);
+        assert!(report.utilization() > 0.0);
+    }
+
+    #[test]
+    fn forced_single_worker_is_sequential() {
+        let a = doc(r#"(D (S "p") (S "q"))"#);
+        let b = doc(r#"(D (S "q") (S "p"))"#);
+        let pairs = vec![(&a, &b); 5];
+        let mut count = 0;
+        let report = diff_batch_with(
+            &pairs,
+            &BatchOptions::new(DiffOptions::default()).with_workers(1),
+            |_, r| {
+                assert!(r.is_ok());
+                count += 1;
+            },
+        );
+        assert_eq!(count, 5);
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(report.steals(), 0, "nothing to steal from");
+    }
+
+    #[test]
+    fn skewed_batch_gets_stolen() {
+        // All pairs land in worker 0's block except a trailing trivial one;
+        // with 2 workers, worker 1 must steal to do anything.
+        let big: Vec<String> = (0..60).map(|i| format!(r#"(S "s{i}")"#)).collect();
+        let old_big = doc(&format!("(D {})", big.join(" ")));
+        let new_big = doc(&format!("(D {} (S \"extra\"))", big.join(" ")));
+        let olds: Vec<&Tree<String>> = vec![&old_big; 8];
+        let news: Vec<&Tree<String>> = vec![&new_big; 8];
+        let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.into_iter().zip(news).collect();
+        let report = diff_batch_with(
+            &pairs,
+            &BatchOptions::new(DiffOptions::default()).with_workers(2),
+            |_, r| assert!(r.is_ok()),
+        );
+        assert_eq!(report.completed(), 8);
+        assert_eq!(report.workers.len(), 2);
+        // If a worker did nothing, its block was drained by the other via
+        // stealing — either way work moved rather than stranding.
+        if report.workers.iter().any(|w| w.completed == 0) {
+            assert!(report.steals() > 0, "idle worker but nothing stolen");
         }
     }
 }

@@ -7,6 +7,7 @@
 //!   -t, --threshold <0.5..1>    inner-node match threshold   [default 0.6]
 //!   -f, --leaf-threshold <0..1> leaf compare threshold       [default 0.5]
 //!   -k, --optimality <N>        A(k) optimality level        [default 0]
+//!   -p, --prune                 identical-subtree pruning pre-pass
 //!       --output script|delta|stats|json                     [default script]
 //! ```
 
@@ -20,6 +21,7 @@ const USAGE: &str = "usage: treediff [OPTIONS] <OLD.sexpr> <NEW.sexpr>\n\
   -t, --threshold <0.5..1>      inner-node match threshold (default 0.6)\n\
   -f, --leaf-threshold <0..1>   leaf compare threshold (default 0.5)\n\
   -k, --optimality <N>          A(k) optimality level (default 0)\n\
+  -p, --prune                   match identical subtrees wholesale first\n\
       --output script|delta|stats|json   what to print (default script)\n\
   -h, --help                    show this help";
 
@@ -27,6 +29,7 @@ fn run() -> Result<(), String> {
     let mut t = 0.6f64;
     let mut f = 0.5f64;
     let mut k = 0u32;
+    let mut prune = false;
     let mut output = "script".to_string();
     let mut positional: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -40,30 +43,36 @@ fn run() -> Result<(), String> {
             "-f" | "--leaf-threshold" => {
                 f = take("-f")?.parse().map_err(|e| format!("bad -f: {e}"))?
             }
-            "-k" | "--optimality" => {
-                k = take("-k")?.parse().map_err(|e| format!("bad -k: {e}"))?
-            }
+            "-k" | "--optimality" => k = take("-k")?.parse().map_err(|e| format!("bad -k: {e}"))?,
+            "-p" | "--prune" => prune = true,
             "--output" => output = take("--output")?,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => positional.push(other.to_string()),
         }
     }
     if positional.len() != 2 {
-        return Err(format!("expected 2 input files, got {}\n{USAGE}", positional.len()));
+        return Err(format!(
+            "expected 2 input files, got {}\n{USAGE}",
+            positional.len()
+        ));
     }
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
-    let old = Tree::parse_sexpr(&read(&positional[0])?)
-        .map_err(|e| format!("{}: {e}", positional[0]))?;
-    let new = Tree::parse_sexpr(&read(&positional[1])?)
-        .map_err(|e| format!("{}: {e}", positional[1]))?;
+    let old =
+        Tree::parse_sexpr(&read(&positional[0])?).map_err(|e| format!("{}: {e}", positional[0]))?;
+    let new =
+        Tree::parse_sexpr(&read(&positional[1])?).map_err(|e| format!("{}: {e}", positional[1]))?;
 
     let params = MatchParams::with_inner_threshold(t).with_leaf_threshold(f);
     let options = if k == 0 {
         DiffOptions {
             params,
+            prune,
             ..DiffOptions::new()
         }
     } else {
+        if prune {
+            return Err("--prune applies to the built-in matcher; drop it or use -k 0".to_string());
+        }
         let hybrid = match_with_optimality(&old, &new, params, k);
         DiffOptions {
             params,
@@ -99,6 +108,14 @@ fn run() -> Result<(), String> {
                 "comparisons:        {} leaf compares + {} partner checks",
                 result.counters.leaf_compares, result.counters.partner_checks
             );
+            if prune {
+                println!(
+                    "pruned wholesale:   {} nodes ({} verified subtree pairs, {} hash collisions)",
+                    result.counters.nodes_pruned,
+                    result.counters.prune_candidates,
+                    result.counters.prune_collisions
+                );
+            }
         }
         "json" => {
             let json = serde_json::json!({
@@ -109,7 +126,10 @@ fn run() -> Result<(), String> {
                 "unweighted_distance": result.unweighted_distance(),
                 "script": result.script,
             });
-            println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&json).expect("serializable")
+            );
         }
         other => return Err(format!("unknown output {other:?}")),
     }

@@ -73,12 +73,8 @@ pub fn match_with_optimality<V: NodeValue>(
             if s1 > budget || s2 > budget {
                 continue;
             }
-            let unmatched1 = t1
-                .descendants(x)
-                .any(|d| matching.partner1(d).is_none());
-            let unmatched2 = t2
-                .descendants(y)
-                .any(|d| matching.partner2(d).is_none());
+            let unmatched1 = t1.descendants(x).any(|d| matching.partner1(d).is_none());
+            let unmatched2 = t2.descendants(y).any(|d| matching.partner2(d).is_none());
             if !unmatched1 && !unmatched2 {
                 continue;
             }
@@ -178,8 +174,14 @@ mod tests {
     fn budget_gates_zs_runs() {
         // A big subtree (> 16 nodes per side) is skipped at k = 2.
         let body: Vec<String> = (0..30).map(|i| format!("(S \"u{i}\")")).collect();
-        let t1 = doc(&format!("(D (P {} (S \"changed a lot once\")))", body.join(" ")));
-        let t2 = doc(&format!("(D (P {} (S \"rewritten fully now\")))", body.join(" ")));
+        let t1 = doc(&format!(
+            "(D (P {} (S \"changed a lot once\")))",
+            body.join(" ")
+        ));
+        let t2 = doc(&format!(
+            "(D (P {} (S \"rewritten fully now\")))",
+            body.join(" ")
+        ));
         let k2 = match_with_optimality(&t1, &t2, MatchParams::default(), 2);
         assert_eq!(k2.zs_runs, 0, "31-node paragraph exceeds the k=2 budget");
         let k4 = match_with_optimality(&t1, &t2, MatchParams::default(), 4);

@@ -38,13 +38,13 @@
 mod batch;
 mod hybrid;
 
-pub use batch::diff_batch;
+pub use batch::{diff_batch, diff_batch_with, BatchOptions, BatchReport, WorkerStats};
 pub use hybrid::{match_with_optimality, zs_budget, HybridMatch};
 
 use hierdiff_delta::{build_delta_tree, DeltaTree};
 use hierdiff_edit::{edit_script, EditScript, Matching, McesError, McesResult};
 use hierdiff_matching::{
-    fast_match, match_simple, postprocess, MatchCounters, MatchParams,
+    fast_match, fast_match_accelerated, match_simple, postprocess, MatchCounters, MatchParams,
 };
 use hierdiff_tree::{NodeValue, Tree};
 
@@ -81,6 +81,13 @@ pub struct DiffOptions {
     /// Also build the delta tree (Section 6). On by default; turn off for
     /// benchmarking the core algorithms alone.
     pub build_delta: bool,
+    /// Run the identical-subtree pruning pre-pass before matching
+    /// ([`hierdiff_matching::prune_identical`]): maximal unchanged
+    /// fragments are fingerprint-matched wholesale and skipped by the
+    /// criteria. Applies to [`Matcher::Fast`]; counters surface in
+    /// [`DiffResult::counters`] (`nodes_pruned`, `prune_candidates`,
+    /// `prune_collisions`). Off by default.
+    pub prune: bool,
 }
 
 impl DiffOptions {
@@ -100,6 +107,12 @@ impl DiffOptions {
             build_delta: true,
             ..DiffOptions::default()
         }
+    }
+
+    /// Toggles the identical-subtree pruning pre-pass.
+    pub fn with_prune(mut self, prune: bool) -> DiffOptions {
+        self.prune = prune;
+        self
     }
 }
 
@@ -171,7 +184,11 @@ pub fn diff<V: NodeValue>(
 ) -> Result<DiffResult<V>, DiffError> {
     let (mut matching, counters) = match options.matcher {
         Matcher::Fast => {
-            let r = fast_match(old, new, options.params);
+            let r = if options.prune {
+                fast_match_accelerated(old, new, options.params)
+            } else {
+                fast_match(old, new, options.params)
+            };
             (r.matching, r.counters)
         }
         Matcher::Simple => {
@@ -234,7 +251,8 @@ mod tests {
         let new = doc(r#"(D (S "y"))"#);
         let mut m = Matching::new();
         m.insert(old.root(), new.root()).unwrap();
-        m.insert(old.children(old.root())[0], new.children(new.root())[0]).unwrap();
+        m.insert(old.children(old.root())[0], new.children(new.root())[0])
+            .unwrap();
         let r = diff(&old, &new, &DiffOptions::with_matching(m)).unwrap();
         assert_eq!(r.counters.total(), 0, "no comparisons with provided keys");
         assert_eq!(r.script.op_counts().updates, 1);
@@ -278,6 +296,30 @@ mod tests {
         let r = diff(&old, &new, &DiffOptions::default()).unwrap();
         assert_eq!(r.unweighted_distance(), 1);
         assert_eq!(r.weighted_distance(), 1);
+    }
+
+    #[test]
+    fn prune_option_surfaces_counters_and_agrees() {
+        let old = doc(
+            r#"(D (P (S "stable1") (S "stable2")) (P (S "stable3") (S "stable4")) (P (S "old")))"#,
+        );
+        let new = doc(
+            r#"(D (P (S "stable1") (S "stable2")) (P (S "stable3") (S "stable4")) (P (S "new")))"#,
+        );
+        let plain = diff(&old, &new, &DiffOptions::new()).unwrap();
+        let pruned = diff(&old, &new, &DiffOptions::new().with_prune(true)).unwrap();
+        assert_eq!(
+            plain.script.len(),
+            pruned.script.len(),
+            "equally good scripts"
+        );
+        assert!(isomorphic(&pruned.mces.edited, &new));
+        assert!(
+            pruned.counters.nodes_pruned > 0,
+            "unchanged paragraphs pruned"
+        );
+        assert_eq!(plain.counters.nodes_pruned, 0, "pruning off by default");
+        assert!(pruned.counters.leaf_compares <= plain.counters.leaf_compares);
     }
 
     #[test]

@@ -24,7 +24,11 @@ fn script_output_default() {
     let old = write_temp("old.sexpr", OLD);
     let new = write_temp("new.sexpr", NEW);
     let out = treediff().arg(&old).arg(&new).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("MOV("), "{stdout}");
     assert!(stdout.contains("INS("), "{stdout}");

@@ -70,10 +70,9 @@ pub fn build_delta_tree<V: NodeValue>(
 
     // Resolve marker ↔ moved-node cross references.
     for (mark, t1_node) in std::mem::take(&mut b.pending_marks) {
-        let y = b
-            .m
-            .partner1(t1_node)
-            .expect("markers are created only for matched (moved) nodes");
+        let y =
+            b.m.partner1(t1_node)
+                .expect("markers are created only for matched (moved) nodes");
         let moved_delta = b.t2_to_delta[y.index()].expect("T2 walk covered all nodes");
         b.nodes[mark.index()].annotation = Annotation::Marker { moved: moved_delta };
         match &mut b.nodes[moved_delta.index()].annotation {
@@ -84,7 +83,10 @@ pub fn build_delta_tree<V: NodeValue>(
     debug_assert!(
         !b.nodes.iter().any(|n| matches!(
             n.annotation,
-            Annotation::Moved { mark: UNRESOLVED, .. } | Annotation::Marker { moved: UNRESOLVED }
+            Annotation::Moved {
+                mark: UNRESOLVED,
+                ..
+            } | Annotation::Marker { moved: UNRESOLVED }
         )),
         "unresolved move/marker links"
     );
@@ -271,11 +273,13 @@ mod tests {
         // hand instead of fast_match.
         let mut m = Matching::new();
         m.insert(t1.root(), t2.root()).unwrap();
-        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0]).unwrap();
+        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0])
+            .unwrap();
         let t2 = doc(r#"(D (S "new text"))"#);
         let mut m2 = Matching::new();
         m2.insert(t1.root(), t2.root()).unwrap();
-        m2.insert(t1.children(t1.root())[0], t2.children(t2.root())[0]).unwrap();
+        m2.insert(t1.children(t1.root())[0], t2.children(t2.root())[0])
+            .unwrap();
         let res = edit_script(&t1, &t2, &m2).unwrap();
         let delta = build_delta_tree(&t1, &t2, &m2, &res);
         let c = delta.annotation_counts();

@@ -37,9 +37,7 @@ pub struct ExtractedScript<V: NodeValue> {
 
 /// Projects both states of `delta`, derives the annotation-implied
 /// matching, and generates the witnessing edit script.
-pub fn extract_script<V: NodeValue>(
-    delta: &DeltaTree<V>,
-) -> Result<ExtractedScript<V>, McesError> {
+pub fn extract_script<V: NodeValue>(delta: &DeltaTree<V>) -> Result<ExtractedScript<V>, McesError> {
     let mut old_map: Vec<Option<NodeId>> = vec![None; delta.len()];
     let mut new_map: Vec<Option<NodeId>> = vec![None; delta.len()];
 
@@ -51,10 +49,7 @@ pub fn extract_script<V: NodeValue>(
     project_old_rec(delta, delta.root(), &mut old, old_root, &mut old_map);
 
     // New projection.
-    let mut new = Tree::new(
-        delta.label(delta.root()),
-        delta.value(delta.root()).clone(),
-    );
+    let mut new = Tree::new(delta.label(delta.root()), delta.value(delta.root()).clone());
     let new_root = new.root();
     new_map[delta.root().index()] = Some(new_root);
     project_new_rec(delta, delta.root(), &mut new, new_root, &mut new_map);
@@ -64,7 +59,9 @@ pub fn extract_script<V: NodeValue>(
     for (idx, (o, n)) in old_map.iter().zip(&new_map).enumerate() {
         if let (Some(o), Some(n)) = (o, n) {
             let _ = idx;
-            matching.insert(*o, *n).expect("projection maps are injective");
+            matching
+                .insert(*o, *n)
+                .expect("projection maps are injective");
         }
     }
 

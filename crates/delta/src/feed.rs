@@ -128,7 +128,8 @@ mod tests {
         let t2 = Tree::parse_sexpr(r#"(D (S "after"))"#).unwrap();
         let mut m = Matching::new();
         m.insert(t1.root(), t2.root()).unwrap();
-        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0]).unwrap();
+        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0])
+            .unwrap();
         let res = edit_script(&t1, &t2, &m).unwrap();
         let delta = crate::build_delta_tree(&t1, &t2, &m, &res);
         let records = change_feed(&delta);
@@ -162,7 +163,10 @@ mod tests {
             r#"(D (P (S "x") (S "y")) (S "k1") (S "k2") (S "k3") (S "k4"))"#,
             r#"(D (S "k1") (S "k2") (S "k3") (S "k4"))"#,
         );
-        let deletes = records.iter().filter(|r| r.kind == FeedKind::Delete).count();
+        let deletes = records
+            .iter()
+            .filter(|r| r.kind == FeedKind::Delete)
+            .count();
         assert_eq!(deletes, 3, "P and its two sentences");
     }
 }

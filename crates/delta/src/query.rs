@@ -77,11 +77,7 @@ impl<V: NodeValue> DeltaTree<V> {
             }
             // Find the parent of `target`.
             for candidate in self.preorder() {
-                if let Some(pos) = self
-                    .children(candidate)
-                    .iter()
-                    .position(|&c| c == target)
-                {
+                if let Some(pos) = self.children(candidate).iter().position(|&c| c == target) {
                     segments.push(format!("{}[{}]", self.label(target), pos));
                     target = candidate;
                     continue 'outer;

@@ -92,9 +92,7 @@ fn render<V: NodeValue>(
         }
     }
     // Generic value print for IDN/INS/DEL (UPD printed its own).
-    if !matches!(delta.annotation(id), Annotation::Updated { .. })
-        && !delta.value(id).is_null()
-    {
+    if !matches!(delta.annotation(id), Annotation::Updated { .. }) && !delta.value(id).is_null() {
         let _ = write!(out, " {:?}", delta.value(id));
     }
     out.push('\n');
@@ -139,7 +137,8 @@ mod tests {
         let t2 = Tree::parse_sexpr(r#"(D (S "after"))"#).unwrap();
         let mut m = Matching::new();
         m.insert(t1.root(), t2.root()).unwrap();
-        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0]).unwrap();
+        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0])
+            .unwrap();
         let res = edit_script(&t1, &t2, &m).unwrap();
         let d = crate::build_delta_tree(&t1, &t2, &m, &res);
         let text = render_text(&d);
@@ -148,10 +147,7 @@ mod tests {
 
     #[test]
     fn indentation_follows_depth() {
-        let d = delta(
-            r#"(D (P (S "a")))"#,
-            r#"(D (P (S "a")))"#,
-        );
+        let d = delta(r#"(D (P (S "a")))"#, r#"(D (P (S "a")))"#);
         let text = render_text(&d);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);

@@ -178,13 +178,18 @@ mod tests {
         let rules = RuleSet::new()
             .rule(Rule::on("inserted-sentences", ChangeKind::Inserted))
             .rule(Rule::on("deleted-sentences", ChangeKind::Deleted))
-            .rule(Rule::on("sections-changed", ChangeKind::Updated).with_label(Label::intern("Sec")));
+            .rule(
+                Rule::on("sections-changed", ChangeKind::Updated).with_label(Label::intern("Sec")),
+            );
         let firings = rules.evaluate(&d);
         let names: Vec<&str> = firings.iter().map(|f| f.rule.as_str()).collect();
         assert!(names.contains(&"inserted-sentences"));
         assert!(names.contains(&"deleted-sentences"));
         assert!(!names.contains(&"sections-changed"), "no Sec nodes here");
-        let ins = firings.iter().find(|f| f.rule == "inserted-sentences").unwrap();
+        let ins = firings
+            .iter()
+            .find(|f| f.rule == "inserted-sentences")
+            .unwrap();
         assert_eq!(ins.nodes.len(), 2);
     }
 

@@ -69,7 +69,9 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "-h" | "--help" => return Err(USAGE.to_string()),
             "-t" | "--threshold" => {
-                args.t = take("--threshold")?.parse().map_err(|e| format!("bad -t: {e}"))?
+                args.t = take("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad -t: {e}"))?
             }
             "-f" | "--leaf-threshold" => {
                 args.f = take("--leaf-threshold")?
@@ -121,13 +123,9 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let old_src =
-        std::fs::read_to_string(&args.old).map_err(|e| format!("{}: {e}", args.old))?;
-    let new_src =
-        std::fs::read_to_string(&args.new).map_err(|e| format!("{}: {e}", args.new))?;
-    let format = args
-        .format
-        .unwrap_or_else(|| DocFormat::sniff(&old_src));
+    let old_src = std::fs::read_to_string(&args.old).map_err(|e| format!("{}: {e}", args.old))?;
+    let new_src = std::fs::read_to_string(&args.new).map_err(|e| format!("{}: {e}", args.new))?;
+    let format = args.format.unwrap_or_else(|| DocFormat::sniff(&old_src));
     let options = LaDiffOptions {
         params: MatchParams::with_inner_threshold(args.t).with_leaf_threshold(args.f),
         engine: args.engine,
@@ -175,7 +173,10 @@ fn run() -> Result<(), String> {
                 "weighted_distance": out.stats.weighted_distance,
                 "script": out.result.script,
             });
-            println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&json).expect("serializable")
+            );
         }
     }
     Ok(())

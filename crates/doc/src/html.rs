@@ -259,7 +259,14 @@ mod tests {
         let t = parse_html("<p>First sentence. Second one.</p><p>Next para.</p>");
         assert_eq!(
             labels_of(&t),
-            vec!["Document", "Paragraph", "Sentence", "Sentence", "Paragraph", "Sentence"]
+            vec![
+                "Document",
+                "Paragraph",
+                "Sentence",
+                "Sentence",
+                "Paragraph",
+                "Sentence"
+            ]
         );
     }
 
@@ -271,11 +278,22 @@ mod tests {
         assert_eq!(
             labels_of(&t),
             vec![
-                "Document", "Section", "Paragraph", "Sentence", "Subsection", "Paragraph",
-                "Sentence", "Section", "Paragraph", "Sentence"
+                "Document",
+                "Section",
+                "Paragraph",
+                "Sentence",
+                "Subsection",
+                "Paragraph",
+                "Sentence",
+                "Section",
+                "Paragraph",
+                "Sentence"
             ]
         );
-        let sec = t.preorder().find(|&n| t.label(n) == labels::section()).unwrap();
+        let sec = t
+            .preorder()
+            .find(|&n| t.label(n) == labels::section())
+            .unwrap();
         assert_eq!(t.value(sec).as_text(), Some("Title One"));
     }
 
@@ -283,7 +301,9 @@ mod tests {
     fn lists_merge_and_items() {
         for tag in ["ul", "ol", "dl"] {
             let (open, close, li) = (format!("<{tag}>"), format!("</{tag}>"), "<li>");
-            let t = parse_html(&format!("{open}{li}Point one.</li>{li}Point two.</li>{close}"));
+            let t = parse_html(&format!(
+                "{open}{li}Point one.</li>{li}Point two.</li>{close}"
+            ));
             assert_eq!(
                 labels_of(&t),
                 vec!["Document", "List", "Item", "Sentence", "Item", "Sentence"],
@@ -295,7 +315,10 @@ mod tests {
     #[test]
     fn unknown_tags_stripped() {
         let t = parse_html("<div><p>Hello <b>bold</b> world.</p></div>");
-        let s: Vec<_> = t.leaves().map(|n| t.value(n).as_text().unwrap().to_string()).collect();
+        let s: Vec<_> = t
+            .leaves()
+            .map(|n| t.value(n).as_text().unwrap().to_string())
+            .collect();
         assert_eq!(s, vec!["Hello bold world."]);
     }
 

@@ -74,9 +74,11 @@ impl<'a> Parser<'a> {
                 self.flush_paragraph();
                 self.close_lists();
                 let root = self.tree.root();
-                self.section =
-                    self.tree
-                        .push_child(root, labels::section(), DocValue::text(normalize_ws(&title)));
+                self.section = self.tree.push_child(
+                    root,
+                    labels::section(),
+                    DocValue::text(normalize_ws(&title)),
+                );
                 self.subsection = None;
                 continue;
             }
@@ -251,7 +253,14 @@ mod tests {
         let t = parse_latex("First sentence. Second sentence.\n\nNew paragraph here.");
         assert_eq!(
             labels_of(&t),
-            vec!["Document", "Paragraph", "Sentence", "Sentence", "Paragraph", "Sentence"]
+            vec![
+                "Document",
+                "Paragraph",
+                "Sentence",
+                "Sentence",
+                "Paragraph",
+                "Sentence"
+            ]
         );
     }
 
@@ -294,7 +303,9 @@ mod tests {
     #[test]
     fn all_three_list_envs_merge_to_list() {
         for env in ["itemize", "enumerate", "description"] {
-            let src = format!("\\begin{{{env}}}\n\\item First point.\n\\item Second point.\n\\end{{{env}}}");
+            let src = format!(
+                "\\begin{{{env}}}\n\\item First point.\n\\item Second point.\n\\end{{{env}}}"
+            );
             let t = parse_latex(&src);
             assert_eq!(
                 labels_of(&t),

@@ -157,9 +157,7 @@ impl Renderer<'_> {
             Annotation::Inserted => Some("ins".to_string()),
             Annotation::Deleted => Some("del".to_string()),
             Annotation::Updated { .. } => Some("upd".to_string()),
-            Annotation::Moved { mark, .. } => {
-                Some(format!("mov from {}", self.marks.of(*mark)))
-            }
+            Annotation::Moved { mark, .. } => Some(format!("mov from {}", self.marks.of(*mark))),
             Annotation::Marker { .. } => {
                 // Old position of a moved section: emit only the label.
                 let name = self.marks.of(id).to_owned();
@@ -180,25 +178,25 @@ impl Renderer<'_> {
 
     fn block(&mut self, id: DeltaNodeId) {
         let item = self.delta.label(id) == labels::item();
-        let (note, label_prefix): (Option<String>, Option<String>) =
-            match self.delta.annotation(id) {
-                Annotation::Identical | Annotation::Updated { .. } => (None, None),
-                Annotation::Inserted => (
-                    Some(format!("Inserted {}", if item { "item" } else { "para" })),
-                    None,
-                ),
-                Annotation::Deleted => (
-                    Some(format!("Deleted {}", if item { "item" } else { "para" })),
-                    None,
-                ),
-                Annotation::Moved { mark, .. } => {
-                    (Some(format!("Moved from {}", self.marks.of(*mark))), None)
-                }
-                Annotation::Marker { .. } => {
-                    let name = self.marks.of(id).to_owned();
-                    (None, Some(name))
-                }
-            };
+        let (note, label_prefix): (Option<String>, Option<String>) = match self.delta.annotation(id)
+        {
+            Annotation::Identical | Annotation::Updated { .. } => (None, None),
+            Annotation::Inserted => (
+                Some(format!("Inserted {}", if item { "item" } else { "para" })),
+                None,
+            ),
+            Annotation::Deleted => (
+                Some(format!("Deleted {}", if item { "item" } else { "para" })),
+                None,
+            ),
+            Annotation::Moved { mark, .. } => {
+                (Some(format!("Moved from {}", self.marks.of(*mark))), None)
+            }
+            Annotation::Marker { .. } => {
+                let name = self.marks.of(id).to_owned();
+                (None, Some(name))
+            }
+        };
         if item {
             let _ = write!(self.out, "\\item ");
         }
@@ -271,7 +269,10 @@ mod tests {
         let old = "Mover goes last eventually. Anchor one stays. Anchor two stays.";
         let new = "Anchor one stays. Anchor two stays. Mover goes last eventually.";
         let out = markup(old, new);
-        assert!(out.contains("S1:[{\\small Mover goes last eventually.}]"), "{out}");
+        assert!(
+            out.contains("S1:[{\\small Mover goes last eventually.}]"),
+            "{out}"
+        );
         assert!(
             out.contains("Mover goes last eventually.\\footnote{Moved from S1}"),
             "{out}"
@@ -285,10 +286,15 @@ mod tests {
         let new = "\\section{A}\nAnchor a one. Anchor a two.\n\\section{B}\nThe new form of the mover sentence here. Anchor b one. Anchor b two.";
         let out = markup(old, new);
         assert!(
-            out.contains("\\textit{The new form of the mover sentence here.}\\footnote{Moved from S1}"),
+            out.contains(
+                "\\textit{The new form of the mover sentence here.}\\footnote{Moved from S1}"
+            ),
             "{out}"
         );
-        assert!(out.contains("S1:[{\\small The old form of the mover sentence here.}]"), "{out}");
+        assert!(
+            out.contains("S1:[{\\small The old form of the mover sentence here.}]"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -171,7 +171,10 @@ impl HtmlRenderer<'_> {
                 } else {
                     text
                 };
-                let _ = write!(self.out, "<span class=\"mov\" id=\"mov{n}\">{inner}</span> ");
+                let _ = write!(
+                    self.out,
+                    "<span class=\"mov\" id=\"mov{n}\">{inner}</span> "
+                );
             }
             Annotation::Marker { .. } => {
                 let n = self.mark_ids.get(&id).copied().unwrap_or(0);
@@ -195,9 +198,10 @@ impl HtmlRenderer<'_> {
             Annotation::Inserted => ("(ins) ", None),
             Annotation::Deleted => ("(del) ", None),
             Annotation::Updated { .. } => ("(upd) ", None),
-            Annotation::Moved { mark, .. } => {
-                ("(mov) ", Some(self.mark_ids.get(mark).copied().unwrap_or(0)))
-            }
+            Annotation::Moved { mark, .. } => (
+                "(mov) ",
+                Some(self.mark_ids.get(mark).copied().unwrap_or(0)),
+            ),
             Annotation::Marker { .. } => {
                 let n = self.mark_ids.get(&id).copied().unwrap_or(0);
                 let _ = writeln!(
@@ -294,7 +298,9 @@ mod tests {
             "{out}"
         );
         assert!(
-            out.contains("<del class=\"mrk\"><a href=\"#mov1\">Mover starts in front here.</a></del>"),
+            out.contains(
+                "<del class=\"mrk\"><a href=\"#mov1\">Mover starts in front here.</a></del>"
+            ),
             "{out}"
         );
     }
@@ -345,7 +351,10 @@ mod tests {
 
     #[test]
     fn escaping() {
-        assert_eq!(escape_html("a < b & c > \"d\""), "a &lt; b &amp; c &gt; &quot;d&quot;");
+        assert_eq!(
+            escape_html("a < b & c > \"d\""),
+            "a &lt; b &amp; c &gt; &quot;d&quot;"
+        );
         let out = html_delta(
             "<p>Tom &amp; Jerry cartoon one. Filler line two. Filler line three.</p>",
             "<p>Tom &amp; Jerry cartoon one. Filler line two. Filler line three. Less &lt;cool&gt; now.</p>",

@@ -212,7 +212,8 @@ mod tests {
         let out = ladiff(OLD, NEW, &LaDiffOptions::default()).unwrap();
         // The inserted sentence is bold in the markup.
         assert!(
-            out.markup.contains("\\textbf{This feature may seem strange but it is not.}"),
+            out.markup
+                .contains("\\textbf{This feature may seem strange but it is not.}"),
             "{}",
             out.markup
         );
@@ -244,7 +245,8 @@ mod tests {
     #[test]
     fn html_pipeline() {
         let old = "<h1>Title</h1><p>Alpha sentence one. Beta sentence two.</p>";
-        let new = "<h1>Title</h1><p>Alpha sentence one. Beta sentence two. Gamma inserted three.</p>";
+        let new =
+            "<h1>Title</h1><p>Alpha sentence one. Beta sentence two. Gamma inserted three.</p>";
         let out = ladiff(
             old,
             new,
@@ -265,7 +267,10 @@ mod tests {
         assert_eq!(DocFormat::sniff("\\section{X}"), DocFormat::Latex);
         assert_eq!(DocFormat::sniff("plain prose text"), DocFormat::Latex);
         assert_eq!(DocFormat::sniff("# Title\n\nBody."), DocFormat::Markdown);
-        assert_eq!(DocFormat::sniff("- item one\n- item two"), DocFormat::Markdown);
+        assert_eq!(
+            DocFormat::sniff("- item one\n- item two"),
+            DocFormat::Markdown
+        );
         assert_eq!(
             DocFormat::sniff("text\n\\begin{itemize}\n\\item x\n\\end{itemize}"),
             DocFormat::Latex

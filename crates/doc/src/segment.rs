@@ -16,8 +16,8 @@
 /// abbreviation does not split.
 pub fn split_sentences(text: &str) -> Vec<String> {
     const ABBREVIATIONS: &[&str] = &[
-        "e.g", "i.e", "etc", "cf", "vs", "fig", "sec", "no", "dr", "mr", "mrs", "ms", "prof",
-        "st", "jr", "sr", "inc", "dept",
+        "e.g", "i.e", "etc", "cf", "vs", "fig", "sec", "no", "dr", "mr", "mrs", "ms", "prof", "st",
+        "jr", "sr", "inc", "dept",
     ];
 
     let chars: Vec<char> = text.chars().collect();
@@ -37,7 +37,8 @@ pub fn split_sentences(text: &str) -> Vec<String> {
             }
             let at_end = j + 1 >= chars.len();
             let followed_by_space = !at_end && chars[j + 1].is_whitespace();
-            let abbreviation = c == '.' && i == j && is_abbreviation(&chars[start..i], ABBREVIATIONS);
+            let abbreviation =
+                c == '.' && i == j && is_abbreviation(&chars[start..i], ABBREVIATIONS);
             if (at_end || followed_by_space) && !abbreviation {
                 let s: String = chars[start..=j].iter().collect();
                 let trimmed = s.trim();
@@ -130,10 +131,7 @@ mod tests {
     #[test]
     fn abbreviations_do_not_split() {
         let s = split_sentences("We use LCS, e.g. Myers' algorithm. It is fast.");
-        assert_eq!(
-            s,
-            vec!["We use LCS, e.g. Myers' algorithm.", "It is fast."]
-        );
+        assert_eq!(s, vec!["We use LCS, e.g. Myers' algorithm.", "It is fast."]);
     }
 
     #[test]
@@ -168,7 +166,9 @@ mod tests {
 
     #[test]
     fn contractions_do_end_sentences() {
-        let s = split_sentences("This feature may seem strange, but it isn't. When concepts appear, rules follow.");
+        let s = split_sentences(
+            "This feature may seem strange, but it isn't. When concepts appear, rules follow.",
+        );
         assert_eq!(
             s,
             vec![
@@ -188,10 +188,7 @@ mod tests {
     #[test]
     fn paragraphs_split_on_blank_lines() {
         let p = split_paragraphs("Line one.\nLine two.\n\nSecond para.\n\n\nThird.");
-        assert_eq!(
-            p,
-            vec!["Line one. Line two.", "Second para.", "Third."]
-        );
+        assert_eq!(p, vec!["Line one. Line two.", "Second para.", "Third."]);
     }
 
     #[test]

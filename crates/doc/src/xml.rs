@@ -78,9 +78,9 @@ pub fn parse_xml(src: &str) -> Result<Tree<DocValue>, XmlError> {
     let mut text_start = 0usize;
 
     let flush_text = |tree: &mut Option<Tree<DocValue>>,
-                          stack: &[NodeId],
-                          start: usize,
-                          end: usize|
+                      stack: &[NodeId],
+                      start: usize,
+                      end: usize|
      -> Result<(), XmlError> {
         let raw = &src[start..end];
         let decoded = decode_entities(raw);
@@ -134,7 +134,9 @@ pub fn parse_xml(src: &str) -> Result<Tree<DocValue>, XmlError> {
         if let Some(name) = inner.strip_prefix('/') {
             // Closing tag.
             let name = name.trim();
-            let expected = open_names.pop().ok_or_else(|| XmlError::StrayClose(name.into()))?;
+            let expected = open_names
+                .pop()
+                .ok_or_else(|| XmlError::StrayClose(name.into()))?;
             if expected != name {
                 return Err(XmlError::MismatchedClose {
                     expected,
@@ -183,7 +185,11 @@ fn parse_tag(inner: &str, at: usize) -> Result<(String, Vec<(String, String)>), 
         .find(|c: char| c.is_whitespace())
         .unwrap_or(inner.len());
     let name = &inner[..name_end];
-    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.') {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.')
+    {
         return Err(XmlError::Malformed(at));
     }
     let mut attrs = Vec::new();
@@ -241,10 +247,9 @@ mod tests {
 
     #[test]
     fn comments_pis_doctype_cdata() {
-        let t = parse_xml(
-            "<?xml version=\"1.0\"?><!DOCTYPE r><r><!-- note --><![CDATA[a < b]]></r>",
-        )
-        .unwrap();
+        let t =
+            parse_xml("<?xml version=\"1.0\"?><!DOCTYPE r><r><!-- note --><![CDATA[a < b]]></r>")
+                .unwrap();
         let leaf = t.children(t.root())[0];
         assert_eq!(t.value(leaf).as_text(), Some("a < b"));
     }
@@ -273,7 +278,10 @@ mod tests {
             parse_xml("<a></a><b></b>"),
             Err(XmlError::TrailingContent(_))
         ));
-        assert!(matches!(parse_xml("<a foo></a>"), Err(XmlError::Malformed(_))));
+        assert!(matches!(
+            parse_xml("<a foo></a>"),
+            Err(XmlError::Malformed(_))
+        ));
     }
 
     #[test]

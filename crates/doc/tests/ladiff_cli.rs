@@ -25,10 +25,20 @@ fn markup_output_default() {
     let old = write_temp("m_old.tex", OLD);
     let new = write_temp("m_new.tex", NEW);
     let out = ladiff().args([&old, &new]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\\textbf{Freshly inserted sentence here.}"), "{stdout}");
-    assert!(stdout.contains("{\\small Doomed sentence goes away.}"), "{stdout}");
+    assert!(
+        stdout.contains("\\textbf{Freshly inserted sentence here.}"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("{\\small Doomed sentence goes away.}"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -68,12 +78,24 @@ fn threshold_flag_accepted() {
     let old = write_temp("t_old.tex", OLD);
     let new = write_temp("t_new.tex", NEW);
     let out = ladiff()
-        .args(["-t", "0.8", "-f", "0.7", "--engine", "simple", "--postprocess"])
+        .args([
+            "-t",
+            "0.8",
+            "-f",
+            "0.7",
+            "--engine",
+            "simple",
+            "--postprocess",
+        ])
         .arg(&old)
         .arg(&new)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -97,7 +119,10 @@ fn bad_option_reports_usage() {
 #[test]
 fn markdown_format_flag_and_sniffing() {
     let old = write_temp("md_old.md", "# T\n\nAlpha stays here. Beta stays here.\n");
-    let new = write_temp("md_new.md", "# T\n\nAlpha stays here. Beta stays here. Gamma is new.\n");
+    let new = write_temp(
+        "md_new.md",
+        "# T\n\nAlpha stays here. Beta stays here. Gamma is new.\n",
+    );
     // Explicit flag.
     let out = ladiff()
         .args(["--format", "markdown", "--output", "stats"])
@@ -121,7 +146,10 @@ fn markdown_format_flag_and_sniffing() {
 #[test]
 fn html_format_flag() {
     let old = write_temp("h_old.html", "<p>Alpha one stays. Beta two stays.</p>");
-    let new = write_temp("h_new.html", "<p>Alpha one stays. Beta two stays. Gamma three added.</p>");
+    let new = write_temp(
+        "h_new.html",
+        "<p>Alpha one stays. Beta two stays. Gamma three added.</p>",
+    );
     let out = ladiff()
         .args(["--format", "html", "--output", "stats"])
         .arg(&old)

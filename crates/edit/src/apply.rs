@@ -69,7 +69,10 @@ pub fn apply_script<V: NodeValue>(
     };
     for (op_index, op) in script.iter().enumerate() {
         {
-            let ctx = ApplyCtx { tree: &*tree, remap: &remap };
+            let ctx = ApplyCtx {
+                tree: &*tree,
+                remap: &remap,
+            };
             observer(op, &ctx);
         }
         let step = |cause: StructureError| ApplyError { op_index, cause };
@@ -82,7 +85,9 @@ pub fn apply_script<V: NodeValue>(
                 pos,
             } => {
                 let parent = resolve(&remap, *parent);
-                let actual = tree.insert(parent, *pos, *label, value.clone()).map_err(step)?;
+                let actual = tree
+                    .insert(parent, *pos, *label, value.clone())
+                    .map_err(step)?;
                 if actual != *node {
                     remap.insert(*node, actual);
                 }
@@ -106,10 +111,7 @@ pub fn apply_script<V: NodeValue>(
 }
 
 /// Convenience wrapper: applies without observing.
-pub fn apply<V: NodeValue>(
-    tree: &mut Tree<V>,
-    script: &EditScript<V>,
-) -> Result<(), ApplyError> {
+pub fn apply<V: NodeValue>(tree: &mut Tree<V>, script: &EditScript<V>) -> Result<(), ApplyError> {
     apply_script(tree, script, |_, _| ()).map(|_| ())
 }
 
@@ -124,10 +126,7 @@ mod tests {
     /// a root with four children where the script inserts a new `Sec`, moves
     /// a subtree under it, deletes a leaf, and updates a value.
     fn example_tree() -> (Tree<String>, Vec<NodeId>) {
-        let t = Tree::parse_sexpr(
-            r#"(Doc (P) (Sec (P (S "a") (S "b"))) (S "bar"))"#,
-        )
-        .unwrap();
+        let t = Tree::parse_sexpr(r#"(Doc (P) (Sec (P (S "a") (S "b"))) (S "bar"))"#).unwrap();
         let r = t.root();
         let c: Vec<_> = t.children(r).to_vec();
         let p5 = t.children(c[1])[0]; // the P holding "a","b"
@@ -159,9 +158,7 @@ mod tests {
         ]);
         let remap = apply_script(&mut t, &script, |_, _| ()).unwrap();
         t.validate().unwrap();
-        let expected = Tree::parse_sexpr(
-            r#"(Doc (Sec) (S "baz") (Sec "foo" ))"#,
-        );
+        let expected = Tree::parse_sexpr(r#"(Doc (Sec) (S "baz") (Sec "foo" ))"#);
         // Expected shape: root children now [Sec (empty), S "baz",
         // Sec"foo"->P->("a","b")]. Cross-check manually instead of via a
         // sexpr (internal node with value + children is not expressible in
@@ -202,8 +199,7 @@ mod tests {
     fn failed_op_reports_index() {
         let mut t = Tree::parse_sexpr(r#"(D (P (S "a")))"#).unwrap();
         let p = t.children(t.root())[0];
-        let script: EditScript<String> =
-            EditScript::from_ops(vec![EditOp::Delete { node: p }]);
+        let script: EditScript<String> = EditScript::from_ops(vec![EditOp::Delete { node: p }]);
         let err = apply(&mut t, &script).unwrap_err();
         assert_eq!(err.op_index, 0);
         assert_eq!(err.cause, StructureError::NotALeaf(p));
@@ -246,8 +242,11 @@ mod tests {
         let mut t = Tree::parse_sexpr(r#"(D (P (S "a")))"#).unwrap();
         let p = t.children(t.root())[0];
         let leaf = t.children(p)[0];
-        let script: EditScript<String> =
-            EditScript::from_ops(vec![EditOp::Move { node: p, parent: leaf, pos: 0 }]);
+        let script: EditScript<String> = EditScript::from_ops(vec![EditOp::Move {
+            node: p,
+            parent: leaf,
+            pos: 0,
+        }]);
         let err = apply(&mut t, &script).unwrap_err();
         assert_eq!(err.op_index, 0);
         assert!(matches!(err.cause, StructureError::MoveIntoSubtree { .. }));
@@ -270,7 +269,10 @@ mod tests {
             err.cause,
             StructureError::PositionOutOfRange { pos: 5, arity: 0 }
         );
-        assert_eq!(err.to_string(), "edit op #0 failed: position 5 out of range for parent with 0 children");
+        assert_eq!(
+            err.to_string(),
+            "edit op #0 failed: position 5 out of range for parent with 0 children"
+        );
     }
 
     #[test]

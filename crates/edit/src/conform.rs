@@ -101,7 +101,8 @@ mod tests {
     #[test]
     fn conformance_rejects_matched_delete() {
         let mut m = Matching::new();
-        m.insert(NodeId::from_index(3), NodeId::from_index(9)).unwrap();
+        m.insert(NodeId::from_index(3), NodeId::from_index(9))
+            .unwrap();
         let bad: EditScript<String> = EditScript::from_ops(vec![EditOp::Delete {
             node: NodeId::from_index(3),
         }]);
@@ -119,7 +120,8 @@ mod tests {
         let t3 = Tree::parse_sexpr(r#"(D (S "c"))"#).unwrap();
         let mut m = Matching::new();
         m.insert(t1.root(), t2.root()).unwrap();
-        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0]).unwrap();
+        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0])
+            .unwrap();
         let res = edit_script(&t1, &t2, &m).unwrap();
         verify_result(&t1, &t2, &m, &res).unwrap();
         assert_eq!(

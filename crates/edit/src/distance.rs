@@ -44,19 +44,23 @@ mod tests {
 
     #[test]
     fn weights_match_definition() {
-        let t = Tree::parse_sexpr(
-            r#"(D (P (S "a") (S "b") (S "c")) (P (S "d")))"#,
-        )
-        .unwrap();
+        let t = Tree::parse_sexpr(r#"(D (P (S "a") (S "b") (S "c")) (P (S "d")))"#).unwrap();
         let root = t.root();
         let p1 = t.children(root)[0];
         let p2 = t.children(root)[1];
         let d_leaf = t.children(p2)[0];
         let script = EditScript::from_ops(vec![
             // Move the 3-leaf paragraph: weight 3.
-            EditOp::Move { node: p1, parent: root, pos: 1 },
+            EditOp::Move {
+                node: p1,
+                parent: root,
+                pos: 1,
+            },
             // Update: weight 0.
-            EditOp::Update { node: d_leaf, value: "dd".to_string() },
+            EditOp::Update {
+                node: d_leaf,
+                value: "dd".to_string(),
+            },
             // Insert: weight 1.
             EditOp::Insert {
                 node: NodeId::from_index(900),
@@ -87,7 +91,11 @@ mod tests {
                 parent: p1,
                 pos: 1,
             },
-            EditOp::Move { node: p1, parent: root, pos: 1 },
+            EditOp::Move {
+                node: p1,
+                parent: root,
+                pos: 1,
+            },
         ]);
         assert_eq!(weighted_edit_distance(&t, &script).unwrap(), 1 + 2);
     }

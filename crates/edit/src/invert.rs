@@ -153,22 +153,39 @@ mod tests {
         let p2 = t.children(t.root())[1];
         let a = t.children(p1)[0];
         let c = t.children(p1)[2];
-        roundtrip(src, EditScript::from_ops(vec![EditOp::Move { node: a, parent: p1, pos: 2 }]));
-        roundtrip(src, EditScript::from_ops(vec![EditOp::Move { node: c, parent: p1, pos: 0 }]));
-        roundtrip(src, EditScript::from_ops(vec![EditOp::Move { node: a, parent: p2, pos: 1 }]));
+        roundtrip(
+            src,
+            EditScript::from_ops(vec![EditOp::Move {
+                node: a,
+                parent: p1,
+                pos: 2,
+            }]),
+        );
+        roundtrip(
+            src,
+            EditScript::from_ops(vec![EditOp::Move {
+                node: c,
+                parent: p1,
+                pos: 0,
+            }]),
+        );
+        roundtrip(
+            src,
+            EditScript::from_ops(vec![EditOp::Move {
+                node: a,
+                parent: p2,
+                pos: 1,
+            }]),
+        );
     }
 
     #[test]
     fn invert_generated_scripts() {
         // Full pipeline scripts invert too.
-        let t1 = Tree::parse_sexpr(
-            r#"(D (P (S "a") (S "b") (S "c")) (P (S "d") (S "e")))"#,
-        )
-        .unwrap();
-        let t2 = Tree::parse_sexpr(
-            r#"(D (P (S "e") (S "d")) (P (S "c") (S "x") (S "a")))"#,
-        )
-        .unwrap();
+        let t1 =
+            Tree::parse_sexpr(r#"(D (P (S "a") (S "b") (S "c")) (P (S "d") (S "e")))"#).unwrap();
+        let t2 =
+            Tree::parse_sexpr(r#"(D (P (S "e") (S "d")) (P (S "c") (S "x") (S "a")))"#).unwrap();
         let mut m = Matching::new();
         m.insert(t1.root(), t2.root()).unwrap();
         // Match equal-valued sentences.
@@ -200,7 +217,10 @@ mod tests {
             for i in 0..rng.gen_range(2..14usize) {
                 let parent = ids[rng.gen_range(0..ids.len())];
                 let pos = rng.gen_range(0..=t.arity(parent));
-                ids.push(t.insert(parent, pos, Label::intern("N"), format!("v{i}")).unwrap());
+                ids.push(
+                    t.insert(parent, pos, Label::intern("N"), format!("v{i}"))
+                        .unwrap(),
+                );
             }
             // Random script generated against a scratch copy.
             let mut scratch = t.clone();
@@ -222,10 +242,8 @@ mod tests {
                         ops.push(op);
                     }
                     1 => {
-                        let leaves: Vec<_> = scratch
-                            .leaves()
-                            .filter(|&l| l != scratch.root())
-                            .collect();
+                        let leaves: Vec<_> =
+                            scratch.leaves().filter(|&l| l != scratch.root()).collect();
                         if let Some(&l) = leaves.first() {
                             let op = EditOp::Delete { node: l };
                             apply(&mut scratch, &EditScript::from_ops(vec![op.clone()])).unwrap();
@@ -233,17 +251,24 @@ mod tests {
                         }
                     }
                     2 => {
-                        let op = EditOp::Update { node: pick, value: format!("u{j}") };
+                        let op = EditOp::Update {
+                            node: pick,
+                            value: format!("u{j}"),
+                        };
                         apply(&mut scratch, &EditScript::from_ops(vec![op.clone()])).unwrap();
                         ops.push(op);
                     }
                     _ => {
                         let target = nodes[rng.gen_range(0..nodes.len())];
                         if pick != scratch.root() && !scratch.is_ancestor(pick, target) {
-                            let max =
-                                scratch.arity(target) - usize::from(scratch.parent(pick) == Some(target));
+                            let max = scratch.arity(target)
+                                - usize::from(scratch.parent(pick) == Some(target));
                             let pos = rng.gen_range(0..=max);
-                            let op = EditOp::Move { node: pick, parent: target, pos };
+                            let op = EditOp::Move {
+                                node: pick,
+                                parent: target,
+                                pos,
+                            };
                             apply(&mut scratch, &EditScript::from_ops(vec![op.clone()])).unwrap();
                             ops.push(op);
                         }

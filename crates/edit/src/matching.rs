@@ -143,9 +143,10 @@ impl Matching {
 
     /// Iterates over all pairs `(x ∈ T1, y ∈ T2)` in `T1` arena order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.fwd.iter().enumerate().filter_map(|(i, &y)| {
-            y.map(|y| (NodeId::from_index(i), y))
-        })
+        self.fwd
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &y)| y.map(|y| (NodeId::from_index(i), y)))
     }
 
     /// Whether `other` contains every pair of `self` (i.e. `self ⊆ other`) —

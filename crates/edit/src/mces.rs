@@ -186,7 +186,8 @@ pub fn edit_script<V: NodeValue>(
         let d1 = work.wrap_root(dummy_label, V::null());
         let mut t2c = t2.clone();
         let d2 = t2c.wrap_root(dummy_label, V::null());
-        m.insert(d1, d2).expect("dummy roots are fresh and unmatched");
+        m.insert(d1, d2)
+            .expect("dummy roots are fresh and unmatched");
         t2_wrapped = t2c;
         &t2_wrapped
     };
@@ -210,7 +211,10 @@ pub fn edit_script<V: NodeValue>(
         stats,
         ..
     } = gen;
-    debug_assert!(isomorphic(&work, t2), "EditScript must make T1 isomorphic to T2");
+    debug_assert!(
+        isomorphic(&work, t2),
+        "EditScript must make T1 isomorphic to T2"
+    );
 
     Ok(McesResult {
         script,
@@ -296,7 +300,10 @@ impl<V: NodeValue> Generator<'_, V> {
     fn maybe_update(&mut self, w: NodeId, x: NodeId) {
         if self.work.value(w) != self.t2.value(x) {
             let value = self.t2.value(x).clone();
-            self.script.push(EditOp::Update { node: w, value: value.clone() });
+            self.script.push(EditOp::Update {
+                node: w,
+                value: value.clone(),
+            });
             self.stats.updates += 1;
             self.work.update(w, value).expect("w is alive");
         }
@@ -341,7 +348,11 @@ impl<V: NodeValue> Generator<'_, V> {
         let raw = self.ordinal_to_raw(z, ord, None);
         self.stats.inter_moves += 1;
         self.stats.weighted_distance += self.work.leaf_count(w);
-        self.script.push(EditOp::Move { node: w, parent: z, pos: raw });
+        self.script.push(EditOp::Move {
+            node: w,
+            parent: z,
+            pos: raw,
+        });
         self.work
             .move_subtree(w, z, raw)
             .expect("inter-parent move target is outside w's subtree");
@@ -408,7 +419,11 @@ impl<V: NodeValue> Generator<'_, V> {
             let raw = self.ordinal_to_raw(w, ord, Some(a));
             self.stats.intra_moves += 1;
             self.stats.weighted_distance += self.work.leaf_count(a);
-            self.script.push(EditOp::Move { node: a, parent: w, pos: raw });
+            self.script.push(EditOp::Move {
+                node: a,
+                parent: w,
+                pos: raw,
+            });
             self.work
                 .move_subtree(a, w, raw)
                 .expect("intra-parent move cannot create a cycle");
@@ -425,7 +440,10 @@ impl<V: NodeValue> Generator<'_, V> {
     /// children of the destination parent that must precede `x` (the paper's
     /// `i`, 0-based here).
     fn find_pos(&self, x: NodeId) -> usize {
-        let y = self.t2.parent(x).expect("FindPos is never called on the root");
+        let y = self
+            .t2
+            .parent(x)
+            .expect("FindPos is never called on the root");
         // 2-3. Find the rightmost sibling of x to its left marked "in
         //      order" (v).
         let mut v: Option<NodeId> = None;
@@ -545,17 +563,14 @@ mod tests {
 
     #[test]
     fn pure_update() {
-        let (_, t2, res) = run(
-            r#"(D (S "old"))"#,
-            r#"(D (S "new"))"#,
-            |t1, t2| {
-                // Match structurally: root↔root, leaf↔leaf.
-                let mut m = Matching::new();
-                m.insert(t1.root(), t2.root()).unwrap();
-                m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0]).unwrap();
-                m
-            },
-        );
+        let (_, t2, res) = run(r#"(D (S "old"))"#, r#"(D (S "new"))"#, |t1, t2| {
+            // Match structurally: root↔root, leaf↔leaf.
+            let mut m = Matching::new();
+            m.insert(t1.root(), t2.root()).unwrap();
+            m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0])
+                .unwrap();
+            m
+        });
         assert_eq!(res.script.len(), 1);
         assert_eq!(res.script.ops()[0].kind(), "UPD");
         assert!(isomorphic(&res.edited, &t2));
@@ -564,11 +579,7 @@ mod tests {
 
     #[test]
     fn pure_insert() {
-        let (_, t2, res) = run(
-            r#"(D (S "a"))"#,
-            r#"(D (S "a") (S "b"))"#,
-            match_by_value,
-        );
+        let (_, t2, res) = run(r#"(D (S "a"))"#, r#"(D (S "a") (S "b"))"#, match_by_value);
         let c = res.script.op_counts();
         assert_eq!(c.inserts, 1);
         assert_eq!(c.total(), 1);
@@ -601,11 +612,7 @@ mod tests {
         assert_eq!(c.deletes, 3);
         assert_eq!(c.total(), 3);
         // Deletes must be bottom-up: leaves "a" and "b" before the P node.
-        let del_nodes: Vec<_> = res
-            .script
-            .iter()
-            .map(|op| op.node())
-            .collect();
+        let del_nodes: Vec<_> = res.script.iter().map(|op| op.node()).collect();
         assert_eq!(del_nodes.len(), 3);
         assert!(isomorphic(&res.edited, &t2));
     }
@@ -660,16 +667,13 @@ mod tests {
         // Figure 1 / Section 4.1: T1 and T2 of the running example with the
         // dashed matching. Expected script (Sections 4.1): one intra-parent
         // move MOV(4,1,2), one insert INS((21,S,g),3,3) — total cost 2.
-        let t1 = Tree::parse_sexpr(
-            r#"(D (P (S "a")) (P (S "b") (S "c") (S "d")) (P (S "e")))"#,
-        )
-        .unwrap();
+        let t1 = Tree::parse_sexpr(r#"(D (P (S "a")) (P (S "b") (S "c") (S "d")) (P (S "e")))"#)
+            .unwrap();
         // T2: the second and third P swap positions; the "b c d" paragraph
         // gains a sentence "g" at the end.
-        let t2 = Tree::parse_sexpr(
-            r#"(D (P (S "a")) (P (S "e")) (P (S "b") (S "c") (S "d") (S "g")))"#,
-        )
-        .unwrap();
+        let t2 =
+            Tree::parse_sexpr(r#"(D (P (S "a")) (P (S "e")) (P (S "b") (S "c") (S "d") (S "g")))"#)
+                .unwrap();
         // The Figure 1 matching pairs paragraphs by content, not by
         // position: P(bcd) ↔ P(bcdg) and P(e) ↔ P(e).
         let mut m = Matching::new();
@@ -688,7 +692,10 @@ mod tests {
         assert_eq!(c.inserts, 1);
         assert_eq!(c.total(), 2);
         assert!(isomorphic(&res.edited, &t2));
-        assert!(m.is_subset_of(&res.total_matching), "script must conform to M");
+        assert!(
+            m.is_subset_of(&res.total_matching),
+            "script must conform to M"
+        );
     }
 
     #[test]
@@ -722,7 +729,11 @@ mod tests {
         let kinds: Vec<_> = res.script.iter().map(|o| o.kind()).collect();
         let ins_pos = kinds.iter().position(|&k| k == "INS").unwrap();
         let mov_pos = kinds.iter().position(|&k| k == "MOV").unwrap();
-        assert!(ins_pos < mov_pos, "insert must precede the move: {}", res.script);
+        assert!(
+            ins_pos < mov_pos,
+            "insert must precede the move: {}",
+            res.script
+        );
     }
 
     #[test]
@@ -854,19 +865,16 @@ mod tests {
         m.insert(t1.root(), t2.root()).unwrap();
         m.insert(leaf, t2.children(t2.root())[0]).unwrap();
         t1.delete_leaf(leaf).unwrap();
-        assert_eq!(edit_script(&t1, &t2, &m).unwrap_err(), McesError::DeadNode1(leaf));
+        assert_eq!(
+            edit_script(&t1, &t2, &m).unwrap_err(),
+            McesError::DeadNode1(leaf)
+        );
     }
 
     #[test]
     fn apply_standalone_reproduces_edited_tree() {
-        let t1 = Tree::parse_sexpr(
-            r#"(D (P (S "a") (S "b") (S "c")) (P (S "d")))"#,
-        )
-        .unwrap();
-        let t2 = Tree::parse_sexpr(
-            r#"(D (P (S "d")) (P (S "c") (S "b") (S "new")))"#,
-        )
-        .unwrap();
+        let t1 = Tree::parse_sexpr(r#"(D (P (S "a") (S "b") (S "c")) (P (S "d")))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(D (P (S "d")) (P (S "c") (S "b") (S "new")))"#).unwrap();
         let m = match_by_value(&t1, &t2);
         let res = edit_script(&t1, &t2, &m).unwrap();
         let mut replay = t1.clone();

@@ -131,7 +131,11 @@ mod tests {
     fn lcs_with_dispatches_all() {
         let a = [1, 3, 5, 7];
         let b = [1, 5, 7, 9];
-        for alg in [LcsAlgorithm::Myers, LcsAlgorithm::Dp, LcsAlgorithm::Hirschberg] {
+        for alg in [
+            LcsAlgorithm::Myers,
+            LcsAlgorithm::Dp,
+            LcsAlgorithm::Hirschberg,
+        ] {
             let pairs = lcs_with(alg, &a, &b, |x, y| x == y);
             assert_eq!(pairs.len(), 3, "{alg:?}");
             assert!(is_common_subsequence(&pairs, &a, &b, |x, y| x == y));

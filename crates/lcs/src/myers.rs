@@ -187,7 +187,10 @@ mod tests {
         let a: Vec<u32> = (0..5000).collect();
         let pairs = lcs_myers(&a, &a, |x, y| x == y);
         assert_eq!(pairs.len(), 5000);
-        assert!(pairs.iter().enumerate().all(|(i, &(x, y))| x == i && y == i));
+        assert!(pairs
+            .iter()
+            .enumerate()
+            .all(|(i, &(x, y))| x == i && y == i));
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! pre-order intervals for O(1) containment — keeping each internal-node
 //! comparison at the `min(|x|, |y|)` cost Appendix B charges for it.
 
-use hierdiff_tree::{Intervals, NodeId, NodeValue, Tree};
 use hierdiff_edit::Matching;
+use hierdiff_tree::{Intervals, NodeId, NodeValue, Tree};
 
 use crate::schema::LabelClasses;
 
@@ -75,6 +75,16 @@ pub struct MatchCounters {
     /// Number of internal-node pair evaluations (not part of the paper's
     /// cost model; useful for diagnostics).
     pub internal_compares: usize,
+    /// Nodes matched wholesale by the identical-subtree pruning pre-pass
+    /// ([`crate::prune_identical`]) — each skipped all criteria evaluation.
+    /// Zero when pruning was not run.
+    pub nodes_pruned: usize,
+    /// Candidate subtree pairs the pruning pre-pass verified with a real
+    /// isomorphism check (hash-unique on both sides).
+    pub prune_candidates: usize,
+    /// Pruning candidates whose fingerprints collided: hashes equal, but
+    /// isomorphism verification rejected the pair.
+    pub prune_collisions: usize,
 }
 
 impl MatchCounters {
@@ -82,6 +92,13 @@ impl MatchCounters {
     /// `r1 + r2` (unit-cost `c = 1`).
     pub fn total(&self) -> usize {
         self.leaf_compares + self.partner_checks
+    }
+
+    /// Folds the pruning pre-pass statistics into these counters.
+    pub fn absorb_prune(&mut self, stats: &crate::prune::PruneStats) {
+        self.nodes_pruned += stats.nodes_pruned;
+        self.prune_candidates += stats.candidates;
+        self.prune_collisions += stats.collisions;
     }
 }
 
@@ -274,7 +291,9 @@ mod tests {
         assert_eq!(MatchParams::with_inner_threshold(0.2).inner_threshold, 0.5);
         assert_eq!(MatchParams::with_inner_threshold(1.5).inner_threshold, 1.0);
         assert_eq!(
-            MatchParams::default().with_leaf_threshold(-1.0).leaf_threshold,
+            MatchParams::default()
+                .with_leaf_threshold(-1.0)
+                .leaf_threshold,
             0.0
         );
     }
@@ -291,7 +310,11 @@ mod tests {
         assert_eq!(lr.count(kids[1]), 1);
         assert_eq!(lr.count(kids[2]), 1);
         // leaves_of yields document order.
-        let vals: Vec<_> = lr.leaves_of(t.root()).iter().map(|&l| t.value(l).clone()).collect();
+        let vals: Vec<_> = lr
+            .leaves_of(t.root())
+            .iter()
+            .map(|&l| t.value(l).clone())
+            .collect();
         assert_eq!(vals, vec!["a", "b", "c", "d"]);
     }
 
@@ -376,7 +399,15 @@ mod tests {
         let classes = LabelClasses::classify(&t1, &t2);
         let mut ctx = ctx_for(&t1, &t2, MatchParams::with_inner_threshold(0.5), &classes);
         assert!(!ctx.equal_internal(p1, q1, &m), "ratio == t must fail");
-        let mut ctx = ctx_for(&t1, &t2, MatchParams { inner_threshold: 0.49, ..MatchParams::default() }, &classes);
+        let mut ctx = ctx_for(
+            &t1,
+            &t2,
+            MatchParams {
+                inner_threshold: 0.49,
+                ..MatchParams::default()
+            },
+            &classes,
+        );
         // (t below the paper's range, used only to verify strictness)
         assert!(ctx.equal_internal(p1, q1, &m));
     }

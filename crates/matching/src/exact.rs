@@ -13,75 +13,38 @@
 //! Criterion 3: an ambiguous fragment (duplicate) is left to the regular
 //! algorithms.
 
-use std::collections::HashMap;
-use std::hash::Hash;
-
 use hierdiff_edit::Matching;
-use hierdiff_tree::{isomorphic_subtrees, subtree_hashes, NodeId, NodeValue, Tree};
+use hierdiff_tree::{NodeValue, Tree};
 
 use crate::criteria::MatchParams;
 use crate::fast::fast_match_seeded;
+use crate::prune::prune_identical;
 use crate::simple::MatchResult;
 
-/// Pairs subtrees that are bit-identical and unique on both sides,
-/// top-down (a matched subtree's interior is paired wholesale and not
-/// revisited). Returns the seed matching.
-pub fn prematch_unique_identical<V: NodeValue + Hash>(
-    t1: &Tree<V>,
-    t2: &Tree<V>,
-) -> Matching {
-    let h1 = subtree_hashes(t1);
-    let h2 = subtree_hashes(t2);
-    let mut count1: HashMap<u64, (usize, NodeId)> = HashMap::new();
-    for id in t1.preorder() {
-        let e = count1.entry(h1[id.index()]).or_insert((0, id));
-        e.0 += 1;
-    }
-    let mut count2: HashMap<u64, (usize, NodeId)> = HashMap::new();
-    for id in t2.preorder() {
-        let e = count2.entry(h2[id.index()]).or_insert((0, id));
-        e.0 += 1;
-    }
-
-    let mut m = Matching::with_capacity(t1.arena_len(), t2.arena_len());
-    // Top-down: recurse into children only when the node itself was not
-    // wholesale-matched.
-    let mut stack = vec![t1.root()];
-    while let Some(x) = stack.pop() {
-        let hash = h1[x.index()];
-        let unique_here = count1.get(&hash).is_some_and(|&(c, _)| c == 1);
-        let candidate = count2.get(&hash).and_then(|&(c, id)| (c == 1).then_some(id));
-        if unique_here {
-            if let Some(y) = candidate {
-                if isomorphic_subtrees(t1, x, t2, y) {
-                    // Pair the whole subtree node-by-node (shapes are
-                    // identical, so parallel pre-orders line up).
-                    let xs: Vec<NodeId> = hierdiff_tree::traverse::preorder_of(t1, x).collect();
-                    let ys: Vec<NodeId> = hierdiff_tree::traverse::preorder_of(t2, y).collect();
-                    debug_assert_eq!(xs.len(), ys.len());
-                    for (&a, &b) in xs.iter().zip(&ys) {
-                        m.insert(a, b).expect("disjoint subtrees, fresh pairs");
-                    }
-                    continue; // interior handled; do not descend
-                }
-            }
-        }
-        stack.extend(t1.children(x).iter().copied());
-    }
-    m
+/// Pairs subtrees that are bit-identical and unique on both sides — the
+/// pruning pre-pass of [`crate::prune_identical`], exposed as a bare seed
+/// matching (a matched subtree's interior is paired wholesale). Use
+/// [`crate::prune_identical`] directly to also receive the
+/// [`PruneStats`](crate::PruneStats).
+pub fn prematch_unique_identical<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>) -> Matching {
+    prune_identical(t1, t2).0
 }
 
-/// [`fast_match`](crate::fast_match) with the identical-subtree pre-pass.
-/// Produces criteria-conformant matchings (pre-matched pairs are identical,
-/// hence trivially within any `f`/`t`) while skipping comparisons inside
-/// unchanged regions.
-pub fn fast_match_accelerated<V: NodeValue + Hash>(
+/// [`fast_match`](crate::fast_match) with the identical-subtree pruning
+/// pre-pass. Produces criteria-conformant matchings (pre-matched pairs are
+/// identical, hence trivially within any `f`/`t`) while skipping
+/// comparisons inside unchanged regions. The returned counters carry the
+/// pruning statistics (`nodes_pruned`, `prune_candidates`,
+/// `prune_collisions`).
+pub fn fast_match_accelerated<V: NodeValue>(
     t1: &Tree<V>,
     t2: &Tree<V>,
     params: MatchParams,
 ) -> MatchResult {
-    let seed = prematch_unique_identical(t1, t2);
-    fast_match_seeded(t1, t2, params, seed)
+    let (seed, stats) = prune_identical(t1, t2);
+    let mut result = fast_match_seeded(t1, t2, params, seed);
+    result.counters.absorb_prune(&stats);
+    result
 }
 
 #[cfg(test)]
@@ -152,6 +115,16 @@ mod tests {
                 "seed {seed_n}: accelerated did {} > {} compares",
                 fast.counters.leaf_compares,
                 plain.counters.leaf_compares
+            );
+            // Pruning statistics surface through the counters.
+            assert!(
+                fast.counters.nodes_pruned > 0,
+                "seed {seed_n}: nothing pruned on a mostly-unchanged document"
+            );
+            assert!(fast.counters.prune_candidates > 0);
+            assert_eq!(
+                plain.counters.nodes_pruned, 0,
+                "plain FastMatch never prunes"
             );
             // The resulting diffs are equally good.
             let r1 = hierdiff_edit::edit_script(&t1, &t2, &plain.matching).unwrap();

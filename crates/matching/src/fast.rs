@@ -16,11 +16,7 @@ use crate::schema::LabelClasses;
 use crate::simple::{label_chains, MatchResult};
 
 /// Algorithm *FastMatch* (Figure 11).
-pub fn fast_match<V: NodeValue>(
-    t1: &Tree<V>,
-    t2: &Tree<V>,
-    params: MatchParams,
-) -> MatchResult {
+pub fn fast_match<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>, params: MatchParams) -> MatchResult {
     fast_match_seeded(t1, t2, params, Matching::new())
 }
 
@@ -48,22 +44,35 @@ pub fn fast_match_seeded<V: NodeValue>(
     {
         let is_leaf_phase = phase == 0;
         for &label in phase_labels {
-            let s1 = chains1.get(&label).unwrap_or(&empty);
-            let s2 = chains2.get(&label).unwrap_or(&empty);
+            // Seeded/already-matched nodes can never pair again, so drop them
+            // from the chains up front. (Equivalent to guarding inside the
+            // LCS equality callback — `m` is constant during one `lcs` call —
+            // but keeps Myers' O(ND) fast when a pre-pass seeded most of the
+            // chain: a mostly-matched chain otherwise has no common elements
+            // left, driving D to l1+l2 and the LCS to quadratic.)
+            let s1: Vec<NodeId> = chains1
+                .get(&label)
+                .unwrap_or(&empty)
+                .iter()
+                .copied()
+                .filter(|&x| !m.is_matched1(x))
+                .collect();
+            let s2: Vec<NodeId> = chains2
+                .get(&label)
+                .unwrap_or(&empty)
+                .iter()
+                .copied()
+                .filter(|&y| !m.is_matched2(y))
+                .collect();
             if s1.is_empty() || s2.is_empty() {
                 continue;
             }
             // 2c. Initial matching of same-order nodes via LCS. The equality
-            //     function is the phase's matching criterion, restricted to
-            //     still-unmatched nodes (seeded pairs are final).
+            //     function is the phase's matching criterion.
             let pairs = if is_leaf_phase {
-                lcs(s1, s2, |&x, &y| {
-                    !m.is_matched1(x) && !m.is_matched2(y) && ctx.equal_leaves(x, y)
-                })
+                lcs(&s1, &s2, |&x, &y| ctx.equal_leaves(x, y))
             } else {
-                lcs(s1, s2, |&x, &y| {
-                    !m.is_matched1(x) && !m.is_matched2(y) && ctx.equal_internal(x, y, &m)
-                })
+                lcs(&s1, &s2, |&x, &y| ctx.equal_internal(x, y, &m))
             };
             // 2d. Adopt the LCS pairs.
             for &(i, j) in &pairs {
@@ -71,11 +80,11 @@ pub fn fast_match_seeded<V: NodeValue>(
                     .expect("LCS pairs checked unmatched, strictly increasing");
             }
             // 2e. Pair remaining unmatched nodes as in Algorithm Match.
-            for &x in s1 {
+            for &x in &s1 {
                 if m.is_matched1(x) {
                     continue;
                 }
-                for &y in s2 {
+                for &y in &s2 {
                     if m.is_matched2(y) {
                         continue;
                     }

@@ -112,10 +112,9 @@ mod tests {
 
     #[test]
     fn unkeyed_nodes_left_for_content_matching() {
-        let t1 = Tree::parse_sexpr(
-            r#"(D (R "id=a rec") (S "free text sentence") (S "another line"))"#,
-        )
-        .unwrap();
+        let t1 =
+            Tree::parse_sexpr(r#"(D (R "id=a rec") (S "free text sentence") (S "another line"))"#)
+                .unwrap();
         let t2 = Tree::parse_sexpr(
             r#"(D (S "another line") (R "id=a rec changed") (S "free text sentence"))"#,
         )

@@ -39,6 +39,7 @@ mod fast;
 mod keyed;
 mod mismatch;
 mod postprocess;
+mod prune;
 mod quality;
 mod schema;
 mod simple;
@@ -50,6 +51,7 @@ pub use fast::{fast_match, fast_match_seeded};
 pub use keyed::{match_by_key, match_keyed_then_content};
 pub use mismatch::{check_criterion3, mismatch_upper_bound, Criterion3Report};
 pub use postprocess::postprocess;
+pub use prune::{prune_identical, prune_identical_indexed, PruneStats};
 pub use quality::{match_quality, MatchQuality};
 pub use schema::{check_acyclic, LabelClasses, LabelCycle};
 pub use simple::{label_chains, match_simple, MatchResult};

@@ -180,25 +180,23 @@ mod tests {
     #[test]
     fn bound_rises_with_threshold() {
         // One ambiguous sentence out of four per paragraph.
-        let t1 = doc(
-            r#"(D (P (S "dup") (S "a1") (S "a2") (S "a3"))
-                  (P (S "dup") (S "b1") (S "b2") (S "b3")))"#,
-        );
-        let t2 = doc(
-            r#"(D (P (S "dup") (S "a1") (S "a2") (S "a3"))
-                  (P (S "dup") (S "b1") (S "b2") (S "b3")))"#,
-        );
+        let t1 = doc(r#"(D (P (S "dup") (S "a1") (S "a2") (S "a3"))
+                  (P (S "dup") (S "b1") (S "b2") (S "b3")))"#);
+        let t2 = doc(r#"(D (P (S "dup") (S "a1") (S "a2") (S "a3"))
+                  (P (S "dup") (S "b1") (S "b2") (S "b3")))"#);
         let p_label = Some(Label::intern("P"));
-        let at = |t: f64| {
-            mismatch_upper_bound(&t1, &t2, MatchParams::with_inner_threshold(t), p_label)
-        };
+        let at =
+            |t: f64| mismatch_upper_bound(&t1, &t2, MatchParams::with_inner_threshold(t), p_label);
         // v(x) = 1, |x| = 4: potential iff 1 > (1−t)·4 ⇔ t > 0.75.
         assert_eq!(at(0.5), 0.0);
         assert_eq!(at(0.7), 0.0);
         assert_eq!(at(0.8), 1.0);
         assert_eq!(at(1.0), 1.0);
         // Monotone non-decreasing across the Table 1 sweep.
-        let sweep: Vec<f64> = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0].iter().map(|&t| at(t)).collect();
+        let sweep: Vec<f64> = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+            .iter()
+            .map(|&t| at(t))
+            .collect();
         assert!(sweep.windows(2).all(|w| w[0] <= w[1]));
     }
 

@@ -39,10 +39,15 @@ pub fn postprocess<V: NodeValue>(
     // Top-down over T1 (BFS = parents before children).
     let order: Vec<_> = t1.bfs().collect();
     for x in order {
-        let Some(y) = matching.partner1(x) else { continue };
+        let Some(y) = matching.partner1(x) else {
+            continue;
+        };
         let children: Vec<_> = t1.children(x).to_vec();
         for c in children {
-            if matching.partner1(c).is_some_and(|c1| t2.parent(c1) == Some(y)) {
+            if matching
+                .partner1(c)
+                .is_some_and(|c1| t2.parent(c1) == Some(y))
+            {
                 continue; // already consistent
             }
             // Candidate children of y: same label, free or cross-wired,
@@ -67,9 +72,7 @@ pub fn postprocess<V: NodeValue>(
             if let Some(c2) = candidate {
                 matching.remove1(c);
                 matching.remove2(c2);
-                matching
-                    .insert(c, c2)
-                    .expect("both sides freed above");
+                matching.insert(c, c2).expect("both sides freed above");
                 rematched += 1;
             }
         }
@@ -107,15 +110,11 @@ mod tests {
         // leaf LCS matches the first "dup" of T1 to the first of T2 — fine —
         // but by deleting the *second* paragraph's distinct content in T2 we
         // force the second "dup" to have been matched across paragraphs.
-        let t1 = doc(
-            r#"(D (P (S "dup") (S "p1a") (S "p1b")) (P (S "dup") (S "p2a") (S "p2b")))"#,
-        );
+        let t1 = doc(r#"(D (P (S "dup") (S "p1a") (S "p1b")) (P (S "dup") (S "p2a") (S "p2b")))"#);
         // In T2, the paragraphs swap positions. Duplicates make the leaf
         // matcher pair "dup"s positionally (first-to-first), crossing the
         // paragraph correspondence.
-        let t2 = doc(
-            r#"(D (P (S "dup") (S "p2a") (S "p2b")) (P (S "dup") (S "p1a") (S "p1b")))"#,
-        );
+        let t2 = doc(r#"(D (P (S "dup") (S "p2a") (S "p2b")) (P (S "dup") (S "p1a") (S "p1b")))"#);
         let mut res = fast_match(&t1, &t2, MatchParams::default());
         let m0 = res.matching.clone();
         let before = edit_script(&t1, &t2, &m0).unwrap();
@@ -151,12 +150,8 @@ mod tests {
 
     #[test]
     fn matching_stays_one_to_one() {
-        let t1 = doc(
-            r#"(D (P (S "dup") (S "a1") (S "a2")) (P (S "dup") (S "b1") (S "b2")))"#,
-        );
-        let t2 = doc(
-            r#"(D (P (S "dup") (S "b1") (S "b2")) (P (S "dup") (S "a1") (S "a2")))"#,
-        );
+        let t1 = doc(r#"(D (P (S "dup") (S "a1") (S "a2")) (P (S "dup") (S "b1") (S "b2")))"#);
+        let t2 = doc(r#"(D (P (S "dup") (S "b1") (S "b2")) (P (S "dup") (S "a1") (S "a2")))"#);
         let mut res = fast_match(&t1, &t2, MatchParams::default());
         postprocess(&t1, &t2, MatchParams::default(), &mut res.matching);
         // Bijectivity is structurally enforced; verify coverage sanity.

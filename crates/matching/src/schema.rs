@@ -38,9 +38,20 @@ impl LabelClasses {
         let mut any_internal: HashMap<Label, bool> = HashMap::new();
         let mut seen_order: Vec<Label> = Vec::new();
         for tree in [t1, t2] {
+            // Dense per-node heights in one postorder pass (Tree::height
+            // recomputes recursively per call — O(subtree) each).
+            let mut heights = vec![0usize; tree.arena_len()];
+            for id in tree.postorder() {
+                heights[id.index()] = tree
+                    .children(id)
+                    .iter()
+                    .map(|&c| heights[c.index()] + 1)
+                    .max()
+                    .unwrap_or(0);
+            }
             for id in tree.preorder() {
                 let l = tree.label(id);
-                let h = tree.height(id);
+                let h = heights[id.index()];
                 let e = max_height.entry(l).or_insert_with(|| {
                     seen_order.push(l);
                     0
@@ -103,10 +114,7 @@ impl std::error::Error for LabelCycle {}
 /// Checks the acyclic-labels condition over the parent→child label edges of
 /// both trees; on success returns a topological order of the labels (most
 /// deeply nestable first — a valid `<ₗ`).
-pub fn check_acyclic<V: NodeValue>(
-    t1: &Tree<V>,
-    t2: &Tree<V>,
-) -> Result<Vec<Label>, LabelCycle> {
+pub fn check_acyclic<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>) -> Result<Vec<Label>, LabelCycle> {
     // Build the "child-label under parent-label" edge set.
     let mut edges: HashMap<Label, Vec<Label>> = HashMap::new(); // parent -> children
     let mut labels: Vec<Label> = Vec::new();
@@ -199,7 +207,11 @@ mod tests {
         // Internal labels bottom-up: P (height 1) < Sec (height 2) < Doc.
         assert_eq!(
             c.internal_labels,
-            vec![Label::intern("P"), Label::intern("Sec"), Label::intern("Doc")]
+            vec![
+                Label::intern("P"),
+                Label::intern("Sec"),
+                Label::intern("Doc")
+            ]
         );
         assert_eq!(c.internal_label_count(), 3);
     }
@@ -231,7 +243,10 @@ mod tests {
         let t1 = doc(r#"(List (List (S "a")))"#);
         let t2 = doc(r#"(List)"#);
         let err = check_acyclic(&t1, &t2).unwrap_err();
-        assert_eq!(err.labels, vec![Label::intern("List"), Label::intern("List")]);
+        assert_eq!(
+            err.labels,
+            vec![Label::intern("List"), Label::intern("List")]
+        );
     }
 
     #[test]

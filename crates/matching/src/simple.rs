@@ -37,11 +37,7 @@ pub fn label_chains<V: NodeValue>(tree: &Tree<V>) -> HashMap<Label, Vec<NodeId>>
 }
 
 /// Algorithm *Match* (Figure 10).
-pub fn match_simple<V: NodeValue>(
-    t1: &Tree<V>,
-    t2: &Tree<V>,
-    params: MatchParams,
-) -> MatchResult {
+pub fn match_simple<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>, params: MatchParams) -> MatchResult {
     let classes = LabelClasses::classify(t1, t2);
     let mut ctx = MatchCtx::new(t1, t2, params, &classes);
     let mut m = Matching::with_capacity(t1.arena_len(), t2.arena_len());

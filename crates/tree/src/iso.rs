@@ -11,12 +11,7 @@ use crate::value::NodeValue;
 /// Whether the subtrees rooted at `a` (in `ta`) and `b` (in `tb`) are
 /// identical except for node identifiers: same labels, same values, same
 /// child orders, recursively.
-pub fn isomorphic_subtrees<V: NodeValue>(
-    ta: &Tree<V>,
-    a: NodeId,
-    tb: &Tree<V>,
-    b: NodeId,
-) -> bool {
+pub fn isomorphic_subtrees<V: NodeValue>(ta: &Tree<V>, a: NodeId, tb: &Tree<V>, b: NodeId) -> bool {
     // Iterative pairwise comparison to avoid recursion-depth limits on deep
     // trees.
     let mut stack = vec![(a, b)];

@@ -69,7 +69,11 @@ impl Label {
     /// Number of distinct labels interned so far, process-wide. Any
     /// `Label::index()` is strictly below this.
     pub fn universe_size() -> usize {
-        interner().lock().expect("label interner poisoned").names.len()
+        interner()
+            .lock()
+            .expect("label interner poisoned")
+            .names
+            .len()
     }
 }
 

@@ -36,7 +36,11 @@ fn render_node<V: NodeValue>(
     let children = tree.children(id);
     for (i, &c) in children.iter().enumerate() {
         let last = i + 1 == children.len();
-        let (branch, pad) = if last { ("└── ", "    ") } else { ("├── ", "│   ") };
+        let (branch, pad) = if last {
+            ("└── ", "    ")
+        } else {
+            ("├── ", "│   ")
+        };
         render_node(
             tree,
             c,

@@ -12,11 +12,26 @@ use crate::{isomorphic, Label, NodeId, NodeValue, Tree};
 /// the current tree state so every generated op is *applicable*.
 #[derive(Debug, Clone)]
 enum OpSpec {
-    Insert { parent_sel: u32, pos_sel: u32, value: u8 },
-    DeleteLeaf { leaf_sel: u32 },
-    Update { node_sel: u32, value: u8 },
-    Move { node_sel: u32, target_sel: u32, pos_sel: u32 },
-    DeleteSubtree { node_sel: u32 },
+    Insert {
+        parent_sel: u32,
+        pos_sel: u32,
+        value: u8,
+    },
+    DeleteLeaf {
+        leaf_sel: u32,
+    },
+    Update {
+        node_sel: u32,
+        value: u8,
+    },
+    Move {
+        node_sel: u32,
+        target_sel: u32,
+        pos_sel: u32,
+    },
+    DeleteSubtree {
+        node_sel: u32,
+    },
     WrapRoot,
 }
 
@@ -40,7 +55,11 @@ fn apply_spec(t: &mut Tree<String>, spec: &OpSpec) -> bool {
     let nodes: Vec<NodeId> = t.preorder().collect();
     let sel = |s: u32| nodes[(s as usize) % nodes.len()];
     match spec {
-        OpSpec::Insert { parent_sel, pos_sel, value } => {
+        OpSpec::Insert {
+            parent_sel,
+            pos_sel,
+            value,
+        } => {
             let parent = sel(*parent_sel);
             let pos = (*pos_sel as usize) % (t.arity(parent) + 1);
             t.insert(parent, pos, Label::intern("N"), format!("v{value}"))
@@ -61,7 +80,11 @@ fn apply_spec(t: &mut Tree<String>, spec: &OpSpec) -> bool {
             t.update(node, format!("u{value}")).expect("live node");
             true
         }
-        OpSpec::Move { node_sel, target_sel, pos_sel } => {
+        OpSpec::Move {
+            node_sel,
+            target_sel,
+            pos_sel,
+        } => {
             let node = sel(*node_sel);
             let target = sel(*target_sel);
             if node == t.root() || t.is_ancestor(node, target) {

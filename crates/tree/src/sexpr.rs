@@ -54,7 +54,10 @@ impl fmt::Display for SexprError {
                 write!(f, "unexpected character {found:?} at byte {at}")
             }
             SexprError::MisplacedValue { at } => {
-                write!(f, "misplaced value string at byte {at} (values go on leaves, once)")
+                write!(
+                    f,
+                    "misplaced value string at byte {at} (values go on leaves, once)"
+                )
             }
             SexprError::TrailingInput { at } => {
                 write!(f, "trailing input after root tree at byte {at}")
@@ -313,8 +316,14 @@ mod tests {
 
     #[test]
     fn error_unexpected_eof() {
-        assert!(matches!(Tree::parse_sexpr("(D"), Err(SexprError::UnexpectedEof)));
-        assert!(matches!(Tree::parse_sexpr(r#"(S "ab"#), Err(SexprError::UnexpectedEof)));
+        assert!(matches!(
+            Tree::parse_sexpr("(D"),
+            Err(SexprError::UnexpectedEof)
+        ));
+        assert!(matches!(
+            Tree::parse_sexpr(r#"(S "ab"#),
+            Err(SexprError::UnexpectedEof)
+        ));
     }
 
     #[test]
@@ -347,7 +356,10 @@ mod tests {
             Tree::parse_sexpr("D)"),
             Err(SexprError::Unexpected { .. })
         ));
-        assert!(matches!(Tree::parse_sexpr(""), Err(SexprError::UnexpectedEof)));
+        assert!(matches!(
+            Tree::parse_sexpr(""),
+            Err(SexprError::UnexpectedEof)
+        ));
     }
 
     #[test]

@@ -75,7 +75,8 @@ impl<V: NodeValue> Iterator for Preorder<'_, V> {
     fn next(&mut self) -> Option<NodeId> {
         let id = self.stack.pop()?;
         // Push children reversed so the leftmost child pops first.
-        self.stack.extend(self.tree.children(id).iter().rev().copied());
+        self.stack
+            .extend(self.tree.children(id).iter().rev().copied());
         Some(id)
     }
 }
@@ -193,8 +194,7 @@ mod tests {
         let order: Vec<_> = t.postorder().collect();
         assert_eq!(order, vec![n[4], n[5], n[1], n[6], n[2], n[3], n[0]]);
         // Invariant check: every node appears after all of its children.
-        let pos =
-            |id: crate::NodeId| order.iter().position(|&x| x == id).unwrap();
+        let pos = |id: crate::NodeId| order.iter().position(|&x| x == id).unwrap();
         for &id in &order {
             for &c in t.children(id) {
                 assert!(pos(c) < pos(id));

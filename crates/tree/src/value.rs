@@ -12,7 +12,10 @@
 /// The paper's label-value model has "defaults for the label and value of a
 /// node that does not specify them explicitly"; [`NodeValue::null`] is that
 /// default (interior nodes typically carry it).
-pub trait NodeValue: Clone + PartialEq + std::fmt::Debug {
+///
+/// `Hash` is required so subtree fingerprints (the identical-subtree pruning
+/// accelerator) can digest values; hashing must agree with `PartialEq`.
+pub trait NodeValue: Clone + PartialEq + std::hash::Hash + std::fmt::Debug {
     /// The default ("null") value carried by nodes that do not specify one.
     fn null() -> Self;
 

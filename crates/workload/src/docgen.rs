@@ -91,7 +91,11 @@ pub fn generate_document(seed: u64, profile: &DocProfile) -> Tree<DocValue> {
         let sec = tree.push_child(
             root,
             labels::section(),
-            DocValue::text(format!("Section {} {}", s + 1, word(rng.gen_range(0..profile.vocabulary)))),
+            DocValue::text(format!(
+                "Section {} {}",
+                s + 1,
+                word(rng.gen_range(0..profile.vocabulary))
+            )),
         );
         let (plo, phi) = profile.paragraphs_per_section;
         for _ in 0..rng.gen_range(plo..=phi) {

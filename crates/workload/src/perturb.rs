@@ -185,10 +185,7 @@ pub fn ground_truth_matching(
     original: &Tree<DocValue>,
     perturbed: &Tree<DocValue>,
 ) -> hierdiff_edit::Matching {
-    let mut m = hierdiff_edit::Matching::with_capacity(
-        original.arena_len(),
-        perturbed.arena_len(),
-    );
+    let mut m = hierdiff_edit::Matching::with_capacity(original.arena_len(), perturbed.arena_len());
     for id in original.preorder() {
         if perturbed.is_alive(id) {
             debug_assert_eq!(original.label(id), perturbed.label(id));
@@ -252,7 +249,9 @@ fn apply_one(
 
     if hit(mix.sentence_insert) {
         let paras = nodes_with_label(t, labels::paragraph());
-        let Some(p) = pick(rng, &paras) else { return false };
+        let Some(p) = pick(rng, &paras) else {
+            return false;
+        };
         let pos = rng.gen_range(0..=t.arity(p));
         let text = random_sentence(rng, profile);
         t.insert(p, pos, labels::sentence(), DocValue::text(text))
@@ -262,14 +261,18 @@ fn apply_one(
     }
     if hit(mix.sentence_delete) {
         let sents = nodes_with_label(t, labels::sentence());
-        let Some(s) = pick(rng, &sents) else { return false };
+        let Some(s) = pick(rng, &sents) else {
+            return false;
+        };
         t.delete_leaf(s).expect("sentences are leaves");
         report.sentence_deletes += 1;
         return true;
     }
     if hit(mix.sentence_update) {
         let sents = nodes_with_label(t, labels::sentence());
-        let Some(s) = pick(rng, &sents) else { return false };
+        let Some(s) = pick(rng, &sents) else {
+            return false;
+        };
         let old = t.value(s).as_text().unwrap_or("").to_string();
         let updated = rewrite_words(&old, rng, profile);
         if updated == old {
@@ -282,8 +285,12 @@ fn apply_one(
     if hit(mix.sentence_move) {
         let sents = nodes_with_label(t, labels::sentence());
         let paras = nodes_with_label(t, labels::paragraph());
-        let Some(s) = pick(rng, &sents) else { return false };
-        let Some(p) = pick(rng, &paras) else { return false };
+        let Some(s) = pick(rng, &sents) else {
+            return false;
+        };
+        let Some(p) = pick(rng, &paras) else {
+            return false;
+        };
         let arity = t.arity(p) - usize::from(t.parent(s) == Some(p));
         let pos = rng.gen_range(0..=arity);
         if t.parent(s) == Some(p) && t.position(s) == Some(pos) {
@@ -300,7 +307,9 @@ fn apply_one(
             .into_iter()
             .filter(|&p| t.arity(p) >= 2)
             .collect();
-        let Some(p) = pick(rng, &paras) else { return false };
+        let Some(p) = pick(rng, &paras) else {
+            return false;
+        };
         let kids: Vec<NodeId> = t.children(p).to_vec();
         let s = kids[rng.gen_range(0..kids.len())];
         let old_pos = t.position(s).expect("child of p");
@@ -340,7 +349,9 @@ fn apply_one(
         if paras.len() <= 1 {
             return false; // keep at least one paragraph
         }
-        let Some(p) = pick(rng, &paras) else { return false };
+        let Some(p) = pick(rng, &paras) else {
+            return false;
+        };
         t.delete_subtree(p).expect("paragraph is not the root");
         report.paragraph_deletes += 1;
         return true;
@@ -348,14 +359,17 @@ fn apply_one(
     if hit(mix.paragraph_move) {
         let paras = nodes_with_label(t, labels::paragraph());
         let secs = nodes_with_label(t, labels::section());
-        let Some(p) = pick(rng, &paras) else { return false };
+        let Some(p) = pick(rng, &paras) else {
+            return false;
+        };
         let target = pick(rng, &secs).unwrap_or(t.root());
         let arity = t.arity(target) - usize::from(t.parent(p) == Some(target));
         let pos = rng.gen_range(0..=arity);
         if t.parent(p) == Some(target) && t.position(p) == Some(pos) {
             return false;
         }
-        t.move_subtree(p, target, pos).expect("paragraph into section");
+        t.move_subtree(p, target, pos)
+            .expect("paragraph into section");
         report.paragraph_moves += 1;
         return true;
     }

@@ -25,7 +25,11 @@ fn render_children(tree: &Tree<DocValue>, id: NodeId, out: &mut String) {
 fn render_node(tree: &Tree<DocValue>, id: NodeId, out: &mut String) {
     let label = tree.label(id);
     if label == labels::section() || label == labels::subsection() {
-        let cmd = if label == labels::section() { "section" } else { "subsection" };
+        let cmd = if label == labels::section() {
+            "section"
+        } else {
+            "subsection"
+        };
         let title = tree.value(id).as_text().unwrap_or("");
         out.push_str(&format!("\\{cmd}{{{title}}}\n"));
         render_children(tree, id, out);

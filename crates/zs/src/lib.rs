@@ -32,13 +32,7 @@ pub trait ZsCostModel<V> {
     /// Cost of inserting a node.
     fn insert(&self, label: hierdiff_tree::Label, value: &V) -> f64;
     /// Cost of relabeling node `(l1, v1)` to `(l2, v2)`.
-    fn relabel(
-        &self,
-        l1: hierdiff_tree::Label,
-        v1: &V,
-        l2: hierdiff_tree::Label,
-        v2: &V,
-    ) -> f64;
+    fn relabel(&self, l1: hierdiff_tree::Label, v1: &V, l2: hierdiff_tree::Label, v2: &V) -> f64;
 }
 
 /// Unit costs: delete = insert = 1, relabel = 0 when label and value are
@@ -55,13 +49,7 @@ impl<V: NodeValue> ZsCostModel<V> for UnitCost {
         1.0
     }
 
-    fn relabel(
-        &self,
-        l1: hierdiff_tree::Label,
-        v1: &V,
-        l2: hierdiff_tree::Label,
-        v2: &V,
-    ) -> f64 {
+    fn relabel(&self, l1: hierdiff_tree::Label, v1: &V, l2: hierdiff_tree::Label, v2: &V) -> f64 {
         if l1 == l2 && v1 == v2 {
             0.0
         } else {
@@ -87,13 +75,7 @@ impl<V: NodeValue> ZsCostModel<V> for CompareCost {
         1.0
     }
 
-    fn relabel(
-        &self,
-        l1: hierdiff_tree::Label,
-        v1: &V,
-        l2: hierdiff_tree::Label,
-        v2: &V,
-    ) -> f64 {
+    fn relabel(&self, l1: hierdiff_tree::Label, v1: &V, l2: hierdiff_tree::Label, v2: &V) -> f64 {
         if l1 == l2 {
             v1.compare(v2)
         } else {
@@ -136,15 +118,15 @@ fn view<V: NodeValue>(tree: &Tree<V>) -> ZsView {
     }
     let mut keyroots: Vec<usize> = last_with_lml.into_values().collect();
     keyroots.sort_unstable();
-    ZsView { post, lml, keyroots }
+    ZsView {
+        post,
+        lml,
+        keyroots,
+    }
 }
 
 /// Computes the ZS edit distance between `t1` and `t2` under `costs`.
-pub fn tree_distance<V: NodeValue>(
-    t1: &Tree<V>,
-    t2: &Tree<V>,
-    costs: &impl ZsCostModel<V>,
-) -> f64 {
+pub fn tree_distance<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>, costs: &impl ZsCostModel<V>) -> f64 {
     Zs::new(t1, t2, costs).distance()
 }
 
@@ -177,7 +159,14 @@ impl<'t, V: NodeValue, C: ZsCostModel<V>> Zs<'t, V, C> {
         let v1 = view(t1);
         let v2 = view(t2);
         let td = vec![vec![0.0; v2.post.len()]; v1.post.len()];
-        Zs { t1, t2, v1, v2, costs, td }
+        Zs {
+            t1,
+            t2,
+            v1,
+            v2,
+            costs,
+            td,
+        }
     }
 
     fn del_cost(&self, i: usize) -> f64 {
@@ -344,7 +333,10 @@ mod tests {
     #[test]
     fn symmetric_under_unit_costs() {
         let pairs = [
-            (r#"(D (P (S "a")) (P (S "b")))"#, r#"(D (P (S "b") (S "a")))"#),
+            (
+                r#"(D (P (S "a")) (P (S "b")))"#,
+                r#"(D (P (S "b") (S "a")))"#,
+            ),
             (r#"(D (S "x"))"#, r#"(E (Q (S "y") (S "z")))"#),
             (r#"(A (B (C "1")))"#, r#"(A (C "1"))"#),
         ];
@@ -404,7 +396,7 @@ mod tests {
             for i in 0..rng.gen_range(1..8usize) {
                 let parent = ids[rng.gen_range(0..ids.len())];
                 let pos = rng.gen_range(0..=t.arity(parent));
-                let label = Label::intern(["A", "B"][rng.gen_range(0..2)]);
+                let label = Label::intern(["A", "B"][rng.gen_range(0..2usize)]);
                 let id = t.insert(parent, pos, label, format!("v{}", i % 3)).unwrap();
                 ids.push(id);
             }
@@ -417,7 +409,10 @@ mod tests {
             let ab = tree_distance(&a, &b, &UnitCost);
             let bc = tree_distance(&b, &c, &UnitCost);
             let ac = tree_distance(&a, &c, &UnitCost);
-            assert!(ac <= ab + bc + 1e-9, "triangle violated: {ac} > {ab} + {bc}");
+            assert!(
+                ac <= ab + bc + 1e-9,
+                "triangle violated: {ac} > {ab} + {bc}"
+            );
             assert!((tree_distance(&b, &a, &UnitCost) - ab).abs() < 1e-9);
         }
     }

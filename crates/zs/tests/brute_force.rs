@@ -230,9 +230,8 @@ fn zs_matches_brute_force_on_all_tiny_pairs() {
             // Search the true edit space up to cost `zs`: finding a cheaper
             // path means ZS is suboptimal; finding none at all means ZS
             // reported an unachievable (too low) distance.
-            let bf = brute_distance(a, b, &alphabet, zs).unwrap_or_else(|| {
-                panic!("ZS distance {zs} unachievable for {a:?} -> {b:?}")
-            });
+            let bf = brute_distance(a, b, &alphabet, zs)
+                .unwrap_or_else(|| panic!("ZS distance {zs} unachievable for {a:?} -> {b:?}"));
             assert_eq!(bf, zs, "ZS missed the optimum for {a:?} -> {b:?}");
             checked += 1;
         }

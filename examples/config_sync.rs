@@ -59,7 +59,8 @@ fn snapshot(rows: &[(&str, &str)]) -> Tree<String> {
 
 /// Extracts the `key=...` prefix of a node value.
 fn key_of(v: &str) -> Option<&str> {
-    v.strip_prefix("key=").map(|rest| rest.split(' ').next().unwrap_or(rest))
+    v.strip_prefix("key=")
+        .map(|rest| rest.split(' ').next().unwrap_or(rest))
 }
 
 /// Matches nodes of two snapshots by their keys (same label required).
@@ -108,8 +109,8 @@ fn main() {
         baseline.len()
     );
 
-    let result = diff(&baseline, &current, &DiffOptions::with_matching(keyed))
-        .expect("keyed diff succeeds");
+    let result =
+        diff(&baseline, &current, &DiffOptions::with_matching(keyed)).expect("keyed diff succeeds");
 
     println!("\n=== configuration delta ===");
     for op in result.script.iter() {

@@ -72,7 +72,10 @@ fn main() {
 
     let s = &out.stats;
     println!("=== statistics ===");
-    println!("old: {} nodes, new: {} nodes, matched: {}", s.old_nodes, s.new_nodes, s.matched);
+    println!(
+        "old: {} nodes, new: {} nodes, matched: {}",
+        s.old_nodes, s.new_nodes, s.matched
+    );
     println!(
         "edit script: {} ops — {} inserts, {} deletes, {} updates, {} moves",
         s.ops.total(),

@@ -6,9 +6,9 @@
 //! the good matching, generate the minimum conforming edit script, build
 //! the delta tree, and print everything.
 
-use hierdiff::{diff, DiffOptions};
 use hierdiff::delta::render_text;
 use hierdiff::tree::Tree;
+use hierdiff::{diff, DiffOptions};
 
 fn main() {
     // Trees in the library's s-expression notation: (Label children...),

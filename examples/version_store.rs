@@ -11,11 +11,11 @@
 
 use std::collections::HashMap;
 
+use hierdiff::doc::DocValue;
 use hierdiff::edit::{apply_script, invert_script, EditScript};
 use hierdiff::tree::{isomorphic, Tree};
 use hierdiff::workload::{generate_document, perturb, DocProfile, EditMix};
 use hierdiff::{diff, DiffOptions};
-use hierdiff::doc::DocValue;
 
 /// A delta-compressed version store: latest snapshot + backward deltas.
 struct VersionStore {
@@ -40,8 +40,8 @@ impl VersionStore {
         let result = diff(&self.latest, &next, &DiffOptions::default())
             .expect("document versions share the Document root");
         assert!(!result.mces.wrapped, "document roots always match");
-        let backward = invert_script(&self.latest, &result.script)
-            .expect("generated scripts replay");
+        let backward =
+            invert_script(&self.latest, &result.script).expect("generated scripts replay");
         self.backward.push(backward);
         self.latest = result.mces.edited;
         result.script.len()
@@ -69,8 +69,8 @@ impl VersionStore {
                 }
                 id
             });
-            let remap = apply_script(&mut tree, &resolved, |_, _| ())
-                .expect("backward deltas replay");
+            let remap =
+                apply_script(&mut tree, &resolved, |_, _| ()).expect("backward deltas replay");
             translation.extend(remap);
         }
         tree

@@ -25,23 +25,14 @@ fn main() {
     let paragraph = Label::intern("Paragraph");
     let section = Label::intern("Section");
     let rules = RuleSet::new()
-        .rule(
-            Rule::on("refresh-fulltext-index", ChangeKind::Inserted)
-                .with_label(sentence),
-        )
-        .rule(
-            Rule::on("refresh-fulltext-index-deletes", ChangeKind::Deleted)
-                .with_label(sentence),
-        )
+        .rule(Rule::on("refresh-fulltext-index", ChangeKind::Inserted).with_label(sentence))
+        .rule(Rule::on("refresh-fulltext-index-deletes", ChangeKind::Deleted).with_label(sentence))
         .rule(
             Rule::on("recluster-storage", ChangeKind::Moved)
                 .with_label(paragraph)
                 .min_count(2),
         )
-        .rule(
-            Rule::on("rebuild-toc", ChangeKind::Moved)
-                .with_label(section),
-        )
+        .rule(Rule::on("rebuild-toc", ChangeKind::Moved).with_label(section))
         .rule(Rule::on_any_change("audit-log").min_count(1));
 
     // Nightly job: diff + evaluate.

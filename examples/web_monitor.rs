@@ -52,8 +52,8 @@ fn main() {
         params: MatchParams::default().with_leaf_threshold(0.9),
         ..LaDiffOptions::default()
     };
-    let out = ladiff(SNAPSHOT_MONDAY, SNAPSHOT_TUESDAY, &options)
-        .expect("snapshots parse and diff");
+    let out =
+        ladiff(SNAPSHOT_MONDAY, SNAPSHOT_TUESDAY, &options).expect("snapshots parse and diff");
 
     println!("=== what changed since your last visit ===\n");
     let delta = &out.delta;

@@ -72,9 +72,18 @@ fn savings_grow_with_document_size_at_fixed_churn() {
     let edits = 6;
     let mut ratios = Vec::new();
     for &sections in &[4usize, 16] {
-        let profile = DocProfile { sections, ..DocProfile::default() };
+        let profile = DocProfile {
+            sections,
+            ..DocProfile::default()
+        };
         let t1 = generate_document(5_500 + sections as u64, &profile);
-        let (t2, _) = perturb(&t1, 5_600 + sections as u64, edits, &EditMix::default(), &profile);
+        let (t2, _) = perturb(
+            &t1,
+            5_600 + sections as u64,
+            edits,
+            &EditMix::default(),
+            &profile,
+        );
         let plain = fast_match(&t1, &t2, MatchParams::default());
         let accel = fast_match_accelerated(&t1, &t2, MatchParams::default());
         assert_eq!(plain.matching.len(), accel.matching.len());

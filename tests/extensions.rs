@@ -6,9 +6,7 @@ use hierdiff::delta::{build_delta_tree, extract_script, ChangeKind};
 use hierdiff::edit::{apply, edit_script, invert_script};
 use hierdiff::matching::{fast_match, match_by_key, match_quality, MatchParams};
 use hierdiff::tree::{isomorphic, Label, Tree};
-use hierdiff::workload::{
-    generate_document, ground_truth_matching, perturb, DocProfile, EditMix,
-};
+use hierdiff::workload::{generate_document, ground_truth_matching, perturb, DocProfile, EditMix};
 use hierdiff::{diff, match_with_optimality, DiffOptions};
 
 /// Forward + inverse across many random corpora: the undo loop of the
@@ -45,11 +43,23 @@ fn delta_query_and_extract_consistency() {
         let delta = build_delta_tree(&t1, &t2, &matched.matching, &res);
 
         let counts = delta.annotation_counts();
-        assert_eq!(delta.query().kind(ChangeKind::Inserted).count(), counts.inserted);
-        assert_eq!(delta.query().kind(ChangeKind::Deleted).count(), counts.deleted);
+        assert_eq!(
+            delta.query().kind(ChangeKind::Inserted).count(),
+            counts.inserted
+        );
+        assert_eq!(
+            delta.query().kind(ChangeKind::Deleted).count(),
+            counts.deleted
+        );
         assert_eq!(delta.query().kind(ChangeKind::Moved).count(), counts.moved);
-        assert_eq!(delta.query().kind(ChangeKind::Markers).count(), counts.markers);
-        assert_eq!(counts.moved, counts.markers, "every MOV has exactly one MRK");
+        assert_eq!(
+            delta.query().kind(ChangeKind::Markers).count(),
+            counts.markers
+        );
+        assert_eq!(
+            counts.moved, counts.markers,
+            "every MOV has exactly one MRK"
+        );
 
         let x = extract_script(&delta).unwrap();
         let mut replay = x.old.clone();
@@ -127,7 +137,8 @@ fn keyed_matching_exact_on_keyed_data() {
     let row = t2.children(tables[0])[2];
     t2.move_subtree(row, tables[1], 0).unwrap();
     let row2 = t2.children(tables[1])[3];
-    t2.update(row2, "id=t1r2 payload-updated".to_string()).unwrap();
+    t2.update(row2, "id=t1r2 payload-updated".to_string())
+        .unwrap();
 
     let key = |t: &Tree<String>, n: hierdiff::tree::NodeId| {
         t.value(n)

@@ -4,8 +4,7 @@
 //! authoring formats.
 
 use hierdiff::doc::{
-    diff_trees, parse_html, parse_latex, parse_markdown, parse_xml, render_markdown,
-    LaDiffOptions,
+    diff_trees, parse_html, parse_latex, parse_markdown, parse_xml, render_markdown, LaDiffOptions,
 };
 use hierdiff::tree::isomorphic;
 
@@ -48,7 +47,8 @@ fn cross_format_diff_agrees() {
 
 #[test]
 fn lists_agree_across_formats() {
-    let latex = "\\begin{itemize}\n\\item First point here.\n\\item Second point here.\n\\end{itemize}\n";
+    let latex =
+        "\\begin{itemize}\n\\item First point here.\n\\item Second point here.\n\\end{itemize}\n";
     let markdown = "- First point here.\n- Second point here.\n";
     let html = "<ul><li>First point here.</li><li>Second point here.</li></ul>";
     let a = parse_latex(latex);
@@ -62,10 +62,8 @@ fn lists_agree_across_formats() {
 fn xml_remains_distinct_but_diffable_against_itself() {
     // XML maps to its own schema (element names as labels), so it is not
     // isomorphic to the document formats — but the same machinery diffs it.
-    let a = parse_xml(
-        "<notes><p>Alpha stays.</p><p>Beta stays.</p><p>Gamma stays.</p></notes>",
-    )
-    .unwrap();
+    let a = parse_xml("<notes><p>Alpha stays.</p><p>Beta stays.</p><p>Gamma stays.</p></notes>")
+        .unwrap();
     let b = parse_xml(
         "<notes><p>Alpha stays.</p><p>Beta stays.</p><p>Gamma stays.</p><p>Delta arrives.</p></notes>",
     )

@@ -2,8 +2,8 @@
 //! documents exercise every Table 2 mark-up convention; this test pins the
 //! detected operations and the conventions that must appear in the output.
 
-use hierdiff_bench::experiments::{SAMPLE_NEW, SAMPLE_OLD};
 use hierdiff::doc::{ladiff, Engine, LaDiffOptions};
+use hierdiff_bench::experiments::{SAMPLE_NEW, SAMPLE_OLD};
 
 #[test]
 fn sample_run_detects_all_change_kinds() {
@@ -21,13 +21,22 @@ fn sample_markup_uses_table2_conventions() {
     let mk = &out.markup;
     // Sentence conventions.
     assert!(mk.contains("\\textbf{"), "inserted sentence in bold:\n{mk}");
-    assert!(mk.contains("{\\small "), "deleted/moved-source sentence in small:\n{mk}");
-    assert!(mk.contains("\\textit{"), "updated sentence in italics:\n{mk}");
+    assert!(
+        mk.contains("{\\small "),
+        "deleted/moved-source sentence in small:\n{mk}"
+    );
+    assert!(
+        mk.contains("\\textit{"),
+        "updated sentence in italics:\n{mk}"
+    );
     assert!(
         mk.contains("\\footnote{Moved from S"),
         "move footnote at the new position:\n{mk}"
     );
-    assert!(mk.contains("S1:["), "labeled old position of the move:\n{mk}");
+    assert!(
+        mk.contains("S1:["),
+        "labeled old position of the move:\n{mk}"
+    );
     // Section renames annotated in the heading.
     assert!(
         mk.contains("(upd)") || mk.contains("(ins)"),

@@ -14,10 +14,9 @@ use hierdiff::{diff, DiffOptions};
 fn running_example_end_to_end() {
     let t1 =
         Tree::parse_sexpr(r#"(D (P (S "a")) (P (S "b") (S "c") (S "d")) (P (S "e")))"#).unwrap();
-    let t2 = Tree::parse_sexpr(
-        r#"(D (P (S "a")) (P (S "e")) (P (S "b") (S "c") (S "d") (S "g")))"#,
-    )
-    .unwrap();
+    let t2 =
+        Tree::parse_sexpr(r#"(D (P (S "a")) (P (S "e")) (P (S "b") (S "c") (S "d") (S "g")))"#)
+            .unwrap();
 
     // The matching of Example 5.1: all five old sentences, paragraphs by
     // content, the roots.
@@ -64,9 +63,16 @@ fn example_3_1_script_application() {
             parent: root,
             pos: 3, // the paper's k = 4, 1-based
         },
-        EditOp::Move { node: p5, parent: fresh, pos: 0 },
+        EditOp::Move {
+            node: p5,
+            parent: fresh,
+            pos: 0,
+        },
         EditOp::Delete { node: kids[0] },
-        EditOp::Update { node: kids[2], value: "baz".to_string() },
+        EditOp::Update {
+            node: kids[2],
+            value: "baz".to_string(),
+        },
     ]);
 
     let mut t = t1.clone();
@@ -105,9 +111,16 @@ fn cost_model_prefers_moves_over_reinsertion() {
             parent: root,
             pos: 3,
         },
-        EditOp::Move { node: p5, parent: fresh, pos: 0 },
+        EditOp::Move {
+            node: p5,
+            parent: fresh,
+            pos: 0,
+        },
         EditOp::Delete { node: kids[0] },
-        EditOp::Update { node: kids[2], value: "baz".to_string() },
+        EditOp::Update {
+            node: kids[2],
+            value: "baz".to_string(),
+        },
     ]);
     // The paper's alternative: delete the subtree leaf-by-leaf and insert
     // fresh copies.
@@ -145,7 +158,10 @@ fn cost_model_prefers_moves_over_reinsertion() {
             pos: 1,
         },
         EditOp::Delete { node: kids[0] },
-        EditOp::Update { node: kids[2], value: "baz".to_string() },
+        EditOp::Update {
+            node: kids[2],
+            value: "baz".to_string(),
+        },
     ]);
 
     let model = CostModel::paper();
@@ -214,10 +230,14 @@ fn larger_matchings_are_no_worse() {
     let p1 = t1.children(t1.root())[0];
     let p2 = t2.children(t2.root())[0];
     small.insert(p1, p2).unwrap();
-    small.insert(t1.children(p1)[0], t2.children(p2)[0]).unwrap();
+    small
+        .insert(t1.children(p1)[0], t2.children(p2)[0])
+        .unwrap();
 
     let mut large = small.clone();
-    large.insert(t1.children(p1)[1], t2.children(p2)[1]).unwrap();
+    large
+        .insert(t1.children(p1)[1], t2.children(p2)[1])
+        .unwrap();
 
     let r_small = edit_script(&t1, &t2, &small).unwrap();
     let r_large = edit_script(&t1, &t2, &large).unwrap();

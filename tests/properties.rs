@@ -3,13 +3,17 @@
 
 use proptest::prelude::*;
 
-use hierdiff::edit::{edit_script, weighted_edit_distance, Matching};
-use hierdiff::matching::{fast_match, MatchParams};
+use hierdiff::edit::{edit_script, weighted_edit_distance, CostModel, Matching};
+use hierdiff::matching::{fast_match, fast_match_accelerated, MatchParams};
 use hierdiff::tree::{isomorphic, Label, NodeId, NodeValue, Tree};
+use hierdiff::{diff, diff_batch, diff_batch_with, BatchOptions, DiffOptions};
 
 /// A generated tree description: parent links + labels + values, decoded
 /// into a `Tree<String>`.
-fn arb_tree(max_nodes: usize, labels: &'static [&'static str]) -> impl Strategy<Value = Tree<String>> {
+fn arb_tree(
+    max_nodes: usize,
+    labels: &'static [&'static str],
+) -> impl Strategy<Value = Tree<String>> {
     let labels_owned: Vec<&'static str> = labels.to_vec();
     proptest::collection::vec((any::<u32>(), 0..labels.len(), 0..50u32), 0..max_nodes).prop_map(
         move |nodes| {
@@ -49,10 +53,10 @@ fn apply_random_edits(t: &Tree<String>, ops: &[(u8, u32, u32)]) -> Tree<String> 
             }
             1 => {
                 // delete a random leaf (skip the root)
-                let leaves: Vec<NodeId> =
-                    out.leaves().filter(|&l| l != out.root()).collect();
+                let leaves: Vec<NodeId> = out.leaves().filter(|&l| l != out.root()).collect();
                 if !leaves.is_empty() {
-                    out.delete_leaf(leaves[(a as usize) % leaves.len()]).unwrap();
+                    out.delete_leaf(leaves[(a as usize) % leaves.len()])
+                        .unwrap();
                 }
             }
             2 => {
@@ -193,6 +197,116 @@ proptest! {
         prop_assert!(hierdiff::edit::conforms_to(&res.script, &m));
         prop_assert!(m.is_subset_of(&res.total_matching));
     }
+
+    /// Pruning is a pure acceleration: with the identical-subtree pre-pass
+    /// on or off, the resulting conforming scripts have equal cost (and
+    /// equal length) on random workload documents under random perturbation
+    /// mixes that include subtree moves. (On degenerate trees full of
+    /// duplicated values the matchings may legitimately differ — Criterion 3
+    /// fails there and neither matching is canonical — so the property is
+    /// stated over realistic document content, matching the paper's setting.)
+    #[test]
+    fn pruning_preserves_script_cost(
+        seed in any::<u16>(),
+        edits in 0usize..12,
+    ) {
+        use hierdiff::workload::{generate_document, perturb, DocProfile, EditMix};
+        let profile = DocProfile::small();
+        let t1 = generate_document(20_000 + seed as u64, &profile);
+        let (t2, _) = perturb(&t1, 30_000 + seed as u64, edits, &EditMix::revision(), &profile);
+        let plain = fast_match(&t1, &t2, MatchParams::default());
+        let accel = fast_match_accelerated(&t1, &t2, MatchParams::default());
+        prop_assert_eq!(plain.matching.len(), accel.matching.len());
+        let r1 = edit_script(&t1, &t2, &plain.matching).unwrap();
+        let r2 = edit_script(&t1, &t2, &accel.matching).unwrap();
+        prop_assert_eq!(r1.script.len(), r2.script.len());
+        let c1 = r1.cost_on(&t1, &CostModel::paper()).unwrap();
+        let c2 = r2.cost_on(&t1, &CostModel::paper()).unwrap();
+        prop_assert_eq!(c1, c2, "pruning changed script cost");
+    }
+
+    /// Applying the pruned pipeline's script to T1 yields a tree isomorphic
+    /// to T2, for random perturbations including subtree moves — the
+    /// conformance theorem survives the accelerator.
+    #[test]
+    fn pruned_script_applies_to_t2(
+        t1 in arb_tree(20, &["D", "P", "S"]),
+        ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..12),
+    ) {
+        let t2 = apply_random_edits(&t1, &ops);
+        let r = diff(&t1, &t2, &DiffOptions::default().with_prune(true)).unwrap();
+        let replayed = r.mces.replay_on(&t1).unwrap();
+        prop_assert!(isomorphic(&replayed, &r.mces.edited));
+        if !r.mces.wrapped {
+            prop_assert!(isomorphic(&replayed, &t2), "apply(script, T1) != T2");
+        }
+    }
+}
+
+proptest! {
+    // Each case spins up threads and diffs several pairs; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch equivalence: `diff_batch` (and the streaming variant at worker
+    /// counts 1, 2, and `available_parallelism`) produces exactly the
+    /// sequential `diff` result for every pair, in input order.
+    #[test]
+    fn batch_equals_sequential_for_any_worker_count(
+        trees in proptest::collection::vec(
+            (
+                arb_tree(12, &["D", "P", "S"]),
+                proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..6),
+            ),
+            1..6,
+        ),
+    ) {
+        let pairs_owned: Vec<(Tree<String>, Tree<String>)> = trees
+            .into_iter()
+            .map(|(t1, ops)| {
+                let t2 = apply_random_edits(&t1, &ops);
+                (t1, t2)
+            })
+            .collect();
+        let pairs: Vec<(&Tree<String>, &Tree<String>)> =
+            pairs_owned.iter().map(|(a, b)| (a, b)).collect();
+        let opts = DiffOptions::new();
+        let sequential: Vec<_> = pairs
+            .iter()
+            .map(|(a, b)| diff(a, b, &opts).unwrap())
+            .collect();
+
+        // Default scheduling.
+        let batch = diff_batch(&pairs, &opts);
+        for (i, r) in batch.iter().enumerate() {
+            prop_assert_eq!(&r.as_ref().unwrap().script, &sequential[i].script);
+        }
+
+        // Forced worker counts, streaming API.
+        let parallelism = std::thread::available_parallelism().map_or(4, usize::from);
+        for workers in [1usize, 2, parallelism] {
+            let mut slots: Vec<Option<hierdiff::DiffResult<String>>> =
+                (0..pairs.len()).map(|_| None).collect();
+            let report = diff_batch_with(
+                &pairs,
+                &BatchOptions::new(opts.clone()).with_workers(workers),
+                |i, r| slots[i] = Some(r.unwrap()),
+            );
+            prop_assert_eq!(report.completed(), pairs.len());
+            for (i, slot) in slots.iter().enumerate() {
+                let r = slot.as_ref().expect("pair visited");
+                prop_assert_eq!(&r.script, &sequential[i].script, "workers={}", workers);
+                prop_assert_eq!(
+                    r.matching.len(),
+                    sequential[i].matching.len(),
+                    "workers={}", workers
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Delta trees project onto both versions for arbitrary pairs.
     #[test]

@@ -25,7 +25,10 @@ fn big_profile() -> DocProfile {
 fn large_document_pipeline() {
     let profile = big_profile();
     let t1 = generate_document(424_242, &profile);
-    assert!(t1.leaves().count() > 1_000, "corpus too small for a scale test");
+    assert!(
+        t1.leaves().count() > 1_000,
+        "corpus too small for a scale test"
+    );
     let (t2, _) = perturb(&t1, 424_243, 30, &EditMix::default(), &profile);
 
     let start = Instant::now();
@@ -73,7 +76,13 @@ fn comparisons_scale_subquadratically() {
             ..DocProfile::default()
         };
         let t1 = generate_document(555_000 + sections as u64, &profile);
-        let (t2, _) = perturb(&t1, 555_500 + sections as u64, edits, &EditMix::default(), &profile);
+        let (t2, _) = perturb(
+            &t1,
+            555_500 + sections as u64,
+            edits,
+            &EditMix::default(),
+            &profile,
+        );
         let matched = fast_match(&t1, &t2, MatchParams::default());
         counts.push((t1.leaves().count(), matched.counters.total()));
     }
@@ -114,8 +123,11 @@ fn deep_chain_no_stack_overflow() {
     let leaf = t2.leaves().next().unwrap();
     // A small rewording (compare ≈ 0.3 ≤ f), so the whole chain stays
     // matched and the diff is a single update at depth 2001.
-    t2.update(leaf, DocValue::text("the anchor sentence at the very bottom"))
-        .unwrap();
+    t2.update(
+        leaf,
+        DocValue::text("the anchor sentence at the very bottom"),
+    )
+    .unwrap();
 
     let matched = fast_match(&t1, &t2, MatchParams::default());
     let res = edit_script(&t1, &t2, &matched.matching).unwrap();
@@ -133,12 +145,17 @@ fn very_wide_parent() {
     let root = t1.root();
     let p = t1.push_child(root, Label::intern("Paragraph"), DocValue::None);
     for i in 0..20_000 {
-        t1.push_child(p, Label::intern("Sentence"), DocValue::text(format!("s{i}")));
+        t1.push_child(
+            p,
+            Label::intern("Sentence"),
+            DocValue::text(format!("s{i}")),
+        );
     }
     let mut t2 = t1.clone();
     let kids: Vec<_> = t2.children(t2.children(t2.root())[0]).to_vec();
     t2.delete_leaf(kids[77]).unwrap();
-    t2.move_subtree(kids[500], t2.children(t2.root())[0], 3).unwrap();
+    t2.move_subtree(kids[500], t2.children(t2.root())[0], 3)
+        .unwrap();
 
     let matched = fast_match(&t1, &t2, MatchParams::default());
     let res = edit_script(&t1, &t2, &matched.matching).unwrap();

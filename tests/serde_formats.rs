@@ -4,11 +4,11 @@
 //! "sequence of data snapshots or dumps").
 
 use hierdiff::delta::{build_delta_tree, DeltaTree};
+use hierdiff::doc::DocValue;
 use hierdiff::edit::{apply, edit_script, EditScript};
 use hierdiff::matching::{fast_match, MatchParams};
 use hierdiff::tree::{isomorphic, Tree};
 use hierdiff::workload::{generate_document, perturb, DocProfile, EditMix};
-use hierdiff::doc::DocValue;
 
 fn corpus() -> (Tree<DocValue>, Tree<DocValue>) {
     let t1 = generate_document(42_000, &DocProfile::small());

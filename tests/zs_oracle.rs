@@ -5,7 +5,7 @@
 //! correct script.
 
 use hierdiff::edit::{edit_script, CostModel, Matching};
-use hierdiff::matching::{check_criterion3, fast_match, MatchParams};
+use hierdiff::matching::{check_criterion3, fast_match, fast_match_accelerated, MatchParams};
 use hierdiff::tree::{isomorphic, Tree};
 use hierdiff::workload::{generate_document, perturb, DocProfile, EditMix};
 use hierdiff::zs::{tree_distance, tree_mapping, UnitCost};
@@ -76,18 +76,84 @@ fn fastmatch_cost_near_zs_optimum_under_criterion3() {
     );
 }
 
+/// Randomized differential suite: across many seeds and perturbation
+/// intensities, the conforming script produced by the full pipeline stays
+/// within the documented `3·ZS + 4` bound of the Zhang–Shasha optimum —
+/// with the identical-subtree pruning pre-pass both off and on — and
+/// pruning never changes the script cost. This is the strongest evidence
+/// that the fingerprint pre-pass is a pure acceleration: every matching it
+/// seeds is one the criteria would have produced anyway.
+#[test]
+fn randomized_differential_vs_zs_with_and_without_pruning() {
+    let profile = DocProfile {
+        vocabulary: 100_000, // unique sentences: Criterion 3 holds
+        ..small_profile()
+    };
+    let mut cases = 0usize;
+    let mut pruned_anything = 0usize;
+    for seed in 0..15u64 {
+        for edits in [1usize, 3, 6] {
+            let t1 = generate_document(700 + seed, &profile);
+            let (t2, _) = perturb(
+                &t1,
+                900 + seed * 7 + edits as u64,
+                edits,
+                &EditMix::default(),
+                &profile,
+            );
+            if !check_criterion3(&t1, &t2).holds() {
+                continue; // bound only documented under Criterion 3
+            }
+            cases += 1;
+            let zs = tree_distance(&t1, &t2, &UnitCost);
+
+            let plain = fast_match(&t1, &t2, MatchParams::default());
+            let plain_res = edit_script(&t1, &t2, &plain.matching).unwrap();
+            let plain_cost = plain_res.cost_on(&t1, &CostModel::paper()).unwrap();
+
+            let accel = fast_match_accelerated(&t1, &t2, MatchParams::default());
+            let accel_res = edit_script(&t1, &t2, &accel.matching).unwrap();
+            let accel_cost = accel_res.cost_on(&t1, &CostModel::paper()).unwrap();
+
+            // Both scripts are conforming: replaying them on T1 yields the
+            // edited tree, which is isomorphic to T2.
+            assert!(isomorphic(&plain_res.edited, &t2), "seed {seed}/{edits}");
+            assert!(isomorphic(&accel_res.edited, &t2), "seed {seed}/{edits}");
+
+            // Documented bound (see fastmatch_cost_near_zs_optimum_...):
+            // within a small multiplicative factor of the ZS optimum.
+            assert!(
+                plain_cost <= zs * 3.0 + 4.0,
+                "seed {seed}/{edits}: plain cost {plain_cost} vs ZS {zs}"
+            );
+            assert!(
+                accel_cost <= zs * 3.0 + 4.0,
+                "seed {seed}/{edits}: pruned cost {accel_cost} vs ZS {zs}"
+            );
+            // Pruning is cost-neutral.
+            assert_eq!(
+                plain_cost, accel_cost,
+                "seed {seed}/{edits}: pruning changed script cost"
+            );
+            if accel.counters.nodes_pruned > 0 {
+                pruned_anything += 1;
+            }
+        }
+    }
+    assert!(cases >= 30, "suite too small: only {cases} cases ran");
+    // The pre-pass actually fires on these lightly-edited documents.
+    assert!(
+        pruned_anything * 2 > cases,
+        "pruning fired on only {pruned_anything}/{cases} cases"
+    );
+}
+
 /// Moves are where Chawathe beats ZS on cost: a single subtree move costs 1
 /// here but `2·|subtree|`-ish there.
 #[test]
 fn moves_cheaper_than_zs_reinsertion() {
-    let t1 = Tree::parse_sexpr(
-        r#"(D (Q (P (S "a") (S "b") (S "c") (S "d"))) (Q))"#,
-    )
-    .unwrap();
-    let t2 = Tree::parse_sexpr(
-        r#"(D (Q) (Q (P (S "a") (S "b") (S "c") (S "d"))))"#,
-    )
-    .unwrap();
+    let t1 = Tree::parse_sexpr(r#"(D (Q (P (S "a") (S "b") (S "c") (S "d"))) (Q))"#).unwrap();
+    let t2 = Tree::parse_sexpr(r#"(D (Q) (Q (P (S "a") (S "b") (S "c") (S "d"))))"#).unwrap();
     let matched = fast_match(&t1, &t2, MatchParams::default());
     let res = edit_script(&t1, &t2, &matched.matching).unwrap();
     let cost = res.cost_on(&t1, &CostModel::paper()).unwrap();

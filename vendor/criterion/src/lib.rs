@@ -1,0 +1,311 @@
+// Vendored stub: keep clippy focused on first-party crates.
+#![allow(clippy::all)]
+//! Offline stand-in for `criterion`, implementing the harness subset the
+//! workspace's benches use: `Criterion`, `benchmark_group` /
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `sample_size`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a deliberately simple adaptive loop (warm up, then time
+//! enough iterations to fill a sampling window and report the mean per
+//! iteration) — no outlier analysis, no plots, no saved baselines. Results
+//! print as `bench <name> ... <time>/iter (<iters> iters)` lines.
+//!
+//! `cargo bench -- <filter>` filtering is honored by substring match, and
+//! `--test` runs each benchmark exactly once (this is what `cargo test`
+//! passes to bench targets).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer pass-through, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function sweeps).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name: `&str` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: &'a Mode,
+    sample_size: u64,
+    name: String,
+}
+
+#[derive(Clone)]
+enum Mode {
+    /// Full measurement (normal `cargo bench`).
+    Measure,
+    /// Run each body once and report nothing (`cargo bench -- --test`).
+    TestOnce,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, first warming up, then sampling.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if matches!(self.mode, Mode::TestOnce) {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: find an iteration count that fills ~25ms.
+        let mut iters: u64 = 1;
+        let warm_target = Duration::from_millis(25);
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= warm_target || iters >= u64::MAX / 2 {
+                break elapsed / u32::try_from(iters.max(1)).unwrap_or(u32::MAX);
+            }
+            iters = iters.saturating_mul(2);
+        };
+        // Measure: `sample_size` samples of roughly 10ms each (bounded).
+        let sample_iters = if per_iter.is_zero() {
+            iters.max(1)
+        } else {
+            (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24)
+                as u64
+        };
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..sample_iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            let mean = elapsed / u32::try_from(sample_iters).unwrap_or(u32::MAX);
+            best = best.min(mean);
+            total += elapsed;
+            total_iters += sample_iters;
+        }
+        let mean = total / u32::try_from(total_iters.max(1)).unwrap_or(u32::MAX);
+        println!(
+            "bench {:<58} {:>12}/iter (best {:>12}, {} iters)",
+            self.name,
+            format_duration(mean),
+            format_duration(best),
+            total_iters,
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        // Args after `--bench`/`--test` flags: a bare string is a filter.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::TestOnce,
+                "--bench" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI options here; ours are parsed in `default()`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(id.into_id(), 10, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&self, name: String, sample_size: u64, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: &self.mode,
+            sample_size,
+            name,
+        };
+        f(&mut b);
+    }
+
+    /// Runs registered groups; upstream prints a summary here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Upstream bounds wall-clock per benchmark; accepted and ignored here.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a function parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        self.criterion
+            .run_one(name, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream emits the group summary).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("myers", 32).into_id(), "myers/32");
+        assert_eq!(BenchmarkId::from_parameter(100).into_id(), "100");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let criterion = Criterion {
+            mode: Mode::TestOnce,
+            filter: None,
+        };
+        let mut runs = 0;
+        criterion.run_one("t".into(), 10, |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

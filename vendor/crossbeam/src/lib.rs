@@ -1,0 +1,286 @@
+// Vendored stub: keep clippy focused on first-party crates.
+#![allow(clippy::all)]
+//! Offline stand-in for the `crossbeam` facade crate, covering the two
+//! modules this workspace uses:
+//!
+//! * [`thread`] — `crossbeam::thread::scope`, implemented over
+//!   `std::thread::scope` (std has had scoped threads since 1.63). One
+//!   behavioral difference: a panicking child propagates the panic out of
+//!   [`thread::scope`] instead of surfacing it as an `Err`, which is
+//!   equivalent for callers that `.expect()` the result.
+//! * [`deque`] — `Worker` / `Stealer` / `Injector` work-stealing deques with
+//!   the upstream API, backed by `Mutex<VecDeque>` rather than lock-free
+//!   buffers. Contention behavior differs; semantics do not.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads in the crossbeam 0.8 style.
+
+    use std::any::Any;
+
+    /// Handle for spawning scoped threads; passed to the closure given to
+    /// [`scope`] and to every spawned child.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned permission to join a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (`Err` holds
+        /// the panic payload if it panicked).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// children can spawn siblings, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let child_scope = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&child_scope)),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing local data can be spawned;
+    /// all children are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let total: u64 = super::scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .expect("crossbeam scope");
+            assert_eq!(total, 10);
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques in the crossbeam-deque 0.8 style.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// `true` iff this is [`Steal::Success`].
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// `true` iff this is [`Steal::Empty`].
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// A deque owned by a single worker thread. The owner pushes and pops at
+    /// one end; [`Stealer`]s take from the other.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    /// A handle for stealing tasks from a [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker: `pop` takes the oldest task.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// A LIFO worker: `pop` takes the most recently pushed task.
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Adds a task to the deque.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Takes a task from the owner's end of the deque.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().expect("deque poisoned");
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        /// Creates a stealer for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// `true` iff the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque poisoned").len()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals a task from the opposite end to the owner's pops.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` iff the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+    }
+
+    /// A global FIFO queue any worker may push to or steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Adds a task to the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` iff the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_pop_order_and_steal_end() {
+            let fifo = Worker::new_fifo();
+            fifo.push(1);
+            fifo.push(2);
+            assert_eq!(fifo.pop(), Some(1));
+
+            let lifo = Worker::new_lifo();
+            lifo.push(1);
+            lifo.push(2);
+            assert_eq!(lifo.pop(), Some(2));
+            // The stealer takes from the cold end.
+            assert_eq!(lifo.stealer().steal(), Steal::Success(1));
+            assert_eq!(lifo.stealer().steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_is_shared_fifo() {
+            let inj = Injector::new();
+            inj.push("a");
+            inj.push("b");
+            assert_eq!(inj.steal().success(), Some("a"));
+            assert_eq!(inj.len(), 1);
+        }
+    }
+}

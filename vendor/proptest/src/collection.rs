@@ -1,0 +1,53 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Acceptable size arguments for [`vec`].
+pub trait SizeRange {
+    /// Draws a length.
+    fn draw(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for Range<usize> {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty size range");
+        lo + rng.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+impl SizeRange for usize {
+    fn draw(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of `element` values with lengths in `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}

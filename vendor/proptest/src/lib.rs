@@ -1,0 +1,108 @@
+// Vendored stub: keep clippy focused on first-party crates.
+#![allow(clippy::all)]
+//! Offline stand-in for the `proptest` crate, implementing the subset this
+//! workspace uses: the [`proptest!`] runner macro, `prop_assert*` macros,
+//! [`prop_oneof!`], integer-range / tuple / [`Just`](strategy::Just) /
+//! mapped / collection strategies, `any::<T>()` for integers, and the
+//! `\PC{lo,hi}` printable-string pattern.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs via the
+//!   assertion message (strategies here feed `Debug`-printable values into
+//!   plain `assert!`s) but is not minimized.
+//! * **Deterministic.** Case `i` of test `t` always sees the same inputs
+//!   (seeded from the test's module path and the case index), so CI runs
+//!   are reproducible. `.proptest-regressions` files are ignored.
+//! * `prop_assert!` panics instead of returning `Err`, which is equivalent
+//!   under this runner.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The commonly used names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// item expands to a normal test running `Config::cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                { $body }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Picks among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let mut __arms: Vec<(u32, Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>)> =
+            Vec::new();
+        $(
+            let __s = $strat;
+            __arms.push((
+                $weight as u32,
+                Box::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&__s, __rng)
+                }),
+            ));
+        )+
+        $crate::strategy::Union::new(__arms)
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}

@@ -1,0 +1,198 @@
+//! The [`Strategy`] trait and the strategy combinators this workspace uses.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A generator of values for property tests.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// simply draws a value from the RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy yielding a constant.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice among strategies of a common value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from weighted generator arms.
+    pub fn new(arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String pattern strategies. Upstream proptest interprets `&str` as a
+/// regex; this subset understands the one pattern family the workspace
+/// uses — `\PC{lo,hi}`, "`lo` to `hi` printable characters" — and treats
+/// any other pattern as a literal.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Printable pool: mostly ASCII (including specials the parsers
+        // care about), salted with multi-byte code points.
+        const POOL: &[char] = &[
+            'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '9', ' ', ' ', '.', ',', '!', '?', '{',
+            '}', '\\', '%', '&', ';', '<', '>', '/', '-', '_', '"', '\'', '(', ')', '[', ']', '#',
+            '$', '~', '^', 'é', 'ß', '中', '←', '𝄞',
+        ];
+        if let Some(rest) = self.strip_prefix("\\PC{") {
+            if let Some(body) = rest.strip_suffix('}') {
+                if let Some((lo, hi)) = body.split_once(',') {
+                    let lo: u64 = lo.trim().parse().expect("\\PC{lo,hi} bound");
+                    let hi: u64 = hi.trim().parse().expect("\\PC{lo,hi} bound");
+                    let len = lo + rng.below(hi - lo + 1);
+                    return (0..len)
+                        .map(|_| POOL[rng.below(POOL.len() as u64) as usize])
+                        .collect();
+                }
+            }
+        }
+        (*self).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = TestRng::for_case("ranges_in_bounds", 0);
+        for _ in 0..1000 {
+            let v = (3..9u32).generate(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let u = crate::prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = TestRng::for_case("union_respects_weights", 0);
+        let ones = (0..1000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!(ones > 700, "weighted arm drawn only {ones}/1000 times");
+    }
+
+    #[test]
+    fn pc_pattern_lengths() {
+        let mut rng = TestRng::for_case("pc_pattern_lengths", 0);
+        for _ in 0..200 {
+            let s = "\\PC{2,5}".generate(&mut rng);
+            let n = s.chars().count();
+            assert!((2..=5).contains(&n), "length {n}");
+        }
+    }
+}

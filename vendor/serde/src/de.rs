@@ -1,0 +1,205 @@
+//! Deserialization: types rebuild themselves from a [`Value`].
+
+use crate::value::{Number, Value};
+use std::fmt;
+
+/// Errors a [`Deserializer`] may produce.
+pub trait Error: Sized + fmt::Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete error used by [`ValueDeserializer`] (and re-used by the
+/// vendored `serde_json`).
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A source of one decoded value. In this tree model a deserializer simply
+/// surrenders the [`Value`] it holds; `Deserialize` impls pattern-match it.
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error.
+    type Error: Error;
+
+    /// Takes the underlying value out of the deserializer.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A deserializable type.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The canonical [`Deserializer`]: wraps an owned [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(v: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer(v))
+}
+
+/// Decodes field `name` of an object's field list; missing fields decode as
+/// `Null` (so `Option` fields tolerate omission). Used by derived impls.
+pub fn field<T: DeserializeOwned>(fields: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    let v = fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
+        .unwrap_or(Value::Null);
+    from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}")))
+}
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.take_value()?;
+                let n = match v {
+                    Value::Number(n) => n,
+                    other => {
+                        return Err(D::Error::custom(format_args!(
+                            "expected integer, found {}",
+                            type_name(&other)
+                        )))
+                    }
+                };
+                let wide: i128 = match n {
+                    Number::U(u) => i128::from(u),
+                    Number::I(i) => i128::from(i),
+                    Number::F(_) => {
+                        return Err(D::Error::custom("expected integer, found float"))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format_args!(
+                "expected bool, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(D::Error::custom(format_args!(
+                "expected number, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(D::Error::custom(format_args!(
+                "expected string, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(()),
+            other => Err(D::Error::custom(format_args!(
+                "expected null, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(|e| D::Error::custom(e)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(|e| D::Error::custom(e)))
+                .collect(),
+            other => Err(D::Error::custom(format_args!(
+                "expected array, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}

@@ -1,0 +1,22 @@
+// Vendored stub: keep clippy focused on first-party crates.
+#![allow(clippy::all)]
+//! Offline stand-in for `serde`, backing the workspace's JSON round-trips.
+//!
+//! The real serde's streaming data model is replaced by a tree model: a
+//! [`Serialize`] impl renders to a [`value::Value`] and a [`Deserialize`]
+//! impl decodes from one. The trait *signatures* mirror upstream closely
+//! enough that hand-written impls (`Label`'s string interning) and the
+//! vendored `serde_derive` both compile unchanged, and `serde_json` (also
+//! vendored) provides the usual `to_string` / `from_str` front-end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+// The derive macros, as `serde = { features = ["derive"] }` exposes them.
+pub use serde_derive::{Deserialize, Serialize};

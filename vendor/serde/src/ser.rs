@@ -1,0 +1,172 @@
+//! Serialization: types render themselves to a [`Value`].
+
+use crate::value::{Number, Value};
+
+/// A sink for one serialized value. The one method that matters here is
+/// [`Serializer::serialize_value`]; the named primitives exist so that
+/// hand-written impls in upstream style (`serializer.serialize_str(...)`)
+/// compile unchanged.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Serialization error.
+    type Error;
+
+    /// Consumes a fully built value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, s: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::String(s.to_owned()))
+    }
+
+    /// Serializes a bool.
+    fn serialize_bool(self, b: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(b))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, u: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Number(Number::U(u)))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, i: i64) -> Result<Self::Ok, Self::Error> {
+        let v = match u64::try_from(i) {
+            Ok(u) => Value::Number(Number::U(u)),
+            Err(_) => Value::Number(Number::I(i)),
+        };
+        self.serialize_value(v)
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, f: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Number(Number::F(f)))
+    }
+
+    /// Serializes a unit/null.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A serializable type.
+pub trait Serialize {
+    /// Renders `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The canonical [`Serializer`]: produces the [`Value`] itself, infallibly.
+pub struct ValueSerializer;
+
+/// Error type of [`ValueSerializer`] — uninhabited.
+#[derive(Debug)]
+pub enum Never {}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Never;
+
+    fn serialize_value(self, v: Value) -> Result<Value, Never> {
+        Ok(v)
+    }
+}
+
+/// Renders any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    match t.serialize(ValueSerializer) {
+        Ok(v) => v,
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(t) => serializer.serialize_value(to_value(t)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}

@@ -1,0 +1,480 @@
+// Vendored stub: keep clippy focused on first-party crates.
+#![allow(clippy::all)]
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored `serde`.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the derive input
+//! is parsed directly from the `proc_macro::TokenStream` into a minimal
+//! struct/enum model, and the generated impl is rendered as source text and
+//! re-parsed. Supports the shapes this workspace derives on:
+//!
+//! * named-field structs (generic over plain type params),
+//! * one-field tuple ("newtype") structs,
+//! * enums with unit, newtype-tuple, and named-field ("struct") variants.
+//!
+//! The wire shape matches serde's externally-tagged default: structs become
+//! objects, newtypes their inner value, unit variants a string, data-carrying
+//! variants a single-key object.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    /// Named-field struct (field names, in declaration order).
+    Named(Vec<String>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes and visibility, find `struct` / `enum`.
+    let kind = loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                i += 1;
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => i += 1,
+            None => panic!("derive input has no struct/enum keyword"),
+        }
+    };
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after `{kind}`, found {other:?}"),
+    };
+    i += 1;
+
+    // Generic parameter names (`<V, W>`; bounds and defaults are skipped).
+    let mut generics = Vec::new();
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 1i32;
+        let mut expect_param = true;
+        i += 1;
+        while depth > 0 {
+            match toks.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' || p.as_char() == ':' => {
+                    expect_param = false; // lifetimes / bounds are not type params
+                }
+                Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                    generics.push(id.to_string());
+                    expect_param = false;
+                }
+                Some(_) => {}
+                None => panic!("unbalanced generics on `{name}`"),
+            }
+            i += 1;
+        }
+    }
+
+    let body = if kind == "struct" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(split_top_commas(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Named(Vec::new()),
+            other => panic!("unsupported struct body on `{name}`: {other:?}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body on `{name}`: {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Splits a group's stream on commas outside `<...>` nesting (delimited
+/// groups are single trees, so only angle brackets need depth tracking).
+fn split_top_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0i32;
+    for t in ts {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(t);
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+/// Skips leading `#[...]` attributes and `pub` visibility in a token chunk,
+/// returning the index of the first token after them.
+fn skip_attrs_and_vis(chunk: &[TokenTree]) -> usize {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn field_names(ts: TokenStream) -> Vec<String> {
+    split_top_commas(ts)
+        .iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(chunk);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    split_top_commas(ts)
+        .iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(chunk);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let kind = match chunk.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_commas(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(field_names(g.stream()))
+                }
+                _ => VariantKind::Unit,
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn generics_split(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let impl_g = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let ty_g = input.generics.join(", ");
+        (impl_g, format!("<{ty_g}>"))
+    }
+}
+
+const VALUE: &str = "::serde::value::Value";
+const TO_VALUE: &str = "::serde::ser::to_value";
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_g, ty_g) = generics_split(input, "::serde::ser::Serialize");
+    let impl_g = if impl_g.is_empty() {
+        String::new()
+    } else {
+        format!("<{impl_g}>")
+    };
+    let name = &input.name;
+
+    let body = match &input.body {
+        Body::Named(fields) => {
+            let mut s = format!("let mut __fields: Vec<(String, {VALUE})> = Vec::new();\n");
+            for f in fields {
+                s += &format!("__fields.push((\"{f}\".to_string(), {TO_VALUE}(&self.{f})));\n");
+            }
+            s += &format!(
+                "::serde::ser::Serializer::serialize_value(serializer, {VALUE}::Object(__fields))"
+            );
+            s
+        }
+        Body::Tuple(1) => "::serde::ser::Serialize::serialize(&self.0, serializer)".to_string(),
+        Body::Tuple(n) => {
+            let mut s = format!("let mut __items: Vec<{VALUE}> = Vec::new();\n");
+            for i in 0..*n {
+                s += &format!("__items.push({TO_VALUE}(&self.{i}));\n");
+            }
+            s += &format!(
+                "::serde::ser::Serializer::serialize_value(serializer, {VALUE}::Array(__items))"
+            );
+            s
+        }
+        Body::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        s += &format!(
+                            "{name}::{vname} => ::serde::ser::Serializer::serialize_value(\
+                             serializer, {VALUE}::String(\"{vname}\".to_string())),\n"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binds.join(", ");
+                        let inner = if *n == 1 {
+                            format!("{TO_VALUE}(__f0)")
+                        } else {
+                            let items = binds
+                                .iter()
+                                .map(|b| format!("{TO_VALUE}({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("{VALUE}::Array(vec![{items}])")
+                        };
+                        s += &format!(
+                            "{name}::{vname}({pat}) => \
+                             ::serde::ser::Serializer::serialize_value(serializer, \
+                             {VALUE}::Object(vec![(\"{vname}\".to_string(), {inner})])),\n"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let pushes = fields
+                            .iter()
+                            .map(|f| {
+                                format!("__inner.push((\"{f}\".to_string(), {TO_VALUE}({f})));")
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n");
+                        s += &format!(
+                            "{name}::{vname} {{ {pat} }} => {{\n\
+                             let mut __inner: Vec<(String, {VALUE})> = Vec::new();\n\
+                             {pushes}\n\
+                             ::serde::ser::Serializer::serialize_value(serializer, \
+                             {VALUE}::Object(vec![(\"{vname}\".to_string(), \
+                             {VALUE}::Object(__inner))]))\n}}\n"
+                        );
+                    }
+                }
+            }
+            s += "}";
+            s
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::ser::Serialize for {name}{ty_g} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, serializer: __S) \
+         -> Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_g, ty_g) = generics_split(input, "::serde::de::DeserializeOwned");
+    let impl_g = if impl_g.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!("<'de, {impl_g}>")
+    };
+    let name = &input.name;
+    // Converts the concrete `DeError` from helpers into `__D::Error`.
+    let err = "|__e| <__D::Error as ::serde::de::Error>::custom(__e)";
+    let custom = "<__D::Error as ::serde::de::Error>::custom";
+
+    let body = match &input.body {
+        Body::Named(fields) => {
+            let mut s = format!(
+                "let __fields = match __v {{\n\
+                 {VALUE}::Object(__f) => __f,\n\
+                 _ => return Err({custom}(\"{name}: expected object\")),\n}};\n"
+            );
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(&__fields, \"{f}\").map_err({err})?,"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            s += &format!("Ok({name} {{\n{inits}\n}})");
+            s
+        }
+        Body::Tuple(1) => {
+            format!("Ok({name}(::serde::de::from_value(__v).map_err({err})?))")
+        }
+        Body::Tuple(n) => {
+            let mut s = format!(
+                "let __items = match __v {{\n\
+                 {VALUE}::Array(__a) => __a,\n\
+                 _ => return Err({custom}(\"{name}: expected array\")),\n}};\n\
+                 if __items.len() != {n} {{\n\
+                 return Err({custom}(\"{name}: wrong tuple arity\"));\n}}\n\
+                 let mut __it = __items.into_iter();\n"
+            );
+            let inits = (0..*n)
+                .map(|_| format!("::serde::de::from_value(__it.next().unwrap()).map_err({err})?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            s += &format!("Ok({name}({inits}))");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms += &format!("\"{vname}\" => Ok({name}::{vname}),\n");
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms += &format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::de::from_value(__inner).map_err({err})?)),\n"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inits = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "::serde::de::from_value(__it.next().unwrap())\
+                                     .map_err({err})?"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        data_arms += &format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = match __inner {{\n\
+                             {VALUE}::Array(__a) => __a,\n\
+                             _ => return Err({custom}(\"{name}::{vname}: expected array\")),\n\
+                             }};\n\
+                             if __items.len() != {n} {{\n\
+                             return Err({custom}(\"{name}::{vname}: wrong arity\"));\n}}\n\
+                             let mut __it = __items.into_iter();\n\
+                             Ok({name}::{vname}({inits}))\n}}\n"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::de::field(&__vf, \"{f}\")\
+                                     .map_err({err})?,"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n");
+                        data_arms += &format!(
+                            "\"{vname}\" => {{\n\
+                             let __vf = match __inner {{\n\
+                             {VALUE}::Object(__f) => __f,\n\
+                             _ => return Err({custom}(\"{name}::{vname}: expected object\")),\n\
+                             }};\n\
+                             Ok({name}::{vname} {{\n{inits}\n}})\n}}\n"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 {VALUE}::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err({custom}(format!(\
+                 \"unknown unit variant `{{__other}}` of {name}\"))),\n}},\n\
+                 {VALUE}::Object(__fields) => {{\n\
+                 if __fields.len() != 1 {{\n\
+                 return Err({custom}(\"{name}: expected single-key variant object\"));\n}}\n\
+                 let (__tag, __inner) = __fields.into_iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err({custom}(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}}\n\
+                 _ => Err({custom}(\"{name}: expected string or object\")),\n}}"
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::de::Deserialize<'de> for {name}{ty_g} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(deserializer: __D) \
+         -> Result<Self, __D::Error> {{\n\
+         #[allow(unused_variables)]\n\
+         let __v = ::serde::de::Deserializer::take_value(deserializer)?;\n\
+         {body}\n}}\n}}"
+    )
+}

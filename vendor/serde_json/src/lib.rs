@@ -1,0 +1,170 @@
+// Vendored stub: keep clippy focused on first-party crates.
+#![allow(clippy::all)]
+//! Offline stand-in for `serde_json`: JSON text ⇄ the vendored serde's
+//! [`Value`] tree, plus the [`json!`] literal macro. Covers the subset the
+//! workspace uses: `to_string`, `to_string_pretty`, `from_str`, `from_slice`,
+//! `Value` indexing/`as_*` accessors, and `json!` objects with expression
+//! values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod write;
+
+use std::fmt;
+
+pub use serde::value::{Number, Value};
+
+/// Re-exported so `json!` and callers can render any `Serialize` type.
+pub use serde::ser::to_value;
+
+/// A JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub(crate) String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::DeError> for Error {
+    fn from(e: serde::de::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::compact(&mut out, &to_value(value));
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::pretty(&mut out, &to_value(value), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(serde::de::from_value(value)?)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Keys are string literals;
+/// values are nested `{...}`/`[...]` literals or any `Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __obj: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_internal_object!(__obj; $($body)*);
+        $crate::Value::Object(__obj)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_internal_object!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : { $($inner:tt)* }) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_internal_object!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ]) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+    };
+    ($obj:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!($value)));
+        $crate::json_internal_object!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : $value:expr) => {
+        $obj.push(($key.to_string(), $crate::json!($value)));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        for text in ["null", "true", "false", "0", "-7", "3.5", "\"hi\\n\""] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn round_trip_nested() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":"x"}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let ops = 3u32;
+        let v = json!({
+            "n": 1,
+            "ops": { "insert": ops, "nested": { "deep": "yes" } },
+            "list": [1, 2],
+            "s": format!("x{}", 7),
+        });
+        assert_eq!(v["n"], 1);
+        assert_eq!(v["ops"]["insert"], 3);
+        assert_eq!(v["ops"]["nested"]["deep"], "yes");
+        assert_eq!(v["list"][1], 2);
+        assert_eq!(v["s"], "x7");
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_prints_indented() {
+        let v = json!({ "a": [1], "b": "x" });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ],\n  \"b\": \"x\"\n}");
+    }
+
+    #[test]
+    fn unicode_and_escape_round_trip() {
+        let v: Value = from_str(r#""é\t\"\\ 😀""#).unwrap();
+        assert_eq!(v, "é\t\"\\ 😀");
+        let back = to_string(&v).unwrap();
+        let v2: Value = from_str(&back).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
