@@ -1,0 +1,257 @@
+//! Matching validity checks (`A010`–`A014`).
+//!
+//! Section 3.1 defines a matching as a one-to-one correspondence between
+//! nodes "with identical or similar values" whose pairs carry equal labels
+//! (unequal-label pairs admit no conforming script — labels are immutable
+//! under the paper's four operations). [`audit_pairs`] checks raw pair
+//! lists against those requirements; [`audit_matching`] adapts a
+//! [`Matching`] (which already enforces one-to-one-ness structurally).
+//!
+//! The ancestor-order check (`A014`) polices the precondition of the
+//! child-alignment analysis (Lemma C.1): a matching produced by the
+//! paper's criteria maps ancestors to ancestors. Violations are reported
+//! as warnings, not errors, because Algorithm *EditScript* handles
+//! crosswise matchings correctly (it just emits extra moves).
+
+use hierdiff_edit::Matching;
+use hierdiff_tree::{Intervals, NodeId, NodeValue, Tree};
+
+use crate::diag::{AuditReport, Code, Diagnostic, Side, Span};
+
+/// Audits a [`Matching`] against `t1`/`t2` (codes `A010`–`A012`, `A014`;
+/// `A013` cannot occur because the type enforces one-to-one-ness).
+pub fn audit_matching<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    matching: &Matching,
+) -> AuditReport {
+    let pairs: Vec<(NodeId, NodeId)> = matching.iter().collect();
+    audit_pairs(t1, t2, &pairs)
+}
+
+/// Audits a raw pair list — the form produced by external matchers or
+/// deserialized data, where nothing is enforced structurally. Checks that
+/// every referenced node is alive (`A010`/`A011`), labels agree (`A012`),
+/// no node appears in two pairs (`A013`), and ancestor order is preserved
+/// (`A014`, warning).
+pub fn audit_pairs<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    pairs: &[(NodeId, NodeId)],
+) -> AuditReport {
+    let mut report = AuditReport::new();
+    // Dense partner tables double as the one-to-one check and as the
+    // lookup for the ancestor-order pass. First occurrence wins.
+    let mut fwd: Vec<Option<NodeId>> = vec![None; t1.arena_len()];
+    let mut bwd: Vec<Option<NodeId>> = vec![None; t2.arena_len()];
+
+    for &(x, y) in pairs {
+        report.checks_run += 1;
+        let x_ok = t1.is_alive(x);
+        if !x_ok {
+            report.push(Diagnostic::error(
+                Code::A010,
+                format!("pair ({x}, {y}) references {x}, not a live T1 node"),
+                Span::of(t2, y, Side::New),
+            ));
+        }
+        report.checks_run += 1;
+        let y_ok = t2.is_alive(y);
+        if !y_ok {
+            report.push(Diagnostic::error(
+                Code::A011,
+                format!("pair ({x}, {y}) references {y}, not a live T2 node"),
+                Span::of(t1, x, Side::Old),
+            ));
+        }
+        if x_ok && y_ok {
+            report.checks_run += 1;
+            if t1.label(x) != t2.label(y) {
+                report.push(Diagnostic::error(
+                    Code::A012,
+                    format!(
+                        "pair ({x}, {y}) matches label {} to label {}",
+                        t1.label(x),
+                        t2.label(y)
+                    ),
+                    Span::of(t1, x, Side::Old),
+                ));
+            }
+        }
+        report.checks_run += 1;
+        let mut duplicated = false;
+        if let Some(slot) = fwd.get_mut(x.index()) {
+            match slot {
+                Some(prev) => {
+                    duplicated = true;
+                    report.push(Diagnostic::error(
+                        Code::A013,
+                        format!("T1 node {x} matched to both {prev} and {y}"),
+                        if x_ok {
+                            Span::of(t1, x, Side::Old)
+                        } else {
+                            None
+                        },
+                    ));
+                }
+                None => *slot = Some(y),
+            }
+        }
+        if let Some(slot) = bwd.get_mut(y.index()) {
+            match slot {
+                Some(prev) => {
+                    report.push(Diagnostic::error(
+                        Code::A013,
+                        format!("T2 node {y} matched to both {prev} and {x}"),
+                        if y_ok {
+                            Span::of(t2, y, Side::New)
+                        } else {
+                            None
+                        },
+                    ));
+                    if !duplicated {
+                        // Keep the tables injective for the A014 pass.
+                        if let Some(slot1) = fwd.get_mut(x.index()) {
+                            if *slot1 == Some(y) {
+                                *slot1 = None;
+                            }
+                        }
+                    }
+                }
+                None if !duplicated => *slot = Some(x),
+                None => {}
+            }
+        }
+    }
+
+    ancestor_order(t1, t2, &fwd, Side::Old, &mut report);
+    let bwd_view: Vec<Option<NodeId>> = bwd;
+    ancestor_order(t2, t1, &bwd_view, Side::New, &mut report);
+    report
+}
+
+/// One direction of the `A014` check, in O(N): DFS from the root of `ta`
+/// carrying the nearest *matched* proper ancestor; each matched node's
+/// partner must be a descendant of that ancestor's partner. By induction
+/// along the chain of matched ancestors this covers every ancestor pair.
+fn ancestor_order<V: NodeValue>(
+    ta: &Tree<V>,
+    tb: &Tree<V>,
+    partner: &[Option<NodeId>],
+    side_a: Side,
+    report: &mut AuditReport,
+) {
+    let ib = Intervals::new(tb);
+    let lookup = |n: NodeId| -> Option<NodeId> {
+        partner
+            .get(n.index())
+            .copied()
+            .flatten()
+            .filter(|p| tb.is_alive(*p))
+    };
+    // (node, partner of nearest matched proper ancestor)
+    let mut stack: Vec<(NodeId, Option<NodeId>)> = vec![(ta.root(), None)];
+    while let Some((n, above)) = stack.pop() {
+        let here = lookup(n);
+        if let (Some(p), Some(pa)) = (here, above) {
+            report.checks_run += 1;
+            if pa == p || !ib.is_ancestor(pa, p) {
+                report.push(Diagnostic::warning(
+                    Code::A014,
+                    format!(
+                        "matching inverts ancestor order at {n}: its nearest matched \
+                         ancestor maps to {pa}, which does not contain its partner {p}"
+                    ),
+                    Span::of(ta, n, side_a),
+                ));
+            }
+        }
+        let next = here.or(above);
+        for &c in ta.children(n) {
+            stack.push((c, next));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(s: &str) -> Tree<String> {
+        Tree::parse_sexpr(s).unwrap()
+    }
+
+    #[test]
+    fn positional_matching_is_clean() {
+        let t1 = doc(r#"(D (P (S "a") (S "b")))"#);
+        let t2 = doc(r#"(D (P (S "a") (S "b")))"#);
+        let pairs: Vec<_> = t1.preorder().zip(t2.preorder()).collect();
+        let r = audit_pairs(&t1, &t2, &pairs);
+        assert!(r.is_clean(), "{r}");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn label_mismatch_is_a012() {
+        let t1 = doc(r#"(D (S "a"))"#);
+        let t2 = doc(r#"(D (P "a"))"#);
+        let pairs: Vec<_> = t1.preorder().zip(t2.preorder()).collect();
+        let r = audit_pairs(&t1, &t2, &pairs);
+        assert!(r.has_code(Code::A012), "{r}");
+        assert_eq!(r.error_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_partner_is_a013() {
+        let t1 = doc(r#"(D (S "a") (S "b"))"#);
+        let t2 = doc(r#"(D (S "a") (S "b"))"#);
+        let k1: Vec<_> = t1.children(t1.root()).to_vec();
+        let k2: Vec<_> = t2.children(t2.root()).to_vec();
+        let pairs = vec![
+            (t1.root(), t2.root()),
+            (k1[0], k2[0]),
+            (k1[1], k2[0]), // k2[0] claimed twice
+        ];
+        let r = audit_pairs(&t1, &t2, &pairs);
+        assert!(r.has_code(Code::A013), "{r}");
+    }
+
+    #[test]
+    fn dead_node_is_a010() {
+        let mut t1 = doc(r#"(D (S "a"))"#);
+        let t2 = doc(r#"(D (S "a"))"#);
+        let leaf1 = t1.children(t1.root())[0];
+        let leaf2 = t2.children(t2.root())[0];
+        t1.delete_leaf(leaf1).unwrap();
+        let r = audit_pairs(&t1, &t2, &[(t1.root(), t2.root()), (leaf1, leaf2)]);
+        assert!(r.has_code(Code::A010), "{r}");
+    }
+
+    #[test]
+    fn crosswise_matching_warns_a014_but_stays_clean() {
+        // The outer A of T1 matched to the inner A of T2 and vice versa —
+        // legal input to EditScript, so a warning, not an error.
+        let t1 = doc(r#"(A (B (A "x")))"#);
+        let t2 = doc(r#"(A (B (A "y")))"#);
+        let b1 = t1.children(t1.root())[0];
+        let a1_inner = t1.children(b1)[0];
+        let b2 = t2.children(t2.root())[0];
+        let a2_inner = t2.children(b2)[0];
+        let pairs = vec![(t1.root(), a2_inner), (a1_inner, t2.root()), (b1, b2)];
+        let r = audit_pairs(&t1, &t2, &pairs);
+        assert!(r.has_code(Code::A014), "{r}");
+        assert!(r.is_clean(), "A014 is a warning: {r}");
+    }
+
+    #[test]
+    fn matching_type_adapts() {
+        let t1 = doc(r#"(D (S "a"))"#);
+        let t2 = doc(r#"(D (S "a"))"#);
+        let mut m = Matching::new();
+        m.insert(t1.root(), t2.root()).unwrap();
+        m.insert(t1.children(t1.root())[0], t2.children(t2.root())[0])
+            .unwrap();
+        let r = audit_matching(&t1, &t2, &m);
+        assert!(r.is_clean() && r.is_empty(), "{r}");
+    }
+}

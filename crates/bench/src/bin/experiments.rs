@@ -6,6 +6,8 @@
 //!              editscript-scaling|postprocess|align-ablation]...
 //! ```
 
+#![forbid(unsafe_code)]
+
 use hierdiff_bench::experiments as exp;
 
 fn main() {

@@ -13,13 +13,13 @@
 //! observable.
 
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Steal, Stealer, Worker};
 use hierdiff_tree::{NodeValue, Tree};
 
-use crate::{diff, DiffError, DiffOptions, DiffResult, Matcher};
+use crate::{diff, AuditReport, DiffError, DiffOptions, DiffResult, Matcher};
 
 /// Options for [`diff_batch_with`].
 #[derive(Clone, Debug, Default)]
@@ -57,6 +57,9 @@ pub struct WorkerStats {
     pub stolen: usize,
     /// Time spent diffing (as opposed to looking for work).
     pub busy: Duration,
+    /// Total audit findings (warnings and errors) across this worker's
+    /// pairs; always 0 when [`DiffOptions::audit`] is off.
+    pub audit_findings: usize,
 }
 
 /// Scheduling telemetry for one batch run.
@@ -77,6 +80,11 @@ impl BatchReport {
     /// Total pairs that moved between workers.
     pub fn steals(&self) -> usize {
         self.workers.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Total audit findings across workers (0 when auditing is off).
+    pub fn audit_findings(&self) -> usize {
+        self.workers.iter().map(|w| w.audit_findings).sum()
     }
 
     /// Mean worker busy fraction in `[0, 1]`: total busy time over
@@ -118,7 +126,7 @@ where
 {
     let sink = Mutex::new(sink);
     if options.diff.matcher == Matcher::Provided {
-        let mut sink = sink.into_inner().expect("unused sink lock");
+        let mut sink = sink.into_inner().unwrap_or_else(PoisonError::into_inner);
         for i in 0..pairs.len() {
             sink(i, Err(DiffError::MissingProvidedMatching));
         }
@@ -162,7 +170,14 @@ where
                         stats.busy += t0.elapsed();
                         stats.completed += 1;
                         stats.stolen += usize::from(stolen);
-                        (sink.lock().expect("sink poisoned"))(i, result);
+                        stats.audit_findings += match &result {
+                            Ok(r) => r.audit.as_ref().map_or(0, AuditReport::len),
+                            Err(DiffError::Audit(report)) => report.len(),
+                            Err(_) => 0,
+                        };
+                        // A panic in another worker's sink call poisons the
+                        // lock; the data is still coherent, keep streaming.
+                        (sink.lock().unwrap_or_else(PoisonError::into_inner))(i, result);
                     }
                     stats
                 })
@@ -170,7 +185,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("batch worker panicked"))
+            .map(|h| match h.join() {
+                Ok(stats) => stats,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 
@@ -216,10 +234,9 @@ pub fn diff_batch<V: NodeValue + Send + Sync>(
     diff_batch_with(pairs, &BatchOptions::new(options.clone()), |i, result| {
         slots[i] = Some(result)
     });
-    slots
-        .into_iter()
-        .map(|r| r.expect("every pair visited exactly once"))
-        .collect()
+    let out: Vec<Result<DiffResult<V>, DiffError>> = slots.into_iter().flatten().collect();
+    assert_eq!(out.len(), pairs.len(), "every pair visited exactly once");
+    out
 }
 
 #[cfg(test)]

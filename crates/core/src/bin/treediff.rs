@@ -3,36 +3,65 @@
 //!
 //! ```text
 //! treediff [OPTIONS] <OLD.sexpr> <NEW.sexpr>
+//! treediff audit [OPTIONS] <OLD.sexpr> <NEW.sexpr>
 //!
 //!   -t, --threshold <0.5..1>    inner-node match threshold   [default 0.6]
 //!   -f, --leaf-threshold <0..1> leaf compare threshold       [default 0.5]
 //!   -k, --optimality <N>        A(k) optimality level        [default 0]
 //!   -p, --prune                 identical-subtree pruning pre-pass
+//!       --audit / --no-audit    stage-boundary invariant auditing
 //!       --output script|delta|stats|json                     [default script]
 //! ```
+//!
+//! The `audit` subcommand runs the full pipeline with auditing forced on
+//! and prints every `A0xx` finding; it exits non-zero when any finding has
+//! `Error` severity.
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
-use hierdiff_core::{diff, match_with_optimality, DiffOptions, Matcher};
+use hierdiff_core::{diff, match_with_optimality, DiffError, DiffOptions, Matcher};
 use hierdiff_matching::MatchParams;
 use hierdiff_tree::Tree;
 
 const USAGE: &str = "usage: treediff [OPTIONS] <OLD.sexpr> <NEW.sexpr>\n\
+\x20      treediff audit [OPTIONS] <OLD.sexpr> <NEW.sexpr>\n\
   -t, --threshold <0.5..1>      inner-node match threshold (default 0.6)\n\
   -f, --leaf-threshold <0..1>   leaf compare threshold (default 0.5)\n\
   -k, --optimality <N>          A(k) optimality level (default 0)\n\
   -p, --prune                   match identical subtrees wholesale first\n\
+      --audit                   audit the paper's invariants at every stage\n\
+                                boundary; error findings abort with a\n\
+                                diagnostic (default in debug builds)\n\
+      --no-audit                disable stage-boundary auditing\n\
       --output script|delta|stats|json   what to print (default script)\n\
-  -h, --help                    show this help";
+  -h, --help                    show this help\n\
+\n\
+subcommands:\n\
+  audit    run the full diff pipeline with auditing forced on, print every\n\
+           A0xx finding with its paper reference, and exit non-zero when\n\
+           any finding has Error severity";
 
-fn run() -> Result<(), String> {
+struct Cli {
+    params: MatchParams,
+    k: u32,
+    prune: bool,
+    audit: Option<bool>,
+    output: String,
+    old: Tree<String>,
+    new: Tree<String>,
+}
+
+fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut t = 0.6f64;
     let mut f = 0.5f64;
     let mut k = 0u32;
     let mut prune = false;
+    let mut audit = None;
     let mut output = "script".to_string();
     let mut positional: Vec<String> = Vec::new();
-    let mut it = std::env::args().skip(1);
+    let mut it = args;
     while let Some(a) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
@@ -45,6 +74,8 @@ fn run() -> Result<(), String> {
             }
             "-k" | "--optimality" => k = take("-k")?.parse().map_err(|e| format!("bad -k: {e}"))?,
             "-p" | "--prune" => prune = true,
+            "--audit" => audit = Some(true),
+            "--no-audit" => audit = Some(false),
             "--output" => output = take("--output")?,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => positional.push(other.to_string()),
@@ -61,39 +92,95 @@ fn run() -> Result<(), String> {
         Tree::parse_sexpr(&read(&positional[0])?).map_err(|e| format!("{}: {e}", positional[0]))?;
     let new =
         Tree::parse_sexpr(&read(&positional[1])?).map_err(|e| format!("{}: {e}", positional[1]))?;
+    Ok(Cli {
+        params: MatchParams::with_inner_threshold(t).with_leaf_threshold(f),
+        k,
+        prune,
+        audit,
+        output,
+        old,
+        new,
+    })
+}
 
-    let params = MatchParams::with_inner_threshold(t).with_leaf_threshold(f);
-    let options = if k == 0 {
+fn options_for(cli: &Cli) -> Result<DiffOptions, String> {
+    let mut options = if cli.k == 0 {
         DiffOptions {
-            params,
-            prune,
+            params: cli.params,
+            prune: cli.prune,
             ..DiffOptions::new()
         }
     } else {
-        if prune {
+        if cli.prune {
             return Err("--prune applies to the built-in matcher; drop it or use -k 0".to_string());
         }
-        let hybrid = match_with_optimality(&old, &new, params, k);
+        let hybrid = match_with_optimality(&cli.old, &cli.new, cli.params, cli.k);
         DiffOptions {
-            params,
+            params: cli.params,
             matcher: Matcher::Provided,
             provided: Some(hybrid.matching),
             build_delta: true,
             ..DiffOptions::default()
         }
     };
-    let result = diff(&old, &new, &options).map_err(|e| e.to_string())?;
+    if let Some(audit) = cli.audit {
+        options.audit = audit;
+    }
+    Ok(options)
+}
 
-    match output.as_str() {
+/// `treediff audit`: force auditing on, render every finding, and report
+/// whether the pipeline's artifacts satisfy the paper's invariants.
+fn run_audit(cli: Cli) -> Result<(), String> {
+    let mut options = options_for(&cli)?;
+    options.audit = true;
+    match diff(&cli.old, &cli.new, &options) {
+        Ok(result) => {
+            let report = result
+                .audit
+                .ok_or("audit requested but no report produced")?;
+            for d in report.diagnostics() {
+                println!("{d}");
+            }
+            println!(
+                "audit: {} checks, {} finding(s), 0 errors",
+                report.checks_run,
+                report.len()
+            );
+            Ok(())
+        }
+        Err(DiffError::Audit(report)) => {
+            for d in report.diagnostics() {
+                eprintln!("{d}");
+            }
+            Err(format!(
+                "audit: {} checks, {} finding(s), {} error(s)",
+                report.checks_run,
+                report.len(),
+                report.error_count()
+            ))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn run_diff(cli: Cli) -> Result<(), String> {
+    let options = options_for(&cli)?;
+    let result = diff(&cli.old, &cli.new, &options).map_err(|e| e.to_string())?;
+
+    match cli.output.as_str() {
         "script" => println!("{}", result.script),
         "delta" => {
-            let delta = result.delta.as_ref().expect("delta built");
+            let delta = result
+                .delta
+                .as_ref()
+                .ok_or("delta tree was not built for this run")?;
             print!("{}", hierdiff_delta::render_text(delta));
         }
         "stats" => {
             let c = result.script.op_counts();
-            println!("old nodes:          {}", old.len());
-            println!("new nodes:          {}", new.len());
+            println!("old nodes:          {}", cli.old.len());
+            println!("new nodes:          {}", cli.new.len());
             println!("matched pairs:      {}", result.matching.len());
             println!(
                 "script:             {} ops (ins {}, del {}, upd {}, mov {})",
@@ -108,7 +195,7 @@ fn run() -> Result<(), String> {
                 "comparisons:        {} leaf compares + {} partner checks",
                 result.counters.leaf_compares, result.counters.partner_checks
             );
-            if prune {
+            if cli.prune {
                 println!(
                     "pruned wholesale:   {} nodes ({} verified subtree pairs, {} hash collisions)",
                     result.counters.nodes_pruned,
@@ -116,24 +203,47 @@ fn run() -> Result<(), String> {
                     result.counters.prune_collisions
                 );
             }
+            if let Some(report) = &result.audit {
+                println!(
+                    "audit:              {} checks, {} finding(s)",
+                    report.checks_run,
+                    report.len()
+                );
+            }
         }
         "json" => {
             let json = serde_json::json!({
-                "old_nodes": old.len(),
-                "new_nodes": new.len(),
+                "old_nodes": cli.old.len(),
+                "new_nodes": cli.new.len(),
                 "matched": result.matching.len(),
                 "weighted_distance": result.weighted_distance(),
                 "unweighted_distance": result.unweighted_distance(),
+                "audit_checks": result.audit.as_ref().map(|r| r.checks_run),
+                "audit_findings": result.audit.as_ref().map(hierdiff_core::AuditReport::len),
                 "script": result.script,
             });
             println!(
                 "{}",
-                serde_json::to_string_pretty(&json).expect("serializable")
+                serde_json::to_string_pretty(&json).map_err(|e| format!("render json: {e}"))?
             );
         }
         other => return Err(format!("unknown output {other:?}")),
     }
     Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let audit_mode = args.peek().map(String::as_str) == Some("audit");
+    if audit_mode {
+        args.next();
+    }
+    let cli = parse_cli(args)?;
+    if audit_mode {
+        run_audit(cli)
+    } else {
+        run_diff(cli)
+    }
 }
 
 fn main() -> ExitCode {

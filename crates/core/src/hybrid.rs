@@ -15,6 +15,7 @@
 //!   is affordable: ZS is quadratic, so the budget caps the damage while
 //!   recovering optimality exactly where FastMatch went wrong.
 
+use hierdiff_audit::{audit_matching, AuditReport};
 use hierdiff_edit::Matching;
 use hierdiff_matching::{fast_match, postprocess, MatchCounters, MatchParams};
 use hierdiff_tree::{NodeId, NodeValue, Tree};
@@ -32,6 +33,10 @@ pub struct HybridMatch {
     pub zs_adopted: usize,
     /// Number of subtree pairs ZS was run on.
     pub zs_runs: usize,
+    /// Validity audit of the refined matching (ZS adoption must preserve
+    /// the §3.1 matching invariants), when the build-profile default
+    /// enables auditing. Always clean unless the refinement has a bug.
+    pub audit: Option<AuditReport>,
 }
 
 /// Maximum subtree size (nodes per side) the ZS refinement will touch at
@@ -89,21 +94,23 @@ pub fn match_with_optimality<V: NodeValue>(
                 if t1.label(orig1) != t2.label(orig2) {
                     continue; // the paper's ops cannot relabel
                 }
-                if matching.partner1(orig1).is_none() && matching.partner2(orig2).is_none() {
-                    matching
-                        .insert(orig1, orig2)
-                        .expect("both sides checked unmatched");
+                if matching.partner1(orig1).is_none()
+                    && matching.partner2(orig2).is_none()
+                    && matching.insert(orig1, orig2).is_ok()
+                {
                     zs_adopted += 1;
                 }
             }
         }
     }
+    let audit = crate::audit_default().then(|| audit_matching(t1, t2, &matching));
     HybridMatch {
         matching,
         counters: base.counters,
         rematched,
         zs_adopted,
         zs_runs,
+        audit,
     }
 }
 

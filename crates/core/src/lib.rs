@@ -41,10 +41,13 @@ mod hybrid;
 pub use batch::{diff_batch, diff_batch_with, BatchOptions, BatchReport, WorkerStats};
 pub use hybrid::{match_with_optimality, zs_budget, HybridMatch};
 
+pub use hierdiff_audit::AuditReport;
+use hierdiff_audit::{audit_delta, audit_matching, audit_prune, audit_script, audit_tree, Side};
 use hierdiff_delta::{build_delta_tree, DeltaTree};
 use hierdiff_edit::{edit_script, EditScript, Matching, McesError, McesResult};
 use hierdiff_matching::{
-    fast_match, fast_match_accelerated, match_simple, postprocess, MatchCounters, MatchParams,
+    fast_match, fast_match_accelerated, match_simple, postprocess, prune_identical, MatchCounters,
+    MatchParams,
 };
 use hierdiff_tree::{NodeValue, Tree};
 
@@ -66,8 +69,14 @@ pub enum Matcher {
     Provided,
 }
 
+/// Whether stage-boundary auditing is on by default: always under debug
+/// assertions, and in release builds only with the `audit-release` feature.
+pub(crate) fn audit_default() -> bool {
+    cfg!(debug_assertions) || cfg!(feature = "audit-release")
+}
+
 /// Options for [`diff`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct DiffOptions {
     /// Matching criteria parameters `f` and `t` (Section 5.1).
     pub params: MatchParams,
@@ -88,6 +97,28 @@ pub struct DiffOptions {
     /// [`DiffResult::counters`] (`nodes_pruned`, `prune_candidates`,
     /// `prune_collisions`). Off by default.
     pub prune: bool,
+    /// Audit the paper's formal invariants at every stage boundary
+    /// (`hierdiff-audit`): input-tree well-formedness, matching validity,
+    /// prune-seed soundness, script conformance and replay, delta
+    /// projections. Error-severity findings abort the diff with
+    /// [`DiffError::Audit`]; the full report (including warnings) surfaces
+    /// in [`DiffResult::audit`]. On by default under debug assertions (or
+    /// the `audit-release` feature); off by default in release builds.
+    pub audit: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            params: MatchParams::default(),
+            matcher: Matcher::default(),
+            provided: None,
+            postprocess: false,
+            build_delta: false,
+            prune: false,
+            audit: audit_default(),
+        }
+    }
 }
 
 impl DiffOptions {
@@ -114,6 +145,13 @@ impl DiffOptions {
         self.prune = prune;
         self
     }
+
+    /// Toggles stage-boundary invariant auditing, overriding the
+    /// build-profile default.
+    pub fn with_audit(mut self, audit: bool) -> DiffOptions {
+        self.audit = audit;
+        self
+    }
 }
 
 /// Errors from [`diff`].
@@ -123,6 +161,9 @@ pub enum DiffError {
     MissingProvidedMatching,
     /// The edit-script generator rejected the matching.
     Mces(McesError),
+    /// Stage-boundary auditing found `Error`-severity invariant violations
+    /// (only raised when [`DiffOptions::audit`] is on).
+    Audit(Box<AuditReport>),
 }
 
 impl std::fmt::Display for DiffError {
@@ -132,6 +173,11 @@ impl std::fmt::Display for DiffError {
                 write!(f, "Matcher::Provided requires DiffOptions::provided")
             }
             DiffError::Mces(e) => write!(f, "edit script generation failed: {e}"),
+            DiffError::Audit(report) => write!(
+                f,
+                "invariant audit failed with {} error(s):\n{report}",
+                report.error_count()
+            ),
         }
     }
 }
@@ -160,6 +206,10 @@ pub struct DiffResult<V: NodeValue> {
     pub counters: MatchCounters,
     /// Nodes re-matched by post-processing (0 when disabled).
     pub rematched: usize,
+    /// The stage-boundary audit report, when [`DiffOptions::audit`] is on.
+    /// Contains no errors (those abort with [`DiffError::Audit`]) but may
+    /// carry warnings, e.g. an ancestor-order inversion (`A014`).
+    pub audit: Option<AuditReport>,
 }
 
 impl<V: NodeValue> DiffResult<V> {
@@ -182,6 +232,14 @@ pub fn diff<V: NodeValue>(
     new: &Tree<V>,
     options: &DiffOptions,
 ) -> Result<DiffResult<V>, DiffError> {
+    let mut audit = options.audit.then(AuditReport::new);
+    if let Some(report) = audit.as_mut() {
+        report.merge(audit_tree(old, Side::Old));
+        report.merge(audit_tree(new, Side::New));
+        if report.has_errors() {
+            return Err(DiffError::Audit(Box::new(report.clone())));
+        }
+    }
     let (mut matching, counters) = match options.matcher {
         Matcher::Fast => {
             let r = if options.prune {
@@ -208,10 +266,45 @@ pub fn diff<V: NodeValue>(
     } else {
         0
     };
+    if let Some(report) = audit.as_mut() {
+        if options.prune && options.matcher == Matcher::Fast {
+            // Re-derive the seed the accelerated matcher started from; the
+            // pass is deterministic, so this audits the exact pairs used.
+            let (seed, _) = prune_identical(old, new);
+            report.merge(audit_prune(old, new, &seed, Some(&matching)));
+        }
+        report.merge(audit_matching(old, new, &matching));
+        if report.has_errors() {
+            return Err(DiffError::Audit(Box::new(report.clone())));
+        }
+    }
     let mces = edit_script(old, new, &matching)?;
+    if let Some(report) = audit.as_mut() {
+        report.merge(audit_script(old, new, &matching, &mces));
+        if report.has_errors() {
+            return Err(DiffError::Audit(Box::new(report.clone())));
+        }
+    }
     let delta = options
         .build_delta
         .then(|| build_delta_tree(old, new, &matching, &mces));
+    if let (Some(report), Some(d)) = (audit.as_mut(), delta.as_ref()) {
+        if mces.wrapped {
+            // Unmatched roots: the delta overlays the dummy-wrapped trees,
+            // so project against wrapped copies of the inputs.
+            let dummy = hierdiff_tree::Label::intern(hierdiff_edit::DUMMY_ROOT_LABEL);
+            let mut old_w = old.clone();
+            old_w.wrap_root(dummy, V::null());
+            let mut new_w = new.clone();
+            new_w.wrap_root(dummy, V::null());
+            report.merge(audit_delta(&old_w, &new_w, d));
+        } else {
+            report.merge(audit_delta(old, new, d));
+        }
+        if report.has_errors() {
+            return Err(DiffError::Audit(Box::new(report.clone())));
+        }
+    }
     Ok(DiffResult {
         script: mces.script.clone(),
         matching,
@@ -219,6 +312,7 @@ pub fn diff<V: NodeValue>(
         delta,
         counters,
         rematched,
+        audit,
     })
 }
 
@@ -320,6 +414,70 @@ mod tests {
         );
         assert_eq!(plain.counters.nodes_pruned, 0, "pruning off by default");
         assert!(pruned.counters.leaf_compares <= plain.counters.leaf_compares);
+    }
+
+    #[test]
+    fn audit_on_by_default_in_debug_and_clean() {
+        let old = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
+        let new = doc(r#"(D (P (S "c")) (P (S "a") (S "b") (S "x")))"#);
+        let r = diff(&old, &new, &DiffOptions::new().with_prune(true)).unwrap();
+        let report = r.audit.expect("audit defaults on under debug assertions");
+        assert!(report.is_clean(), "{report}");
+        assert!(report.checks_run > 0);
+    }
+
+    #[test]
+    fn audit_skippable() {
+        let old = doc(r#"(D (S "a"))"#);
+        let new = doc(r#"(D (S "b"))"#);
+        let r = diff(&old, &new, &DiffOptions::new().with_audit(false)).unwrap();
+        assert!(r.audit.is_none());
+    }
+
+    #[test]
+    fn corrupt_provided_matching_is_an_audit_error() {
+        // Matching two nodes with different labels violates §3.1; with
+        // auditing on this is caught at the matching boundary (A012),
+        // before edit-script generation gets a chance to reject it.
+        let old = doc(r#"(D (S "a"))"#);
+        let new = doc(r#"(D (P (S "a")))"#);
+        let mut m = Matching::new();
+        m.insert(old.root(), new.root()).unwrap();
+        m.insert(old.children(old.root())[0], new.children(new.root())[0])
+            .unwrap(); // S matched to P
+        let opts = DiffOptions::with_matching(m).with_audit(true);
+        match diff(&old, &new, &opts) {
+            Err(DiffError::Audit(report)) => {
+                assert!(report.has_code(hierdiff_audit::Code::A012), "{report}");
+            }
+            other => panic!("expected DiffError::Audit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hybrid_match_audits_clean() {
+        let t1 = doc(r#"(D (P (S "anchor") (S "totally original phrasing here")))"#);
+        let t2 = doc(r#"(D (P (S "anchor") (S "completely different wording now")))"#);
+        let h = match_with_optimality(&t1, &t2, MatchParams::default(), 3);
+        let report = h.audit.expect("audit defaults on under debug assertions");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn batch_surfaces_audit_findings_counter() {
+        let olds: Vec<Tree<String>> = (0..4)
+            .map(|i| doc(&format!(r#"(D (S "a{i}") (S "b{i}"))"#)))
+            .collect();
+        let news: Vec<Tree<String>> = (0..4)
+            .map(|i| doc(&format!(r#"(D (S "b{i}") (S "a{i}"))"#)))
+            .collect();
+        let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.iter().zip(news.iter()).collect();
+        let report = crate::diff_batch_with(
+            &pairs,
+            &crate::BatchOptions::new(DiffOptions::new().with_audit(true)),
+            |_, r| assert!(r.is_ok()),
+        );
+        assert_eq!(report.audit_findings(), 0, "clean pipelines audit clean");
     }
 
     #[test]

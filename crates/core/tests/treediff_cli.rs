@@ -93,6 +93,85 @@ fn optimality_flag() {
 }
 
 #[test]
+fn audit_subcommand_clean_pipeline() {
+    let old = write_temp("a_old.sexpr", OLD);
+    let new = write_temp("a_new.sexpr", NEW);
+    let out = treediff()
+        .arg("audit")
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 errors"), "{stdout}");
+}
+
+#[test]
+fn audit_subcommand_with_prune_and_optimality() {
+    let old = write_temp("ap_old.sexpr", OLD);
+    let new = write_temp("ap_new.sexpr", NEW);
+    for extra in [vec!["--prune"], vec!["-k", "2"]] {
+        let out = treediff()
+            .arg("audit")
+            .args(&extra)
+            .arg(&old)
+            .arg(&new)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn audit_flag_surfaces_in_json() {
+    let old = write_temp("af_old.sexpr", OLD);
+    let new = write_temp("af_new.sexpr", NEW);
+    let out = treediff()
+        .args(["--audit", "--output", "json"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["audit_findings"], 0, "{v:?}");
+    assert!(v["audit_checks"].as_u64().unwrap() > 0, "{v:?}");
+}
+
+#[test]
+fn no_audit_flag_skips_auditing() {
+    let old = write_temp("na_old.sexpr", OLD);
+    let new = write_temp("na_new.sexpr", NEW);
+    let out = treediff()
+        .args(["--no-audit", "--output", "json"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert!(v["audit_checks"].is_null(), "{v:?}");
+}
+
+#[test]
+fn help_documents_all_flags() {
+    let out = treediff().arg("--help").output().unwrap();
+    let text = String::from_utf8_lossy(&out.stderr);
+    for flag in ["--prune", "--audit", "--no-audit", "--output", "audit "] {
+        assert!(text.contains(flag), "help is missing {flag}: {text}");
+    }
+}
+
+#[test]
 fn parse_error_reported() {
     let bad = write_temp("bad.sexpr", "(D (S \"unterminated");
     let good = write_temp("good.sexpr", OLD);

@@ -40,7 +40,7 @@ pub fn build_delta_tree<V: NodeValue>(
         let l = Label::intern(DUMMY_ROOT_LABEL);
         let d1 = t1c.wrap_root(l, V::null());
         let d2 = t2c.wrap_root(l, V::null());
-        m.insert(d1, d2).expect("dummy roots fresh");
+        assert!(m.insert(d1, d2).is_ok(), "dummy roots fresh");
         (&t1c, &t2c, &m)
     } else {
         (t1, t2, matching)
@@ -62,26 +62,30 @@ pub fn build_delta_tree<V: NodeValue>(
         t2,
         m: matching,
         moved: &moved,
-        nodes: Vec::with_capacity(t1.len() + t2.len()),
+        arena: Vec::with_capacity(t1.len() + t2.len()),
         t2_to_delta: vec![None; t2.arena_len()],
         pending_marks: Vec::new(),
     };
     let root = b.emit_new(t2.root());
 
-    // Resolve marker ↔ moved-node cross references.
+    // Resolve marker ↔ moved-node cross references. Both lookups hold by
+    // construction (markers are pushed only for matched nodes, and the T2
+    // walk covers every node); if they ever fail, the link stays UNRESOLVED
+    // and the `audit_delta` checker reports it (A042) instead of panicking.
     for (mark, t1_node) in std::mem::take(&mut b.pending_marks) {
-        let y =
-            b.m.partner1(t1_node)
-                .expect("markers are created only for matched (moved) nodes");
-        let moved_delta = b.t2_to_delta[y.index()].expect("T2 walk covered all nodes");
-        b.nodes[mark.index()].annotation = Annotation::Marker { moved: moved_delta };
-        match &mut b.nodes[moved_delta.index()].annotation {
+        let moved_delta = b.m.partner1(t1_node).and_then(|y| b.t2_to_delta[y.index()]);
+        let Some(moved_delta) = moved_delta else {
+            debug_assert!(false, "marker for unmatched or unvisited node");
+            continue;
+        };
+        b.arena[mark.index()].annotation = Annotation::Marker { moved: moved_delta };
+        match &mut b.arena[moved_delta.index()].annotation {
             Annotation::Moved { mark: slot, .. } => *slot = mark,
             other => unreachable!("moved node annotated {}", other.tag()),
         }
     }
     debug_assert!(
-        !b.nodes.iter().any(|n| matches!(
+        !b.arena.iter().any(|n| matches!(
             n.annotation,
             Annotation::Moved {
                 mark: UNRESOLVED,
@@ -92,7 +96,7 @@ pub fn build_delta_tree<V: NodeValue>(
     );
 
     DeltaTree {
-        nodes: b.nodes,
+        nodes: b.arena,
         root,
     }
 }
@@ -102,15 +106,19 @@ struct Builder<'a, V: NodeValue> {
     t2: &'a Tree<V>,
     m: &'a Matching,
     moved: &'a [bool],
-    nodes: Vec<DeltaNode<V>>,
+    arena: Vec<DeltaNode<V>>,
     t2_to_delta: Vec<Option<DeltaNodeId>>,
     pending_marks: Vec<(DeltaNodeId, NodeId)>,
 }
 
 impl<V: NodeValue> Builder<'_, V> {
     fn alloc(&mut self, label: Label, value: V, annotation: Annotation<V>) -> DeltaNodeId {
-        let id = DeltaNodeId(u32::try_from(self.nodes.len()).expect("delta arena exhausted"));
-        self.nodes.push(DeltaNode {
+        assert!(
+            self.arena.len() < u32::MAX as usize,
+            "delta arena exhausted"
+        );
+        let id = DeltaNodeId(self.arena.len() as u32);
+        self.arena.push(DeltaNode {
             label,
             value,
             annotation,
@@ -160,8 +168,12 @@ impl<V: NodeValue> Builder<'_, V> {
             for c in self.t1.children(w).to_vec() {
                 match self.m.partner1(c) {
                     Some(y) if !self.moved[c.index()] && self.t2.parent(y) == Some(x) => {
-                        let dy = self.t2_to_delta[y.index()].expect("child emitted above");
-                        if let Some(pos) = children.iter().position(|&d| d == dy) {
+                        // `y` was emitted by the child walk above; if the
+                        // lookup ever failed the cursor would merely not
+                        // advance past it.
+                        let dy = self.t2_to_delta[y.index()];
+                        let pos = dy.and_then(|dy| children.iter().position(|&d| d == dy));
+                        if let Some(pos) = pos {
                             cursor = pos + 1;
                         }
                     }
@@ -185,7 +197,7 @@ impl<V: NodeValue> Builder<'_, V> {
                 }
             }
         }
-        self.nodes[id.index()].children = children;
+        self.arena[id.index()].children = children;
         id
     }
 
@@ -215,7 +227,7 @@ impl<V: NodeValue> Builder<'_, V> {
                 }
             })
             .collect();
-        self.nodes[id.index()].children = children;
+        self.arena[id.index()].children = children;
         id
     }
 }

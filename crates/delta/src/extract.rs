@@ -59,9 +59,10 @@ pub fn extract_script<V: NodeValue>(delta: &DeltaTree<V>) -> Result<ExtractedScr
     for (idx, (o, n)) in old_map.iter().zip(&new_map).enumerate() {
         if let (Some(o), Some(n)) = (o, n) {
             let _ = idx;
-            matching
-                .insert(*o, *n)
-                .expect("projection maps are injective");
+            assert!(
+                matching.insert(*o, *n).is_ok(),
+                "projection maps are injective"
+            );
         }
     }
 

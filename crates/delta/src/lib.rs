@@ -118,6 +118,13 @@ pub struct DeltaTree<V> {
 }
 
 impl<V: NodeValue> DeltaTree<V> {
+    /// The single raw-indexing point into the arena; every accessor below
+    /// goes through it (keeps `L007` confined to one spot).
+    fn node(&self, id: DeltaNodeId) -> &DeltaNode<V> {
+        let arena: &[DeltaNode<V>] = &self.nodes;
+        &arena[id.index()]
+    }
+
     /// The root node.
     pub fn root(&self) -> DeltaNodeId {
         self.root
@@ -135,23 +142,23 @@ impl<V: NodeValue> DeltaTree<V> {
 
     /// The label of `id`.
     pub fn label(&self, id: DeltaNodeId) -> Label {
-        self.nodes[id.index()].label
+        self.node(id).label
     }
 
     /// The value of `id` — new-state for live nodes, old-state for deleted
     /// nodes and markers.
     pub fn value(&self, id: DeltaNodeId) -> &V {
-        &self.nodes[id.index()].value
+        &self.node(id).value
     }
 
     /// The annotation of `id`.
     pub fn annotation(&self, id: DeltaNodeId) -> &Annotation<V> {
-        &self.nodes[id.index()].annotation
+        &self.node(id).annotation
     }
 
     /// The ordered children of `id`.
     pub fn children(&self, id: DeltaNodeId) -> &[DeltaNodeId] {
-        &self.nodes[id.index()].children
+        &self.node(id).children
     }
 
     /// Pre-order traversal of the delta tree.

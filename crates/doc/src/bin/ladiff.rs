@@ -13,6 +13,8 @@
 //!                                 what to print                [default markup]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use hierdiff_doc::{ladiff, DocFormat, Engine, LaDiffOptions};
@@ -175,7 +177,7 @@ fn run() -> Result<(), String> {
             });
             println!(
                 "{}",
-                serde_json::to_string_pretty(&json).expect("serializable")
+                serde_json::to_string_pretty(&json).map_err(|e| format!("render json: {e}"))?
             );
         }
     }

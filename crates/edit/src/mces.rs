@@ -53,6 +53,10 @@ pub enum McesError {
     /// change a label (only \[ZS89\]'s relabel could), so no script conforming
     /// to such a matching can make `T1` isomorphic to `T2`.
     LabelMismatch(NodeId, NodeId),
+    /// An internal invariant of Algorithm *EditScript* (Figures 8/9) did not
+    /// hold — a bug in the generator, not in the caller's input. The string
+    /// names the violated invariant.
+    Internal(&'static str),
 }
 
 impl fmt::Display for McesError {
@@ -65,6 +69,9 @@ impl fmt::Display for McesError {
                 "matched pair ({x}, {y}) has different labels; no conforming edit \
                  script exists (labels are immutable under the paper's operations)"
             ),
+            McesError::Internal(what) => {
+                write!(f, "internal EditScript invariant violated: {what}")
+            }
         }
     }
 }
@@ -187,7 +194,7 @@ pub fn edit_script<V: NodeValue>(
         let mut t2c = t2.clone();
         let d2 = t2c.wrap_root(dummy_label, V::null());
         m.insert(d1, d2)
-            .expect("dummy roots are fresh and unmatched");
+            .map_err(|_| McesError::Internal("dummy roots are fresh and unmatched"))?;
         t2_wrapped = t2c;
         &t2_wrapped
     };
@@ -202,7 +209,7 @@ pub fn edit_script<V: NodeValue>(
         stats: McesStats::default(),
     };
     gen.ord1 = vec![false; gen.work.arena_len()];
-    gen.run();
+    gen.run()?;
 
     let Generator {
         work,
@@ -238,7 +245,7 @@ struct Generator<'t, V> {
 }
 
 impl<V: NodeValue> Generator<'_, V> {
-    fn run(&mut self) {
+    fn run(&mut self) -> Result<(), McesError> {
         // Roots are matched (by the caller's wrapping); mark them in order.
         let r1 = self.work.root();
         self.set_ord1(r1, true);
@@ -249,25 +256,30 @@ impl<V: NodeValue> Generator<'_, V> {
         let bfs: Vec<NodeId> = self.t2.bfs().collect();
         for x in bfs {
             let w = if x == self.t2.root() {
-                let w = self.m.partner2(x).expect("roots matched");
-                self.maybe_update(w, x);
+                let w = self
+                    .m
+                    .partner2(x)
+                    .ok_or(McesError::Internal("roots matched"))?;
+                self.maybe_update(w, x)?;
                 w
             } else {
-                let y = self.t2.parent(x).expect("non-root");
-                let z = self
-                    .m
-                    .partner2(y)
-                    .expect("BFS visits parents first, so y is matched (*)");
+                let y = self
+                    .t2
+                    .parent(x)
+                    .ok_or(McesError::Internal("non-root has a parent"))?;
+                let z = self.m.partner2(y).ok_or(McesError::Internal(
+                    "BFS visits parents first, so y is matched (*)",
+                ))?;
                 match self.m.partner2(x) {
-                    None => self.do_insert(x, z),
+                    None => self.do_insert(x, z)?,
                     Some(w) => {
-                        self.maybe_update(w, x);
-                        self.maybe_move(w, x, y, z);
+                        self.maybe_update(w, x)?;
+                        self.maybe_move(w, x, y, z)?;
                         w
                     }
                 }
             };
-            self.align_children(w, x);
+            self.align_children(w, x)?;
         }
 
         // Phase 3 of Figure 8: post-order delete of unmatched T1 nodes.
@@ -277,11 +289,14 @@ impl<V: NodeValue> Generator<'_, V> {
                 self.script.push(EditOp::Delete { node: w });
                 self.stats.deletes += 1;
                 self.stats.weighted_distance += 1;
-                self.work
-                    .delete_leaf(w)
-                    .expect("unmatched nodes have only unmatched descendants, deleted first");
+                self.work.delete_leaf(w).map_err(|_| {
+                    McesError::Internal(
+                        "unmatched nodes have only unmatched descendants, deleted first",
+                    )
+                })?;
             }
         }
+        Ok(())
     }
 
     fn set_ord1(&mut self, id: NodeId, v: bool) {
@@ -297,7 +312,7 @@ impl<V: NodeValue> Generator<'_, V> {
     }
 
     /// Step 2(c)ii of Figure 8: emit `UPD` if the partner values differ.
-    fn maybe_update(&mut self, w: NodeId, x: NodeId) {
+    fn maybe_update(&mut self, w: NodeId, x: NodeId) -> Result<(), McesError> {
         if self.work.value(w) != self.t2.value(x) {
             let value = self.t2.value(x).clone();
             self.script.push(EditOp::Update {
@@ -305,21 +320,26 @@ impl<V: NodeValue> Generator<'_, V> {
                 value: value.clone(),
             });
             self.stats.updates += 1;
-            self.work.update(w, value).expect("w is alive");
+            self.work
+                .update(w, value)
+                .map_err(|_| McesError::Internal("updated node is alive"))?;
         }
+        Ok(())
     }
 
     /// Step 2(b) of Figure 8: insert a copy of unmatched `x` under `z`.
-    fn do_insert(&mut self, x: NodeId, z: NodeId) -> NodeId {
-        let ord = self.find_pos(x);
+    fn do_insert(&mut self, x: NodeId, z: NodeId) -> Result<NodeId, McesError> {
+        let ord = self.find_pos(x)?;
         let raw = self.ordinal_to_raw(z, ord, None);
         let label = self.t2.label(x);
         let value = self.t2.value(x).clone();
         let id = self
             .work
             .insert(z, raw, label, value.clone())
-            .expect("position computed against current children");
-        self.m.insert(id, x).expect("fresh node is unmatched");
+            .map_err(|_| McesError::Internal("position computed against current children"))?;
+        self.m
+            .insert(id, x)
+            .map_err(|_| McesError::Internal("fresh node is unmatched"))?;
         self.script.push(EditOp::Insert {
             node: id,
             label,
@@ -331,20 +351,19 @@ impl<V: NodeValue> Generator<'_, V> {
         self.stats.weighted_distance += 1;
         self.set_ord1(id, true);
         self.ord2[x.index()] = true;
-        id
+        Ok(id)
     }
 
     /// Step 2(c)iii of Figure 8: move `w` under `z` if its parent does not
     /// match `x`'s parent `y` (an inter-parent move).
-    fn maybe_move(&mut self, w: NodeId, x: NodeId, y: NodeId, z: NodeId) {
-        let v = self
-            .work
-            .parent(w)
-            .expect("partner of a non-root T2 node is never the working root");
+    fn maybe_move(&mut self, w: NodeId, x: NodeId, y: NodeId, z: NodeId) -> Result<(), McesError> {
+        let v = self.work.parent(w).ok_or(McesError::Internal(
+            "partner of a non-root T2 node is never the working root",
+        ))?;
         if self.m.partner1(v) == Some(y) {
-            return;
+            return Ok(());
         }
-        let ord = self.find_pos(x);
+        let ord = self.find_pos(x)?;
         let raw = self.ordinal_to_raw(z, ord, None);
         self.stats.inter_moves += 1;
         self.stats.weighted_distance += self.work.leaf_count(w);
@@ -355,13 +374,14 @@ impl<V: NodeValue> Generator<'_, V> {
         });
         self.work
             .move_subtree(w, z, raw)
-            .expect("inter-parent move target is outside w's subtree");
+            .map_err(|_| McesError::Internal("inter-parent move target is outside w's subtree"))?;
         self.set_ord1(w, true);
         self.ord2[x.index()] = true;
+        Ok(())
     }
 
     /// Function *AlignChildren(w, x)* of Figure 9.
-    fn align_children(&mut self, w: NodeId, x: NodeId) {
+    fn align_children(&mut self, w: NodeId, x: NodeId) -> Result<(), McesError> {
         // 1. Mark all children of w and x "out of order".
         for &c in self.work.children(w) {
             // (clone of the child list is avoided: set_ord1 cannot reallocate
@@ -396,7 +416,7 @@ impl<V: NodeValue> Generator<'_, V> {
             })
             .collect();
         if s1.is_empty() && s2.is_empty() {
-            return;
+            return Ok(());
         }
         // 3-4. S = LCS(S1, S2, equal) with equal(a, b) ⇔ (a, b) ∈ M'.
         let common = lcs(&s1, &s2, |&a, &b| self.m.contains(a, b));
@@ -414,8 +434,11 @@ impl<V: NodeValue> Generator<'_, V> {
             if in_lcs2[j] {
                 continue;
             }
-            let a = self.m.partner2(b).expect("b ∈ S2 is matched");
-            let ord = self.find_pos(b);
+            let a = self
+                .m
+                .partner2(b)
+                .ok_or(McesError::Internal("b ∈ S2 is matched"))?;
+            let ord = self.find_pos(b)?;
             let raw = self.ordinal_to_raw(w, ord, Some(a));
             self.stats.intra_moves += 1;
             self.stats.weighted_distance += self.work.leaf_count(a);
@@ -426,7 +449,7 @@ impl<V: NodeValue> Generator<'_, V> {
             });
             self.work
                 .move_subtree(a, w, raw)
-                .expect("intra-parent move cannot create a cycle");
+                .map_err(|_| McesError::Internal("intra-parent move cannot create a cycle"))?;
             self.ord1[a.index()] = true;
             self.ord2[b.index()] = true;
             moved_any = true;
@@ -434,16 +457,17 @@ impl<V: NodeValue> Generator<'_, V> {
         if moved_any {
             self.stats.misaligned_parents += 1;
         }
+        Ok(())
     }
 
     /// Function *FindPos(x)* of Figure 9, returning the number of in-order
     /// children of the destination parent that must precede `x` (the paper's
     /// `i`, 0-based here).
-    fn find_pos(&self, x: NodeId) -> usize {
+    fn find_pos(&self, x: NodeId) -> Result<usize, McesError> {
         let y = self
             .t2
             .parent(x)
-            .expect("FindPos is never called on the root");
+            .ok_or(McesError::Internal("FindPos is never called on the root"))?;
         // 2-3. Find the rightmost sibling of x to its left marked "in
         //      order" (v).
         let mut v: Option<NodeId> = None;
@@ -456,15 +480,17 @@ impl<V: NodeValue> Generator<'_, V> {
             }
         }
         let Some(v) = v else {
-            return 0; // x is the leftmost in-order child.
+            return Ok(0); // x is the leftmost in-order child.
         };
         // 4-5. u = partner(v); return the count of in-order children of u's
         //      parent up to and including u.
-        let u = self.m.partner2(v).expect("in-order T2 nodes are matched");
-        let p = self
-            .work
-            .parent(u)
-            .expect("u was positioned under the partner of y");
+        let u = self
+            .m
+            .partner2(v)
+            .ok_or(McesError::Internal("in-order T2 nodes are matched"))?;
+        let p = self.work.parent(u).ok_or(McesError::Internal(
+            "u was positioned under the partner of y",
+        ))?;
         let mut i = 0;
         for &c in self.work.children(p) {
             if self.is_ord1(c) {
@@ -474,7 +500,7 @@ impl<V: NodeValue> Generator<'_, V> {
                 break;
             }
         }
-        i
+        Ok(i)
     }
 
     /// Converts an in-order ordinal from [`Self::find_pos`] into a concrete

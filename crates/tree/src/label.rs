@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
@@ -43,11 +43,14 @@ impl Label {
     /// Interns `name` and returns its label. Idempotent: interning the same
     /// string twice returns the same label.
     pub fn intern(name: &str) -> Label {
-        let mut int = interner().lock().expect("label interner poisoned");
+        // The interner is append-only, so its data stays coherent even if a
+        // panicking thread poisoned the lock.
+        let mut int = interner().lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(&id) = int.by_name.get(name) {
             return Label(id);
         }
-        let id = u32::try_from(int.names.len()).expect("label space exhausted");
+        assert!(int.names.len() < u32::MAX as usize, "label space exhausted");
+        let id = int.names.len() as u32;
         let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
         int.names.push(leaked);
         int.by_name.insert(leaked, id);
@@ -56,7 +59,7 @@ impl Label {
 
     /// The label's string form.
     pub fn as_str(self) -> &'static str {
-        let int = interner().lock().expect("label interner poisoned");
+        let int = interner().lock().unwrap_or_else(PoisonError::into_inner);
         int.names[self.0 as usize]
     }
 
@@ -71,7 +74,7 @@ impl Label {
     pub fn universe_size() -> usize {
         interner()
             .lock()
-            .expect("label interner poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .names
             .len()
     }

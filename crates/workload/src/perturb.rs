@@ -189,7 +189,7 @@ pub fn ground_truth_matching(
     for id in original.preorder() {
         if perturbed.is_alive(id) {
             debug_assert_eq!(original.label(id), perturbed.label(id));
-            m.insert(id, id).expect("identity matching is one-to-one");
+            assert!(m.insert(id, id).is_ok(), "identity matching is one-to-one");
         }
     }
     m
@@ -254,8 +254,11 @@ fn apply_one(
         };
         let pos = rng.gen_range(0..=t.arity(p));
         let text = random_sentence(rng, profile);
-        t.insert(p, pos, labels::sentence(), DocValue::text(text))
-            .expect("insert into live paragraph");
+        if t.insert(p, pos, labels::sentence(), DocValue::text(text))
+            .is_err()
+        {
+            return false;
+        }
         report.sentence_inserts += 1;
         return true;
     }
@@ -264,7 +267,9 @@ fn apply_one(
         let Some(s) = pick(rng, &sents) else {
             return false;
         };
-        t.delete_leaf(s).expect("sentences are leaves");
+        if t.delete_leaf(s).is_err() {
+            return false;
+        }
         report.sentence_deletes += 1;
         return true;
     }
@@ -278,7 +283,9 @@ fn apply_one(
         if updated == old {
             return false;
         }
-        t.update(s, DocValue::text(updated)).expect("live node");
+        if t.update(s, DocValue::text(updated)).is_err() {
+            return false;
+        }
         report.sentence_updates += 1;
         return true;
     }
@@ -296,7 +303,9 @@ fn apply_one(
         if t.parent(s) == Some(p) && t.position(s) == Some(pos) {
             return false; // no-op move
         }
-        t.move_subtree(s, p, pos).expect("sentence into paragraph");
+        if t.move_subtree(s, p, pos).is_err() {
+            return false;
+        }
         report.sentence_moves += 1;
         return true;
     }
@@ -312,7 +321,9 @@ fn apply_one(
         };
         let kids: Vec<NodeId> = t.children(p).to_vec();
         let s = kids[rng.gen_range(0..kids.len())];
-        let old_pos = t.position(s).expect("child of p");
+        let Some(old_pos) = t.position(s) else {
+            return false;
+        };
         // `move_subtree` measures the position after detaching `s`, which
         // equals the final index of `s` among its siblings; a move back to
         // `old_pos` is a no-op, so draw the final index from the other
@@ -325,7 +336,9 @@ fn apply_one(
                 r
             }
         };
-        t.move_subtree(s, p, target).expect("shuffle within parent");
+        if t.move_subtree(s, p, target).is_err() {
+            return false;
+        }
         report.sentence_shuffles += 1;
         return true;
     }
@@ -333,9 +346,9 @@ fn apply_one(
         let secs = nodes_with_label(t, labels::section());
         let parent = pick(rng, &secs).unwrap_or(t.root());
         let pos = rng.gen_range(0..=t.arity(parent));
-        let p = t
-            .insert(parent, pos, labels::paragraph(), DocValue::None)
-            .expect("insert into live section");
+        let Ok(p) = t.insert(parent, pos, labels::paragraph(), DocValue::None) else {
+            return false;
+        };
         let (lo, hi) = profile.sentences_per_paragraph;
         for _ in 0..rng.gen_range(lo..=hi) {
             let text = random_sentence(rng, profile);
@@ -352,7 +365,9 @@ fn apply_one(
         let Some(p) = pick(rng, &paras) else {
             return false;
         };
-        t.delete_subtree(p).expect("paragraph is not the root");
+        if t.delete_subtree(p).is_err() {
+            return false;
+        }
         report.paragraph_deletes += 1;
         return true;
     }
@@ -368,8 +383,9 @@ fn apply_one(
         if t.parent(p) == Some(target) && t.position(p) == Some(pos) {
             return false;
         }
-        t.move_subtree(p, target, pos)
-            .expect("paragraph into section");
+        if t.move_subtree(p, target, pos).is_err() {
+            return false;
+        }
         report.paragraph_moves += 1;
         return true;
     }
@@ -386,7 +402,9 @@ fn apply_one(
         if t.position(s) == Some(pos) {
             return false;
         }
-        t.move_subtree(s, root, pos).expect("section under root");
+        if t.move_subtree(s, root, pos).is_err() {
+            return false;
+        }
         report.section_moves += 1;
         true
     }

@@ -1,0 +1,381 @@
+//! The `L0xx` workspace lints: purely lexical checks over `crates/*/src`,
+//! reported rustc-style as `file:line: CODE message`.
+//!
+//! | code | check |
+//! |------|-------|
+//! | `L001` | `.unwrap()` in non-test library code |
+//! | `L002` | `.expect(` in non-test library code |
+//! | `L003` | `panic!` in non-test library code |
+//! | `L004` | `todo!` / `unimplemented!` in non-test library code |
+//! | `L005` | crate root / binary missing `#![forbid(unsafe_code)]` |
+//! | `L006` | `NodeId::from_index` outside `crates/tree` |
+//! | `L007` | raw `nodes[` arena indexing outside `crates/tree` |
+//!
+//! Pre-existing offences live in `crates/xtask/lint-allow.txt` (one
+//! `<path> <CODE>` line per offence); the list is a burn-down, not a
+//! licence — entries that no longer match a real offence are *stale* and
+//! fail the lint until removed, so the list can only shrink.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scan::{mask, test_line_mask};
+
+/// One lint offence at a specific source line.
+pub struct Finding {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable lint code, e.g. `"L001"`.
+    pub code: &'static str,
+    /// What the check objects to, for the rendered message.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.path, self.line, self.code, self.message
+        )
+    }
+}
+
+/// Substring patterns checked on every non-test line of library code.
+/// (Comments and literal contents are masked out first, so a pattern inside
+/// a string or doc comment does not count.)
+const LINE_LINTS: &[(&str, &str, &str)] = &[
+    ("L001", ".unwrap()", "`.unwrap()` in non-test library code"),
+    ("L002", ".expect(", "`.expect(` in non-test library code"),
+    ("L003", "panic!", "`panic!` in non-test library code"),
+    ("L004", "todo!", "`todo!` in non-test library code"),
+    (
+        "L004",
+        "unimplemented!",
+        "`unimplemented!` in non-test library code",
+    ),
+];
+
+/// Line lints that only apply outside `crates/tree` (the arena's own
+/// implementation is the one place allowed to mint ids and index raw).
+const NON_TREE_LINTS: &[(&str, &str, &str)] = &[
+    (
+        "L006",
+        "NodeId::from_index",
+        "raw `NodeId::from_index` outside crates/tree",
+    ),
+    (
+        "L007",
+        "nodes[",
+        "raw `nodes[` arena indexing outside crates/tree",
+    ),
+];
+
+/// Lints one source file (already repo-relative at `rel`).
+fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
+    let masked = mask(source);
+    let test_lines = test_line_mask(&masked);
+    let in_tree_crate = rel.starts_with("crates/tree/");
+
+    for (idx, line) in masked.lines().enumerate() {
+        if test_lines.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        for &(code, pattern, message) in LINE_LINTS {
+            if line.contains(pattern) {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: idx + 1,
+                    code,
+                    message: message.to_string(),
+                });
+            }
+        }
+        if !in_tree_crate {
+            for &(code, pattern, message) in NON_TREE_LINTS {
+                if line.contains(pattern) {
+                    findings.push(Finding {
+                        path: rel.to_string(),
+                        line: idx + 1,
+                        code,
+                        message: message.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // L005: crate roots and binary entry points must forbid unsafe code.
+    let is_entry =
+        rel.ends_with("/src/lib.rs") || rel.ends_with("/src/main.rs") || rel.contains("/src/bin/");
+    if is_entry && !masked.contains("#![forbid(unsafe_code)]") {
+        findings.push(Finding {
+            path: rel.to_string(),
+            line: 1,
+            code: "L005",
+            message: "missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every lint over `crates/*/src` below `repo_root`.
+pub fn run_lints(repo_root: &Path) -> io::Result<Vec<Finding>> {
+    let crates_dir = repo_root.join("crates");
+    let mut roots: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path().join("src")))
+        .filter(|p| p.is_dir())
+        .collect();
+    roots.sort();
+
+    let mut findings = Vec::new();
+    for root in roots {
+        let mut files = Vec::new();
+        rust_files(&root, &mut files)?;
+        for file in files {
+            let source = fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(repo_root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            lint_file(&rel, &source, &mut findings);
+        }
+    }
+    Ok(findings)
+}
+
+/// Parses the allowlist into `(path, code) -> allowed count`. Lines are
+/// `<path> <CODE>`; blanks and `#` comments are skipped.
+pub fn parse_allowlist(text: &str) -> BTreeMap<(String, String), usize> {
+    let mut allowed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(path), Some(code)) = (parts.next(), parts.next()) {
+            *allowed
+                .entry((path.to_string(), code.to_string()))
+                .or_insert(0) += 1;
+        }
+    }
+    allowed
+}
+
+/// Renders the current findings in allowlist format (sorted, one line per
+/// offence, with a header explaining the burn-down contract).
+pub fn render_allowlist(findings: &[Finding]) -> String {
+    let mut lines: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{} {}", f.path, f.code))
+        .collect();
+    lines.sort();
+    let mut out = String::from(
+        "# Known L0xx offences, one `<path> <CODE>` line per offence.\n\
+         # This list is a burn-down: entries may only be removed (fixing the\n\
+         # offence), never added. Stale entries fail `cargo run -p xtask -- lint`.\n",
+    );
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// The lint verdict: new offences and stale allowlist entries.
+pub struct Verdict {
+    /// Findings not covered by the allowlist.
+    pub new_offences: Vec<Finding>,
+    /// `(path, code, excess)` allowlist entries with no matching offence.
+    pub stale: Vec<(String, String, usize)>,
+    /// Total findings observed (allowlisted or not).
+    pub total: usize,
+}
+
+impl Verdict {
+    /// Whether the lint passes.
+    pub fn ok(&self) -> bool {
+        self.new_offences.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares findings against the allowlist. Counts are per `(path, code)`:
+/// more findings than entries means new offences; fewer means stale
+/// entries that must be deleted.
+pub fn judge(findings: Vec<Finding>, allowed: &BTreeMap<(String, String), usize>) -> Verdict {
+    let total = findings.len();
+    let mut budget: BTreeMap<(String, String), usize> = allowed.clone();
+    let mut new_offences = Vec::new();
+    for f in findings {
+        let key = (f.path.clone(), f.code.to_string());
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => new_offences.push(f),
+        }
+    }
+    let stale: Vec<(String, String, usize)> = budget
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|((path, code), n)| (path, code, n))
+        .collect();
+    Verdict {
+        new_offences,
+        stale,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(rel: &str, src: &str) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        lint_file(rel, src, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unwrap_in_library_code_flagged() {
+        let f = lint_str("crates/edit/src/x.rs", "fn f() { y.unwrap(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L001");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_ignored() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n";
+        assert!(lint_str("crates/edit/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_ignored() {
+        let src = "fn f() { g(\".unwrap()\"); } // .expect( panic!\n";
+        assert!(lint_str("crates/edit/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panics_and_todos_flagged() {
+        let src = "fn f() { panic!(\"x\") }\nfn g() { todo!() }\nfn h() { unimplemented!() }\n";
+        let codes: Vec<&str> = lint_str("crates/edit/src/x.rs", src)
+            .iter()
+            .map(|f| f.code)
+            .collect();
+        assert_eq!(codes, vec!["L003", "L004", "L004"]);
+    }
+
+    #[test]
+    fn from_index_allowed_in_tree_only() {
+        let src = "fn f() { let id = NodeId::from_index(3); }\n";
+        assert!(lint_str("crates/tree/src/x.rs", src).is_empty());
+        let f = lint_str("crates/edit/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L006");
+    }
+
+    #[test]
+    fn raw_arena_indexing_flagged_outside_tree() {
+        let src = "fn f(&self) { let n = &self.nodes[i]; }\n";
+        assert!(lint_str("crates/tree/src/x.rs", src).is_empty());
+        let f = lint_str("crates/delta/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L007");
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_on_entry_points() {
+        assert_eq!(
+            lint_str("crates/edit/src/lib.rs", "fn f() {}\n")[0].code,
+            "L005"
+        );
+        assert_eq!(
+            lint_str("crates/core/src/bin/tool.rs", "fn main() {}\n")[0].code,
+            "L005"
+        );
+        assert!(lint_str(
+            "crates/edit/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn f() {}\n"
+        )
+        .is_empty());
+        // Non-entry modules don't need the attribute.
+        assert!(lint_str("crates/edit/src/x.rs", "fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn allowlist_judging() {
+        let mk = |path: &str, code: &'static str| Finding {
+            path: path.to_string(),
+            line: 1,
+            code,
+            message: String::new(),
+        };
+        let allowed = parse_allowlist(
+            "# comment\ncrates/a/src/x.rs L001\ncrates/a/src/x.rs L001\ncrates/b/src/y.rs L003\n",
+        );
+        // Two L001s allowed, two found; L003 allowed but absent -> stale;
+        // L002 found but not allowed -> new offence.
+        let v = judge(
+            vec![
+                mk("crates/a/src/x.rs", "L001"),
+                mk("crates/a/src/x.rs", "L001"),
+                mk("crates/a/src/x.rs", "L002"),
+            ],
+            &allowed,
+        );
+        assert!(!v.ok());
+        assert_eq!(v.new_offences.len(), 1);
+        assert_eq!(v.new_offences[0].code, "L002");
+        assert_eq!(
+            v.stale,
+            vec![("crates/b/src/y.rs".to_string(), "L003".to_string(), 1)]
+        );
+        assert_eq!(v.total, 3);
+    }
+
+    #[test]
+    fn allowlist_round_trip() {
+        let findings = vec![
+            Finding {
+                path: "crates/a/src/x.rs".to_string(),
+                line: 7,
+                code: "L001",
+                message: String::new(),
+            },
+            Finding {
+                path: "crates/a/src/x.rs".to_string(),
+                line: 9,
+                code: "L001",
+                message: String::new(),
+            },
+        ];
+        let rendered = render_allowlist(&findings);
+        let parsed = parse_allowlist(&rendered);
+        assert_eq!(
+            parsed.get(&("crates/a/src/x.rs".to_string(), "L001".to_string())),
+            Some(&2)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Workspace automation tasks (`cargo run -p xtask -- <task>`).
+//!
+//! The only task so far is `lint`: the std-only `L0xx` source linter over
+//! `crates/*/src`, with a checked-in burn-down allowlist at
+//! `crates/xtask/lint-allow.txt`. See `lint.rs` for the lint catalogue and
+//! `DESIGN.md` ("Diagnostics & static analysis") for how the `L0xx` codes
+//! relate to the runtime `A0xx` audit codes.
+
+#![forbid(unsafe_code)]
+
+mod lint;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--write-allowlist]\n\
+\n\
+  lint                 run the L0xx source lints over crates/*/src and\n\
+                       compare against crates/xtask/lint-allow.txt; new\n\
+                       offences and stale allowlist entries both fail\n\
+  lint --write-allowlist   rewrite the allowlist from the current findings\n\
+                           (for intentional burn-down updates only)";
+
+fn repo_root() -> PathBuf {
+    // crates/xtask -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap_or(Path::new("."))
+        .to_path_buf()
+}
+
+fn run_lint(write: bool) -> Result<bool, String> {
+    let root = repo_root();
+    let findings = lint::run_lints(&root).map_err(|e| format!("scanning sources: {e}"))?;
+    let allowlist_path = root.join("crates/xtask/lint-allow.txt");
+
+    if write {
+        let rendered = lint::render_allowlist(&findings);
+        std::fs::write(&allowlist_path, rendered)
+            .map_err(|e| format!("{}: {e}", allowlist_path.display()))?;
+        println!(
+            "wrote {} entries to {}",
+            findings.len(),
+            allowlist_path.display()
+        );
+        return Ok(true);
+    }
+
+    let allowed = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => lint::parse_allowlist(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
+        Err(e) => return Err(format!("{}: {e}", allowlist_path.display())),
+    };
+    let allowed_total: usize = allowed.values().sum();
+    let verdict = lint::judge(findings, &allowed);
+
+    for f in &verdict.new_offences {
+        println!("{f}");
+    }
+    for (path, code, n) in &verdict.stale {
+        println!("{path}: stale allowlist entry {code} (x{n}) — offence fixed, delete the line");
+    }
+    println!(
+        "lint: {} finding(s), {} allowlisted, {} new, {} stale",
+        verdict.total,
+        allowed_total,
+        verdict.new_offences.len(),
+        verdict.stale.len()
+    );
+    Ok(verdict.ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    let ok = match args.as_slice() {
+        ["lint"] => run_lint(false),
+        ["lint", "--write-allowlist"] => run_lint(true),
+        ["-h"] | ["--help"] => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match ok {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

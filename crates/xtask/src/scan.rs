@@ -1,0 +1,259 @@
+//! Lexical preprocessing for the linter: masking of comments and literal
+//! contents, and detection of `cfg(test)`-gated regions.
+//!
+//! The linter is deliberately *not* a parser — it must stay std-only and
+//! build in well under a second — so every check is a substring match over
+//! a **masked** copy of the source in which comment bodies and
+//! string/char-literal contents are blanked out (newlines preserved). That
+//! makes `panic!` inside a doc comment or `".unwrap()"` inside a test
+//! fixture string invisible to the checks, while keeping line numbers
+//! exact.
+
+/// Returns `source` with comments and string/char-literal contents replaced
+/// by spaces. Newlines are preserved so line numbers survive masking.
+///
+/// Handles line and (nested) block comments, plain and raw strings
+/// (`r"…"`, `r#"…"#`, any `#` depth), byte strings, char literals with
+/// escapes, and leaves lifetimes (`'a`) alone.
+pub fn mask(source: &str) -> String {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == '/' && next == Some('*') {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(bytes[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"…", r#"…"#, br"…", … — only when the `r` is
+        // not the tail of an identifier.
+        let prev_ident = i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_');
+        if !prev_ident && (c == 'r' || (c == 'b' && next == Some('r'))) {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0;
+            while bytes.get(start + hashes) == Some(&'#') {
+                hashes += 1;
+            }
+            if bytes.get(start + hashes) == Some(&'"') {
+                // Mask from `i` to the closing `"` followed by `hashes` #s.
+                let mut j = start + hashes + 1;
+                while j < bytes.len() {
+                    if bytes[j] == '"' && bytes[j + 1..].iter().take(hashes).all(|&h| h == '#') {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    j += 1;
+                }
+                while i < j.min(bytes.len()) {
+                    out.push(blank(bytes[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain (byte) string.
+        if c == '"' || (c == 'b' && next == Some('"') && !prev_ident) {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < bytes.len() {
+                match bytes[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            while i < j.min(bytes.len()) {
+                out.push(blank(bytes[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\n' are literals; 'a (no closing
+        // quote right after one element) is a lifetime.
+        if c == '\'' {
+            let is_char = match next {
+                Some('\\') => true,
+                Some(_) => bytes.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                while i < j.min(bytes.len()) {
+                    out.push(blank(bytes[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Returns, for each line of the *masked* source, whether the line belongs
+/// to a `cfg(test)` region: an item under an outer `#[cfg(test)]` attribute
+/// (tracked to the end of its brace-balanced body), or anything at all once
+/// an inner `#![cfg(test)]` declares the whole file test-only.
+pub fn test_line_mask(masked: &str) -> Vec<bool> {
+    let mut flags = Vec::new();
+    let mut whole_file = false;
+    // Depth bookkeeping for the item following a `#[cfg(test)]` attribute:
+    // `None` outside such a region, `Some((depth, seen_brace))` inside.
+    let mut gated: Option<(usize, bool)> = None;
+
+    for line in masked.lines() {
+        let trimmed = line.trim_start();
+        if whole_file {
+            flags.push(true);
+            continue;
+        }
+        if trimmed.starts_with("#![") && trimmed.contains("cfg(test)") {
+            whole_file = true;
+            flags.push(true);
+            continue;
+        }
+        if gated.is_none() && trimmed.starts_with("#[") && trimmed.contains("cfg(test)") {
+            // Scan the attribute line itself too: the gated item may start
+            // (and even end) on this very line.
+            gated = Some((0, false));
+        }
+        match gated.as_mut() {
+            None => flags.push(false),
+            Some((depth, seen_brace)) => {
+                flags.push(true);
+                let mut terminated = false;
+                for ch in line.chars() {
+                    match ch {
+                        '{' => {
+                            *depth += 1;
+                            *seen_brace = true;
+                        }
+                        '}' => {
+                            *depth = depth.saturating_sub(1);
+                            if *seen_brace && *depth == 0 {
+                                terminated = true;
+                            }
+                        }
+                        // A braceless item (`#[cfg(test)] use …;`) ends at
+                        // the first top-level semicolon.
+                        ';' if !*seen_brace && *depth == 0 => terminated = true,
+                        _ => {}
+                    }
+                }
+                if terminated {
+                    gated = None;
+                }
+            }
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"panic!\"; // .unwrap()\nlet y = 1; /* todo! */ let z = 2;";
+        let m = mask(src);
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains(".unwrap()"));
+        assert!(!m.contains("todo!"));
+        assert!(m.contains("let x ="));
+        assert!(m.contains("let z = 2;"));
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masks_raw_strings_with_hashes() {
+        let src = "let s = r#\"has \".unwrap()\" inside\"#; call();";
+        let m = mask(src);
+        assert!(!m.contains(".unwrap()"));
+        assert!(m.contains("call();"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\"'; let d = 'y'; g(x) }";
+        let m = mask(src);
+        assert!(m.contains("<'a>"), "{m}");
+        assert!(m.contains("&'a str"), "{m}");
+        assert!(!m.contains("'y'"), "{m}");
+        assert!(m.contains("g(x)"), "{m}");
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "a /* outer /* inner */ still */ b";
+        let m = mask(src);
+        assert!(m.contains('a') && m.contains('b'));
+        assert!(!m.contains("inner") && !m.contains("still"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_gated() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap() }\n}\nfn after() {}\n";
+        let flags = test_line_mask(&mask(src));
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn inner_cfg_test_gates_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() { x.unwrap() }\n";
+        let flags = test_line_mask(&mask(src));
+        assert!(flags.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn braceless_gated_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn real() {}\n";
+        let flags = test_line_mask(&mask(src));
+        assert_eq!(flags, vec![true, true, false]);
+    }
+}

@@ -26,6 +26,7 @@
 
 pub use hierdiff_core::*;
 
+pub use hierdiff_audit as audit;
 pub use hierdiff_delta as delta;
 pub use hierdiff_doc as doc;
 pub use hierdiff_edit as edit;
