@@ -6,7 +6,7 @@
 //! must flag every injected violation *and* stay silent on honest output,
 //! or they would be either useless or unusable as a default-on gate.
 
-use hierdiff_core::{diff, DiffOptions};
+use hierdiff_core::{Audit, Differ};
 use hierdiff_workload::{generate_document, perturb, DocProfile, EditMix};
 use proptest::prelude::*;
 
@@ -16,15 +16,15 @@ fn fixture(name: &str) -> hierdiff_tree::Tree<String> {
     hierdiff_tree::Tree::parse_sexpr(&text).unwrap()
 }
 
-fn audited() -> DiffOptions {
-    DiffOptions::new().with_audit(true)
+fn audited() -> Differ<'static> {
+    Differ::new().audit(Audit::On)
 }
 
 #[test]
 fn figure1_example_audits_clean() {
     let t1 = fixture("fig1_old.sexpr");
     let t2 = fixture("fig1_new.sexpr");
-    let res = diff(&t1, &t2, &audited()).unwrap();
+    let res = audited().diff(&t1, &t2).unwrap();
     let report = res.audit.expect("audit was requested");
     assert!(report.is_clean(), "{report}");
     assert!(report.checks_run > 0);
@@ -35,7 +35,7 @@ fn figure4_example_audits_clean() {
     let t1 = fixture("fig4_old.sexpr");
     let t2 = fixture("fig4_new.sexpr");
     for prune in [false, true] {
-        let res = diff(&t1, &t2, &audited().with_prune(prune)).unwrap();
+        let res = audited().prune(prune).diff(&t1, &t2).unwrap();
         let report = res.audit.expect("audit was requested");
         assert!(report.is_clean(), "prune={prune}: {report}");
     }
@@ -54,7 +54,7 @@ fn workload_document_audits_clean() {
     let (t2, _) = perturb(&t1, 7, 60, &EditMix::revision(), &profile);
     assert!(t1.len() > 1_500, "profile produced only {} nodes", t1.len());
     for prune in [false, true] {
-        let res = diff(&t1, &t2, &audited().with_prune(prune)).unwrap();
+        let res = audited().prune(prune).diff(&t1, &t2).unwrap();
         let report = res.audit.expect("audit was requested");
         assert!(report.is_clean(), "prune={prune}: {report}");
         assert!(report.checks_run > t1.len(), "per-node checks ran");
@@ -82,7 +82,7 @@ proptest! {
         };
         let t1 = generate_document(seed, &profile);
         let (t2, _) = perturb(&t1, seed.wrapping_add(1), edits, &mix, &profile);
-        let res = diff(&t1, &t2, &audited().with_prune(prune)).unwrap();
+        let res = audited().prune(prune).diff(&t1, &t2).unwrap();
         let report = res.audit.expect("audit was requested");
         prop_assert!(report.is_clean(), "seed={seed} edits={edits}: {report}");
     }
@@ -101,7 +101,7 @@ proptest! {
         );
         let root = t2.root();
         graft(&mut t2, root, &t2s, t2s.root());
-        let res = diff(&t1, &t2, &audited()).unwrap();
+        let res = audited().diff(&t1, &t2).unwrap();
         prop_assert!(res.mces.wrapped);
         let report = res.audit.expect("audit was requested");
         prop_assert!(report.is_clean(), "seed={seed}: {report}");

@@ -9,10 +9,8 @@
 //!    replaced, on a skewed batch (a few huge pairs among many small ones)
 //!    where static assignment strands the heavy work on one thread.
 
-use std::num::NonZeroUsize;
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hierdiff_core::{diff, diff_batch_with, BatchOptions, DiffOptions};
+use hierdiff_core::{DiffOptions, Differ};
 use hierdiff_doc::DocValue;
 use hierdiff_matching::{fast_match, fast_match_accelerated, MatchParams};
 use hierdiff_tree::Tree;
@@ -60,11 +58,23 @@ fn bench_prune_end_to_end(c: &mut Criterion) {
         ..DiffOptions::default()
     };
     g.bench_function("plain", |b| {
-        b.iter(|| diff(&t1, &t2, &base).unwrap().script.len())
+        b.iter(|| {
+            Differ::from_options(base.clone())
+                .diff(&t1, &t2)
+                .unwrap()
+                .script
+                .len()
+        })
     });
     let pruned = base.clone().with_prune(true);
     g.bench_function("pruned", |b| {
-        b.iter(|| diff(&t1, &t2, &pruned).unwrap().script.len())
+        b.iter(|| {
+            Differ::from_options(pruned.clone())
+                .diff(&t1, &t2)
+                .unwrap()
+                .script
+                .len()
+        })
     });
     g.finish();
 }
@@ -84,7 +94,13 @@ fn diff_batch_static(
                         .iter()
                         .skip(w)
                         .step_by(workers)
-                        .map(|(a, b)| diff(a, b, options).unwrap().script.len())
+                        .map(|(a, b)| {
+                            Differ::from_options(options.clone())
+                                .diff(a, b)
+                                .unwrap()
+                                .script
+                                .len()
+                        })
                         .sum::<usize>()
                 })
             })
@@ -130,11 +146,9 @@ fn bench_batch_skewed(c: &mut Criterion) {
     g.bench_function("work-stealing", |b| {
         b.iter(|| {
             let mut total = 0usize;
-            let batch = BatchOptions {
-                diff: options.clone(),
-                workers: NonZeroUsize::new(workers),
-            };
-            diff_batch_with(&ordered, &batch, |_, r| total += r.unwrap().script.len());
+            Differ::from_options(options.clone())
+                .workers(workers)
+                .diff_batch_with(&ordered, |_, r| total += r.unwrap().script.len());
             total
         })
     });

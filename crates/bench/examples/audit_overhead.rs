@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use hierdiff_core::{diff, DiffOptions};
+use hierdiff_core::{Audit, Differ};
 use hierdiff_workload::{generate_document, perturb, DocProfile, EditMix};
 
 const ROUNDS: usize = 3;
@@ -29,7 +29,9 @@ fn main() {
     println!("workload: {} -> {} nodes", t1.len(), t2.len());
 
     // Correctness half of the gate: the audited run must be clean.
-    let audited = diff(&t1, &t2, &DiffOptions::new().with_audit(true))
+    let audited = Differ::new()
+        .audit(Audit::On)
+        .diff(&t1, &t2)
         .expect("audited 10k-node diff must not report invariant errors");
     let report = audited.audit.expect("audit was requested");
     assert!(report.is_clean(), "audit found issues:\n{report}");
@@ -46,9 +48,9 @@ fn main() {
         let mut best = [f64::MAX, f64::MAX];
         for _ in 0..RUNS_PER_ROUND {
             for (slot, audit) in [(0usize, false), (1usize, true)] {
-                let opts = DiffOptions::new().with_audit(audit);
+                let policy = if audit { Audit::On } else { Audit::Off };
                 let start = Instant::now();
-                let r = diff(&t1, &t2, &opts).expect("diff");
+                let r = Differ::new().audit(policy).diff(&t1, &t2).expect("diff");
                 let dt = start.elapsed().as_secs_f64();
                 assert!(!r.script.is_empty());
                 if dt < best[slot] {

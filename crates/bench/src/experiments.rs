@@ -789,8 +789,7 @@ pub fn prematch_ablation() -> String {
 /// meaningful on multi-core hosts; this report is scheduling-quality
 /// evidence that holds regardless.)
 pub fn batch_schedule() -> String {
-    use hierdiff_core::{diff, diff_batch_with, BatchOptions, DiffOptions};
-    use std::num::NonZeroUsize;
+    use hierdiff_core::{DiffOptions, Differ};
     use std::time::Duration;
 
     let workers = 4usize;
@@ -848,7 +847,7 @@ pub fn batch_schedule() -> String {
                     let mut busy = Duration::ZERO;
                     for (a, b) in pairs.iter().skip(w).step_by(workers) {
                         let t = Instant::now();
-                        let _ = diff(a, b, options).unwrap();
+                        let _ = Differ::from_options(options.clone()).diff(a, b).unwrap();
                         busy += t.elapsed();
                     }
                     busy
@@ -859,13 +858,11 @@ pub fn batch_schedule() -> String {
     });
     let static_wall = t0.elapsed();
 
-    let batch = BatchOptions {
-        diff: options.clone(),
-        workers: NonZeroUsize::new(workers),
-    };
-    let report = diff_batch_with(&pairs, &batch, |_, r| {
-        let _ = r.unwrap();
-    });
+    let report = Differ::from_options(options.clone())
+        .workers(workers)
+        .diff_batch_with(&pairs, |_, r| {
+            let _ = r.unwrap();
+        });
 
     let share = |busy: &[Duration]| {
         let total: f64 = busy.iter().map(Duration::as_secs_f64).sum();

@@ -10,16 +10,23 @@
 //! cannot strand one worker with all the heavy work while the rest idle —
 //! idle workers pull the excess over. [`BatchReport`] exposes per-worker
 //! completion/steal counts and busy-time utilization so the rebalancing is
-//! observable.
+//! observable, and — with [`BatchOptions::with_profile`] — per-worker
+//! [`DiffProfile`]s whose phase timings and paper-cost counters aggregate
+//! across the whole batch.
+//!
+//! Worker failure is a *typed* outcome, not a panic: a worker that dies
+//! mid-batch surfaces as [`DiffError::WorkerPanicked`] on the pairs it
+//! never delivered and in [`BatchReport::failures`].
 
 use std::num::NonZeroUsize;
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Steal, Stealer, Worker};
+use hierdiff_obs::{DiffProfile, Recorder};
 use hierdiff_tree::{NodeValue, Tree};
 
-use crate::{diff, AuditReport, DiffError, DiffOptions, DiffResult, Matcher};
+use crate::{diff_observed, AuditReport, DiffError, DiffOptions, DiffResult, Matcher};
 
 /// Options for [`diff_batch_with`].
 #[derive(Clone, Debug, Default)]
@@ -30,6 +37,9 @@ pub struct BatchOptions {
     /// Worker-thread count; defaults to `available_parallelism` (capped at
     /// the number of pairs).
     pub workers: Option<NonZeroUsize>,
+    /// Record a per-worker [`DiffProfile`] (phase timings + work counters
+    /// across the worker's pairs) into [`BatchReport::profiles`].
+    pub profile: bool,
 }
 
 impl BatchOptions {
@@ -38,12 +48,19 @@ impl BatchOptions {
         BatchOptions {
             diff,
             workers: None,
+            profile: false,
         }
     }
 
     /// Forces a specific worker count.
     pub fn with_workers(mut self, workers: usize) -> BatchOptions {
         self.workers = NonZeroUsize::new(workers);
+        self
+    }
+
+    /// Toggles per-worker profile recording.
+    pub fn with_profile(mut self, profile: bool) -> BatchOptions {
+        self.profile = profile;
         self
     }
 }
@@ -69,6 +86,14 @@ pub struct BatchReport {
     pub workers: Vec<WorkerStats>,
     /// Wall-clock duration of the parallel section.
     pub wall: Duration,
+    /// Per-worker pipeline profiles, present (parallel to
+    /// [`workers`](BatchReport::workers)) when
+    /// [`BatchOptions::profile`] was set.
+    pub profiles: Vec<DiffProfile>,
+    /// Worker-level failures ([`DiffError::WorkerPanicked`]); empty on a
+    /// healthy run. Pairs the failed workers never streamed carry the same
+    /// error in per-pair results.
+    pub failures: Vec<DiffError>,
 }
 
 impl BatchReport {
@@ -97,6 +122,29 @@ impl BatchReport {
         let busy: Duration = self.workers.iter().map(|w| w.busy).sum();
         (busy.as_secs_f64() / (self.wall.as_secs_f64() * self.workers.len() as f64)).min(1.0)
     }
+
+    /// The batch-wide aggregate of the per-worker profiles (phase times
+    /// and counters summed), or `None` when profiling was off.
+    pub fn profile(&self) -> Option<DiffProfile> {
+        if self.profiles.is_empty() {
+            return None;
+        }
+        let mut total = DiffProfile::default();
+        for p in &self.profiles {
+            total.merge(p);
+        }
+        Some(total)
+    }
+}
+
+/// A collected batch run: per-pair results in input order plus the
+/// scheduling report. Returned by [`Differ::diff_batch`](crate::Differ::diff_batch).
+#[derive(Debug, Default)]
+pub struct BatchRun<V: NodeValue> {
+    /// One result per input pair, in input order.
+    pub results: Vec<Result<DiffResult<V>, DiffError>>,
+    /// Scheduling and profiling telemetry.
+    pub report: BatchReport,
 }
 
 fn worker_count(requested: Option<NonZeroUsize>, pairs: usize) -> usize {
@@ -113,9 +161,27 @@ fn worker_count(requested: Option<NonZeroUsize>, pairs: usize) -> usize {
 /// the pair's input index is passed alongside). Returns the scheduling
 /// report.
 ///
+/// A worker that panics does not take the batch down: its failure is
+/// recorded in [`BatchReport::failures`] and the remaining workers drain
+/// the queue (pairs the dead worker held are lost to the sink — collect
+/// via [`Differ::diff_batch`](crate::Differ::diff_batch) to have them
+/// surfaced as [`DiffError::WorkerPanicked`] results instead).
+///
 /// `sink` is shared by all workers behind a lock; keep it cheap (push to a
 /// channel or vector) or it becomes the bottleneck.
 pub fn diff_batch_with<V, F>(
+    pairs: &[(&Tree<V>, &Tree<V>)],
+    options: &BatchOptions,
+    sink: F,
+) -> BatchReport
+where
+    V: NodeValue + Send + Sync,
+    F: FnMut(usize, Result<DiffResult<V>, DiffError>) + Send,
+{
+    diff_batch_inner(pairs, options, sink)
+}
+
+pub(crate) fn diff_batch_inner<V, F>(
     pairs: &[(&Tree<V>, &Tree<V>)],
     options: &BatchOptions,
     sink: F,
@@ -147,7 +213,8 @@ where
     let stealers: Vec<Stealer<usize>> = deques.iter().map(Worker::stealer).collect();
 
     let start = Instant::now();
-    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+    let mut report = BatchReport::default();
+    let outcomes: Vec<(WorkerStats, Option<DiffProfile>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = deques
             .into_iter()
             .enumerate()
@@ -156,6 +223,7 @@ where
                 let sink = &sink;
                 scope.spawn(move || {
                     let mut stats = WorkerStats::default();
+                    let mut recorder = options.profile.then(Recorder::new);
                     loop {
                         let (i, stolen) = match local.pop() {
                             Some(i) => (i, false),
@@ -166,7 +234,14 @@ where
                         };
                         let (old, new) = pairs[i];
                         let t0 = Instant::now();
-                        let result = diff(old, new, &options.diff);
+                        let result = diff_observed(
+                            old,
+                            new,
+                            &options.diff,
+                            recorder
+                                .as_mut()
+                                .map(|r| r as &mut dyn hierdiff_obs::PipelineObserver),
+                        );
                         stats.busy += t0.elapsed();
                         stats.completed += 1;
                         stats.stolen += usize::from(stolen);
@@ -179,23 +254,58 @@ where
                         // lock; the data is still coherent, keep streaming.
                         (sink.lock().unwrap_or_else(PoisonError::into_inner))(i, result);
                     }
-                    stats
+                    (stats, recorder.map(|r| r.profile()))
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| match h.join() {
-                Ok(stats) => stats,
-                Err(payload) => std::panic::resume_unwind(payload),
+            .enumerate()
+            .map(|(worker, h)| match h.join() {
+                Ok(outcome) => outcome,
+                Err(_payload) => {
+                    // The worker died mid-batch. Record a typed failure and
+                    // keep the report coherent — no resume_unwind.
+                    report.failures.push(DiffError::WorkerPanicked(worker));
+                    (
+                        WorkerStats::default(),
+                        options.profile.then(DiffProfile::default),
+                    )
+                }
             })
             .collect()
     });
 
-    BatchReport {
-        workers: stats,
-        wall: start.elapsed(),
+    for (stats, profile) in outcomes {
+        report.workers.push(stats);
+        if let Some(p) = profile {
+            report.profiles.push(p);
+        }
     }
+    report.wall = start.elapsed();
+    report
+}
+
+/// Collects a batch run into per-pair results (input order) plus the
+/// report. Pairs a panicked worker never delivered carry
+/// [`DiffError::WorkerPanicked`].
+pub(crate) fn diff_batch_run<V: NodeValue + Send + Sync>(
+    pairs: &[(&Tree<V>, &Tree<V>)],
+    options: &BatchOptions,
+) -> BatchRun<V> {
+    let mut slots: Vec<Option<Result<DiffResult<V>, DiffError>>> =
+        (0..pairs.len()).map(|_| None).collect();
+    let report = diff_batch_inner(pairs, options, |i, result| slots[i] = Some(result));
+    let fallback = report
+        .failures
+        .first()
+        .cloned()
+        .unwrap_or(DiffError::WorkerPanicked(usize::MAX));
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| Err(fallback.clone())))
+        .collect();
+    BatchRun { results, report }
 }
 
 /// One round-robin steal attempt over every sibling deque.
@@ -222,26 +332,22 @@ fn steal_any(stealers: &[Stealer<usize>], me: usize) -> Option<usize> {
 /// Diffs every `(old, new)` pair concurrently, preserving input order.
 ///
 /// `options` applies to every pair; [`Matcher::Provided`] is rejected (a
-/// single provided matching cannot describe multiple pairs — run [`diff`]
-/// per pair instead). This is [`diff_batch_with`] collecting into a vector;
-/// use the `_with` variant to stream results or control worker count.
+/// single provided matching cannot describe multiple pairs — run a
+/// per-pair [`Differ::diff`](crate::Differ::diff) instead). This is the
+/// collecting form of [`diff_batch_with`]; prefer
+/// [`Differ::diff_batch`](crate::Differ::diff_batch), which also returns
+/// the scheduling report.
 pub fn diff_batch<V: NodeValue + Send + Sync>(
     pairs: &[(&Tree<V>, &Tree<V>)],
     options: &DiffOptions,
 ) -> Vec<Result<DiffResult<V>, DiffError>> {
-    let mut slots: Vec<Option<Result<DiffResult<V>, DiffError>>> =
-        (0..pairs.len()).map(|_| None).collect();
-    diff_batch_with(pairs, &BatchOptions::new(options.clone()), |i, result| {
-        slots[i] = Some(result)
-    });
-    let out: Vec<Result<DiffResult<V>, DiffError>> = slots.into_iter().flatten().collect();
-    assert_eq!(out.len(), pairs.len(), "every pair visited exactly once");
-    out
+    diff_batch_run(pairs, &BatchOptions::new(options.clone())).results
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diff;
     use hierdiff_tree::isomorphic;
 
     fn doc(s: &str) -> Tree<String> {
@@ -331,6 +437,9 @@ mod tests {
         assert_eq!(report.completed(), pairs.len());
         assert_eq!(report.workers.len(), 3);
         assert!(report.utilization() > 0.0);
+        assert!(report.failures.is_empty());
+        assert!(report.profiles.is_empty(), "profiling off by default");
+        assert!(report.profile().is_none());
     }
 
     #[test]
@@ -374,5 +483,86 @@ mod tests {
         if report.workers.iter().any(|w| w.completed == 0) {
             assert!(report.steals() > 0, "idle worker but nothing stolen");
         }
+    }
+
+    #[test]
+    fn profiled_batch_aggregates_per_worker_profiles() {
+        let olds: Vec<Tree<String>> = (0..8)
+            .map(|i| doc(&format!(r#"(D (P (S "a{i}") (S "b{i}")))"#)))
+            .collect();
+        let news: Vec<Tree<String>> = (0..8)
+            .map(|i| doc(&format!(r#"(D (P (S "b{i}") (S "a{i}")))"#)))
+            .collect();
+        let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.iter().zip(news.iter()).collect();
+        let options = BatchOptions::new(DiffOptions::new())
+            .with_workers(2)
+            .with_profile(true);
+        let report = diff_batch_with(&pairs, &options, |_, r| assert!(r.is_ok()));
+        assert_eq!(report.profiles.len(), 2, "one profile per worker");
+        let total = report.profile().expect("profiling was on");
+        // Every pair entered the match phase exactly once.
+        assert_eq!(total.phase("match").unwrap().entries, 8);
+        assert!(total.counter("leaf_compares") > 0);
+        // Aggregate equals the sum of the parts.
+        let by_hand: u64 = report
+            .profiles
+            .iter()
+            .map(|p| p.counter("leaf_compares"))
+            .sum();
+        assert_eq!(total.counter("leaf_compares"), by_hand);
+    }
+
+    #[test]
+    fn sink_panic_is_a_typed_failure_not_a_process_abort() {
+        let a = doc(r#"(D (S "x"))"#);
+        let b = doc(r#"(D (S "y"))"#);
+        let pairs = vec![(&a, &b); 4];
+        let run = diff_batch_run(
+            &pairs,
+            &BatchOptions::new(DiffOptions::default()).with_workers(1),
+        );
+        assert!(run.report.failures.is_empty());
+        assert_eq!(run.results.len(), 4);
+
+        // Now a sink that panics on the first delivery: the worker dies,
+        // the batch still returns, and undelivered pairs carry the typed
+        // worker error.
+        let mut first = true;
+        let report = diff_batch_with(
+            &pairs,
+            &BatchOptions::new(DiffOptions::default()).with_workers(1),
+            move |_, _| {
+                if first {
+                    first = false;
+                    panic!("sink exploded");
+                }
+            },
+        );
+        assert_eq!(report.failures, vec![DiffError::WorkerPanicked(0)]);
+        assert_eq!(report.workers.len(), 1, "report stays coherent");
+    }
+
+    #[test]
+    fn panicked_worker_marks_undelivered_pairs() {
+        // Single worker whose sink panics immediately: every pair after the
+        // first must surface WorkerPanicked instead of vanishing.
+        let a = doc(r#"(D (S "x"))"#);
+        let b = doc(r#"(D (S "y"))"#);
+        let pairs = vec![(&a, &b); 3];
+        let mut slots: Vec<Option<Result<DiffResult<String>, DiffError>>> =
+            (0..pairs.len()).map(|_| None).collect();
+        let mut first = true;
+        let report = diff_batch_inner(
+            &pairs,
+            &BatchOptions::new(DiffOptions::default()).with_workers(1),
+            |i, r| {
+                if first {
+                    first = false;
+                    panic!("boom");
+                }
+                slots[i] = Some(r);
+            },
+        );
+        assert_eq!(report.failures, vec![DiffError::WorkerPanicked(0)]);
     }
 }

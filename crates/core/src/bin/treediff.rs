@@ -10,6 +10,8 @@
 //!   -k, --optimality <N>        A(k) optimality level        [default 0]
 //!   -p, --prune                 identical-subtree pruning pre-pass
 //!       --audit / --no-audit    stage-boundary invariant auditing
+//!       --profile[=json]        per-phase timings + paper-cost counters
+//!                               on stderr (table, or JSON DiffProfile)
 //!       --output script|delta|stats|json                     [default script]
 //! ```
 //!
@@ -21,7 +23,7 @@
 
 use std::process::ExitCode;
 
-use hierdiff_core::{diff, match_with_optimality, DiffError, DiffOptions, Matcher};
+use hierdiff_core::{match_with_optimality, DiffError, Differ, Phase, PipelineObserver, Recorder};
 use hierdiff_matching::MatchParams;
 use hierdiff_tree::Tree;
 
@@ -35,6 +37,9 @@ const USAGE: &str = "usage: treediff [OPTIONS] <OLD.sexpr> <NEW.sexpr>\n\
                                 boundary; error findings abort with a\n\
                                 diagnostic (default in debug builds)\n\
       --no-audit                disable stage-boundary auditing\n\
+      --profile                 print per-phase timings and the paper's\n\
+                                cost-model counters to stderr\n\
+      --profile=json            same, as a JSON DiffProfile document\n\
       --output script|delta|stats|json   what to print (default script)\n\
   -h, --help                    show this help\n\
 \n\
@@ -43,22 +48,34 @@ subcommands:\n\
            A0xx finding with its paper reference, and exit non-zero when\n\
            any finding has Error severity";
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProfileFormat {
+    Table,
+    Json,
+}
+
 struct Cli {
     params: MatchParams,
     k: u32,
     prune: bool,
     audit: Option<bool>,
+    profile: Option<ProfileFormat>,
     output: String,
     old: Tree<String>,
     new: Tree<String>,
 }
 
-fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+/// Parses arguments and loads both input trees. When `--profile` is on,
+/// the returned [`Recorder`] already carries the `parse` phase (file read
+/// and s-expression parse), so the final profile spans the entire
+/// pipeline of Section 2, not just the in-memory stages.
+fn parse_cli(args: impl Iterator<Item = String>) -> Result<(Cli, Option<Recorder>), String> {
     let mut t = 0.6f64;
     let mut f = 0.5f64;
     let mut k = 0u32;
     let mut prune = false;
     let mut audit = None;
+    let mut profile = None;
     let mut output = "script".to_string();
     let mut positional: Vec<String> = Vec::new();
     let mut it = args;
@@ -76,6 +93,14 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "-p" | "--prune" => prune = true,
             "--audit" => audit = Some(true),
             "--no-audit" => audit = Some(false),
+            "--profile" => profile = Some(ProfileFormat::Table),
+            "--profile=json" => profile = Some(ProfileFormat::Json),
+            other if other.starts_with("--profile=") => {
+                return Err(format!(
+                    "unknown profile format {:?} (expected json)",
+                    &other["--profile=".len()..]
+                ))
+            }
             "--output" => output = take("--output")?,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => positional.push(other.to_string()),
@@ -87,54 +112,77 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             positional.len()
         ));
     }
+    let mut recorder = profile.map(|_| Recorder::new());
+    if let Some(rec) = recorder.as_mut() {
+        rec.phase_start(Phase::Parse);
+    }
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
     let old =
         Tree::parse_sexpr(&read(&positional[0])?).map_err(|e| format!("{}: {e}", positional[0]))?;
     let new =
         Tree::parse_sexpr(&read(&positional[1])?).map_err(|e| format!("{}: {e}", positional[1]))?;
-    Ok(Cli {
+    if let Some(rec) = recorder.as_mut() {
+        rec.phase_end(Phase::Parse);
+    }
+    let cli = Cli {
         params: MatchParams::with_inner_threshold(t).with_leaf_threshold(f),
         k,
         prune,
         audit,
+        profile,
         output,
         old,
         new,
-    })
+    };
+    Ok((cli, recorder))
 }
 
-fn options_for(cli: &Cli) -> Result<DiffOptions, String> {
-    let mut options = if cli.k == 0 {
-        DiffOptions {
-            params: cli.params,
-            prune: cli.prune,
-            ..DiffOptions::new()
-        }
+fn differ_for(cli: &Cli) -> Result<Differ<'static>, String> {
+    let mut differ = if cli.k == 0 {
+        Differ::new().params(cli.params).prune(cli.prune)
     } else {
         if cli.prune {
             return Err("--prune applies to the built-in matcher; drop it or use -k 0".to_string());
         }
         let hybrid = match_with_optimality(&cli.old, &cli.new, cli.params, cli.k);
-        DiffOptions {
-            params: cli.params,
-            matcher: Matcher::Provided,
-            provided: Some(hybrid.matching),
-            build_delta: true,
-            ..DiffOptions::default()
-        }
+        Differ::new().params(cli.params).matching(hybrid.matching)
     };
     if let Some(audit) = cli.audit {
-        options.audit = audit;
+        differ = differ.audit(if audit {
+            hierdiff_core::Audit::On
+        } else {
+            hierdiff_core::Audit::Off
+        });
     }
-    Ok(options)
+    Ok(differ)
+}
+
+/// Renders the recorded profile to stderr in the requested format, keeping
+/// stdout reserved for the diff output proper.
+fn emit_profile(recorder: Option<Recorder>, format: Option<ProfileFormat>) -> Result<(), String> {
+    let (Some(recorder), Some(format)) = (recorder, format) else {
+        return Ok(());
+    };
+    let profile = recorder.profile();
+    match format {
+        ProfileFormat::Table => eprint!("{profile}"),
+        ProfileFormat::Json => eprintln!("{}", profile.to_json()),
+    }
+    Ok(())
 }
 
 /// `treediff audit`: force auditing on, render every finding, and report
 /// whether the pipeline's artifacts satisfy the paper's invariants.
-fn run_audit(cli: Cli) -> Result<(), String> {
-    let mut options = options_for(&cli)?;
-    options.audit = true;
-    match diff(&cli.old, &cli.new, &options) {
+fn run_audit(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), String> {
+    let differ = differ_for(&cli)?.audit(hierdiff_core::Audit::On);
+    let outcome = match recorder.as_mut() {
+        Some(rec) => differ
+            .observer(rec as &mut dyn PipelineObserver)
+            .diff(&cli.old, &cli.new),
+        None => differ.diff(&cli.old, &cli.new),
+    };
+    emit_profile(recorder, cli.profile)?;
+    match outcome {
         Ok(result) => {
             let report = result
                 .audit
@@ -164,9 +212,16 @@ fn run_audit(cli: Cli) -> Result<(), String> {
     }
 }
 
-fn run_diff(cli: Cli) -> Result<(), String> {
-    let options = options_for(&cli)?;
-    let result = diff(&cli.old, &cli.new, &options).map_err(|e| e.to_string())?;
+fn run_diff(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), String> {
+    let differ = differ_for(&cli)?;
+    let outcome = match recorder.as_mut() {
+        Some(rec) => differ
+            .observer(rec as &mut dyn PipelineObserver)
+            .diff(&cli.old, &cli.new),
+        None => differ.diff(&cli.old, &cli.new),
+    };
+    emit_profile(recorder, cli.profile)?;
+    let result = outcome.map_err(|e| e.to_string())?;
 
     match cli.output.as_str() {
         "script" => println!("{}", result.script),
@@ -238,11 +293,11 @@ fn run() -> Result<(), String> {
     if audit_mode {
         args.next();
     }
-    let cli = parse_cli(args)?;
+    let (cli, recorder) = parse_cli(args)?;
     if audit_mode {
-        run_audit(cli)
+        run_audit(cli, recorder)
     } else {
-        run_diff(cli)
+        run_diff(cli, recorder)
     }
 }
 

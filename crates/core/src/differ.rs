@@ -1,0 +1,251 @@
+//! The [`Differ`] builder facade — the one supported entry point into the
+//! change-detection pipeline.
+//!
+//! The paper's pipeline has a handful of orthogonal knobs (matcher choice,
+//! criteria thresholds, pruning, auditing, delta construction) plus the
+//! observability layer of this workspace. [`Differ`] gathers them behind a
+//! fluent builder so single-pair, observed, profiled, and batch runs all
+//! start from the same expression:
+//!
+//! ```
+//! use hierdiff_core::{Audit, Differ};
+//! use hierdiff_tree::Tree;
+//!
+//! let old = Tree::parse_sexpr(r#"(D (S "a") (S "b"))"#).unwrap();
+//! let new = Tree::parse_sexpr(r#"(D (S "b") (S "a"))"#).unwrap();
+//!
+//! let result = Differ::new()
+//!     .prune(true)
+//!     .audit(Audit::Debug)
+//!     .profile(true)
+//!     .diff(&old, &new)
+//!     .unwrap();
+//! let profile = result.profile.as_ref().unwrap();
+//! assert!(profile.counter("nodes_pruned") > 0, "identical leaves pruned");
+//! assert!(profile.phase("match").is_some(), "match phase was timed");
+//! ```
+
+use std::num::NonZeroUsize;
+
+use hierdiff_edit::Matching;
+use hierdiff_matching::MatchParams;
+use hierdiff_obs::{PipelineObserver, Recorder, Tee};
+use hierdiff_tree::{NodeValue, Tree};
+
+use crate::batch::{diff_batch_inner, BatchRun};
+use crate::{
+    audit_default, diff_observed, BatchOptions, DiffError, DiffOptions, DiffResult, Matcher,
+};
+
+/// Stage-boundary invariant auditing policy for [`Differ::audit`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Audit {
+    /// Never audit.
+    Off,
+    /// Always audit, in every build profile.
+    On,
+    /// The build-profile default: audit under debug assertions (or the
+    /// `audit-release` feature), skip in plain release builds.
+    #[default]
+    Debug,
+}
+
+impl Audit {
+    /// Resolves the policy to a concrete on/off for this build.
+    pub fn enabled(self) -> bool {
+        match self {
+            Audit::Off => false,
+            Audit::On => true,
+            Audit::Debug => audit_default(),
+        }
+    }
+}
+
+/// Builder facade over the diff pipeline. Construct with [`Differ::new`],
+/// chain option setters, and finish with [`diff`](Differ::diff),
+/// [`diff_batch`](Differ::diff_batch), or
+/// [`diff_batch_with`](Differ::diff_batch_with).
+///
+/// All setters are order-independent. The free function
+/// [`diff`](crate::diff) and the raw [`DiffOptions`] struct remain as the
+/// compatibility surface; this facade subsumes them.
+pub struct Differ<'o> {
+    options: DiffOptions,
+    observer: Option<&'o mut dyn PipelineObserver>,
+    profile: bool,
+    workers: Option<NonZeroUsize>,
+}
+
+impl Default for Differ<'static> {
+    fn default() -> Differ<'static> {
+        Differ::new()
+    }
+}
+
+impl Differ<'static> {
+    /// A differ with the default options of [`DiffOptions::new`]
+    /// (FastMatch, delta tree on, audit per build profile).
+    pub fn new() -> Differ<'static> {
+        Differ::from_options(DiffOptions::new())
+    }
+
+    /// A differ starting from pre-built options (the migration path for
+    /// code that still assembles [`DiffOptions`] by hand).
+    pub fn from_options(options: DiffOptions) -> Differ<'static> {
+        Differ {
+            options,
+            observer: None,
+            profile: false,
+            workers: None,
+        }
+    }
+}
+
+impl<'o> Differ<'o> {
+    /// Sets the matching criteria parameters `f` and `t` (Section 5.1).
+    pub fn params(mut self, params: MatchParams) -> Differ<'o> {
+        self.options.params = params;
+        self
+    }
+
+    /// Selects the matching algorithm (FastMatch by default).
+    pub fn matcher(mut self, matcher: Matcher) -> Differ<'o> {
+        self.options.matcher = matcher;
+        self
+    }
+
+    /// Uses a caller-provided matching and skips the Good Matching phase
+    /// (key-based domains). Implies [`Matcher::Provided`].
+    pub fn matching(mut self, matching: Matching) -> Differ<'o> {
+        self.options = self.options.with_matching(matching);
+        self
+    }
+
+    /// Toggles the Section 8 post-processing pass after matching.
+    pub fn postprocess(mut self, postprocess: bool) -> Differ<'o> {
+        self.options.postprocess = postprocess;
+        self
+    }
+
+    /// Toggles delta-tree construction (Section 6). On by default.
+    pub fn delta(mut self, delta: bool) -> Differ<'o> {
+        self.options.build_delta = delta;
+        self
+    }
+
+    /// Toggles the identical-subtree pruning pre-pass.
+    pub fn prune(mut self, prune: bool) -> Differ<'o> {
+        self.options.prune = prune;
+        self
+    }
+
+    /// Sets the stage-boundary invariant auditing policy.
+    pub fn audit(mut self, audit: Audit) -> Differ<'o> {
+        self.options.audit = audit.enabled();
+        self
+    }
+
+    /// Requests a recorded [`DiffProfile`](hierdiff_obs::DiffProfile):
+    /// single diffs fill [`DiffResult::profile`], batch runs fill
+    /// [`BatchReport::profiles`](crate::BatchReport::profiles) per worker.
+    pub fn profile(mut self, profile: bool) -> Differ<'o> {
+        self.profile = profile;
+        self
+    }
+
+    /// Forces the batch worker-thread count (defaults to
+    /// `available_parallelism`). Ignored by single-pair [`diff`](Differ::diff).
+    pub fn workers(mut self, workers: usize) -> Differ<'o> {
+        self.workers = NonZeroUsize::new(workers);
+        self
+    }
+
+    /// Attaches a pipeline observer that receives phase spans and work
+    /// counters during [`diff`](Differ::diff). Observers are not threaded
+    /// into batch runs (they are not `Sync`); use
+    /// [`profile`](Differ::profile) there instead.
+    pub fn observer<'b>(self, observer: &'b mut dyn PipelineObserver) -> Differ<'b>
+    where
+        'o: 'b,
+    {
+        Differ {
+            options: self.options,
+            observer: Some(observer),
+            profile: self.profile,
+            workers: self.workers,
+        }
+    }
+
+    /// The options this builder currently describes.
+    pub fn options(&self) -> &DiffOptions {
+        &self.options
+    }
+
+    /// Consumes the builder, yielding the raw [`DiffOptions`].
+    pub fn into_options(self) -> DiffOptions {
+        self.options
+    }
+
+    /// Runs the pipeline on one `(old, new)` pair.
+    pub fn diff<V: NodeValue>(
+        self,
+        old: &Tree<V>,
+        new: &Tree<V>,
+    ) -> Result<DiffResult<V>, DiffError> {
+        let Differ {
+            options,
+            observer,
+            profile,
+            ..
+        } = self;
+        if profile {
+            let mut recorder = Recorder::new();
+            let result = match observer {
+                Some(user) => {
+                    let mut tee = Tee::new(user, &mut recorder);
+                    diff_observed(old, new, &options, Some(&mut tee))
+                }
+                None => diff_observed(old, new, &options, Some(&mut recorder)),
+            };
+            result.map(|mut r| {
+                r.profile = Some(recorder.profile());
+                r
+            })
+        } else {
+            diff_observed(old, new, &options, observer.map(|o| o as _))
+        }
+    }
+
+    /// Diffs every pair concurrently on work-stealing workers, collecting
+    /// results in input order alongside the scheduling report. Slots a
+    /// panicked worker never delivered carry
+    /// [`DiffError::WorkerPanicked`].
+    pub fn diff_batch<V: NodeValue + Send + Sync>(
+        self,
+        pairs: &[(&Tree<V>, &Tree<V>)],
+    ) -> BatchRun<V> {
+        crate::batch::diff_batch_run(pairs, &self.batch_options())
+    }
+
+    /// Diffs every pair concurrently, streaming each result to `sink` as
+    /// it completes (with the pair's input index). Returns the scheduling
+    /// report; worker panics surface as [`DiffError::WorkerPanicked`] in
+    /// the report's [`failures`](crate::BatchReport::failures).
+    pub fn diff_batch_with<V, F>(
+        self,
+        pairs: &[(&Tree<V>, &Tree<V>)],
+        sink: F,
+    ) -> crate::BatchReport
+    where
+        V: NodeValue + Send + Sync,
+        F: FnMut(usize, Result<DiffResult<V>, DiffError>) + Send,
+    {
+        diff_batch_inner(pairs, &self.batch_options(), sink)
+    }
+
+    fn batch_options(&self) -> BatchOptions {
+        let mut batch = BatchOptions::new(self.options.clone()).with_profile(self.profile);
+        batch.workers = self.workers;
+        batch
+    }
+}

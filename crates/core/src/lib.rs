@@ -14,19 +14,25 @@
 //!    cheapest insert/delete/update/move script transforming the old tree
 //!    into the new (`hierdiff-edit`: Algorithm *EditScript*, Figures 8–9).
 //!
-//! [`diff`] runs both, plus the delta-tree construction of Section 6:
+//! The [`Differ`] facade runs both, plus the delta-tree construction of
+//! Section 6:
 //!
 //! ```
-//! use hierdiff_core::{diff, DiffOptions};
+//! use hierdiff_core::Differ;
 //! use hierdiff_tree::Tree;
 //!
 //! let old = Tree::parse_sexpr(r#"(D (P (S "a") (S "b")) (P (S "c")))"#).unwrap();
 //! let new = Tree::parse_sexpr(r#"(D (P (S "c")) (P (S "a") (S "b")))"#).unwrap();
 //!
-//! let result = diff(&old, &new, &DiffOptions::default()).unwrap();
+//! let result = Differ::new().diff(&old, &new).unwrap();
 //! assert_eq!(result.script.len(), 1); // the paragraphs swapped: one move
 //! println!("{}", result.script);      // MOV(n2, n0, 2)
 //! ```
+//!
+//! Observability: attach a [`hierdiff_obs::PipelineObserver`] with
+//! [`Differ::observer`] to receive phase spans and paper-cost work
+//! counters, or call [`Differ::profile`] to get a structured
+//! [`DiffProfile`](hierdiff_obs::DiffProfile) on the result.
 //!
 //! For structured *documents* (LaTeX/HTML text in, marked-up text out), use
 //! the `hierdiff-doc` crate's `ladiff` pipeline, which layers parsing and
@@ -36,9 +42,14 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod differ;
 mod hybrid;
 
-pub use batch::{diff_batch, diff_batch_with, BatchOptions, BatchReport, WorkerStats};
+pub use batch::{diff_batch, diff_batch_with, BatchOptions, BatchReport, BatchRun, WorkerStats};
+pub use differ::{Audit, Differ};
+pub use hierdiff_obs::{
+    Counter, DiffProfile, NullObserver, Phase, PipelineObserver, Recorder, Tee,
+};
 pub use hybrid::{match_with_optimality, zs_budget, HybridMatch};
 
 pub use hierdiff_audit::AuditReport;
@@ -46,7 +57,7 @@ use hierdiff_audit::{audit_delta, audit_matching, audit_prune, audit_script, aud
 use hierdiff_delta::{build_delta_tree, DeltaTree};
 use hierdiff_edit::{edit_script, EditScript, Matching, McesError, McesResult};
 use hierdiff_matching::{
-    fast_match, fast_match_accelerated, match_simple, postprocess, prune_identical, MatchCounters,
+    fast_match, fast_match_seeded, match_simple, postprocess, prune_identical, MatchCounters,
     MatchParams,
 };
 use hierdiff_tree::{NodeValue, Tree};
@@ -130,14 +141,16 @@ impl DiffOptions {
         }
     }
 
-    /// Options using a caller-provided matching (key-based domains).
-    pub fn with_matching(matching: Matching) -> DiffOptions {
-        DiffOptions {
-            matcher: Matcher::Provided,
-            provided: Some(matching),
-            build_delta: true,
-            ..DiffOptions::default()
-        }
+    /// Switches to a caller-provided matching (key-based domains).
+    ///
+    /// This is an order-independent builder method: settings applied before
+    /// it (prune, audit, thresholds, …) are preserved. (It used to be an
+    /// associated constructor built over `..DiffOptions::default()`, which
+    /// silently reset every previously chosen option.)
+    pub fn with_matching(mut self, matching: Matching) -> DiffOptions {
+        self.matcher = Matcher::Provided;
+        self.provided = Some(matching);
+        self
     }
 
     /// Toggles the identical-subtree pruning pre-pass.
@@ -154,8 +167,12 @@ impl DiffOptions {
     }
 }
 
-/// Errors from [`diff`].
+/// Errors from the diff pipeline ([`Differ::diff`] and friends).
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm, so new failure modes can be surfaced without a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DiffError {
     /// `Matcher::Provided` selected but no matching supplied.
     MissingProvidedMatching,
@@ -164,6 +181,9 @@ pub enum DiffError {
     /// Stage-boundary auditing found `Error`-severity invariant violations
     /// (only raised when [`DiffOptions::audit`] is on).
     Audit(Box<AuditReport>),
+    /// A batch worker thread panicked; pairs it had not streamed yet carry
+    /// this error instead of a result. The payload is the worker index.
+    WorkerPanicked(usize),
 }
 
 impl std::fmt::Display for DiffError {
@@ -178,6 +198,9 @@ impl std::fmt::Display for DiffError {
                 "invariant audit failed with {} error(s):\n{report}",
                 report.error_count()
             ),
+            DiffError::WorkerPanicked(worker) => {
+                write!(f, "batch worker {worker} panicked")
+            }
         }
     }
 }
@@ -210,6 +233,9 @@ pub struct DiffResult<V: NodeValue> {
     /// Contains no errors (those abort with [`DiffError::Audit`]) but may
     /// carry warnings, e.g. an ancestor-order inversion (`A014`).
     pub audit: Option<AuditReport>,
+    /// The recorded pipeline profile, when requested via
+    /// [`Differ::profile`]. `None` otherwise.
+    pub profile: Option<hierdiff_obs::DiffProfile>,
 }
 
 impl<V: NodeValue> DiffResult<V> {
@@ -227,25 +253,98 @@ impl<V: NodeValue> DiffResult<V> {
 /// Detects the changes from `old` to `new`: computes a good matching,
 /// generates the minimum conforming edit script, and (optionally) builds
 /// the delta tree.
+///
+/// **Deprecation note:** this free function is kept as a thin
+/// compatibility shim. New code should use the [`Differ`] builder facade —
+/// `Differ::from_options(options.clone()).diff(old, new)` is equivalent,
+/// and the facade additionally supports observers, profiles, and batch
+/// runs from one entry point.
 pub fn diff<V: NodeValue>(
     old: &Tree<V>,
     new: &Tree<V>,
     options: &DiffOptions,
 ) -> Result<DiffResult<V>, DiffError> {
+    diff_observed(old, new, options, None)
+}
+
+/// Opens a span for `phase` on the observer, if one is attached.
+fn span_start(obs: &mut Option<&mut dyn hierdiff_obs::PipelineObserver>, phase: Phase) {
+    if let Some(o) = obs.as_mut() {
+        o.phase_start(phase);
+    }
+}
+
+/// Closes the span for `phase` on the observer, if one is attached.
+fn span_end(obs: &mut Option<&mut dyn hierdiff_obs::PipelineObserver>, phase: Phase) {
+    if let Some(o) = obs.as_mut() {
+        o.phase_end(phase);
+    }
+}
+
+/// Bulk-flushes the matching-phase counters to the observer.
+fn flush_match_counters(obs: &mut dyn hierdiff_obs::PipelineObserver, c: &MatchCounters) {
+    obs.add(Counter::LeafCompares, c.leaf_compares as u64);
+    obs.add(Counter::PartnerChecks, c.partner_checks as u64);
+    obs.add(Counter::InternalCompares, c.internal_compares as u64);
+    obs.add(Counter::ChainScans, c.chain_scans as u64);
+    obs.add(Counter::LcsCells, c.lcs_cells);
+    obs.add(Counter::MatchCandidates, c.match_candidates as u64);
+}
+
+/// Bulk-flushes the edit-script statistics to the observer.
+fn flush_mces_stats(obs: &mut dyn hierdiff_obs::PipelineObserver, s: &hierdiff_edit::McesStats) {
+    obs.add(Counter::Updates, s.updates as u64);
+    obs.add(Counter::Inserts, s.inserts as u64);
+    obs.add(Counter::Deletes, s.deletes as u64);
+    obs.add(Counter::MisalignedNodes, s.intra_moves as u64);
+    obs.add(Counter::InterMoves, s.inter_moves as u64);
+    obs.add(Counter::WeightedDistance, s.weighted_distance as u64);
+    obs.add(Counter::MisalignedParents, s.misaligned_parents as u64);
+    obs.add(Counter::LcsCells, s.lcs_cells);
+}
+
+/// The full pipeline with an optional observer attached. Phase spans wrap
+/// each stage; work counters are flushed in bulk at stage boundaries, so a
+/// `None` observer costs a handful of `Option` checks per diff — the hot
+/// loops are untouched (they accumulate into plain integer counters either
+/// way). This is the engine behind both [`diff`] and [`Differ`].
+pub(crate) fn diff_observed<V: NodeValue>(
+    old: &Tree<V>,
+    new: &Tree<V>,
+    options: &DiffOptions,
+    mut obs: Option<&mut dyn hierdiff_obs::PipelineObserver>,
+) -> Result<DiffResult<V>, DiffError> {
     let mut audit = options.audit.then(AuditReport::new);
     if let Some(report) = audit.as_mut() {
+        span_start(&mut obs, Phase::Audit);
         report.merge(audit_tree(old, Side::Old));
         report.merge(audit_tree(new, Side::New));
+        span_end(&mut obs, Phase::Audit);
         if report.has_errors() {
             return Err(DiffError::Audit(Box::new(report.clone())));
         }
     }
-    let (mut matching, counters) = match options.matcher {
+    // The pruning pre-pass runs as its own phase (it used to hide inside
+    // `fast_match_accelerated`); keeping the seed around also lets the
+    // audit check the exact pairs the matcher started from instead of
+    // re-deriving them.
+    let prune_seed = (options.prune && options.matcher == Matcher::Fast).then(|| {
+        span_start(&mut obs, Phase::Prune);
+        let (seed, stats) = prune_identical(old, new);
+        if let Some(o) = obs.as_mut() {
+            o.add(Counter::NodesPruned, stats.nodes_pruned as u64);
+            o.add(Counter::PruneCandidates, stats.candidates as u64);
+            o.add(Counter::PruneCollisions, stats.collisions as u64);
+        }
+        span_end(&mut obs, Phase::Prune);
+        (seed, stats)
+    });
+    span_start(&mut obs, Phase::Match);
+    let (mut matching, mut counters) = match options.matcher {
         Matcher::Fast => {
-            let r = if options.prune {
-                fast_match_accelerated(old, new, options.params)
-            } else {
-                fast_match(old, new, options.params)
+            let r = match &prune_seed {
+                Some((seed, _)) => fast_match_seeded(old, new, options.params, seed.clone()),
+                None => fast_match(old, new, options.params),
             };
             (r.matching, r.counters)
         }
@@ -261,34 +360,62 @@ pub fn diff<V: NodeValue>(
             (m, MatchCounters::default())
         }
     };
+    if let Some((_, stats)) = &prune_seed {
+        counters.absorb_prune(stats);
+    }
     let rematched = if options.postprocess {
         postprocess(old, new, options.params, &mut matching)
     } else {
         0
     };
+    if let Some(o) = obs.as_mut() {
+        flush_match_counters(*o, &counters);
+    }
+    span_end(&mut obs, Phase::Match);
     if let Some(report) = audit.as_mut() {
-        if options.prune && options.matcher == Matcher::Fast {
-            // Re-derive the seed the accelerated matcher started from; the
-            // pass is deterministic, so this audits the exact pairs used.
-            let (seed, _) = prune_identical(old, new);
-            report.merge(audit_prune(old, new, &seed, Some(&matching)));
+        span_start(&mut obs, Phase::Audit);
+        if let Some((seed, _)) = &prune_seed {
+            report.merge(audit_prune(old, new, seed, Some(&matching)));
         }
         report.merge(audit_matching(old, new, &matching));
+        span_end(&mut obs, Phase::Audit);
         if report.has_errors() {
             return Err(DiffError::Audit(Box::new(report.clone())));
         }
     }
-    let mces = edit_script(old, new, &matching)?;
+    span_start(&mut obs, Phase::EditScript);
+    let mces = match edit_script(old, new, &matching) {
+        Ok(mces) => {
+            if let Some(o) = obs.as_mut() {
+                flush_mces_stats(*o, &mces.stats);
+            }
+            span_end(&mut obs, Phase::EditScript);
+            mces
+        }
+        Err(e) => {
+            span_end(&mut obs, Phase::EditScript);
+            return Err(e.into());
+        }
+    };
     if let Some(report) = audit.as_mut() {
+        span_start(&mut obs, Phase::Audit);
         report.merge(audit_script(old, new, &matching, &mces));
+        span_end(&mut obs, Phase::Audit);
         if report.has_errors() {
             return Err(DiffError::Audit(Box::new(report.clone())));
         }
     }
-    let delta = options
-        .build_delta
-        .then(|| build_delta_tree(old, new, &matching, &mces));
+    let delta = options.build_delta.then(|| {
+        span_start(&mut obs, Phase::Delta);
+        let d = build_delta_tree(old, new, &matching, &mces);
+        if let Some(o) = obs.as_mut() {
+            o.add(Counter::DeltaNodes, d.len() as u64);
+        }
+        span_end(&mut obs, Phase::Delta);
+        d
+    });
     if let (Some(report), Some(d)) = (audit.as_mut(), delta.as_ref()) {
+        span_start(&mut obs, Phase::Audit);
         if mces.wrapped {
             // Unmatched roots: the delta overlays the dummy-wrapped trees,
             // so project against wrapped copies of the inputs.
@@ -301,6 +428,7 @@ pub fn diff<V: NodeValue>(
         } else {
             report.merge(audit_delta(old, new, d));
         }
+        span_end(&mut obs, Phase::Audit);
         if report.has_errors() {
             return Err(DiffError::Audit(Box::new(report.clone())));
         }
@@ -313,6 +441,7 @@ pub fn diff<V: NodeValue>(
         counters,
         rematched,
         audit,
+        profile: None,
     })
 }
 
@@ -347,7 +476,7 @@ mod tests {
         m.insert(old.root(), new.root()).unwrap();
         m.insert(old.children(old.root())[0], new.children(new.root())[0])
             .unwrap();
-        let r = diff(&old, &new, &DiffOptions::with_matching(m)).unwrap();
+        let r = diff(&old, &new, &DiffOptions::new().with_matching(m)).unwrap();
         assert_eq!(r.counters.total(), 0, "no comparisons with provided keys");
         assert_eq!(r.script.op_counts().updates, 1);
     }
@@ -427,6 +556,29 @@ mod tests {
     }
 
     #[test]
+    fn with_matching_is_order_independent() {
+        // Regression: with_matching used to be an associated constructor
+        // built over `..DiffOptions::default()`, silently resetting any
+        // prune/audit/threshold settings applied before it in the chain.
+        let m = Matching::new();
+        let before = DiffOptions::new()
+            .with_prune(true)
+            .with_audit(true)
+            .with_matching(m.clone());
+        let after = DiffOptions::new()
+            .with_matching(m)
+            .with_prune(true)
+            .with_audit(true);
+        for (name, o) in [("matching last", &before), ("matching first", &after)] {
+            assert!(o.prune, "{name}: prune dropped");
+            assert!(o.audit, "{name}: audit dropped");
+            assert!(o.build_delta, "{name}: delta dropped");
+            assert_eq!(o.matcher, Matcher::Provided, "{name}");
+            assert!(o.provided.is_some(), "{name}");
+        }
+    }
+
+    #[test]
     fn audit_skippable() {
         let old = doc(r#"(D (S "a"))"#);
         let new = doc(r#"(D (S "b"))"#);
@@ -445,7 +597,7 @@ mod tests {
         m.insert(old.root(), new.root()).unwrap();
         m.insert(old.children(old.root())[0], new.children(new.root())[0])
             .unwrap(); // S matched to P
-        let opts = DiffOptions::with_matching(m).with_audit(true);
+        let opts = DiffOptions::new().with_matching(m).with_audit(true);
         match diff(&old, &new, &opts) {
             Err(DiffError::Audit(report)) => {
                 assert!(report.has_code(hierdiff_audit::Code::A012), "{report}");

@@ -172,6 +172,106 @@ fn help_documents_all_flags() {
 }
 
 #[test]
+fn profile_table_on_stderr_keeps_stdout_clean() {
+    let old = write_temp("p_old.sexpr", OLD);
+    let new = write_temp("p_new.sexpr", NEW);
+    let out = treediff()
+        .arg("--profile")
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // stdout is still the plain edit script…
+    assert!(stdout.contains("MOV("), "{stdout}");
+    assert!(!stdout.contains("leaf_compares"), "{stdout}");
+    // …and stderr carries phase timings plus the paper-cost counters.
+    for needle in ["parse", "match", "edit_script", "delta", "total"] {
+        assert!(
+            stderr.contains(needle),
+            "profile missing {needle}: {stderr}"
+        );
+    }
+    for needle in [
+        "leaf_compares",
+        "lcs_cells",
+        "weighted_distance",
+        "r1",
+        "§8",
+    ] {
+        assert!(
+            stderr.contains(needle),
+            "profile missing {needle}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn profile_json_round_trips() {
+    let old = write_temp("pj_old.sexpr", OLD);
+    let new = write_temp("pj_new.sexpr", NEW);
+    let out = treediff()
+        .args(["--profile=json", "--output", "json"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // stdout is the diff JSON, stderr the DiffProfile JSON — both parse.
+    let diff_json: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(diff_json["old_nodes"], 6);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let profile = hierdiff_core::DiffProfile::from_json(&stderr).expect("profile JSON parses");
+    assert!(profile.counter("leaf_compares") > 0);
+    assert!(
+        profile.phase("parse").is_some(),
+        "CLI times the parse phase"
+    );
+    assert!(profile.total_nanos() > 0);
+    // Round trip: serialize → parse → identical structure.
+    let again = hierdiff_core::DiffProfile::from_json(&profile.to_json()).unwrap();
+    assert_eq!(again, profile);
+}
+
+#[test]
+fn profile_counters_deterministic_across_runs() {
+    let old = write_temp("pd_old.sexpr", OLD);
+    let new = write_temp("pd_new.sexpr", NEW);
+    let run = || {
+        let out = treediff()
+            .args(["--profile=json", "--output", "json"])
+            .arg(&old)
+            .arg(&new)
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        hierdiff_core::DiffProfile::from_json(&String::from_utf8_lossy(&out.stderr)).unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.counters, b.counters, "work counters must not wobble");
+}
+
+#[test]
+fn bad_profile_format_rejected() {
+    let old = write_temp("pb_old.sexpr", OLD);
+    let new = write_temp("pb_new.sexpr", NEW);
+    let out = treediff()
+        .arg("--profile=yaml")
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("yaml"));
+}
+
+#[test]
 fn parse_error_reported() {
     let bad = write_temp("bad.sexpr", "(D (S \"unterminated");
     let good = write_temp("good.sexpr", OLD);

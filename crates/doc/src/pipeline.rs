@@ -2,9 +2,10 @@
 //! versions, find the good matching, generate the minimum conforming edit
 //! script, build the delta tree, and render the marked-up output.
 
-use hierdiff_delta::{build_delta_tree, AnnotationCounts, DeltaTree};
-use hierdiff_edit::{edit_script, McesError, McesResult};
-use hierdiff_matching::{fast_match, match_simple, postprocess, MatchCounters, MatchParams};
+use hierdiff_core::{Audit, DiffError, Differ, Matcher};
+use hierdiff_delta::{AnnotationCounts, DeltaTree};
+use hierdiff_edit::{McesError, McesResult};
+use hierdiff_matching::{MatchCounters, MatchParams};
 use hierdiff_tree::Tree;
 
 use crate::html::parse_html;
@@ -151,38 +152,50 @@ pub fn ladiff(
 }
 
 /// Runs matching + edit script + delta + markup on already-parsed trees.
+///
+/// This is a thin presentation layer over the [`Differ`] facade: the core
+/// pipeline (matching, edit script, delta) runs there, and this function
+/// adds the document-domain statistics and Table-2 markup.
 pub fn diff_trees(
     old_tree: Tree<DocValue>,
     new_tree: Tree<DocValue>,
     options: &LaDiffOptions,
 ) -> Result<LaDiffOutput, McesError> {
-    let mut matched = match options.engine {
-        Engine::Fast => fast_match(&old_tree, &new_tree, options.params),
-        Engine::Simple => match_simple(&old_tree, &new_tree, options.params),
+    let matcher = match options.engine {
+        Engine::Fast => Matcher::Fast,
+        Engine::Simple => Matcher::Simple,
     };
-    let rematched = if options.postprocess {
-        postprocess(&old_tree, &new_tree, options.params, &mut matched.matching)
-    } else {
-        0
+    let r = Differ::new()
+        .params(options.params)
+        .matcher(matcher)
+        .postprocess(options.postprocess)
+        .audit(Audit::Off)
+        .diff(&old_tree, &new_tree)
+        .map_err(|e| match e {
+            DiffError::Mces(e) => e,
+            // With a built-in matcher and auditing off, MCES rejection is
+            // the only failure mode the pipeline can surface.
+            other => unreachable!("unexpected diff failure: {other}"),
+        })?;
+    let Some(delta) = r.delta else {
+        unreachable!("Differ::new() builds the delta tree by default")
     };
-    let result = edit_script(&old_tree, &new_tree, &matched.matching)?;
-    let delta = build_delta_tree(&old_tree, &new_tree, &matched.matching, &result);
     let markup = render_latex(&delta);
     let stats = LaDiffStats {
         old_nodes: old_tree.len(),
         new_nodes: new_tree.len(),
-        matched: matched.matching.len(),
-        counters: matched.counters,
-        rematched,
-        ops: result.script.op_counts(),
-        weighted_distance: result.stats.weighted_distance,
+        matched: r.matching.len(),
+        counters: r.counters,
+        rematched: r.rematched,
+        ops: r.script.op_counts(),
+        weighted_distance: r.mces.stats.weighted_distance,
         annotations: delta.annotation_counts(),
     };
     Ok(LaDiffOutput {
         old_tree,
         new_tree,
-        matching: matched.matching,
-        result,
+        matching: r.matching,
+        result: r.mces,
         delta,
         markup,
         stats,

@@ -33,7 +33,7 @@
 
 use std::fmt;
 
-use hierdiff_lcs::lcs;
+use hierdiff_lcs::{lcs_counted, LcsStats};
 use hierdiff_tree::{isomorphic, Label, NodeId, NodeValue, Tree};
 
 use crate::matching::Matching;
@@ -99,6 +99,9 @@ pub struct McesStats {
     /// Number of parents whose children needed alignment (at least one
     /// intra-parent move).
     pub misaligned_parents: usize,
+    /// Myers LCS `(d, k)` inner-loop iterations across *AlignChildren*'s
+    /// `LCS` calls — the O(ND) work units of Section 4.2.
+    pub lcs_cells: u64,
 }
 
 impl McesStats {
@@ -419,7 +422,9 @@ impl<V: NodeValue> Generator<'_, V> {
             return Ok(());
         }
         // 3-4. S = LCS(S1, S2, equal) with equal(a, b) ⇔ (a, b) ∈ M'.
-        let common = lcs(&s1, &s2, |&a, &b| self.m.contains(a, b));
+        let mut lcs_stats = LcsStats::default();
+        let common = lcs_counted(&s1, &s2, |&a, &b| self.m.contains(a, b), &mut lcs_stats);
+        self.stats.lcs_cells += lcs_stats.cells;
         // 5. Mark LCS members "in order".
         let mut in_lcs2 = vec![false; s2.len()];
         for &(i, j) in &common {

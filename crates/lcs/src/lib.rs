@@ -40,11 +40,42 @@ mod myers;
 pub use diffops::{sequence_diff, SeqEdit};
 pub use dp::lcs_dp;
 pub use hirschberg::lcs_hirschberg;
-pub use myers::lcs_myers;
+pub use myers::{lcs_myers, lcs_myers_counted};
 
 /// A pair of indices `(i, j)` meaning `S1[i]` is matched with `S2[j]` in the
 /// common subsequence.
 pub type Pair = (usize, usize);
+
+/// Work accounting for LCS calls, accumulated across calls when the same
+/// stats value is threaded through several invocations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LcsStats {
+    /// Myers `(d, k)` inner-loop iterations — the work units behind the
+    /// O(ND) bound of Section 4.2. One "cell" is one diagonal-end update.
+    pub cells: u64,
+    /// Invocations of the pluggable equality function.
+    pub equal_calls: u64,
+}
+
+impl LcsStats {
+    /// Adds `other` into `self`.
+    pub fn absorb(&mut self, other: LcsStats) {
+        self.cells += other.cells;
+        self.equal_calls += other.equal_calls;
+    }
+}
+
+/// The paper's `LCS(S1, S2, equal)` with work accounting: identical pairs
+/// to [`lcs`], with the call's Myers-cell and equality-call counts added
+/// into `stats`.
+pub fn lcs_counted<T, U>(
+    a: &[T],
+    b: &[U],
+    equal: impl FnMut(&T, &U) -> bool,
+    stats: &mut LcsStats,
+) -> Vec<Pair> {
+    lcs_myers_counted(a, b, equal, stats)
+}
 
 /// Which implementation [`lcs_with`] dispatches to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -160,6 +191,37 @@ mod tests {
         assert!(!is_common_subsequence(&[(1, 0)], &a, &b, |x, y| x == y));
         assert!(!is_common_subsequence(&[(5, 0)], &a, &b, |x, y| x == y));
         assert!(is_common_subsequence(&[(0, 0), (1, 1)], &a, &b, |x, y| x == y));
+    }
+
+    #[test]
+    fn counted_variant_same_pairs_and_counts_work() {
+        let a = chars("ABCABBA");
+        let b = chars("CBABAC");
+        let mut stats = LcsStats::default();
+        let counted = lcs_counted(&a, &b, |x, y| x == y, &mut stats);
+        assert_eq!(counted, lcs(&a, &b, |x, y| x == y));
+        assert!(stats.cells > 0);
+        assert!(stats.equal_calls > 0);
+        // Accumulates across calls.
+        let before = stats;
+        lcs_counted(&a, &b, |x, y| x == y, &mut stats);
+        assert_eq!(stats.cells, before.cells * 2);
+        assert_eq!(stats.equal_calls, before.equal_calls * 2);
+    }
+
+    #[test]
+    fn counted_identical_sequences_near_linear_cells() {
+        // D = 0 for identical input: one cell per round, one round.
+        let a: Vec<u32> = (0..100).collect();
+        let mut stats = LcsStats::default();
+        let pairs = lcs_counted(&a, &a, |x, y| x == y, &mut stats);
+        assert_eq!(pairs.len(), 100);
+        assert_eq!(stats.cells, 1, "identical input is a single snake");
+        assert_eq!(stats.equal_calls, 100, "one hit per element, no misses");
+    }
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
     }
 
     #[test]

@@ -8,17 +8,32 @@
 //! O(D²). For pathologically dissimilar long sequences prefer
 //! [`crate::lcs_hirschberg`], which is O(min(|a|,|b|)) space.
 
-use crate::Pair;
+use crate::{LcsStats, Pair};
 
 /// LCS via Myers' greedy O(ND) algorithm. See [`crate::lcs`] for the
 /// contract.
-pub fn lcs_myers<T, U>(a: &[T], b: &[U], mut equal: impl FnMut(&T, &U) -> bool) -> Vec<Pair> {
+pub fn lcs_myers<T, U>(a: &[T], b: &[U], equal: impl FnMut(&T, &U) -> bool) -> Vec<Pair> {
+    let mut stats = LcsStats::default();
+    lcs_myers_counted(a, b, equal, &mut stats)
+}
+
+/// [`lcs_myers`] with work accounting: adds the `(d, k)` inner-loop
+/// iterations ("cells" — the units behind the O(ND) bound) and equality
+/// invocations of this call into `stats`.
+pub fn lcs_myers_counted<T, U>(
+    a: &[T],
+    b: &[U],
+    mut equal: impl FnMut(&T, &U) -> bool,
+    stats: &mut LcsStats,
+) -> Vec<Pair> {
     let n = a.len() as isize;
     let m = b.len() as isize;
     if n == 0 || m == 0 {
         return Vec::new();
     }
     let max = (n + m) as usize;
+    let mut cells = 0u64;
+    let mut equal_calls = 0u64;
 
     // v[k + offset] = furthest x reached on diagonal k (k = x − y) with the
     // current number of edits. trace[d] snapshots the frontier for
@@ -31,6 +46,7 @@ pub fn lcs_myers<T, U>(a: &[T], b: &[U], mut equal: impl FnMut(&T, &U) -> bool) 
     'outer: for d in 0..=(max as isize) {
         let mut k = -d;
         while k <= d {
+            cells += 1;
             let idx = (k + offset) as usize;
             let mut x = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
                 v[idx + 1] // move down (insertion into `a`'s view)
@@ -38,7 +54,10 @@ pub fn lcs_myers<T, U>(a: &[T], b: &[U], mut equal: impl FnMut(&T, &U) -> bool) 
                 v[idx - 1] + 1 // move right (deletion)
             };
             let mut y = x - k;
-            while x < n && y < m && equal(&a[x as usize], &b[y as usize]) {
+            while x < n && y < m && {
+                equal_calls += 1;
+                equal(&a[x as usize], &b[y as usize])
+            } {
                 x += 1;
                 y += 1;
             }
@@ -52,6 +71,9 @@ pub fn lcs_myers<T, U>(a: &[T], b: &[U], mut equal: impl FnMut(&T, &U) -> bool) 
         }
         trace.push(compact(&v, d, offset));
     }
+
+    stats.cells += cells;
+    stats.equal_calls += equal_calls;
 
     let d_final = found_d.expect("D is bounded by n + m, so the loop always terminates");
 

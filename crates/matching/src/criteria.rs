@@ -85,6 +85,18 @@ pub struct MatchCounters {
     /// Pruning candidates whose fingerprints collided: hashes equal, but
     /// isomorphism verification rejected the pair.
     pub prune_collisions: usize,
+    /// Per-label node chains scanned (the `chain_T(l)` sequences of
+    /// Section 5.3) — one per label with live candidates on both sides,
+    /// counted once per leaf/internal phase.
+    pub chain_scans: usize,
+    /// Myers LCS `(d, k)` inner-loop iterations across FastMatch's
+    /// per-chain `LCS` calls — the O(ND) work units of Section 4.2. Zero
+    /// for Algorithm *Match*, which never calls `LCS`.
+    pub lcs_cells: u64,
+    /// Candidate node pairs evaluated against the matching criteria
+    /// (Criterion 1 and 2 invocations, including label-mismatch
+    /// short-circuits) — LCS probes plus quadratic-fallback pairs.
+    pub match_candidates: usize,
 }
 
 impl MatchCounters {
@@ -204,6 +216,7 @@ impl<'a, V: NodeValue> MatchCtx<'a, V> {
     /// Matching Criterion 1: may leaves `x ∈ T1` and `y ∈ T2` match?
     /// Counts one leaf compare.
     pub fn equal_leaves(&mut self, x: NodeId, y: NodeId) -> bool {
+        self.counters.match_candidates += 1;
         if self.t1.label(x) != self.t2.label(y) {
             return false;
         }
@@ -215,6 +228,7 @@ impl<'a, V: NodeValue> MatchCtx<'a, V> {
     /// under the current (leaf) matching `m`? Counts `min(|x|, |y|)` partner
     /// checks (the intersection cost of Appendix B).
     pub fn equal_internal(&mut self, x: NodeId, y: NodeId, m: &Matching) -> bool {
+        self.counters.match_candidates += 1;
         if self.t1.label(x) != self.t2.label(y) {
             return false;
         }

@@ -8,7 +8,7 @@
 //! O(ND) LCS makes the common near-identical case cheap.
 
 use hierdiff_edit::Matching;
-use hierdiff_lcs::lcs;
+use hierdiff_lcs::{lcs_counted, LcsStats};
 use hierdiff_tree::{NodeId, NodeValue, Tree};
 
 use crate::criteria::{MatchCtx, MatchParams};
@@ -67,13 +67,21 @@ pub fn fast_match_seeded<V: NodeValue>(
             if s1.is_empty() || s2.is_empty() {
                 continue;
             }
+            ctx.counters.chain_scans += 1;
             // 2c. Initial matching of same-order nodes via LCS. The equality
             //     function is the phase's matching criterion.
+            let mut lcs_stats = LcsStats::default();
             let pairs = if is_leaf_phase {
-                lcs(&s1, &s2, |&x, &y| ctx.equal_leaves(x, y))
+                lcs_counted(&s1, &s2, |&x, &y| ctx.equal_leaves(x, y), &mut lcs_stats)
             } else {
-                lcs(&s1, &s2, |&x, &y| ctx.equal_internal(x, y, &m))
+                lcs_counted(
+                    &s1,
+                    &s2,
+                    |&x, &y| ctx.equal_internal(x, y, &m),
+                    &mut lcs_stats,
+                )
             };
+            ctx.counters.lcs_cells += lcs_stats.cells;
             // 2d. Adopt the LCS pairs.
             for &(i, j) in &pairs {
                 m.insert(s1[i], s2[j])
@@ -160,6 +168,23 @@ mod tests {
         );
         // Same matching quality.
         assert_eq!(fast.matching.len(), simple.matching.len());
+    }
+
+    #[test]
+    fn work_counters_populated() {
+        let t1 = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
+        let t2 = doc(r#"(D (P (S "a") (S "b")) (P (S "c") (S "d")))"#);
+        let res = fast_match(&t1, &t2, MatchParams::default());
+        let c = res.counters;
+        // One S chain, one P chain, one D chain → 3 scans across phases.
+        assert_eq!(c.chain_scans, 3);
+        assert!(c.lcs_cells > 0, "chain LCS ran");
+        assert!(
+            c.match_candidates as u64 >= c.leaf_compares as u64,
+            "every leaf compare is a candidate evaluation"
+        );
+        // Determinism: identical inputs give identical counters.
+        assert_eq!(fast_match(&t1, &t2, MatchParams::default()).counters, c);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | `L005` | crate root / binary missing `#![forbid(unsafe_code)]` |
 //! | `L006` | `NodeId::from_index` outside `crates/tree` |
 //! | `L007` | raw `nodes[` arena indexing outside `crates/tree` |
+//! | `L008` | `pub fn diff_*` free function outside `crates/core` |
 //!
 //! Pre-existing offences live in `crates/xtask/lint-allow.txt` (one
 //! `<path> <CODE>` line per offence); the list is a burn-down, not a
@@ -76,11 +77,21 @@ const NON_TREE_LINTS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Line lints that only apply outside `crates/core` — the `Differ` facade
+/// (and its compatibility shims) is the one sanctioned home for `diff_*`
+/// entry points; new ones elsewhere fragment the public API again.
+const NON_CORE_LINTS: &[(&str, &str, &str)] = &[(
+    "L008",
+    "pub fn diff_",
+    "public `diff_*` entry point outside the crates/core facade",
+)];
+
 /// Lints one source file (already repo-relative at `rel`).
 fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
     let masked = mask(source);
     let test_lines = test_line_mask(&masked);
     let in_tree_crate = rel.starts_with("crates/tree/");
+    let in_core_crate = rel.starts_with("crates/core/");
 
     for (idx, line) in masked.lines().enumerate() {
         if test_lines.get(idx).copied().unwrap_or(false) {
@@ -98,6 +109,18 @@ fn lint_file(rel: &str, source: &str, findings: &mut Vec<Finding>) {
         }
         if !in_tree_crate {
             for &(code, pattern, message) in NON_TREE_LINTS {
+                if line.contains(pattern) {
+                    findings.push(Finding {
+                        path: rel.to_string(),
+                        line: idx + 1,
+                        code,
+                        message: message.to_string(),
+                    });
+                }
+            }
+        }
+        if !in_core_crate {
+            for &(code, pattern, message) in NON_CORE_LINTS {
                 if line.contains(pattern) {
                     findings.push(Finding {
                         path: rel.to_string(),
@@ -322,6 +345,17 @@ mod tests {
         .is_empty());
         // Non-entry modules don't need the attribute.
         assert!(lint_str("crates/edit/src/x.rs", "fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn diff_entry_points_allowed_in_core_only() {
+        let src = "pub fn diff_all(a: u8) {}\n";
+        assert!(lint_str("crates/core/src/batch.rs", src).is_empty());
+        let f = lint_str("crates/doc/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L008");
+        // Methods named exactly `diff` (the facade) never match.
+        assert!(lint_str("crates/doc/src/x.rs", "pub fn diff(a: u8) {}\n").is_empty());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use hierdiff::edit::Matching;
 use hierdiff::tree::{Label, NodeId, NodeValue, Tree};
-use hierdiff::{diff, DiffOptions};
+use hierdiff::Differ;
 
 /// Builds a configuration snapshot: Building > Floor > Room > Fixture.
 /// Values are "key=K props..." strings; keys simulate database ids.
@@ -109,8 +109,10 @@ fn main() {
         baseline.len()
     );
 
-    let result =
-        diff(&baseline, &current, &DiffOptions::with_matching(keyed)).expect("keyed diff succeeds");
+    let result = Differ::new()
+        .matching(keyed)
+        .diff(&baseline, &current)
+        .expect("keyed diff succeeds");
 
     println!("\n=== configuration delta ===");
     for op in result.script.iter() {

@@ -8,7 +8,7 @@
 
 use hierdiff::delta::render_text;
 use hierdiff::tree::Tree;
-use hierdiff::{diff, DiffOptions};
+use hierdiff::Differ;
 
 fn main() {
     // Trees in the library's s-expression notation: (Label children...),
@@ -30,7 +30,7 @@ fn main() {
     println!("== old tree ==\n{}", hierdiff::tree::ascii_tree(&old));
     println!("== new tree ==\n{}", hierdiff::tree::ascii_tree(&new));
 
-    let result = diff(&old, &new, &DiffOptions::new()).expect("diff succeeds");
+    let result = Differ::new().diff(&old, &new).expect("diff succeeds");
 
     println!("== matching: {} node pairs ==", result.matching.len());
     println!(

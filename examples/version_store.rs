@@ -15,7 +15,7 @@ use hierdiff::doc::DocValue;
 use hierdiff::edit::{apply_script, invert_script, EditScript};
 use hierdiff::tree::{isomorphic, Tree};
 use hierdiff::workload::{generate_document, perturb, DocProfile, EditMix};
-use hierdiff::{diff, DiffOptions};
+use hierdiff::Differ;
 
 /// A delta-compressed version store: latest snapshot + backward deltas.
 struct VersionStore {
@@ -37,7 +37,9 @@ impl VersionStore {
     /// The stored head is the *edited* tree from the diff (isomorphic to
     /// `next`), so the backward script's node ids line up with the head.
     fn commit(&mut self, next: Tree<DocValue>) -> usize {
-        let result = diff(&self.latest, &next, &DiffOptions::default())
+        let result = Differ::new()
+            .delta(false)
+            .diff(&self.latest, &next)
             .expect("document versions share the Document root");
         assert!(!result.mces.wrapped, "document roots always match");
         let backward =

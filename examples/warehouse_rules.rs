@@ -8,7 +8,7 @@
 use hierdiff::delta::{ChangeKind, Rule, RuleSet};
 use hierdiff::tree::{Label, TreeStats};
 use hierdiff::workload::{generate_document, perturb, DocProfile, EditMix};
-use hierdiff::{diff, DiffOptions};
+use hierdiff::Differ;
 
 fn main() {
     // The "source database dump": a catalog-like hierarchical snapshot.
@@ -36,7 +36,9 @@ fn main() {
         .rule(Rule::on_any_change("audit-log").min_count(1));
 
     // Nightly job: diff + evaluate.
-    let result = diff(&monday, &tuesday, &DiffOptions::new()).expect("snapshots diff");
+    let result = Differ::new()
+        .diff(&monday, &tuesday)
+        .expect("snapshots diff");
     let delta = result.delta.as_ref().expect("delta built");
     println!(
         "\ndetected {} operations ({} ins, {} del, {} upd, {} mov)",

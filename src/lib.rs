@@ -8,19 +8,25 @@
 //! See the crate-level docs of [`hierdiff_core`] for the guided tour.
 //!
 //! ```
-//! use hierdiff::{diff, DiffOptions};
+//! use hierdiff::Differ;
 //! use hierdiff::tree::Tree;
 //!
 //! let old = Tree::parse_sexpr(r#"(D (P (S "a") (S "b")) (P (S "c")))"#)?;
 //! let new = Tree::parse_sexpr(r#"(D (P (S "c")) (P (S "a") (S "b")))"#)?;
 //!
-//! let result = diff(&old, &new, &DiffOptions::new())?;
+//! let result = Differ::new().diff(&old, &new)?;
 //! assert_eq!(result.script.len(), 1); // the paragraphs swapped: one move
 //!
 //! // The delta tree projects back onto both versions — self-verifying.
 //! let delta = result.delta.unwrap();
 //! assert!(hierdiff::tree::isomorphic(&delta.project_new(), &new));
 //! assert!(hierdiff::tree::isomorphic(&delta.project_old(), &old));
+//!
+//! // Profiling surfaces the paper's cost model (leaf compares r1, LCS
+//! // cells, weighted distance e, ...) with per-phase timings:
+//! let profiled = Differ::new().profile(true).diff(&old, &new)?;
+//! let profile = profiled.profile.unwrap();
+//! assert!(profile.counter("leaf_compares") > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -32,6 +38,7 @@ pub use hierdiff_doc as doc;
 pub use hierdiff_edit as edit;
 pub use hierdiff_lcs as lcs;
 pub use hierdiff_matching as matching;
+pub use hierdiff_obs as obs;
 pub use hierdiff_tree as tree;
 pub use hierdiff_workload as workload;
 pub use hierdiff_zs as zs;

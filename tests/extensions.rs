@@ -7,7 +7,7 @@ use hierdiff::edit::{apply, edit_script, invert_script};
 use hierdiff::matching::{fast_match, match_by_key, match_quality, MatchParams};
 use hierdiff::tree::{isomorphic, Label, Tree};
 use hierdiff::workload::{generate_document, ground_truth_matching, perturb, DocProfile, EditMix};
-use hierdiff::{diff, match_with_optimality, DiffOptions};
+use hierdiff::{match_with_optimality, Differ};
 
 /// Forward + inverse across many random corpora: the undo loop of the
 /// version-management scenario.
@@ -77,7 +77,7 @@ fn delta_query_and_extract_consistency() {
 fn delta_paths_resolve() {
     let t1 = generate_document(123, &DocProfile::small());
     let (t2, _) = perturb(&t1, 124, 6, &EditMix::default(), &DocProfile::small());
-    let r = diff(&t1, &t2, &DiffOptions::new()).unwrap();
+    let r = Differ::new().diff(&t1, &t2).unwrap();
     let delta = r.delta.unwrap();
     for id in delta.query().changed().collect() {
         let path = delta.path_of(id);

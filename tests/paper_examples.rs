@@ -4,7 +4,7 @@
 use hierdiff::edit::{edit_script, EditOp, Matching};
 use hierdiff::matching::{fast_match, MatchParams};
 use hierdiff::tree::{isomorphic, Label, Tree};
-use hierdiff::{diff, DiffOptions};
+use hierdiff::Differ;
 
 /// Figure 1 / Example 5.1 / Section 4.1: the running example. T1's three
 /// paragraphs hold (a), (b c d), (e); T2 reorders the last two paragraphs
@@ -28,7 +28,7 @@ fn running_example_end_to_end() {
 
     // Section 4.1: "we append MOV(4,1,2)" then "INS((21,S,g),3,3)" — one
     // intra-parent move, one insert, nothing else.
-    let result = diff(&t1, &t2, &DiffOptions::new()).unwrap();
+    let result = Differ::new().diff(&t1, &t2).unwrap();
     let counts = result.script.op_counts();
     assert_eq!(counts.moves, 1, "script: {}", result.script);
     assert_eq!(counts.inserts, 1);
@@ -42,6 +42,79 @@ fn running_example_end_to_end() {
     assert_eq!(c.markers, 1);
     assert_eq!(c.inserted, 1);
     assert_eq!(c.deleted, 0);
+}
+
+fn fixture(name: &str) -> Tree<String> {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    Tree::parse_sexpr(&text).unwrap()
+}
+
+/// The observability layer's work counters on the Figure 1 fixture are
+/// exact and stable: the paper's cost model (`r1` leaf compares, Myers LCS
+/// cells, misaligned nodes `D`, weighted distance `e`) is deterministic,
+/// so any drift here is an algorithm change, not noise.
+#[test]
+fn figure1_profile_counters_are_deterministic() {
+    let t1 = fixture("fig1_old.sexpr");
+    let t2 = fixture("fig1_new.sexpr");
+    let run = || {
+        Differ::new()
+            .profile(true)
+            .diff(&t1, &t2)
+            .unwrap()
+            .profile
+            .unwrap()
+    };
+    let p = run();
+    assert_eq!(p.counter("leaf_compares"), 9);
+    assert_eq!(p.counter("internal_compares"), 6);
+    assert_eq!(p.counter("chain_scans"), 3);
+    assert_eq!(p.counter("lcs_cells"), 22);
+    assert_eq!(p.counter("inserts"), 1);
+    assert_eq!(
+        p.counter("misaligned_nodes"),
+        1,
+        "the one intra-parent move"
+    );
+    assert_eq!(p.counter("weighted_distance"), 4);
+    assert_eq!(p.counter("delta_nodes"), 11);
+    assert_eq!(p.counters, run().counters, "counters must not wobble");
+}
+
+/// Same contract on the Figure 4 fixture (the MCES example with inserts
+/// and deletes but no moves).
+#[test]
+fn figure4_profile_counters_are_deterministic() {
+    let t1 = fixture("fig4_old.sexpr");
+    let t2 = fixture("fig4_new.sexpr");
+    let run = || {
+        Differ::new()
+            .profile(true)
+            .diff(&t1, &t2)
+            .unwrap()
+            .profile
+            .unwrap()
+    };
+    let p = run();
+    assert_eq!(p.counter("leaf_compares"), 5);
+    assert_eq!(p.counter("lcs_cells"), 14);
+    assert_eq!(p.counter("inserts"), 2);
+    assert_eq!(p.counter("deletes"), 2);
+    assert_eq!(p.counter("misaligned_nodes"), 0, "no moves in Figure 4");
+    assert_eq!(p.counter("weighted_distance"), 4);
+    assert_eq!(p.counter("delta_nodes"), 9);
+    assert_eq!(p.counters, run().counters, "counters must not wobble");
+    // Every phase of the in-memory pipeline was entered exactly once
+    // (audit spans several boundaries; parse happens outside the library).
+    for phase in ["prune", "match", "edit_script", "delta"] {
+        let timing = p.phase(phase);
+        if phase == "prune" {
+            assert!(timing.is_none(), "prune off by default");
+        } else {
+            assert_eq!(timing.unwrap().entries, 1, "{phase}");
+        }
+    }
 }
 
 /// Example 3.1 / Figure 3: applying the script

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use hierdiff::edit::{edit_script, weighted_edit_distance, CostModel, Matching};
 use hierdiff::matching::{fast_match, fast_match_accelerated, MatchParams};
 use hierdiff::tree::{isomorphic, Label, NodeId, NodeValue, Tree};
-use hierdiff::{diff, diff_batch, diff_batch_with, BatchOptions, DiffOptions};
+use hierdiff::{diff_batch, Differ};
 
 /// A generated tree description: parent links + labels + values, decoded
 /// into a `Tree<String>`.
@@ -234,12 +234,64 @@ proptest! {
         ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..12),
     ) {
         let t2 = apply_random_edits(&t1, &ops);
-        let r = diff(&t1, &t2, &DiffOptions::default().with_prune(true)).unwrap();
+        let r = Differ::new().delta(false).prune(true).diff(&t1, &t2).unwrap();
         let replayed = r.mces.replay_on(&t1).unwrap();
         prop_assert!(isomorphic(&replayed, &r.mces.edited));
         if !r.mces.wrapped {
             prop_assert!(isomorphic(&replayed, &t2), "apply(script, T1) != T2");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Observability is inert: attaching a recording observer (and the
+    /// profile recorder) to the pipeline never changes the edit script,
+    /// the matching, or the delta projections — and the recorded work
+    /// counters are identical run to run.
+    #[test]
+    fn recording_observer_never_changes_the_diff(
+        t1 in arb_tree(20, &["D", "P", "S"]),
+        ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..10),
+        prune in any::<bool>(),
+    ) {
+        let t2 = apply_random_edits(&t1, &ops);
+        let plain = Differ::new().prune(prune).diff(&t1, &t2).unwrap();
+
+        let mut recorder = hierdiff::Recorder::new();
+        let observed = Differ::new()
+            .prune(prune)
+            .profile(true)
+            .observer(&mut recorder)
+            .diff(&t1, &t2)
+            .unwrap();
+
+        prop_assert_eq!(&plain.script, &observed.script, "script changed");
+        prop_assert_eq!(plain.matching.len(), observed.matching.len());
+        prop_assert_eq!(plain.weighted_distance(), observed.weighted_distance());
+        let (d1, d2) = (plain.delta.as_ref().unwrap(), observed.delta.as_ref().unwrap());
+        prop_assert!(isomorphic(&d1.project_new(), &d2.project_new()));
+        prop_assert!(isomorphic(&d1.project_old(), &d2.project_old()));
+
+        // The Tee'd user observer and the internal profile recorder saw
+        // the same counter stream…
+        let user_profile = recorder.profile();
+        let profile = observed.profile.unwrap();
+        prop_assert_eq!(&profile.counters, &user_profile.counters);
+        // …and a repeat run reproduces the counters exactly.
+        let again = Differ::new()
+            .prune(prune)
+            .profile(true)
+            .diff(&t1, &t2)
+            .unwrap()
+            .profile
+            .unwrap();
+        prop_assert_eq!(&profile.counters, &again.counters);
+        prop_assert_eq!(
+            profile.counter("weighted_distance") as usize,
+            plain.weighted_distance()
+        );
     }
 }
 
@@ -269,10 +321,10 @@ proptest! {
             .collect();
         let pairs: Vec<(&Tree<String>, &Tree<String>)> =
             pairs_owned.iter().map(|(a, b)| (a, b)).collect();
-        let opts = DiffOptions::new();
+        let opts = hierdiff::DiffOptions::new();
         let sequential: Vec<_> = pairs
             .iter()
-            .map(|(a, b)| diff(a, b, &opts).unwrap())
+            .map(|(a, b)| Differ::new().diff(a, b).unwrap())
             .collect();
 
         // Default scheduling.
@@ -286,11 +338,9 @@ proptest! {
         for workers in [1usize, 2, parallelism] {
             let mut slots: Vec<Option<hierdiff::DiffResult<String>>> =
                 (0..pairs.len()).map(|_| None).collect();
-            let report = diff_batch_with(
-                &pairs,
-                &BatchOptions::new(opts.clone()).with_workers(workers),
-                |i, r| slots[i] = Some(r.unwrap()),
-            );
+            let report = Differ::from_options(opts.clone())
+                .workers(workers)
+                .diff_batch_with(&pairs, |i, r| slots[i] = Some(r.unwrap()));
             prop_assert_eq!(report.completed(), pairs.len());
             for (i, slot) in slots.iter().enumerate() {
                 let r = slot.as_ref().expect("pair visited");
