@@ -19,11 +19,12 @@
 //! never delivered and in [`BatchReport::failures`].
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Steal, Stealer, Worker};
-use hierdiff_obs::{DiffProfile, Recorder};
+use hierdiff_obs::{CounterSample, DiffProfile, Recorder};
 use hierdiff_tree::{NodeValue, Tree};
 
 use crate::{diff_observed, AuditReport, DiffError, DiffOptions, DiffResult, Matcher};
@@ -91,9 +92,14 @@ pub struct BatchReport {
     /// [`BatchOptions::profile`] was set.
     pub profiles: Vec<DiffProfile>,
     /// Worker-level failures ([`DiffError::WorkerPanicked`]); empty on a
-    /// healthy run. Pairs the failed workers never streamed carry the same
+    /// healthy run. Pairs a failed worker never streamed are retried once
+    /// on the calling thread; only pairs whose retry also failed carry the
     /// error in per-pair results.
     pub failures: Vec<DiffError>,
+    /// Pairs re-run (successfully) on the calling thread after a worker
+    /// panic. Also surfaced as the `batch_retries` counter on
+    /// [`profile`](BatchReport::profile).
+    pub retries: u64,
 }
 
 impl BatchReport {
@@ -133,6 +139,19 @@ impl BatchReport {
         for p in &self.profiles {
             total.merge(p);
         }
+        if self.retries > 0 {
+            match total
+                .counters
+                .iter_mut()
+                .find(|c| c.name == "batch_retries")
+            {
+                Some(c) => c.value += self.retries,
+                None => total.counters.push(CounterSample {
+                    name: "batch_retries".to_string(),
+                    value: self.retries,
+                }),
+            }
+        }
         Some(total)
     }
 }
@@ -162,10 +181,12 @@ fn worker_count(requested: Option<NonZeroUsize>, pairs: usize) -> usize {
 /// report.
 ///
 /// A worker that panics does not take the batch down: its failure is
-/// recorded in [`BatchReport::failures`] and the remaining workers drain
-/// the queue (pairs the dead worker held are lost to the sink — collect
-/// via [`Differ::diff_batch`](crate::Differ::diff_batch) to have them
-/// surfaced as [`DiffError::WorkerPanicked`] results instead).
+/// recorded in [`BatchReport::failures`], the remaining workers drain the
+/// queue, and pairs the dead worker never streamed are re-run once on the
+/// calling thread ([`BatchReport::retries`]). Only pairs whose retry also
+/// fails are lost to the sink — collect via
+/// [`Differ::diff_batch`](crate::Differ::diff_batch) to have them surfaced
+/// as [`DiffError::WorkerPanicked`] results instead.
 ///
 /// `sink` is shared by all workers behind a lock; keep it cheap (push to a
 /// channel or vector) or it becomes the bottleneck.
@@ -190,9 +211,11 @@ where
     V: NodeValue + Send + Sync,
     F: FnMut(usize, Result<DiffResult<V>, DiffError>) + Send,
 {
-    let sink = Mutex::new(sink);
+    // The sink shares a lock with a delivered-index bitmap so the retry
+    // pass below knows exactly which pairs a dead worker never streamed.
+    let state = Mutex::new((vec![false; pairs.len()], sink));
     if options.diff.matcher == Matcher::Provided {
-        let mut sink = sink.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let (_, mut sink) = state.into_inner().unwrap_or_else(PoisonError::into_inner);
         for i in 0..pairs.len() {
             sink(i, Err(DiffError::MissingProvidedMatching));
         }
@@ -220,7 +243,7 @@ where
             .enumerate()
             .map(|(me, local)| {
                 let stealers = &stealers;
-                let sink = &sink;
+                let state = &state;
                 scope.spawn(move || {
                     let mut stats = WorkerStats::default();
                     let mut recorder = options.profile.then(Recorder::new);
@@ -252,7 +275,12 @@ where
                         };
                         // A panic in another worker's sink call poisons the
                         // lock; the data is still coherent, keep streaming.
-                        (sink.lock().unwrap_or_else(PoisonError::into_inner))(i, result);
+                        // Delivery is marked before the sink runs: a sink
+                        // that panics mid-call has still observed the pair,
+                        // so the retry pass must not hand it over twice.
+                        let mut s = state.lock().unwrap_or_else(PoisonError::into_inner);
+                        s.0[i] = true;
+                        (s.1)(i, result);
                     }
                     (stats, recorder.map(|r| r.profile()))
                 })
@@ -282,12 +310,39 @@ where
             report.profiles.push(p);
         }
     }
+
+    // Batch resilience: pairs a dead worker never streamed are re-run once
+    // on this thread, ungoverned by the dead worker's fate (the per-pair
+    // guard inside diff_observed still applies). A pair whose retry also
+    // panics stays undelivered and surfaces as WorkerPanicked downstream;
+    // a sink that panics again stops the pass (it is the sink that is
+    // broken, not the pairs).
+    if !report.failures.is_empty() {
+        let (mut delivered, mut sink) = state.into_inner().unwrap_or_else(PoisonError::into_inner);
+        for (i, done) in delivered.iter_mut().enumerate() {
+            if *done {
+                continue;
+            }
+            let (old, new) = pairs[i];
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                diff_observed(old, new, &options.diff, None)
+            }));
+            if let Ok(result) = attempt {
+                *done = true;
+                if catch_unwind(AssertUnwindSafe(|| sink(i, result))).is_err() {
+                    break;
+                }
+                report.retries += 1;
+            }
+        }
+    }
     report.wall = start.elapsed();
     report
 }
 
 /// Collects a batch run into per-pair results (input order) plus the
-/// report. Pairs a panicked worker never delivered carry
+/// report. Pairs a panicked worker never delivered are retried once on the
+/// calling thread; only those whose retry also failed carry
 /// [`DiffError::WorkerPanicked`].
 pub(crate) fn diff_batch_run<V: NodeValue + Send + Sync>(
     pairs: &[(&Tree<V>, &Tree<V>)],
@@ -543,9 +598,10 @@ mod tests {
     }
 
     #[test]
-    fn panicked_worker_marks_undelivered_pairs() {
-        // Single worker whose sink panics immediately: every pair after the
-        // first must surface WorkerPanicked instead of vanishing.
+    fn panicked_worker_pairs_are_retried_once() {
+        // Single worker whose sink panics on the first delivery: the worker
+        // dies, and the remaining pairs are re-run once on the calling
+        // thread instead of surfacing WorkerPanicked.
         let a = doc(r#"(D (S "x"))"#);
         let b = doc(r#"(D (S "y"))"#);
         let pairs = vec![(&a, &b); 3];
@@ -564,5 +620,64 @@ mod tests {
             },
         );
         assert_eq!(report.failures, vec![DiffError::WorkerPanicked(0)]);
+        assert_eq!(report.retries, 2, "undelivered pairs re-run");
+        // The pair consumed by the panicking sink call is not re-delivered
+        // (the sink observed it); the rest arrive via the retry pass.
+        assert!(slots[0].is_none());
+        assert!(matches!(slots[1], Some(Ok(_))));
+        assert!(matches!(slots[2], Some(Ok(_))));
+    }
+
+    #[test]
+    fn retried_pairs_surface_in_collected_run_and_profile() {
+        let a = doc(r#"(D (S "x"))"#);
+        let b = doc(r#"(D (S "y"))"#);
+        let pairs = vec![(&a, &b); 4];
+        // A worker killed by its first sink call, with profiling on: the
+        // collected run should still hold a real result for every retried
+        // pair, and the aggregate profile should count the retries.
+        type Slots = Mutex<Vec<Option<Result<DiffResult<String>, DiffError>>>>;
+        let slots: Slots = Mutex::new((0..pairs.len()).map(|_| None).collect());
+        let mut first = true;
+        let report = diff_batch_inner(
+            &pairs,
+            &BatchOptions::new(DiffOptions::default())
+                .with_workers(1)
+                .with_profile(true),
+            |i, r| {
+                if first {
+                    first = false;
+                    panic!("boom");
+                }
+                slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(r);
+            },
+        );
+        assert_eq!(report.retries, 3);
+        let delivered = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(delivered.iter().filter(|s| s.is_some()).count(), 3);
+        let profile = report.profile().expect("profiling was on");
+        assert_eq!(profile.retries(), 3, "batch_retries surfaced in profile");
+    }
+
+    #[test]
+    fn cancelled_batch_pairs_carry_typed_error() {
+        use hierdiff_guard::CancelToken;
+        let a = doc(r#"(D (S "x"))"#);
+        let b = doc(r#"(D (S "y"))"#);
+        let pairs = vec![(&a, &b); 4];
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = DiffOptions {
+            cancel: Some(token),
+            ..Default::default()
+        };
+        let run = diff_batch_run(&pairs, &BatchOptions::new(opts).with_workers(2));
+        assert!(
+            run.report.failures.is_empty(),
+            "cancellation is not a panic"
+        );
+        for r in &run.results {
+            assert!(matches!(r, Err(DiffError::Cancelled)), "{r:?}");
+        }
     }
 }

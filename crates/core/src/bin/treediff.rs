@@ -12,8 +12,13 @@
 //!       --audit / --no-audit    stage-boundary invariant auditing
 //!       --profile[=json]        per-phase timings + paper-cost counters
 //!                               on stderr (table, or JSON DiffProfile)
+//!       --timeout <secs>        wall-clock budget for the run
+//!       --max-nodes <n>         combined input-size budget
 //!       --output script|delta|stats|json                     [default script]
 //! ```
+//!
+//! Exit codes: 0 success, 1 usage/parse/pipeline error, 4 budget exhausted
+//! or cancelled.
 //!
 //! The `audit` subcommand runs the full pipeline with auditing forced on
 //! and prints every `A0xx` finding; it exits non-zero when any finding has
@@ -23,7 +28,9 @@
 
 use std::process::ExitCode;
 
-use hierdiff_core::{match_with_optimality, DiffError, Differ, Phase, PipelineObserver, Recorder};
+use hierdiff_core::{
+    match_with_optimality, Budgets, DiffError, Differ, Phase, PipelineObserver, Recorder,
+};
 use hierdiff_matching::MatchParams;
 use hierdiff_tree::Tree;
 
@@ -40,6 +47,9 @@ const USAGE: &str = "usage: treediff [OPTIONS] <OLD.sexpr> <NEW.sexpr>\n\
       --profile                 print per-phase timings and the paper's\n\
                                 cost-model counters to stderr\n\
       --profile=json            same, as a JSON DiffProfile document\n\
+      --timeout <secs>          give up (exit 4) after this much wall time\n\
+      --max-nodes <n>           reject inputs larger than n combined nodes\n\
+                                (exit 4)\n\
       --output script|delta|stats|json   what to print (default script)\n\
   -h, --help                    show this help\n\
 \n\
@@ -54,10 +64,45 @@ enum ProfileFormat {
     Json,
 }
 
+/// A CLI failure: diagnostic plus process exit code. Budget exhaustion and
+/// cancellation exit with 4 so callers can tell "too expensive" from
+/// "wrong" (1) without parsing stderr.
+struct Failure {
+    msg: String,
+    code: u8,
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Failure {
+        Failure { msg, code: 1 }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(msg: &str) -> Failure {
+        Failure {
+            msg: msg.to_string(),
+            code: 1,
+        }
+    }
+}
+
+fn fail_for(e: DiffError) -> Failure {
+    let code = match e {
+        DiffError::Cancelled | DiffError::BudgetExhausted(_) => 4,
+        _ => 1,
+    };
+    Failure {
+        msg: e.to_string(),
+        code,
+    }
+}
+
 struct Cli {
     params: MatchParams,
     k: u32,
     prune: bool,
+    budgets: Budgets,
     audit: Option<bool>,
     profile: Option<ProfileFormat>,
     output: String,
@@ -74,6 +119,7 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<(Cli, Option<Recorder
     let mut f = 0.5f64;
     let mut k = 0u32;
     let mut prune = false;
+    let mut budgets = Budgets::unlimited();
     let mut audit = None;
     let mut profile = None;
     let mut output = "script".to_string();
@@ -100,6 +146,22 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<(Cli, Option<Recorder
                     "unknown profile format {:?} (expected json)",
                     &other["--profile=".len()..]
                 ))
+            }
+            "--timeout" => {
+                let secs: f64 = take("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("bad --timeout: need a non-negative number of seconds".to_string());
+                }
+                budgets = budgets.with_max_wall_time(std::time::Duration::from_secs_f64(secs));
+            }
+            "--max-nodes" => {
+                budgets = budgets.with_max_nodes(
+                    take("--max-nodes")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-nodes: {e}"))?,
+                )
             }
             "--output" => output = take("--output")?,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
@@ -128,6 +190,7 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<(Cli, Option<Recorder
         params: MatchParams::with_inner_threshold(t).with_leaf_threshold(f),
         k,
         prune,
+        budgets,
         audit,
         profile,
         output,
@@ -147,6 +210,7 @@ fn differ_for(cli: &Cli) -> Result<Differ<'static>, String> {
         let hybrid = match_with_optimality(&cli.old, &cli.new, cli.params, cli.k);
         Differ::new().params(cli.params).matching(hybrid.matching)
     };
+    differ = differ.budget(cli.budgets);
     if let Some(audit) = cli.audit {
         differ = differ.audit(if audit {
             hierdiff_core::Audit::On
@@ -173,7 +237,7 @@ fn emit_profile(recorder: Option<Recorder>, format: Option<ProfileFormat>) -> Re
 
 /// `treediff audit`: force auditing on, render every finding, and report
 /// whether the pipeline's artifacts satisfy the paper's invariants.
-fn run_audit(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), String> {
+fn run_audit(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), Failure> {
     let differ = differ_for(&cli)?.audit(hierdiff_core::Audit::On);
     let outcome = match recorder.as_mut() {
         Some(rec) => differ
@@ -206,13 +270,14 @@ fn run_audit(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), String> {
                 report.checks_run,
                 report.len(),
                 report.error_count()
-            ))
+            )
+            .into())
         }
-        Err(e) => Err(e.to_string()),
+        Err(e) => Err(fail_for(e)),
     }
 }
 
-fn run_diff(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), String> {
+fn run_diff(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), Failure> {
     let differ = differ_for(&cli)?;
     let outcome = match recorder.as_mut() {
         Some(rec) => differ
@@ -221,7 +286,7 @@ fn run_diff(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), String> {
         None => differ.diff(&cli.old, &cli.new),
     };
     emit_profile(recorder, cli.profile)?;
-    let result = outcome.map_err(|e| e.to_string())?;
+    let result = outcome.map_err(fail_for)?;
 
     match cli.output.as_str() {
         "script" => println!("{}", result.script),
@@ -282,12 +347,12 @@ fn run_diff(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), String> {
                 serde_json::to_string_pretty(&json).map_err(|e| format!("render json: {e}"))?
             );
         }
-        other => return Err(format!("unknown output {other:?}")),
+        other => return Err(format!("unknown output {other:?}").into()),
     }
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), Failure> {
     let mut args = std::env::args().skip(1).peekable();
     let audit_mode = args.peek().map(String::as_str) == Some("audit");
     if audit_mode {
@@ -304,9 +369,9 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("{}", f.msg);
+            ExitCode::from(f.code)
         }
     }
 }

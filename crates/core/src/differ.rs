@@ -145,6 +145,22 @@ impl<'o> Differ<'o> {
         self
     }
 
+    /// Sets resource budgets for the run (`max_nodes`, `max_lcs_cells`,
+    /// `max_wall_time`, `max_memory_estimate`). Applies to batch runs too:
+    /// each pair gets its own guard over the same ceilings.
+    pub fn budget(mut self, budgets: hierdiff_guard::Budgets) -> Differ<'o> {
+        self.options.budgets = budgets;
+        self
+    }
+
+    /// Attaches a cancellation token (stored as a clone; firing the
+    /// caller's copy cancels in-flight [`diff`](Differ::diff) runs and
+    /// every pair of a batch).
+    pub fn cancel(mut self, token: &hierdiff_guard::CancelToken) -> Differ<'o> {
+        self.options.cancel = Some(token.clone());
+        self
+    }
+
     /// Requests a recorded [`DiffProfile`](hierdiff_obs::DiffProfile):
     /// single diffs fill [`DiffResult::profile`], batch runs fill
     /// [`BatchReport::profiles`](crate::BatchReport::profiles) per worker.

@@ -55,10 +55,14 @@ pub use hybrid::{match_with_optimality, zs_budget, HybridMatch};
 pub use hierdiff_audit::AuditReport;
 use hierdiff_audit::{audit_delta, audit_matching, audit_prune, audit_script, audit_tree, Side};
 use hierdiff_delta::{build_delta_tree, DeltaTree};
-use hierdiff_edit::{edit_script, EditScript, Matching, McesError, McesResult};
+use hierdiff_edit::{
+    edit_script_guarded, EditScript, EditScriptError, Matching, McesError, McesResult,
+};
+use hierdiff_guard::Guard;
+pub use hierdiff_guard::{Budget, Budgets, CancelToken, ChaosObserver, Fault, GuardError};
 use hierdiff_matching::{
-    fast_match, fast_match_seeded, match_simple, postprocess, prune_identical, MatchCounters,
-    MatchParams,
+    bounded_greedy_match, fast_match_seeded_guarded, match_simple, postprocess, prune_identical,
+    MatchCounters, MatchParams, GREEDY_WINDOW,
 };
 use hierdiff_tree::{NodeValue, Tree};
 
@@ -116,6 +120,15 @@ pub struct DiffOptions {
     /// in [`DiffResult::audit`]. On by default under debug assertions (or
     /// the `audit-release` feature); off by default in release builds.
     pub audit: bool,
+    /// Resource budgets for the run ([`Budgets::unlimited`] by default).
+    /// Exhausting `max_lcs_cells` degrades (greedy matching, per-child-move
+    /// alignment — see [`DiffResult::degraded`]); exhausting any other
+    /// dimension aborts with [`DiffError::BudgetExhausted`].
+    pub budgets: Budgets,
+    /// Cooperative cancellation: firing the token makes the run return
+    /// [`DiffError::Cancelled`] at its next guard check (phase boundaries
+    /// plus strided checks inside the hot loops).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for DiffOptions {
@@ -128,6 +141,8 @@ impl Default for DiffOptions {
             build_delta: false,
             prune: false,
             audit: audit_default(),
+            budgets: Budgets::unlimited(),
+            cancel: None,
         }
     }
 }
@@ -165,6 +180,19 @@ impl DiffOptions {
         self.audit = audit;
         self
     }
+
+    /// Sets the resource budgets for the run.
+    pub fn with_budgets(mut self, budgets: Budgets) -> DiffOptions {
+        self.budgets = budgets;
+        self
+    }
+
+    /// Attaches a cancellation token (a clone; firing the caller's copy
+    /// cancels the run).
+    pub fn with_cancel(mut self, token: &CancelToken) -> DiffOptions {
+        self.cancel = Some(token.clone());
+        self
+    }
 }
 
 /// Errors from the diff pipeline ([`Differ::diff`] and friends).
@@ -184,6 +212,11 @@ pub enum DiffError {
     /// A batch worker thread panicked; pairs it had not streamed yet carry
     /// this error instead of a result. The payload is the worker index.
     WorkerPanicked(usize),
+    /// The run's [`CancelToken`] fired ([`DiffOptions::cancel`]).
+    Cancelled,
+    /// A resource budget with no degraded tier ran out; the payload names
+    /// the exhausted dimension ([`DiffOptions::budgets`]).
+    BudgetExhausted(Budget),
 }
 
 impl std::fmt::Display for DiffError {
@@ -201,6 +234,8 @@ impl std::fmt::Display for DiffError {
             DiffError::WorkerPanicked(worker) => {
                 write!(f, "batch worker {worker} panicked")
             }
+            DiffError::Cancelled => write!(f, "diff cancelled"),
+            DiffError::BudgetExhausted(b) => write!(f, "budget exhausted: {b}"),
         }
     }
 }
@@ -210,6 +245,46 @@ impl std::error::Error for DiffError {}
 impl From<McesError> for DiffError {
     fn from(e: McesError) -> DiffError {
         DiffError::Mces(e)
+    }
+}
+
+impl From<GuardError> for DiffError {
+    fn from(e: GuardError) -> DiffError {
+        match e {
+            GuardError::Cancelled => DiffError::Cancelled,
+            GuardError::Budget(b) => DiffError::BudgetExhausted(b),
+        }
+    }
+}
+
+impl From<EditScriptError> for DiffError {
+    fn from(e: EditScriptError) -> DiffError {
+        match e {
+            EditScriptError::Mces(m) => DiffError::Mces(m),
+            EditScriptError::Guard(g) => g.into(),
+        }
+    }
+}
+
+/// Which degraded tiers a budget-limited run fell back to. A degraded
+/// result is still *correct* — the script conforms to the matching and
+/// replays `T1` into a tree isomorphic to `T2` (Section 3.2), and the
+/// stage-boundary audit still passes — but it is not guaranteed minimal
+/// (Lemma C.1 needs the full LCS passes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Degraded {
+    /// FastMatch exhausted `max_lcs_cells`; the bounded greedy matcher
+    /// produced the (valid, possibly non-maximal) matching instead.
+    pub matching: bool,
+    /// *AlignChildren* exhausted `max_lcs_cells`; misaligned children were
+    /// moved one-by-one instead of around an LCS anchor set.
+    pub alignment: bool,
+}
+
+impl Degraded {
+    /// Whether any tier degraded.
+    pub fn any(&self) -> bool {
+        self.matching || self.alignment
     }
 }
 
@@ -236,6 +311,9 @@ pub struct DiffResult<V: NodeValue> {
     /// The recorded pipeline profile, when requested via
     /// [`Differ::profile`]. `None` otherwise.
     pub profile: Option<hierdiff_obs::DiffProfile>,
+    /// Which degraded tiers this run fell back to (all-false on an
+    /// ungoverned or within-budget run).
+    pub degraded: Degraded,
 }
 
 impl<V: NodeValue> DiffResult<V> {
@@ -314,6 +392,12 @@ pub(crate) fn diff_observed<V: NodeValue>(
     options: &DiffOptions,
     mut obs: Option<&mut dyn hierdiff_obs::PipelineObserver>,
 ) -> Result<DiffResult<V>, DiffError> {
+    // Resource governance: one guard per run, threaded through every stage.
+    // `max_nodes` / `max_memory_estimate` are admission checks — they
+    // reject the run before any pipeline work starts.
+    let guard = Guard::new(options.budgets, options.cancel.clone());
+    guard.admit(old.len() + new.len())?;
+    let mut degraded = Degraded::default();
     let mut audit = options.audit.then(AuditReport::new);
     if let Some(report) = audit.as_mut() {
         span_start(&mut obs, Phase::Audit);
@@ -339,25 +423,46 @@ pub(crate) fn diff_observed<V: NodeValue>(
         span_end(&mut obs, Phase::Prune);
         (seed, stats)
     });
+    guard.checkpoint()?;
     span_start(&mut obs, Phase::Match);
-    let (mut matching, mut counters) = match options.matcher {
+    let seed = || {
+        prune_seed
+            .as_ref()
+            .map(|(seed, _)| seed.clone())
+            .unwrap_or_default()
+    };
+    let match_outcome: Result<(Matching, MatchCounters), DiffError> = match options.matcher {
         Matcher::Fast => {
-            let r = match &prune_seed {
-                Some((seed, _)) => fast_match_seeded(old, new, options.params, seed.clone()),
-                None => fast_match(old, new, options.params),
-            };
-            (r.matching, r.counters)
+            match fast_match_seeded_guarded(old, new, options.params, seed(), &guard) {
+                Ok(r) => Ok((r.matching, r.counters)),
+                Err(GuardError::Budget(Budget::LcsCells)) => {
+                    // The degradation ladder: FastMatch ran out of LCS
+                    // cells, so rerun the chains through the LCS-free
+                    // bounded greedy matcher — a valid (criteria-enforcing)
+                    // but possibly non-maximal matching.
+                    degraded.matching = true;
+                    bounded_greedy_match(old, new, options.params, seed(), &guard, GREEDY_WINDOW)
+                        .map(|r| (r.matching, r.counters))
+                        .map_err(DiffError::from)
+                }
+                Err(e) => Err(e.into()),
+            }
         }
         Matcher::Simple => {
             let r = match_simple(old, new, options.params);
-            (r.matching, r.counters)
+            Ok((r.matching, r.counters))
         }
-        Matcher::Provided => {
-            let m = options
-                .provided
-                .clone()
-                .ok_or(DiffError::MissingProvidedMatching)?;
-            (m, MatchCounters::default())
+        Matcher::Provided => options
+            .provided
+            .clone()
+            .ok_or(DiffError::MissingProvidedMatching)
+            .map(|m| (m, MatchCounters::default())),
+    };
+    let (mut matching, mut counters) = match match_outcome {
+        Ok(v) => v,
+        Err(e) => {
+            span_end(&mut obs, Phase::Match);
+            return Err(e);
         }
     };
     if let Some((_, stats)) = &prune_seed {
@@ -370,6 +475,9 @@ pub(crate) fn diff_observed<V: NodeValue>(
     };
     if let Some(o) = obs.as_mut() {
         flush_match_counters(*o, &counters);
+        if degraded.matching {
+            o.add(Counter::DegradedMatching, 1);
+        }
     }
     span_end(&mut obs, Phase::Match);
     if let Some(report) = audit.as_mut() {
@@ -383,11 +491,18 @@ pub(crate) fn diff_observed<V: NodeValue>(
             return Err(DiffError::Audit(Box::new(report.clone())));
         }
     }
+    guard.checkpoint()?;
     span_start(&mut obs, Phase::EditScript);
-    let mces = match edit_script(old, new, &matching) {
+    let mces = match edit_script_guarded(old, new, &matching, &guard) {
         Ok(mces) => {
+            if mces.degraded {
+                degraded.alignment = true;
+            }
             if let Some(o) = obs.as_mut() {
                 flush_mces_stats(*o, &mces.stats);
+                if mces.degraded {
+                    o.add(Counter::DegradedAlignment, 1);
+                }
             }
             span_end(&mut obs, Phase::EditScript);
             mces
@@ -405,6 +520,7 @@ pub(crate) fn diff_observed<V: NodeValue>(
             return Err(DiffError::Audit(Box::new(report.clone())));
         }
     }
+    guard.checkpoint()?;
     let delta = options.build_delta.then(|| {
         span_start(&mut obs, Phase::Delta);
         let d = build_delta_tree(old, new, &matching, &mces);
@@ -442,6 +558,7 @@ pub(crate) fn diff_observed<V: NodeValue>(
         rematched,
         audit,
         profile: None,
+        degraded,
     })
 }
 
@@ -630,6 +747,113 @@ mod tests {
             |_, r| assert!(r.is_ok()),
         );
         assert_eq!(report.audit_findings(), 0, "clean pipelines audit clean");
+    }
+
+    #[test]
+    fn pre_fired_cancel_returns_cancelled() {
+        let old = doc(r#"(D (S "a"))"#);
+        let new = doc(r#"(D (S "b"))"#);
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = DiffOptions::new().with_cancel(&token);
+        assert!(matches!(
+            diff(&old, &new, &opts).map(|_| ()).unwrap_err(),
+            DiffError::Cancelled
+        ));
+    }
+
+    #[test]
+    fn node_budget_rejects_at_admission() {
+        let old = doc(r#"(D (S "a") (S "b"))"#);
+        let new = doc(r#"(D (S "a") (S "b"))"#);
+        let opts = DiffOptions::new().with_budgets(Budgets::unlimited().with_max_nodes(3));
+        assert!(matches!(
+            diff(&old, &new, &opts).map(|_| ()).unwrap_err(),
+            DiffError::BudgetExhausted(Budget::Nodes)
+        ));
+        // At the ceiling the run is admitted.
+        let opts = DiffOptions::new().with_budgets(Budgets::unlimited().with_max_nodes(6));
+        assert!(diff(&old, &new, &opts).is_ok());
+    }
+
+    #[test]
+    fn zero_wall_time_budget_trips_at_first_boundary() {
+        let old = doc(r#"(D (S "a"))"#);
+        let new = doc(r#"(D (S "a"))"#);
+        let opts = DiffOptions::new()
+            .with_budgets(Budgets::unlimited().with_max_wall_time(std::time::Duration::ZERO));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(matches!(
+            diff(&old, &new, &opts).map(|_| ()).unwrap_err(),
+            DiffError::BudgetExhausted(Budget::WallTime)
+        ));
+    }
+
+    #[test]
+    fn lcs_budget_degrades_and_audits_clean() {
+        // A large reversal makes both the FastMatch chain LCS and the
+        // AlignChildren LCS expensive; a 1-cell budget forces the full
+        // degradation ladder. The result must still be conforming (edited
+        // tree isomorphic to T2) and pass every stage-boundary audit.
+        let n = 30;
+        let fwd: Vec<String> = (0..n).map(|i| format!("(S \"v{i}\")")).collect();
+        let rev: Vec<String> = (0..n).rev().map(|i| format!("(S \"v{i}\")")).collect();
+        let old = doc(&format!("(D {})", fwd.join(" ")));
+        let new = doc(&format!("(D {})", rev.join(" ")));
+        let opts = DiffOptions::new()
+            .with_audit(true)
+            .with_budgets(Budgets::unlimited().with_max_lcs_cells(1));
+        let r = diff(&old, &new, &opts).unwrap();
+        assert!(r.degraded.matching, "FastMatch must have degraded");
+        assert!(r.degraded.any());
+        assert!(isomorphic(&r.mces.edited, &new), "degraded yet conforming");
+        let report = r.audit.expect("audit was on");
+        assert!(report.is_clean(), "degraded results audit clean: {report}");
+        // Ungoverned runs never degrade.
+        let plain = diff(&old, &new, &DiffOptions::new()).unwrap();
+        assert!(!plain.degraded.any());
+    }
+
+    #[test]
+    fn degraded_run_flagged_in_profile() {
+        let n = 30;
+        let fwd: Vec<String> = (0..n).map(|i| format!("(S \"v{i}\")")).collect();
+        let rev: Vec<String> = (0..n).rev().map(|i| format!("(S \"v{i}\")")).collect();
+        let old = doc(&format!("(D {})", fwd.join(" ")));
+        let new = doc(&format!("(D {})", rev.join(" ")));
+        let r = Differ::new()
+            .budget(Budgets::unlimited().with_max_lcs_cells(1))
+            .profile(true)
+            .diff(&old, &new)
+            .unwrap();
+        let profile = r.profile.expect("profile requested");
+        assert!(profile.degraded(), "profile flags the degraded tiers");
+        assert_eq!(
+            profile.counter("degraded_matching"),
+            u64::from(r.degraded.matching)
+        );
+        let clean = Differ::new().profile(true).diff(&old, &new).unwrap();
+        assert!(!clean.profile.unwrap().degraded());
+    }
+
+    #[test]
+    fn prune_seed_survives_matching_degradation() {
+        // With pruning on and the LCS budget exhausted, the greedy tier
+        // starts from the prune seed, so wholesale-matched fragments stay
+        // matched and the prune audit (seed ⊆ matching) holds.
+        let old =
+            doc(r#"(D (P (S "stable1") (S "stable2")) (P (S "a") (S "b") (S "c")) (P (S "old")))"#);
+        let new =
+            doc(r#"(D (P (S "stable1") (S "stable2")) (P (S "c") (S "b") (S "a")) (P (S "new")))"#);
+        let opts = DiffOptions::new()
+            .with_prune(true)
+            .with_audit(true)
+            .with_budgets(Budgets::unlimited().with_max_lcs_cells(1));
+        let r = diff(&old, &new, &opts).unwrap();
+        assert!(r.degraded.matching);
+        assert!(r.counters.nodes_pruned > 0, "prune pre-pass still ran");
+        assert!(r.audit.unwrap().is_clean());
+        assert!(isomorphic(&r.mces.edited, &new));
     }
 
     #[test]

@@ -7,17 +7,25 @@
 //!   -t, --threshold <0.5..1.0>   inner-node match threshold t  [default 0.6]
 //!   -f, --leaf-threshold <0..1>  leaf compare threshold f      [default 0.5]
 //!       --engine fast|simple     matching algorithm            [default fast]
-//!       --format latex|html|markdown|auto input format                  [default auto]
+//!       --format latex|html|markdown|xml|auto input format     [default auto]
 //!       --postprocess            run the Section 8 recovery pass
+//!       --timeout <secs>         wall-clock budget for the diff
+//!       --max-nodes <n>          reject inputs with more than n total nodes
+//!       --max-depth <n>          reject documents nested deeper than n [default 512]
 //!       --output markup|html|markdown|script|delta|stats|json
 //!                                 what to print                [default markup]
 //! ```
+//!
+//! Exit codes: 0 success, 1 usage/parse/pipeline error (malformed markup
+//! prints a one-line diagnostic), 4 budget exhausted or cancelled.
 
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use hierdiff_doc::{ladiff, DocFormat, Engine, LaDiffOptions};
+use hierdiff_core::{Budgets, DiffError};
+use hierdiff_doc::{ladiff, DocError, DocFormat, Engine, LaDiffOptions};
 use hierdiff_matching::MatchParams;
 
 struct Args {
@@ -28,6 +36,8 @@ struct Args {
     engine: Engine,
     format: Option<DocFormat>,
     postprocess: bool,
+    budgets: Budgets,
+    max_depth: usize,
     output: Output,
 }
 
@@ -42,14 +52,52 @@ enum Output {
     Json,
 }
 
+/// A failure with the exit code it maps to.
+struct Failure {
+    msg: String,
+    code: u8,
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Failure {
+        Failure { msg, code: 1 }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(msg: &str) -> Failure {
+        Failure {
+            msg: msg.to_string(),
+            code: 1,
+        }
+    }
+}
+
+/// Budget exhaustion and cancellation exit with code 4 so batch drivers can
+/// tell resource-governed stops from genuine failures; everything else is 1.
+fn fail_for(e: DocError) -> Failure {
+    let code = match &e {
+        DocError::Diff(DiffError::Cancelled | DiffError::BudgetExhausted(_)) => 4,
+        _ => 1,
+    };
+    Failure {
+        msg: e.to_string(),
+        code,
+    }
+}
+
 const USAGE: &str = "usage: ladiff [OPTIONS] <OLD> <NEW>\n\
   -t, --threshold <0.5..1.0>    inner-node match threshold t (default 0.6)\n\
   -f, --leaf-threshold <0..1>   leaf compare threshold f (default 0.5)\n\
       --engine fast|simple      matching algorithm (default fast)\n\
-      --format latex|html|markdown|auto  input format (default auto)\n\
+      --format latex|html|markdown|xml|auto  input format (default auto)\n\
       --postprocess             run the Section 8 recovery pass\n\
+      --timeout <secs>          wall-clock budget for the diff\n\
+      --max-nodes <n>           reject inputs with more than n total nodes\n\
+      --max-depth <n>           reject documents nested deeper than n (default 512)\n\
       --output markup|html|markdown|script|delta|stats|json   what to print (default markup)\n\
-  -h, --help                    show this help";
+  -h, --help                    show this help\n\
+exit codes: 0 success, 1 error, 4 budget exhausted or cancelled";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -60,6 +108,8 @@ fn parse_args() -> Result<Args, String> {
         engine: Engine::Fast,
         format: None,
         postprocess: false,
+        budgets: Budgets::unlimited(),
+        max_depth: hierdiff_doc::DEFAULT_MAX_DEPTH,
         output: Output::Markup,
     };
     let mut positional = Vec::new();
@@ -92,11 +142,34 @@ fn parse_args() -> Result<Args, String> {
                     "latex" => Some(DocFormat::Latex),
                     "html" => Some(DocFormat::Html),
                     "markdown" | "md" => Some(DocFormat::Markdown),
+                    "xml" => Some(DocFormat::Xml),
                     "auto" => None,
                     other => return Err(format!("unknown format {other:?}")),
                 }
             }
             "--postprocess" => args.postprocess = true,
+            "--timeout" => {
+                let secs: f64 = take("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("bad --timeout: {secs} is not a duration"));
+                }
+                args.budgets = args
+                    .budgets
+                    .with_max_wall_time(Duration::from_secs_f64(secs));
+            }
+            "--max-nodes" => {
+                let n: usize = take("--max-nodes")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-nodes: {e}"))?;
+                args.budgets = args.budgets.with_max_nodes(n);
+            }
+            "--max-depth" => {
+                args.max_depth = take("--max-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-depth: {e}"))?
+            }
             "--output" => {
                 args.output = match take("--output")?.as_str() {
                     "markup" => Output::Markup,
@@ -123,7 +196,7 @@ fn parse_args() -> Result<Args, String> {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), Failure> {
     let args = parse_args()?;
     let old_src = std::fs::read_to_string(&args.old).map_err(|e| format!("{}: {e}", args.old))?;
     let new_src = std::fs::read_to_string(&args.new).map_err(|e| format!("{}: {e}", args.new))?;
@@ -133,8 +206,10 @@ fn run() -> Result<(), String> {
         engine: args.engine,
         postprocess: args.postprocess,
         format,
+        budgets: args.budgets,
+        max_depth: args.max_depth,
     };
-    let out = ladiff(&old_src, &new_src, &options).map_err(|e| e.to_string())?;
+    let out = ladiff(&old_src, &new_src, &options).map_err(fail_for)?;
     match args.output {
         Output::Markup => println!("{}", out.markup),
         Output::Html => println!("{}", out.markup_html()),
@@ -187,9 +262,9 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("{}", f.msg);
+            ExitCode::from(f.code)
         }
     }
 }

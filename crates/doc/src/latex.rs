@@ -15,13 +15,32 @@
 
 use hierdiff_tree::{NodeId, Tree};
 
+use crate::error::{check_depth, DocError};
 use crate::labels;
 use crate::segment::{normalize_ws, split_sentences};
 use crate::value::DocValue;
 
 /// Parses a LaTeX document into its tree representation.
+///
+/// Imposes no nesting-depth ceiling; use [`try_parse_latex`] (or the
+/// pipeline entry points, which default to
+/// [`DEFAULT_MAX_DEPTH`](crate::DEFAULT_MAX_DEPTH)) when the input is
+/// untrusted.
 pub fn parse_latex(src: &str) -> Tree<DocValue> {
     Parser::new(src).run()
+}
+
+/// Parses a LaTeX document, rejecting trees nested deeper than
+/// `max_depth` (root = depth 1) with [`DocError::TooDeep`].
+///
+/// The line-oriented parser itself never recurses — arbitrarily nested
+/// list environments only grow a heap stack — so the guard runs as an
+/// explicit iterative depth check on the finished tree, protecting the
+/// recursive renderers and any other depth-bounded consumer downstream.
+pub fn try_parse_latex(src: &str, max_depth: usize) -> Result<Tree<DocValue>, DocError> {
+    let tree = Parser::new(src).run();
+    check_depth(&tree, max_depth)?;
+    Ok(tree)
 }
 
 struct Parser<'a> {
@@ -397,6 +416,38 @@ mod tests {
             .find(|&n| t.label(n) == labels::section())
             .unwrap();
         assert_eq!(t.value(sec).as_text(), Some("Unnumbered"));
+    }
+
+    #[test]
+    fn depth_guard_rejects_10k_deep_document() {
+        // 5000 nested list environments: each level adds a List and an Item
+        // node, and the innermost item carries a Sentence leaf, so the tree
+        // is 1 + 2*5000 + 1 = 10_002 levels deep.
+        let n = 5_000;
+        let mut src = String::new();
+        for _ in 0..n {
+            src.push_str("\\begin{itemize}\n\\item x\n");
+        }
+        for _ in 0..n {
+            src.push_str("\\end{itemize}\n");
+        }
+        let err = try_parse_latex(&src, 512).unwrap_err();
+        match err {
+            DocError::TooDeep { depth, limit } => {
+                assert_eq!(depth, 10_002);
+                assert_eq!(limit, 512);
+            }
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        // The guard is configurable: a forgiving ceiling admits the same
+        // document.
+        assert!(try_parse_latex(&src, 20_000).is_ok());
+    }
+
+    #[test]
+    fn depth_guard_admits_ordinary_documents() {
+        let t = try_parse_latex("\\section{A}\nSome text here.", 512).unwrap();
+        assert!(t.len() > 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod html;
 mod latex;
 mod markdown;
@@ -42,12 +43,13 @@ mod xml;
 
 pub mod labels;
 
+pub use error::{DocError, DEFAULT_MAX_DEPTH};
 pub use html::parse_html;
-pub use latex::parse_latex;
+pub use latex::{parse_latex, try_parse_latex};
 pub use markdown::parse_markdown;
 pub use markup::render_latex;
 pub use markup_html::{escape_html, refine_words, render_html, render_html_with, HtmlOptions};
-pub use markup_md::render_markdown;
+pub use markup_md::{render_markdown, try_render_markdown};
 pub use pipeline::{
     diff_trees, ladiff, DocFormat, Engine, LaDiffOptions, LaDiffOutput, LaDiffStats,
 };

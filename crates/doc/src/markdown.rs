@@ -77,11 +77,15 @@ pub fn parse_markdown(src: &str) -> Tree<DocValue> {
         }
         if let Some(rest) = list_item_of(trimmed) {
             p.flush_paragraph();
-            if p.list.is_none() {
-                let parent = p.container();
-                p.list = Some(p.tree.push_child(parent, labels::list(), DocValue::None));
-            }
-            let list = p.list.expect("just ensured");
+            let list = match p.list {
+                Some(list) => list,
+                None => {
+                    let parent = p.container();
+                    let list = p.tree.push_child(parent, labels::list(), DocValue::None);
+                    p.list = Some(list);
+                    list
+                }
+            };
             p.item = Some(p.tree.push_child(list, labels::item(), DocValue::None));
             p.push_text(rest);
             continue;

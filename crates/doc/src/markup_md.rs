@@ -16,8 +16,46 @@ use std::fmt::Write as _;
 
 use hierdiff_delta::{Annotation, DeltaNodeId, DeltaTree};
 
+use crate::error::DocError;
 use crate::labels;
 use crate::value::DocValue;
+
+/// Renders the delta tree as annotated Markdown, rejecting deltas nested
+/// deeper than `max_depth` (root = depth 1) with [`DocError::TooDeep`].
+///
+/// The renderer recurses once per tree level, so the guard runs as an
+/// explicit iterative depth check *before* rendering: deeply nested input
+/// becomes a typed error instead of a stack overflow. Deltas produced by
+/// [`diff_trees`](crate::diff_trees) are already depth-bounded by
+/// [`LaDiffOptions::max_depth`](crate::LaDiffOptions); this entry point is
+/// for hand-built or externally sourced delta trees.
+pub fn try_render_markdown(
+    delta: &DeltaTree<DocValue>,
+    max_depth: usize,
+) -> Result<String, DocError> {
+    let depth = delta_depth(delta);
+    if depth > max_depth {
+        return Err(DocError::TooDeep {
+            depth,
+            limit: max_depth,
+        });
+    }
+    Ok(render_markdown(delta))
+}
+
+/// Maximum root-to-leaf depth of `delta` (root alone = 1), computed
+/// iteratively.
+fn delta_depth(delta: &DeltaTree<DocValue>) -> usize {
+    let mut max = 0usize;
+    let mut stack = vec![(delta.root(), 1usize)];
+    while let Some((node, depth)) = stack.pop() {
+        max = max.max(depth);
+        for &child in delta.children(node) {
+            stack.push((child, depth + 1));
+        }
+    }
+    max
+}
 
 /// Renders the delta tree of a document pair as annotated Markdown.
 pub fn render_markdown(delta: &DeltaTree<DocValue>) -> String {
@@ -242,6 +280,27 @@ mod tests {
         );
         assert!(out.contains("- **[new]** **third point added**"), "{out}");
         assert!(out.contains("- first point stays"), "{out}");
+    }
+
+    #[test]
+    fn try_render_guards_depth() {
+        use crate::latex::try_parse_latex;
+        let mut src = String::new();
+        for _ in 0..300 {
+            src.push_str("\\begin{itemize}\n\\item x\n");
+        }
+        for _ in 0..300 {
+            src.push_str("\\end{itemize}\n");
+        }
+        let t = try_parse_latex(&src, 10_000).unwrap();
+        let opts = LaDiffOptions {
+            max_depth: 10_000,
+            ..LaDiffOptions::default()
+        };
+        let out = diff_trees(t.clone(), t, &opts).unwrap();
+        let err = try_render_markdown(&out.delta, 512).unwrap_err();
+        assert!(matches!(err, DocError::TooDeep { .. }), "{err:?}");
+        assert!(try_render_markdown(&out.delta, 10_000).is_ok());
     }
 
     #[test]

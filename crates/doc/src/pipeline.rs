@@ -2,17 +2,19 @@
 //! versions, find the good matching, generate the minimum conforming edit
 //! script, build the delta tree, and render the marked-up output.
 
-use hierdiff_core::{Audit, DiffError, Differ, Matcher};
+use hierdiff_core::{Audit, Budgets, Differ, Matcher};
 use hierdiff_delta::{AnnotationCounts, DeltaTree};
-use hierdiff_edit::{McesError, McesResult};
+use hierdiff_edit::McesResult;
 use hierdiff_matching::{MatchCounters, MatchParams};
 use hierdiff_tree::Tree;
 
+use crate::error::{check_depth, DocError, DEFAULT_MAX_DEPTH};
 use crate::html::parse_html;
 use crate::latex::parse_latex;
 use crate::markdown::parse_markdown;
 use crate::markup::render_latex;
 use crate::value::DocValue;
+use crate::xml::parse_xml;
 
 /// Input document format.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -24,15 +26,21 @@ pub enum DocFormat {
     Html,
     /// Markdown subset (modern analog of the LaTeX subset).
     Markdown,
+    /// Generic XML (strict; malformed markup is a [`DocError::Xml`]).
+    Xml,
 }
 
 impl DocFormat {
-    /// Guesses the format from content: leading `<` (after whitespace) or an
-    /// `<html>`/`<!doctype` marker means HTML; a LaTeX command prefix means
-    /// LaTeX; `#`-style headings or list markers at line starts mean
-    /// Markdown; plain prose defaults to LaTeX (whose body rules accept it).
+    /// Guesses the format from content: an `<?xml` prolog means XML; leading
+    /// `<` (after whitespace) or an `<html>`/`<!doctype` marker means HTML;
+    /// a LaTeX command prefix means LaTeX; `#`-style headings or list
+    /// markers at line starts mean Markdown; plain prose defaults to LaTeX
+    /// (whose body rules accept it).
     pub fn sniff(src: &str) -> DocFormat {
         let t = src.trim_start().to_ascii_lowercase();
+        if t.starts_with("<?xml") {
+            return DocFormat::Xml;
+        }
         if t.starts_with('<') || t.contains("<html") || t.contains("<!doctype") {
             return DocFormat::Html;
         }
@@ -53,12 +61,15 @@ impl DocFormat {
         }
     }
 
-    /// Parses `src` in this format.
-    pub fn parse(self, src: &str) -> Tree<DocValue> {
+    /// Parses `src` in this format. The lenient formats (LaTeX, HTML,
+    /// Markdown) accept any input; strict XML reports malformed markup as
+    /// [`DocError::Xml`].
+    pub fn parse(self, src: &str) -> Result<Tree<DocValue>, DocError> {
         match self {
-            DocFormat::Latex => parse_latex(src),
-            DocFormat::Html => parse_html(src),
-            DocFormat::Markdown => parse_markdown(src),
+            DocFormat::Latex => Ok(parse_latex(src)),
+            DocFormat::Html => Ok(parse_html(src)),
+            DocFormat::Markdown => Ok(parse_markdown(src)),
+            DocFormat::Xml => Ok(parse_xml(src)?),
         }
     }
 }
@@ -74,7 +85,7 @@ pub enum Engine {
 }
 
 /// Pipeline options.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct LaDiffOptions {
     /// Matching criteria parameters (`f`, `t`).
     pub params: MatchParams,
@@ -84,9 +95,31 @@ pub struct LaDiffOptions {
     pub postprocess: bool,
     /// Input format (use [`DocFormat::sniff`] when unsure).
     pub format: DocFormat,
+    /// Resource budgets for the core diff (unlimited by default).
+    /// Exhaustion surfaces as [`DocError::Diff`] wrapping
+    /// `DiffError::BudgetExhausted`.
+    pub budgets: Budgets,
+    /// Nesting-depth ceiling on the input trees
+    /// ([`DEFAULT_MAX_DEPTH`] by default); deeper documents are rejected
+    /// with [`DocError::TooDeep`] before the diff runs.
+    pub max_depth: usize,
+}
+
+impl Default for LaDiffOptions {
+    fn default() -> LaDiffOptions {
+        LaDiffOptions {
+            params: MatchParams::default(),
+            engine: Engine::default(),
+            postprocess: false,
+            format: DocFormat::default(),
+            budgets: Budgets::unlimited(),
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
+    }
 }
 
 /// Everything the pipeline produced.
+#[derive(Debug)]
 pub struct LaDiffOutput {
     /// The old document tree.
     pub old_tree: Tree<DocValue>,
@@ -145,9 +178,9 @@ pub fn ladiff(
     old_src: &str,
     new_src: &str,
     options: &LaDiffOptions,
-) -> Result<LaDiffOutput, McesError> {
-    let old_tree = options.format.parse(old_src);
-    let new_tree = options.format.parse(new_src);
+) -> Result<LaDiffOutput, DocError> {
+    let old_tree = options.format.parse(old_src)?;
+    let new_tree = options.format.parse(new_src)?;
     diff_trees(old_tree, new_tree, options)
 }
 
@@ -155,12 +188,17 @@ pub fn ladiff(
 ///
 /// This is a thin presentation layer over the [`Differ`] facade: the core
 /// pipeline (matching, edit script, delta) runs there, and this function
-/// adds the document-domain statistics and Table-2 markup.
+/// adds the document-domain statistics and Table-2 markup. Inputs deeper
+/// than [`LaDiffOptions::max_depth`] are rejected up front (the renderers
+/// recurse per level); budget exhaustion and cancellation from
+/// [`LaDiffOptions::budgets`] surface as [`DocError::Diff`].
 pub fn diff_trees(
     old_tree: Tree<DocValue>,
     new_tree: Tree<DocValue>,
     options: &LaDiffOptions,
-) -> Result<LaDiffOutput, McesError> {
+) -> Result<LaDiffOutput, DocError> {
+    check_depth(&old_tree, options.max_depth)?;
+    check_depth(&new_tree, options.max_depth)?;
     let matcher = match options.engine {
         Engine::Fast => Matcher::Fast,
         Engine::Simple => Matcher::Simple,
@@ -170,13 +208,8 @@ pub fn diff_trees(
         .matcher(matcher)
         .postprocess(options.postprocess)
         .audit(Audit::Off)
-        .diff(&old_tree, &new_tree)
-        .map_err(|e| match e {
-            DiffError::Mces(e) => e,
-            // With a built-in matcher and auditing off, MCES rejection is
-            // the only failure mode the pipeline can surface.
-            other => unreachable!("unexpected diff failure: {other}"),
-        })?;
+        .budget(options.budgets)
+        .diff(&old_tree, &new_tree)?;
     let Some(delta) = r.delta else {
         unreachable!("Differ::new() builds the delta tree by default")
     };
@@ -277,6 +310,10 @@ mod tests {
     fn sniff_detects_formats() {
         assert_eq!(DocFormat::sniff("<html><p>x</p>"), DocFormat::Html);
         assert_eq!(DocFormat::sniff("  <!DOCTYPE html>"), DocFormat::Html);
+        assert_eq!(
+            DocFormat::sniff("<?xml version=\"1.0\"?><r/>"),
+            DocFormat::Xml
+        );
         assert_eq!(DocFormat::sniff("\\section{X}"), DocFormat::Latex);
         assert_eq!(DocFormat::sniff("plain prose text"), DocFormat::Latex);
         assert_eq!(DocFormat::sniff("# Title\n\nBody."), DocFormat::Markdown);
@@ -311,6 +348,70 @@ mod tests {
         let out = ladiff(OLD, OLD, &LaDiffOptions::default()).unwrap();
         assert_eq!(out.stats.ops.total(), 0);
         assert_eq!(out.stats.annotations.changes(), 0);
+    }
+
+    #[test]
+    fn xml_format_diffs_end_to_end() {
+        let old =
+            r#"<?xml version="1.0"?><notes><p>Alpha stays put.</p><p>Beta stays put.</p></notes>"#;
+        let new = r#"<?xml version="1.0"?><notes><p>Alpha stays put.</p><p>Beta stays put.</p><p>Gamma arrives.</p></notes>"#;
+        let options = LaDiffOptions {
+            format: DocFormat::sniff(old),
+            ..LaDiffOptions::default()
+        };
+        assert_eq!(options.format, DocFormat::Xml);
+        let out = ladiff(old, new, &options).unwrap();
+        assert_eq!(out.stats.ops.inserts, 2); // <p> element + its #text
+    }
+
+    #[test]
+    fn malformed_xml_is_a_typed_error() {
+        let options = LaDiffOptions {
+            format: DocFormat::Xml,
+            ..LaDiffOptions::default()
+        };
+        let err = ladiff("<a><b></a>", "<a/>", &options).unwrap_err();
+        assert!(matches!(err, crate::DocError::Xml(_)), "{err:?}");
+        // The diagnostic is a single line suitable for a CLI.
+        assert!(!err.to_string().contains('\n'));
+    }
+
+    #[test]
+    fn budget_exhaustion_propagates_through_pipeline() {
+        use hierdiff_core::{Budget, DiffError};
+        let options = LaDiffOptions {
+            budgets: Budgets::unlimited().with_max_nodes(3),
+            ..LaDiffOptions::default()
+        };
+        let err = ladiff(OLD, NEW, &options).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::DocError::Diff(DiffError::BudgetExhausted(Budget::Nodes))
+            ),
+            "{err:?}"
+        );
+        assert_eq!(err.to_string(), "budget exhausted: max_nodes");
+    }
+
+    #[test]
+    fn depth_ceiling_rejects_before_diffing() {
+        let mut src = String::new();
+        for _ in 0..300 {
+            src.push_str("\\begin{itemize}\n\\item x\n");
+        }
+        for _ in 0..300 {
+            src.push_str("\\end{itemize}\n");
+        }
+        let err = ladiff(&src, &src, &LaDiffOptions::default()).unwrap_err();
+        assert!(matches!(err, crate::DocError::TooDeep { .. }), "{err:?}");
+        // Raising the configurable ceiling admits the same document.
+        let options = LaDiffOptions {
+            max_depth: 1_000,
+            ..LaDiffOptions::default()
+        };
+        let out = ladiff(&src, &src, &options).unwrap();
+        assert_eq!(out.stats.ops.total(), 0);
     }
 
     #[test]

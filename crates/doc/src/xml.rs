@@ -148,18 +148,15 @@ pub fn parse_xml(src: &str) -> Result<Tree<DocValue>, XmlError> {
             let self_closing = inner.ends_with('/');
             let inner = inner.trim_end_matches('/');
             let (name, attrs) = parse_tag(inner, i)?;
-            let id = match (tree.as_mut(), stack.last()) {
-                (Some(t), Some(&parent)) => {
-                    t.push_child(parent, Label::intern(&name), DocValue::None)
-                }
-                (Some(_), None) => return Err(XmlError::TrailingContent(i)),
-                (None, _) => {
-                    let t = Tree::new(Label::intern(&name), DocValue::None);
-                    tree = Some(t);
-                    tree.as_ref().expect("just set").root()
-                }
+            if tree.is_some() && stack.is_empty() {
+                return Err(XmlError::TrailingContent(i));
+            }
+            let parent = stack.last().copied();
+            let t = tree.get_or_insert_with(|| Tree::new(Label::intern(&name), DocValue::None));
+            let id = match parent {
+                Some(parent) => t.push_child(parent, Label::intern(&name), DocValue::None),
+                None => t.root(),
             };
-            let t = tree.as_mut().expect("root established");
             for (k, v) in attrs {
                 t.push_child(id, Label::intern(&format!("@{k}")), DocValue::text(v));
             }

@@ -144,6 +144,110 @@ fn markdown_format_flag_and_sniffing() {
 }
 
 #[test]
+fn malformed_xml_exits_cleanly_with_one_line_diagnostic() {
+    let old = write_temp("x_bad.xml", "<a><b></a>");
+    let new = write_temp("x_ok.xml", "<a/>");
+    let out = ladiff()
+        .args(["--format", "xml"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    // One line, no panic backtrace.
+    assert_eq!(err.trim().lines().count(), 1, "{err}");
+    assert!(err.contains("closing </a> while <b> is open"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn well_formed_xml_diffs() {
+    let old = write_temp(
+        "x_old.xml",
+        r#"<?xml version="1.0"?><notes><p>Alpha stays put.</p><p>Beta stays put.</p></notes>"#,
+    );
+    let new = write_temp(
+        "x_new.xml",
+        r#"<?xml version="1.0"?><notes><p>Alpha stays put.</p><p>Beta stays put.</p><p>Gamma arrives.</p></notes>"#,
+    );
+    // Sniffed from the <?xml prolog, no flag needed.
+    let out = ladiff()
+        .args(["--output", "stats"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ins 2"));
+}
+
+#[test]
+fn node_budget_exhaustion_exits_4() {
+    let old = write_temp("b_old.tex", OLD);
+    let new = write_temp("b_new.tex", NEW);
+    let out = ladiff()
+        .args(["--max-nodes", "2"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("budget exhausted: max_nodes"), "{err}");
+}
+
+#[test]
+fn zero_timeout_exits_4() {
+    let old = write_temp("w_old.tex", OLD);
+    let new = write_temp("w_new.tex", NEW);
+    let out = ladiff()
+        .args(["--timeout", "0"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("budget exhausted: max_wall_time"), "{err}");
+}
+
+#[test]
+fn max_depth_flag_is_configurable() {
+    let mut deep = String::new();
+    for _ in 0..300 {
+        deep.push_str("\\begin{itemize}\n\\item x\n");
+    }
+    for _ in 0..300 {
+        deep.push_str("\\end{itemize}\n");
+    }
+    let old = write_temp("d_old.tex", &deep);
+    let new = write_temp("d_new.tex", &deep);
+    let out = ladiff().arg(&old).arg(&new).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("document too deep"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = ladiff()
+        .args(["--max-depth", "1000"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn html_format_flag() {
     let old = write_temp("h_old.html", "<p>Alpha one stays. Beta two stays.</p>");
     let new = write_temp(

@@ -50,5 +50,8 @@ pub use cost::{script_cost, CostModel};
 pub use distance::{unweighted_edit_distance, weighted_edit_distance};
 pub use invert::invert_script;
 pub use matching::{Matching, MatchingError};
-pub use mces::{edit_script, McesError, McesResult, McesStats, DUMMY_ROOT_LABEL};
+pub use mces::{
+    edit_script, edit_script_guarded, EditScriptError, McesError, McesResult, McesStats,
+    DUMMY_ROOT_LABEL,
+};
 pub use ops::{EditOp, EditScript, OpCounts};

@@ -33,7 +33,8 @@
 
 use std::fmt;
 
-use hierdiff_lcs::{lcs_counted, LcsStats};
+use hierdiff_guard::{Budget, Guard, GuardError};
+use hierdiff_lcs::{lcs_counted_guarded, LcsStats};
 use hierdiff_tree::{isomorphic, Label, NodeId, NodeValue, Tree};
 
 use crate::matching::Matching;
@@ -77,6 +78,40 @@ impl fmt::Display for McesError {
 }
 
 impl std::error::Error for McesError {}
+
+/// Errors from [`edit_script_guarded`]: either a matching-validation /
+/// internal error ([`McesError`]) or a resource-governance stop
+/// ([`GuardError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditScriptError {
+    /// The matching is invalid or an internal invariant broke.
+    Mces(McesError),
+    /// The run was cancelled or a budget ran out.
+    Guard(GuardError),
+}
+
+impl fmt::Display for EditScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditScriptError::Mces(e) => e.fmt(f),
+            EditScriptError::Guard(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EditScriptError {}
+
+impl From<McesError> for EditScriptError {
+    fn from(e: McesError) -> EditScriptError {
+        EditScriptError::Mces(e)
+    }
+}
+
+impl From<GuardError> for EditScriptError {
+    fn from(e: GuardError) -> EditScriptError {
+        EditScriptError::Guard(e)
+    }
+}
 
 /// Instrumentation gathered while generating a script.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -132,6 +167,11 @@ pub struct McesResult<V: NodeValue> {
     /// Whether dummy roots were introduced because the input roots were
     /// unmatched.
     pub wrapped: bool,
+    /// Whether child alignment degraded to per-child moves after the
+    /// guard's LCS-cell budget ran out (see [`edit_script_guarded`]). The
+    /// script still conforms to the matching (Section 3.2); it is just not
+    /// Lemma C.1-minimal in intra-parent moves.
+    pub degraded: bool,
 }
 
 impl<V: NodeValue> McesResult<V> {
@@ -173,15 +213,39 @@ pub fn edit_script<V: NodeValue>(
     t2: &Tree<V>,
     matching: &Matching,
 ) -> Result<McesResult<V>, McesError> {
+    match edit_script_guarded(t1, t2, matching, &Guard::unlimited()) {
+        Ok(result) => Ok(result),
+        Err(EditScriptError::Mces(e)) => Err(e),
+        Err(EditScriptError::Guard(_)) => unreachable!("an unlimited guard cannot trip"),
+    }
+}
+
+/// [`edit_script`] under resource governance: the guard is ticked once per
+/// BFS/postorder node, and every *AlignChildren* LCS call runs against the
+/// guard's `max_lcs_cells` budget.
+///
+/// When that budget runs out, alignment **degrades in place** instead of
+/// failing: the LCS is treated as empty, so step 6 of Figure 9 moves every
+/// matched child into position individually. The result is flagged
+/// [`McesResult::degraded`] — still a conforming script (Section 3.2) that
+/// transforms `T1` into `T2`, but without Lemma C.1's minimal intra-parent
+/// move count. Cancellation and deadline trips are terminal and surface as
+/// [`EditScriptError::Guard`].
+pub fn edit_script_guarded<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    matching: &Matching,
+    guard: &Guard,
+) -> Result<McesResult<V>, EditScriptError> {
     for (x, y) in matching.iter() {
         if !t1.is_alive(x) {
-            return Err(McesError::DeadNode1(x));
+            return Err(McesError::DeadNode1(x).into());
         }
         if !t2.is_alive(y) {
-            return Err(McesError::DeadNode2(y));
+            return Err(McesError::DeadNode2(y).into());
         }
         if t1.label(x) != t2.label(y) {
-            return Err(McesError::LabelMismatch(x, y));
+            return Err(McesError::LabelMismatch(x, y).into());
         }
     }
 
@@ -210,6 +274,8 @@ pub fn edit_script<V: NodeValue>(
         ord2: vec![false; t2.arena_len()],
         script: EditScript::new(),
         stats: McesStats::default(),
+        guard,
+        degraded: false,
     };
     gen.ord1 = vec![false; gen.work.arena_len()];
     gen.run()?;
@@ -219,6 +285,7 @@ pub fn edit_script<V: NodeValue>(
         m,
         script,
         stats,
+        degraded,
         ..
     } = gen;
     debug_assert!(
@@ -232,6 +299,7 @@ pub fn edit_script<V: NodeValue>(
         edited: work,
         stats,
         wrapped: !roots_matched,
+        degraded,
     })
 }
 
@@ -245,10 +313,13 @@ struct Generator<'t, V> {
     ord2: Vec<bool>,
     script: EditScript<V>,
     stats: McesStats,
+    guard: &'t Guard,
+    /// Set when an AlignChildren LCS was skipped on budget exhaustion.
+    degraded: bool,
 }
 
 impl<V: NodeValue> Generator<'_, V> {
-    fn run(&mut self) -> Result<(), McesError> {
+    fn run(&mut self) -> Result<(), EditScriptError> {
         // Roots are matched (by the caller's wrapping); mark them in order.
         let r1 = self.work.root();
         self.set_ord1(r1, true);
@@ -258,6 +329,7 @@ impl<V: NodeValue> Generator<'_, V> {
         // update, insert, align, and move phases.
         let bfs: Vec<NodeId> = self.t2.bfs().collect();
         for x in bfs {
+            self.guard.tick()?;
             let w = if x == self.t2.root() {
                 let w = self
                     .m
@@ -288,6 +360,7 @@ impl<V: NodeValue> Generator<'_, V> {
         // Phase 3 of Figure 8: post-order delete of unmatched T1 nodes.
         let postorder: Vec<NodeId> = self.work.postorder().collect();
         for w in postorder {
+            self.guard.tick()?;
             if self.m.partner1(w).is_none() {
                 self.script.push(EditOp::Delete { node: w });
                 self.stats.deletes += 1;
@@ -384,7 +457,7 @@ impl<V: NodeValue> Generator<'_, V> {
     }
 
     /// Function *AlignChildren(w, x)* of Figure 9.
-    fn align_children(&mut self, w: NodeId, x: NodeId) -> Result<(), McesError> {
+    fn align_children(&mut self, w: NodeId, x: NodeId) -> Result<(), EditScriptError> {
         // 1. Mark all children of w and x "out of order".
         for &c in self.work.children(w) {
             // (clone of the child list is avoided: set_ord1 cannot reallocate
@@ -421,10 +494,27 @@ impl<V: NodeValue> Generator<'_, V> {
         if s1.is_empty() && s2.is_empty() {
             return Ok(());
         }
-        // 3-4. S = LCS(S1, S2, equal) with equal(a, b) ⇔ (a, b) ∈ M'.
+        // 3-4. S = LCS(S1, S2, equal) with equal(a, b) ⇔ (a, b) ∈ M'. When
+        //      the LCS-cell budget runs out, degrade to an empty LCS: step 6
+        //      then moves every matched child individually — conforming per
+        //      Section 3.2, just not Lemma C.1-minimal.
         let mut lcs_stats = LcsStats::default();
-        let common = lcs_counted(&s1, &s2, |&a, &b| self.m.contains(a, b), &mut lcs_stats);
+        let lcs_outcome = lcs_counted_guarded(
+            &s1,
+            &s2,
+            |&a, &b| self.m.contains(a, b),
+            &mut lcs_stats,
+            self.guard,
+        );
         self.stats.lcs_cells += lcs_stats.cells;
+        let common = match lcs_outcome {
+            Ok(common) => common,
+            Err(GuardError::Budget(Budget::LcsCells)) => {
+                self.degraded = true;
+                Vec::new()
+            }
+            Err(e) => return Err(e.into()),
+        };
         // 5. Mark LCS members "in order".
         let mut in_lcs2 = vec![false; s2.len()];
         for &(i, j) in &common {
@@ -900,6 +990,65 @@ mod tests {
             edit_script(&t1, &t2, &m).unwrap_err(),
             McesError::DeadNode1(leaf)
         );
+    }
+
+    #[test]
+    fn guarded_unlimited_matches_plain() {
+        let t1 = Tree::parse_sexpr(r#"(D (S "a") (S "b") (S "c"))"#).unwrap();
+        let t2 = Tree::parse_sexpr(r#"(D (S "c") (S "b") (S "a"))"#).unwrap();
+        let m = match_by_value(&t1, &t2);
+        let plain = edit_script(&t1, &t2, &m).unwrap();
+        let guarded = edit_script_guarded(&t1, &t2, &m, &Guard::unlimited()).unwrap();
+        assert_eq!(plain.script.len(), guarded.script.len());
+        assert!(!guarded.degraded);
+        assert!(isomorphic(&plain.edited, &guarded.edited));
+    }
+
+    #[test]
+    fn degraded_alignment_still_conforms() {
+        use hierdiff_guard::Budgets;
+        // A shuffle large enough that AlignChildren's LCS needs real work.
+        let n = 40;
+        let fwd: Vec<String> = (0..n).map(|i| format!("(S \"v{i}\")")).collect();
+        let rev: Vec<String> = (0..n).rev().map(|i| format!("(S \"v{i}\")")).collect();
+        let t1 = Tree::parse_sexpr(&format!("(D {})", fwd.join(" "))).unwrap();
+        let t2 = Tree::parse_sexpr(&format!("(D {})", rev.join(" "))).unwrap();
+        let m = match_by_value(&t1, &t2);
+        // Budget of 1 cell: the alignment LCS trips immediately and the
+        // generator falls back to per-child moves.
+        let guard = Guard::new(Budgets::unlimited().with_max_lcs_cells(1), None);
+        let res = edit_script_guarded(&t1, &t2, &m, &guard).unwrap();
+        assert!(res.degraded, "LCS budget must have tripped");
+        // Conformance survives degradation: the script still replays T1
+        // into a tree isomorphic to T2.
+        assert!(isomorphic(&res.edited, &t2));
+        let replayed = res.replay_on(&t1).unwrap();
+        assert!(isomorphic(&replayed, &res.edited));
+        assert!(m.is_subset_of(&res.total_matching));
+        // Minimality does not: per-child moves exceed the LCS-minimal
+        // count for a reversal (which keeps one anchor, moving n-1).
+        let minimal = edit_script(&t1, &t2, &m).unwrap();
+        assert!(!minimal.degraded);
+        assert!(
+            res.stats.intra_moves >= minimal.stats.intra_moves,
+            "degraded {} < minimal {}",
+            res.stats.intra_moves,
+            minimal.stats.intra_moves
+        );
+    }
+
+    #[test]
+    fn guarded_cancellation_is_terminal() {
+        use hierdiff_guard::{Budgets, CancelToken};
+        let leaves: Vec<String> = (0..2000).map(|i| format!("(S \"v{i}\")")).collect();
+        let t1 = Tree::parse_sexpr(&format!("(D {})", leaves.join(" "))).unwrap();
+        let t2 = t1.clone();
+        let m = match_by_value(&t1, &t2);
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = Guard::new(Budgets::unlimited(), Some(token));
+        let err = edit_script_guarded(&t1, &t2, &m, &guard).unwrap_err();
+        assert_eq!(err, EditScriptError::Guard(GuardError::Cancelled));
     }
 
     #[test]

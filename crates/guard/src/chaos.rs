@@ -1,0 +1,214 @@
+//! [`ChaosObserver`]: a deterministic fault injector riding the
+//! `hierdiff-obs` phase-boundary hooks.
+//!
+//! The pipeline already reports every phase start/end to its observer, so
+//! an observer is the perfect place to *attack* the pipeline from: a fault
+//! injected at a phase boundary exercises exactly the recovery paths a
+//! production worker would hit if that stage misbehaved. The chaos test
+//! suite (see `tests/chaos.rs` at the workspace root) asserts that every
+//! injected fault surfaces as a typed error or a degraded-but-audit-clean
+//! result — never a hang, never a poisoned lock.
+//!
+//! Faults are placed either explicitly ([`ChaosObserver::inject`]) or
+//! pseudo-randomly from a seed ([`ChaosObserver::seeded`]); both are fully
+//! deterministic, so a failing chaos run reproduces from its seed.
+
+use std::time::Duration;
+
+use hierdiff_obs::{Phase, PipelineObserver};
+
+use crate::CancelToken;
+
+/// Which edge of a phase span an [`Injection`] targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Boundary {
+    /// The `phase_start` hook.
+    Start,
+    /// The `phase_end` hook.
+    End,
+}
+
+/// A fault a [`ChaosObserver`] can inject at a phase boundary.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Panic with a [`ChaosPanic`] payload (simulates a crashing stage or
+    /// a buggy observer).
+    Panic,
+    /// Sleep for the given duration (simulates a stall; drives
+    /// deadline-governed runs past `max_wall_time`).
+    Delay(Duration),
+    /// Fire the given cancel token (simulates an external caller giving
+    /// up mid-run).
+    Cancel(CancelToken),
+}
+
+/// One planned fault: `fault` fires whenever `phase`'s `boundary` hook
+/// runs.
+#[derive(Clone, Debug)]
+pub struct Injection {
+    /// The phase whose boundary is attacked.
+    pub phase: Phase,
+    /// Which edge of the span.
+    pub boundary: Boundary,
+    /// What happens there.
+    pub fault: Fault,
+}
+
+/// The panic payload carried by [`Fault::Panic`] (thrown with
+/// `std::panic::panic_any`, so tests can downcast and verify the fault
+/// they injected is the one that surfaced).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosPanic {
+    /// The phase whose boundary panicked.
+    pub phase: Phase,
+    /// Which edge of the span.
+    pub boundary: Boundary,
+}
+
+/// A [`PipelineObserver`] that injects planned faults at phase
+/// boundaries and logs every boundary it sees (so tests can assert
+/// coverage). Deterministic: same plan, same run, same faults.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosObserver {
+    injections: Vec<Injection>,
+    seen: Vec<(Phase, Boundary)>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaosObserver {
+    /// An observer with no planned faults (pure boundary logger).
+    pub fn new() -> ChaosObserver {
+        ChaosObserver::default()
+    }
+
+    /// Adds a planned fault (builder-style).
+    pub fn inject(mut self, phase: Phase, boundary: Boundary, fault: Fault) -> ChaosObserver {
+        self.injections.push(Injection {
+            phase,
+            boundary,
+            fault,
+        });
+        self
+    }
+
+    /// Plans `fault` at a pseudo-randomly chosen phase boundary derived
+    /// from `seed` (splitmix64; fully deterministic).
+    pub fn seeded(seed: u64, fault: Fault) -> ChaosObserver {
+        let mut state = seed;
+        let r = splitmix64(&mut state);
+        let phase = Phase::ALL[(r as usize) % Phase::ALL.len()];
+        let boundary = if splitmix64(&mut state).is_multiple_of(2) {
+            Boundary::Start
+        } else {
+            Boundary::End
+        };
+        ChaosObserver::new().inject(phase, boundary, fault)
+    }
+
+    /// The planned faults.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// Every phase boundary observed so far, in order.
+    pub fn seen(&self) -> &[(Phase, Boundary)] {
+        &self.seen
+    }
+
+    fn fire(&mut self, phase: Phase, boundary: Boundary) {
+        self.seen.push((phase, boundary));
+        for inj in &self.injections {
+            if inj.phase != phase || inj.boundary != boundary {
+                continue;
+            }
+            match &inj.fault {
+                Fault::Panic => {
+                    std::panic::panic_any(ChaosPanic { phase, boundary });
+                }
+                Fault::Delay(d) => std::thread::sleep(*d),
+                Fault::Cancel(token) => token.cancel(),
+            }
+        }
+    }
+}
+
+impl PipelineObserver for ChaosObserver {
+    fn phase_start(&mut self, phase: Phase) {
+        self.fire(phase, Boundary::Start);
+    }
+
+    fn phase_end(&mut self, phase: Phase) {
+        self.fire(phase, Boundary::End);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logs_boundaries_in_order() {
+        let mut obs = ChaosObserver::new();
+        obs.phase_start(Phase::Match);
+        obs.phase_end(Phase::Match);
+        assert_eq!(
+            obs.seen(),
+            &[
+                (Phase::Match, Boundary::Start),
+                (Phase::Match, Boundary::End)
+            ]
+        );
+    }
+
+    #[test]
+    fn cancel_fault_fires_token() {
+        let token = CancelToken::new();
+        let mut obs = ChaosObserver::new().inject(
+            Phase::EditScript,
+            Boundary::Start,
+            Fault::Cancel(token.clone()),
+        );
+        obs.phase_start(Phase::Match);
+        assert!(!token.is_cancelled(), "wrong phase must not fire");
+        obs.phase_start(Phase::EditScript);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn panic_fault_carries_typed_payload() {
+        let mut obs = ChaosObserver::new().inject(Phase::Delta, Boundary::End, Fault::Panic);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            obs.phase_end(Phase::Delta);
+        }))
+        .expect_err("must panic");
+        let payload = err.downcast_ref::<ChaosPanic>().expect("typed payload");
+        assert_eq!(payload.phase, Phase::Delta);
+        assert_eq!(payload.boundary, Boundary::End);
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a = ChaosObserver::seeded(42, Fault::Panic);
+        let b = ChaosObserver::seeded(42, Fault::Panic);
+        assert_eq!(a.injections()[0].phase, b.injections()[0].phase);
+        assert_eq!(a.injections()[0].boundary, b.injections()[0].boundary);
+        // Different seeds eventually pick different boundaries.
+        let picks: std::collections::HashSet<(Phase, Boundary)> = (0..64)
+            .map(|s| {
+                let o = ChaosObserver::seeded(s, Fault::Panic);
+                (o.injections()[0].phase, o.injections()[0].boundary)
+            })
+            .collect();
+        assert!(
+            picks.len() > 3,
+            "seeds cover multiple boundaries: {picks:?}"
+        );
+    }
+}

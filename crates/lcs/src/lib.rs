@@ -40,7 +40,7 @@ mod myers;
 pub use diffops::{sequence_diff, SeqEdit};
 pub use dp::lcs_dp;
 pub use hirschberg::lcs_hirschberg;
-pub use myers::{lcs_myers, lcs_myers_counted};
+pub use myers::{lcs_myers, lcs_myers_counted, lcs_myers_guarded};
 
 /// A pair of indices `(i, j)` meaning `S1[i]` is matched with `S2[j]` in the
 /// common subsequence.
@@ -75,6 +75,20 @@ pub fn lcs_counted<T, U>(
     stats: &mut LcsStats,
 ) -> Vec<Pair> {
     lcs_myers_counted(a, b, equal, stats)
+}
+
+/// [`lcs_counted`] under resource governance: cancellation/deadline are
+/// checked per cell (strided by the guard) and cells are charged against
+/// the guard's `max_lcs_cells` budget. See
+/// [`lcs_myers_guarded`](crate::lcs_myers_guarded).
+pub fn lcs_counted_guarded<T, U>(
+    a: &[T],
+    b: &[U],
+    equal: impl FnMut(&T, &U) -> bool,
+    stats: &mut LcsStats,
+    guard: &hierdiff_guard::Guard,
+) -> Result<Vec<Pair>, hierdiff_guard::GuardError> {
+    lcs_myers_guarded(a, b, equal, stats, guard)
 }
 
 /// Which implementation [`lcs_with`] dispatches to.

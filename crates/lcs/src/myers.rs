@@ -8,6 +8,8 @@
 //! O(D²). For pathologically dissimilar long sequences prefer
 //! [`crate::lcs_hirschberg`], which is O(min(|a|,|b|)) space.
 
+use hierdiff_guard::{Guard, GuardError};
+
 use crate::{LcsStats, Pair};
 
 /// LCS via Myers' greedy O(ND) algorithm. See [`crate::lcs`] for the
@@ -23,13 +25,43 @@ pub fn lcs_myers<T, U>(a: &[T], b: &[U], equal: impl FnMut(&T, &U) -> bool) -> V
 pub fn lcs_myers_counted<T, U>(
     a: &[T],
     b: &[U],
-    mut equal: impl FnMut(&T, &U) -> bool,
+    equal: impl FnMut(&T, &U) -> bool,
     stats: &mut LcsStats,
 ) -> Vec<Pair> {
+    match myers_governed(a, b, equal, stats, None) {
+        Ok(pairs) => pairs,
+        Err(_) => unreachable!("ungoverned Myers cannot trip a guard"),
+    }
+}
+
+/// [`lcs_myers_counted`] under resource governance: charges each round's
+/// `(d, k)` cells against the guard's LCS-cell budget *before* expanding
+/// the round (so a budget trip never overruns by more than one round), and
+/// ticks the guard per cell and per snake step, so cancellation and
+/// deadline trips are observed within one tick stride even when a single
+/// round spans tens of thousands of comparisons. Partial work is still
+/// added to `stats` on early return.
+pub fn lcs_myers_guarded<T, U>(
+    a: &[T],
+    b: &[U],
+    equal: impl FnMut(&T, &U) -> bool,
+    stats: &mut LcsStats,
+    guard: &Guard,
+) -> Result<Vec<Pair>, GuardError> {
+    myers_governed(a, b, equal, stats, Some(guard))
+}
+
+fn myers_governed<T, U>(
+    a: &[T],
+    b: &[U],
+    mut equal: impl FnMut(&T, &U) -> bool,
+    stats: &mut LcsStats,
+    guard: Option<&Guard>,
+) -> Result<Vec<Pair>, GuardError> {
     let n = a.len() as isize;
     let m = b.len() as isize;
     if n == 0 || m == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let max = (n + m) as usize;
     let mut cells = 0u64;
@@ -42,11 +74,32 @@ pub fn lcs_myers_counted<T, U>(
     let mut v = vec![0isize; 2 * max + 1];
     let mut trace: Vec<Vec<isize>> = Vec::new();
     let mut found_d: Option<isize> = None;
+    let mut tripped: Option<GuardError> = None;
 
     'outer: for d in 0..=(max as isize) {
+        if let Some(g) = guard {
+            // Round d expands d + 1 cells; charge them up front so a
+            // budget trip is reported before the work it would pay for.
+            let round = g
+                .checkpoint()
+                .and_then(|()| g.charge_lcs_cells(d as u64 + 1));
+            if let Err(e) = round {
+                tripped = Some(e);
+                break 'outer;
+            }
+        }
         let mut k = -d;
         while k <= d {
             cells += 1;
+            // Large-d rounds span tens of thousands of comparisons, so the
+            // per-round checkpoint alone would leave cancellation latency
+            // proportional to d; the strided tick bounds it by the stride.
+            if let Some(g) = guard {
+                if let Err(e) = g.tick() {
+                    tripped = Some(e);
+                    break 'outer;
+                }
+            }
             let idx = (k + offset) as usize;
             let mut x = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
                 v[idx + 1] // move down (insertion into `a`'s view)
@@ -54,10 +107,17 @@ pub fn lcs_myers_counted<T, U>(
                 v[idx - 1] + 1 // move right (deletion)
             };
             let mut y = x - k;
-            while x < n && y < m && {
+            while x < n && y < m {
                 equal_calls += 1;
-                equal(&a[x as usize], &b[y as usize])
-            } {
+                if let Some(g) = guard {
+                    if let Err(e) = g.tick() {
+                        tripped = Some(e);
+                        break 'outer;
+                    }
+                }
+                if !equal(&a[x as usize], &b[y as usize]) {
+                    break;
+                }
                 x += 1;
                 y += 1;
             }
@@ -75,7 +135,13 @@ pub fn lcs_myers_counted<T, U>(
     stats.cells += cells;
     stats.equal_calls += equal_calls;
 
-    let d_final = found_d.expect("D is bounded by n + m, so the loop always terminates");
+    if let Some(e) = tripped {
+        return Err(e);
+    }
+    let d_final = match found_d {
+        Some(d) => d,
+        None => unreachable!("D is bounded by n + m, so the loop always terminates"),
+    };
 
     // Backtrack from (n, m) through the stored frontiers, collecting the
     // diagonal runs ("snakes") — each diagonal step is one matched pair.
@@ -128,7 +194,7 @@ pub fn lcs_myers_counted<T, U>(
     }
 
     pairs.reverse();
-    pairs
+    Ok(pairs)
 }
 
 /// Extracts diagonals −d..=d from the working frontier into a compact
@@ -213,6 +279,51 @@ mod tests {
             .iter()
             .enumerate()
             .all(|(i, &(x, y))| x == i && y == i));
+    }
+
+    #[test]
+    fn guarded_unlimited_matches_ungoverned() {
+        use hierdiff_guard::Guard;
+        let a = chars("ABCABBA");
+        let b = chars("CBABAC");
+        let mut s1 = crate::LcsStats::default();
+        let mut s2 = crate::LcsStats::default();
+        let guard = Guard::unlimited();
+        let governed = lcs_myers_guarded(&a, &b, eq, &mut s1, &guard).unwrap();
+        let plain = lcs_myers_counted(&a, &b, eq, &mut s2);
+        assert_eq!(governed, plain);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn guarded_cell_budget_trips_on_dissimilar_input() {
+        use hierdiff_guard::{Budget, Budgets, Guard, GuardError};
+        // Fully dissimilar sequences: D = n + m, quadratic cells.
+        let a: Vec<u32> = (0..200).collect();
+        let b: Vec<u32> = (1000..1200).collect();
+        let guard = Guard::new(Budgets::unlimited().with_max_lcs_cells(50), None);
+        let mut stats = crate::LcsStats::default();
+        let err = lcs_myers_guarded(&a, &b, |x, y| x == y, &mut stats, &guard).unwrap_err();
+        assert_eq!(err, GuardError::Budget(Budget::LcsCells));
+        // Partial work was still accounted, and bounded near the budget.
+        assert!(stats.cells > 0);
+        assert!(
+            stats.cells <= 60,
+            "overrun bounded by one round: {}",
+            stats.cells
+        );
+    }
+
+    #[test]
+    fn guarded_cancellation_trips() {
+        use hierdiff_guard::{Budgets, CancelToken, Guard, GuardError};
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = Guard::new(Budgets::unlimited(), Some(token));
+        let a = chars("abcdef");
+        let mut stats = crate::LcsStats::default();
+        let err = lcs_myers_guarded(&a, &a, eq, &mut stats, &guard).unwrap_err();
+        assert_eq!(err, GuardError::Cancelled);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! O(ND) LCS makes the common near-identical case cheap.
 
 use hierdiff_edit::Matching;
-use hierdiff_lcs::{lcs_counted, LcsStats};
+use hierdiff_guard::{Guard, GuardError};
+use hierdiff_lcs::{lcs_counted_guarded, LcsStats};
 use hierdiff_tree::{NodeId, NodeValue, Tree};
 
 use crate::criteria::{MatchCtx, MatchParams};
@@ -31,11 +32,59 @@ pub fn fast_match_seeded<V: NodeValue>(
     params: MatchParams,
     seed: Matching,
 ) -> MatchResult {
+    match fast_match_governed(t1, t2, params, seed, &Guard::unlimited()) {
+        Ok(result) => result,
+        Err(_) => unreachable!("an unlimited guard cannot trip"),
+    }
+}
+
+/// Algorithm *FastMatch* under resource governance: `guard` is ticked once
+/// per chain scan and (strided) per quadratic-fallback candidate, and every
+/// per-chain LCS runs against the guard's `max_lcs_cells` budget.
+///
+/// On `Err(GuardError::Budget(Budget::LcsCells))` the caller should fall
+/// back to [`crate::bounded_greedy_match`], the LCS-free degraded tier;
+/// cancellation and deadline errors are terminal.
+pub fn fast_match_guarded<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    params: MatchParams,
+    guard: &Guard,
+) -> Result<MatchResult, GuardError> {
+    fast_match_governed(t1, t2, params, Matching::new(), guard)
+}
+
+/// [`fast_match_guarded`] starting from a pre-established partial matching
+/// (the governed form of [`fast_match_seeded`]).
+pub fn fast_match_seeded_guarded<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    params: MatchParams,
+    seed: Matching,
+    guard: &Guard,
+) -> Result<MatchResult, GuardError> {
+    fast_match_governed(t1, t2, params, seed, guard)
+}
+
+fn fast_match_governed<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    params: MatchParams,
+    seed: Matching,
+    guard: &Guard,
+) -> Result<MatchResult, GuardError> {
+    // The setup passes are each O(N); checkpoints between them bound how
+    // long a fired cancel token or expired deadline can go unnoticed on
+    // very large inputs (the per-label loops below tick per element).
     let classes = LabelClasses::classify(t1, t2);
+    guard.checkpoint()?;
     let mut ctx = MatchCtx::new(t1, t2, params, &classes);
+    guard.checkpoint()?;
     let mut m = seed;
     let chains1 = label_chains(t1);
+    guard.checkpoint()?;
     let chains2 = label_chains(t2);
+    guard.checkpoint()?;
 
     let empty: Vec<NodeId> = Vec::new();
     for (phase, phase_labels) in [&classes.leaf_labels, &classes.internal_labels]
@@ -50,38 +99,47 @@ pub fn fast_match_seeded<V: NodeValue>(
             // but keeps Myers' O(ND) fast when a pre-pass seeded most of the
             // chain: a mostly-matched chain otherwise has no common elements
             // left, driving D to l1+l2 and the LCS to quadratic.)
-            let s1: Vec<NodeId> = chains1
-                .get(&label)
-                .unwrap_or(&empty)
-                .iter()
-                .copied()
-                .filter(|&x| !m.is_matched1(x))
-                .collect();
-            let s2: Vec<NodeId> = chains2
-                .get(&label)
-                .unwrap_or(&empty)
-                .iter()
-                .copied()
-                .filter(|&y| !m.is_matched2(y))
-                .collect();
+            let mut s1: Vec<NodeId> = Vec::new();
+            for &x in chains1.get(&label).unwrap_or(&empty) {
+                guard.tick()?;
+                if !m.is_matched1(x) {
+                    s1.push(x);
+                }
+            }
+            let mut s2: Vec<NodeId> = Vec::new();
+            for &y in chains2.get(&label).unwrap_or(&empty) {
+                guard.tick()?;
+                if !m.is_matched2(y) {
+                    s2.push(y);
+                }
+            }
             if s1.is_empty() || s2.is_empty() {
                 continue;
             }
+            guard.tick()?;
             ctx.counters.chain_scans += 1;
             // 2c. Initial matching of same-order nodes via LCS. The equality
             //     function is the phase's matching criterion.
             let mut lcs_stats = LcsStats::default();
-            let pairs = if is_leaf_phase {
-                lcs_counted(&s1, &s2, |&x, &y| ctx.equal_leaves(x, y), &mut lcs_stats)
+            let lcs_outcome = if is_leaf_phase {
+                lcs_counted_guarded(
+                    &s1,
+                    &s2,
+                    |&x, &y| ctx.equal_leaves(x, y),
+                    &mut lcs_stats,
+                    guard,
+                )
             } else {
-                lcs_counted(
+                lcs_counted_guarded(
                     &s1,
                     &s2,
                     |&x, &y| ctx.equal_internal(x, y, &m),
                     &mut lcs_stats,
+                    guard,
                 )
             };
             ctx.counters.lcs_cells += lcs_stats.cells;
+            let pairs = lcs_outcome?;
             // 2d. Adopt the LCS pairs.
             for &(i, j) in &pairs {
                 m.insert(s1[i], s2[j])
@@ -96,6 +154,7 @@ pub fn fast_match_seeded<V: NodeValue>(
                     if m.is_matched2(y) {
                         continue;
                     }
+                    guard.tick()?;
                     let eq = if is_leaf_phase {
                         ctx.equal_leaves(x, y)
                     } else {
@@ -110,11 +169,11 @@ pub fn fast_match_seeded<V: NodeValue>(
         }
     }
 
-    MatchResult {
+    Ok(MatchResult {
         matching: m,
         counters: ctx.counters,
         classes,
-    }
+    })
 }
 
 #[cfg(test)]

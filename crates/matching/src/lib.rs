@@ -44,10 +44,12 @@ mod quality;
 mod schema;
 mod simple;
 
-pub use bound::{e_over_d, fastmatch_bound, match_bound, Bound, BoundInputs};
+pub use bound::{
+    bounded_greedy_match, e_over_d, fastmatch_bound, match_bound, Bound, BoundInputs, GREEDY_WINDOW,
+};
 pub use criteria::{LeafRanges, MatchCounters, MatchCtx, MatchParams};
 pub use exact::{fast_match_accelerated, prematch_unique_identical};
-pub use fast::{fast_match, fast_match_seeded};
+pub use fast::{fast_match, fast_match_guarded, fast_match_seeded, fast_match_seeded_guarded};
 pub use keyed::{match_by_key, match_keyed_then_content};
 pub use mismatch::{check_criterion3, mismatch_upper_bound, Criterion3Report};
 pub use postprocess::postprocess;

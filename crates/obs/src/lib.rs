@@ -139,11 +139,19 @@ pub enum Counter {
     MisalignedParents,
     /// Nodes in the produced delta tree (Section 6).
     DeltaNodes,
+    /// Runs where matching fell back to the bounded greedy tier after
+    /// FastMatch exhausted its LCS-cell budget (valid but non-maximal).
+    DegradedMatching,
+    /// Runs where *AlignChildren* emitted per-child moves without LCS
+    /// minimization (conforming per §3.2, not Lemma C.1-minimal).
+    DegradedAlignment,
+    /// Batch pairs re-run on the caller thread after a worker panic.
+    BatchRetries,
 }
 
 impl Counter {
     /// Every counter.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::LeafCompares,
         Counter::PartnerChecks,
         Counter::InternalCompares,
@@ -161,6 +169,9 @@ impl Counter {
         Counter::WeightedDistance,
         Counter::MisalignedParents,
         Counter::DeltaNodes,
+        Counter::DegradedMatching,
+        Counter::DegradedAlignment,
+        Counter::BatchRetries,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -183,6 +194,9 @@ impl Counter {
             Counter::WeightedDistance => "weighted_distance",
             Counter::MisalignedParents => "misaligned_parents",
             Counter::DeltaNodes => "delta_nodes",
+            Counter::DegradedMatching => "degraded_matching",
+            Counter::DegradedAlignment => "degraded_alignment",
+            Counter::BatchRetries => "batch_retries",
         }
     }
 
@@ -206,6 +220,9 @@ impl Counter {
             Counter::WeightedDistance => "e, §5.3",
             Counter::MisalignedParents => "—",
             Counter::DeltaNodes => "§6",
+            Counter::DegradedMatching => "—",
+            Counter::DegradedAlignment => "§3.2 (non-minimal)",
+            Counter::BatchRetries => "—",
         }
     }
 
@@ -418,6 +435,17 @@ impl DiffProfile {
     /// Timing entry for the phase named `name`, if it ran.
     pub fn phase(&self, name: &str) -> Option<&PhaseTiming> {
         self.phases.iter().find(|p| p.phase == name)
+    }
+
+    /// True if any run in this profile took a degraded tier (greedy
+    /// matching or non-minimal alignment) after exhausting a budget.
+    pub fn degraded(&self) -> bool {
+        self.counter("degraded_matching") > 0 || self.counter("degraded_alignment") > 0
+    }
+
+    /// Batch pairs retried after a worker panic.
+    pub fn retries(&self) -> u64 {
+        self.counter("batch_retries")
     }
 
     /// Total time across phases, nanoseconds.

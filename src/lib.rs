@@ -36,6 +36,7 @@ pub use hierdiff_audit as audit;
 pub use hierdiff_delta as delta;
 pub use hierdiff_doc as doc;
 pub use hierdiff_edit as edit;
+pub use hierdiff_guard as guard;
 pub use hierdiff_lcs as lcs;
 pub use hierdiff_matching as matching;
 pub use hierdiff_obs as obs;
