@@ -1,0 +1,176 @@
+//! Hot-loop discipline (S010/S011): in modules carrying the
+//! `hierdiff-analyze: hot-module` marker comment, loop bodies must not
+//! allocate and must not dispatch through `dyn`-typed parameters.
+//!
+//! This statically enforces two standing invariants: observers are only
+//! consulted at phase boundaries (never per-node/per-cell), and the inner
+//! LCS/matching/edit loops reuse buffers hoisted out of the iteration.
+//! Genuinely necessary allocations (e.g. Myers' per-round frontier
+//! snapshots) are waived inline with `// analyze: allow(S010) <reason>`,
+//! which keeps the rationale next to the code.
+
+use crate::lexer::TokenKind;
+use crate::parser::FileModel;
+use crate::report::Finding;
+
+/// `Type::ctor` pairs that allocate.
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("String", "new"),
+    ("String", "with_capacity"),
+    ("String", "from"),
+    ("Box", "new"),
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Methods that (almost always) allocate.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "collect"];
+
+/// Computes the hot-loop findings for one file (no-op unless the file is
+/// marked hot). `waived` counts inline-suppressed sites.
+pub fn hot_loop_lints(model: &FileModel, findings: &mut Vec<Finding>, waived: &mut usize) {
+    if !model.hot {
+        return;
+    }
+    let n = model.sig.len();
+    for s in 0..n {
+        let Some(tok) = model.tok(s) else { continue };
+        if !model.in_loop(s) || model.is_test_line(tok.line) {
+            continue;
+        }
+        let mut hit: Option<(&'static str, String)> = None;
+
+        if tok.kind == TokenKind::Ident {
+            let text = model.lexed.text(tok);
+            // `Vec::new(`-style constructor paths.
+            if model.punct(s + 1, ':') && model.punct(s + 2, ':') {
+                if let Some(ctor) = model.tok(s + 3) {
+                    let ctor_text = model.lexed.text(ctor);
+                    if ALLOC_PATHS
+                        .iter()
+                        .any(|&(ty, c)| ty == text && c == ctor_text)
+                    {
+                        hit = Some((
+                            "S010",
+                            format!("allocation `{text}::{ctor_text}` in hot loop"),
+                        ));
+                    }
+                }
+            }
+            // `vec![…]` / `format!(…)`.
+            if hit.is_none() && model.punct(s + 1, '!') && ALLOC_MACROS.contains(&text.as_str()) {
+                hit = Some(("S010", format!("allocation `{text}!` in hot loop")));
+            }
+            // Dyn dispatch: `param.method(` where `param: … dyn …`.
+            if hit.is_none() && model.punct(s + 1, '.') && model.punct(s + 3, '(') {
+                let dyn_param = model
+                    .enclosing_fn(s)
+                    .and_then(|i| model.fns.get(i))
+                    .is_some_and(|f| f.dyn_params.iter().any(|p| p == &text));
+                if dyn_param {
+                    let method = model
+                        .tok(s + 2)
+                        .map(|t| model.lexed.text(t))
+                        .unwrap_or_default();
+                    hit = Some((
+                        "S011",
+                        format!("dyn dispatch `{text}.{method}(…)` in hot loop"),
+                    ));
+                }
+            }
+        }
+        // `.clone()` / `.to_vec()` / … method calls.
+        if hit.is_none() && model.punct(s, '.') {
+            if let Some(m) = model.tok(s + 1) {
+                if m.kind == TokenKind::Ident && model.punct(s + 2, '(') {
+                    let text = model.lexed.text(m);
+                    if ALLOC_METHODS.contains(&text.as_str()) {
+                        hit = Some(("S010", format!("allocation `.{text}()` in hot loop")));
+                    }
+                }
+            }
+        }
+
+        if let Some((code, message)) = hit {
+            if model.waived(tok.line, code) {
+                *waived += 1;
+                continue;
+            }
+            findings.push(Finding {
+                path: model.rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                code,
+                message,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<Finding>, usize) {
+        let model = FileModel::build("crates/lcs/src/m.rs", src);
+        let mut findings = Vec::new();
+        let mut waived = 0;
+        hot_loop_lints(&model, &mut findings, &mut waived);
+        (findings, waived)
+    }
+
+    const HOT: &str = "//! hierdiff-analyze: hot-module\n";
+
+    #[test]
+    fn unmarked_files_are_ignored() {
+        let (f, _) = run("fn f() { for i in 0..9 { let v = Vec::new(); } }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn allocations_in_loops_flagged() {
+        let src = format!(
+            "{HOT}fn f(xs: &[u8]) {{\n    let pre = Vec::new();\n    for x in xs {{\n        let a = Vec::new();\n        let b = vec![0; 4];\n        let c = x.clone();\n        let d = format!(\"{{x}}\");\n        let e = xs.to_vec();\n    }}\n}}\n"
+        );
+        let (f, _) = run(&src);
+        let codes: Vec<&str> = f.iter().map(|x| x.code).collect();
+        assert_eq!(codes, vec!["S010"; 5], "{f:#?}");
+        // The pre-loop Vec::new is fine.
+        assert!(f.iter().all(|x| x.line >= 4));
+    }
+
+    #[test]
+    fn dyn_dispatch_in_loop_flagged() {
+        let src = format!(
+            "{HOT}fn f(obs: &mut dyn Observer, xs: &[u8]) {{\n    obs.start();\n    for x in xs {{\n        obs.on_node(x);\n    }}\n}}\n"
+        );
+        let (f, _) = run(&src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "S011");
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("obs.on_node"));
+    }
+
+    #[test]
+    fn waiver_suppresses_with_count() {
+        let src = format!(
+            "{HOT}fn f(xs: &[u8]) {{\n    for _ in xs {{\n        let s = tail.to_vec(); // analyze: allow(S010) per-round snapshot\n    }}\n}}\n"
+        );
+        let (f, waived) = run(&src);
+        assert!(f.is_empty());
+        assert_eq!(waived, 1);
+    }
+
+    #[test]
+    fn test_mod_loops_are_exempt() {
+        let src = format!(
+            "{HOT}fn lib() {{}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ for _ in 0..3 {{ let v = Vec::new(); }} }}\n}}\n"
+        );
+        let (f, _) = run(&src);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! # hierdiff-analyze
+//!
+//! Token-level static analysis for the hierdiff workspace, std-only and
+//! dependency-free so it builds instantly in CI. One hand-written lexer
+//! feeds every pass:
+//!
+//! * [`lexer`] — spanned tokens (nested block comments, raw strings of any
+//!   `#` depth, char literals vs. lifetimes, doc comments) plus the masked
+//!   view the substring lints are defined against.
+//! * [`parser`] — item/block recovery: `fn` scopes, loop bodies,
+//!   `#[cfg(test)]` regions, `use` imports, `dyn`-typed parameters.
+//! * [`panics`] — **S001–S004**: panicking constructs transitively
+//!   reachable from the `Differ` facade, batch workers, and CLI mains.
+//! * [`hotloop`] — **S010/S011**: allocation and `dyn` dispatch inside
+//!   loop bodies of `hierdiff-analyze: hot-module`-marked files.
+//! * [`api`] — **S020/S021**: public-API surface snapshots under `api/`,
+//!   failing on un-reviewed drift.
+//! * [`lints`] — the **L001–L008** workspace lints, rewritten over the
+//!   shared token stream (the old line scanner is retired).
+//! * [`allow`] — the burn-down allowlist contract both lint families use.
+//! * [`report`] — findings, human rendering, and the hand-rolled JSON
+//!   report.
+//! * [`workspace`] — file discovery and the `cargo run -p xtask --
+//!   analyze` / `-- lint` engines.
+//!
+//! See DESIGN.md ("Static analysis") for the S-code catalogue, the call
+//! graph's documented imprecision, and the snapshot review workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod api;
+pub mod hotloop;
+pub mod lexer;
+pub mod lints;
+pub mod panics;
+pub mod parser;
+pub mod report;
+pub mod workspace;
+
+pub use allow::{judge, parse_allowlist, render_allowlist, Verdict};
+pub use report::{render_json, Finding};
+pub use workspace::{run_analysis, run_l_lints, write_api_snapshots, Analysis, Workspace, API_DIR};

@@ -1,0 +1,504 @@
+//! Item/block recovery over the token stream: `fn` scopes, loop bodies,
+//! `#[cfg(test)]` regions, `use` imports, and `dyn`-typed parameters.
+//!
+//! This is *recovery*, not parsing: the passes only need to know where
+//! function bodies start and end, which tokens sit inside loops, and what
+//! names a file imports. Anything the recogniser cannot classify is simply
+//! not an item — it never aborts on unexpected input.
+
+use crate::lexer::{lex, test_line_mask, Lexed, Token, TokenKind};
+
+/// A recovered `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's bare name (`diff`, `main`, …).
+    pub name: String,
+    /// 1-based line / col of the name token.
+    pub line: usize,
+    /// Column of the name token.
+    pub col: usize,
+    /// Significant-token index range of the body, inclusive of both braces;
+    /// `None` for a bodyless signature (trait method declaration).
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits in a `#[cfg(test)]` region.
+    pub is_test: bool,
+    /// Parameter names whose declared type mentions `dyn` (the receivers
+    /// the hot-loop pass treats as dynamic dispatch).
+    pub dyn_params: Vec<String>,
+}
+
+/// A loop body inside some function: significant-token index range,
+/// inclusive of both braces.
+#[derive(Clone, Copy, Debug)]
+pub struct LoopRegion {
+    /// Start (the `{` token) in significant-token indices.
+    pub open: usize,
+    /// End (the matching `}` token).
+    pub close: usize,
+}
+
+/// One `use` declaration, reduced to what call-edge resolution needs.
+#[derive(Clone, Debug)]
+pub struct UseImport {
+    /// First path segment (`hierdiff_tree`, `crate`, `std`, …).
+    pub root: String,
+    /// Leaf names made visible by this import (aliases included).
+    pub names: Vec<String>,
+}
+
+/// A lexed + structurally recovered source file.
+pub struct FileModel {
+    /// Repo-relative path, forward slashes.
+    pub rel: String,
+    /// The token stream.
+    pub lexed: Lexed,
+    /// Indices into `lexed.tokens` of the significant (non-comment) tokens.
+    pub sig: Vec<usize>,
+    /// The masked source (see [`Lexed::masked`]).
+    pub masked: String,
+    /// Per-line `cfg(test)` flags.
+    pub test_lines: Vec<bool>,
+    /// Recovered functions, in source order.
+    pub fns: Vec<FnItem>,
+    /// Loop bodies (across all functions), in source order.
+    pub loops: Vec<LoopRegion>,
+    /// `use` imports.
+    pub uses: Vec<UseImport>,
+    /// Whether the file opts into hot-loop discipline via the
+    /// `hierdiff-analyze: hot-module` marker comment.
+    pub hot: bool,
+}
+
+/// The marker comment that opts a module into hot-loop discipline.
+pub const HOT_MODULE_MARKER: &str = "hierdiff-analyze: hot-module";
+
+impl FileModel {
+    /// Lexes and recovers structure from one file.
+    pub fn build(rel: &str, source: &str) -> FileModel {
+        let lexed = lex(source);
+        let masked = lexed.masked();
+        let test_lines = test_line_mask(&masked);
+        let sig: Vec<usize> = lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        // The marker must be the comment's entire content — files that merely
+        // *mention* it (this crate's own docs) must not opt in.
+        let hot = lexed.tokens.iter().any(|t| {
+            matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                && lexed
+                    .text(t)
+                    .trim_start_matches(['/', '*', '!'])
+                    .trim_end_matches(['/', '*'])
+                    .trim()
+                    == HOT_MODULE_MARKER
+        });
+
+        let mut model = FileModel {
+            rel: rel.to_string(),
+            lexed,
+            sig,
+            masked,
+            test_lines,
+            fns: Vec::new(),
+            loops: Vec::new(),
+            uses: Vec::new(),
+            hot,
+        };
+        model.recover_fns();
+        model.recover_loops();
+        model.recover_uses();
+        model
+    }
+
+    /// The significant token at significant-index `s`.
+    pub fn tok(&self, s: usize) -> Option<&Token> {
+        self.sig.get(s).and_then(|&i| self.lexed.tokens.get(i))
+    }
+
+    /// Whether the significant token at `s` spells `word`.
+    pub fn word(&self, s: usize, word: &str) -> bool {
+        self.tok(s).is_some_and(|t| self.lexed.is_word(t, word))
+    }
+
+    /// Whether the significant token at `s` is the punctuation `p`.
+    pub fn punct(&self, s: usize, p: char) -> bool {
+        self.tok(s).is_some_and(|t| {
+            t.kind == TokenKind::Punct && self.lexed.chars.get(t.start) == Some(&p)
+        })
+    }
+
+    /// Whether 1-based `line` is inside a `cfg(test)` region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        line.checked_sub(1)
+            .and_then(|i| self.test_lines.get(i))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Whether any comment on 1-based `line` waives lint `code` via an
+    /// inline `analyze: allow(CODE)` annotation.
+    pub fn waived(&self, line: usize, code: &str) -> bool {
+        let needle = format!("allow({code})");
+        self.lexed.tokens.iter().any(|t| {
+            t.line == line
+                && matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                && {
+                    let text = self.lexed.text(t);
+                    text.contains("analyze:") && text.contains(&needle)
+                }
+        })
+    }
+
+    /// The innermost function whose body contains significant index `s`.
+    pub fn enclosing_fn(&self, s: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (span, fn idx)
+        for (i, f) in self.fns.iter().enumerate() {
+            if let Some((open, close)) = f.body {
+                if open <= s && s <= close {
+                    let span = close - open;
+                    if best.is_none_or(|(b, _)| span < b) {
+                        best = Some((span, i));
+                    }
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Whether significant index `s` is inside any loop body.
+    pub fn in_loop(&self, s: usize) -> bool {
+        self.loops.iter().any(|l| l.open <= s && s <= l.close)
+    }
+
+    /// Finds the matching `}` for the `{` at significant index `open`.
+    fn matching_brace(&self, open: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        let mut s = open;
+        while s < self.sig.len() {
+            if self.punct(s, '{') {
+                depth += 1;
+            } else if self.punct(s, '}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(s);
+                }
+            }
+            s += 1;
+        }
+        None
+    }
+
+    fn recover_fns(&mut self) {
+        let mut fns = Vec::new();
+        let n = self.sig.len();
+        for s in 0..n {
+            if !self.word(s, "fn") {
+                continue;
+            }
+            let Some(name_tok) = self.tok(s + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                continue; // `fn(u8) -> u8` pointer type, not an item
+            }
+            let name = self.lexed.text(name_tok);
+            let (line, col) = (name_tok.line, name_tok.col);
+            let is_test = self.is_test_line(self.tok(s).map(|t| t.line).unwrap_or(line));
+
+            // Scan the signature: skip a generic parameter list, then find
+            // the body `{` (or `;` for a bodyless declaration) at bracket
+            // depth zero.
+            let mut p = s + 2;
+            if self.punct(p, '<') {
+                p = self.skip_angle_group(p);
+            }
+            let mut depth = 0isize;
+            let mut body = None;
+            let mut params: Option<(usize, usize)> = None;
+            while p < n {
+                if self.punct(p, '(') || self.punct(p, '[') {
+                    if depth == 0 && params.is_none() && self.punct(p, '(') {
+                        params = Some((p, p)); // close patched below
+                    }
+                    depth += 1;
+                } else if self.punct(p, ')') || self.punct(p, ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        if let Some((open, close)) = params {
+                            if close == open {
+                                params = Some((open, p));
+                            }
+                        }
+                    }
+                } else if depth == 0 && self.punct(p, ';') {
+                    break;
+                } else if depth == 0 && self.punct(p, '{') {
+                    body = self.matching_brace(p).map(|close| (p, close));
+                    break;
+                }
+                p += 1;
+            }
+
+            let dyn_params = params
+                .map(|(open, close)| self.dyn_params_in(open, close))
+                .unwrap_or_default();
+            fns.push(FnItem {
+                name,
+                line,
+                col,
+                body,
+                is_test,
+                dyn_params,
+            });
+        }
+        self.fns = fns;
+    }
+
+    /// Skips a `<…>` generic group starting at `open`, tolerating `->`
+    /// arrows and nested groups; returns the index one past the closing `>`.
+    fn skip_angle_group(&self, open: usize) -> usize {
+        let mut depth = 0isize;
+        let mut s = open;
+        while s < self.sig.len() {
+            if self.punct(s, '<') {
+                depth += 1;
+            } else if self.punct(s, '>') && !self.punct(s.wrapping_sub(1), '-') {
+                depth -= 1;
+                if depth == 0 {
+                    return s + 1;
+                }
+            }
+            s += 1;
+        }
+        self.sig.len()
+    }
+
+    /// Parameter names in `(open..=close)` whose type tokens mention `dyn`.
+    fn dyn_params_in(&self, open: usize, close: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut depth = 0isize;
+        let mut seg_start = open + 1;
+        let mut s = open;
+        while s <= close {
+            let at_end = s == close;
+            if self.punct(s, '(') || self.punct(s, '[') {
+                depth += 1;
+            } else if self.punct(s, ')') || self.punct(s, ']') {
+                depth -= 1;
+            }
+            if (self.punct(s, ',') && depth == 1) || (at_end && depth == 0) {
+                let seg = seg_start..s;
+                let has_dyn = seg.clone().any(|q| self.word(q, "dyn"));
+                if has_dyn {
+                    // First ident that isn't `mut` names the parameter.
+                    for q in seg {
+                        if let Some(t) = self.tok(q) {
+                            if t.kind == TokenKind::Ident && !self.word(q, "mut") {
+                                out.push(self.lexed.text(t));
+                                break;
+                            }
+                        }
+                    }
+                }
+                seg_start = s + 1;
+            }
+            s += 1;
+        }
+        out
+    }
+
+    fn recover_loops(&mut self) {
+        let mut loops = Vec::new();
+        let bodies: Vec<(usize, usize)> = self.fns.iter().filter_map(|f| f.body).collect();
+        for &(fn_open, fn_close) in &bodies {
+            let mut s = fn_open + 1;
+            while s < fn_close {
+                let is_loop_kw =
+                    self.word(s, "loop") || self.word(s, "while") || self.word(s, "for");
+                if is_loop_kw && !self.punct(s + 1, '<') {
+                    // `for<'a>` is a binder, not a loop; skipped above.
+                    let mut p = s + 1;
+                    let mut depth = 0isize;
+                    let mut open = None;
+                    while p <= fn_close {
+                        if self.punct(p, '(') || self.punct(p, '[') {
+                            depth += 1;
+                        } else if self.punct(p, ')') || self.punct(p, ']') {
+                            depth -= 1;
+                        } else if depth == 0 && self.punct(p, '{') {
+                            open = Some(p);
+                            break;
+                        } else if depth == 0 && self.punct(p, ';') {
+                            break; // malformed / not actually a loop header
+                        }
+                        p += 1;
+                    }
+                    if let Some(open) = open {
+                        if let Some(close) = self.matching_brace(open) {
+                            loops.push(LoopRegion { open, close });
+                        }
+                    }
+                }
+                s += 1;
+            }
+        }
+        self.loops = loops;
+    }
+
+    fn recover_uses(&mut self) {
+        let mut uses = Vec::new();
+        let n = self.sig.len();
+        for s in 0..n {
+            if !self.word(s, "use") {
+                continue;
+            }
+            let mut root = None;
+            let mut names = Vec::new();
+            let mut p = s + 1;
+            while p < n && !self.punct(p, ';') {
+                if let Some(t) = self.tok(p) {
+                    if t.kind == TokenKind::Ident {
+                        if root.is_none() {
+                            root = Some(self.lexed.text(t));
+                        }
+                        // A leaf name ends a path: followed by `,` `}` `;`.
+                        if self.punct(p + 1, ',')
+                            || self.punct(p + 1, '}')
+                            || self.punct(p + 1, ';')
+                        {
+                            names.push(self.lexed.text(t));
+                        }
+                    }
+                }
+                p += 1;
+            }
+            if let Some(root) = root {
+                uses.push(UseImport { root, names });
+            }
+        }
+        self.uses = uses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build("crates/x/src/m.rs", src)
+    }
+
+    #[test]
+    fn recovers_fn_items_and_bodies() {
+        let m = model("fn a() { b(); }\npub fn b() -> u8 { 0 }\ntrait T { fn c(&self); }\n");
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(m.fns[0].body.is_some());
+        assert!(m.fns[1].body.is_some());
+        assert!(m.fns[2].body.is_none());
+    }
+
+    #[test]
+    fn generic_fn_with_closure_bound_finds_real_body() {
+        let m = model("fn f<F: Fn(u32) -> u32>(g: F) -> u32 where F: Clone { g(1) }\n");
+        assert_eq!(m.fns.len(), 1);
+        let (open, close) = m.fns[0].body.expect("body");
+        assert!(m.punct(open, '{') && m.punct(close, '}'));
+        // The body starts after the where clause, not at the `Fn(...)` bound.
+        assert!(m.word(open + 1, "g"));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let m = model("fn real(cb: fn(u8) -> u8) -> u8 { cb(1) }\n");
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn test_mod_fns_are_flagged() {
+        let m = model("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n");
+        assert!(!m.fns[0].is_test);
+        assert!(m.fns[1].is_test);
+    }
+
+    #[test]
+    fn dyn_params_recovered() {
+        let m = model(
+            "fn f(obs: &mut dyn Observer, n: usize, cb: impl Fn()) {}\n\
+             fn g(plain: u8) {}\n",
+        );
+        assert_eq!(m.fns[0].dyn_params, vec!["obs".to_string()]);
+        assert!(m.fns[1].dyn_params.is_empty());
+    }
+
+    #[test]
+    fn loops_recovered_including_nested() {
+        let m = model(
+            "fn f(v: &[u8]) {\n    for x in v {\n        while *x > 0 {\n            work();\n        }\n    }\n    done();\n}\n",
+        );
+        assert_eq!(m.loops.len(), 2);
+        // `work()` is inside both loops; `done()` is in neither.
+        let work = (0..m.sig.len()).find(|&s| m.word(s, "work")).expect("work");
+        let done = (0..m.sig.len()).find(|&s| m.word(s, "done")).expect("done");
+        assert!(m.in_loop(work));
+        assert!(!m.in_loop(done));
+    }
+
+    #[test]
+    fn closure_braces_in_loop_header_do_not_truncate_body() {
+        let m = model(
+            "fn f(v: &[u8]) {\n    for x in v.iter().map(|y| { y }) {\n        inner();\n    }\n}\n",
+        );
+        assert_eq!(m.loops.len(), 1);
+        let inner = (0..m.sig.len())
+            .find(|&s| m.word(s, "inner"))
+            .expect("inner");
+        assert!(m.in_loop(inner));
+    }
+
+    #[test]
+    fn uses_recovered() {
+        let m =
+            model("use hierdiff_tree::{Tree, NodeId};\nuse crate::helper;\nuse std::fmt as f;\n");
+        assert_eq!(m.uses.len(), 3);
+        assert_eq!(m.uses[0].root, "hierdiff_tree");
+        assert_eq!(m.uses[0].names, vec!["Tree", "NodeId"]);
+        assert_eq!(m.uses[1].root, "crate");
+        assert_eq!(m.uses[1].names, vec!["helper"]);
+        assert_eq!(m.uses[2].root, "std");
+        assert_eq!(m.uses[2].names, vec!["f"]);
+    }
+
+    #[test]
+    fn hot_marker_and_waivers() {
+        let m = model(
+            "//! hierdiff-analyze: hot-module\nfn f() {\n    let v = Vec::new(); // analyze: allow(S010) setup\n}\n",
+        );
+        assert!(m.hot);
+        assert!(m.waived(3, "S010"));
+        assert!(!m.waived(3, "S011"));
+        assert!(!m.waived(2, "S010"));
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_innermost() {
+        let m = model("fn outer() {\n    fn inner() { deep(); }\n    shallow();\n}\n");
+        let deep = (0..m.sig.len()).find(|&s| m.word(s, "deep")).expect("deep");
+        let shallow = (0..m.sig.len())
+            .find(|&s| m.word(s, "shallow"))
+            .expect("shallow");
+        assert_eq!(
+            m.enclosing_fn(deep).map(|i| m.fns[i].name.as_str()),
+            Some("inner")
+        );
+        assert_eq!(
+            m.enclosing_fn(shallow).map(|i| m.fns[i].name.as_str()),
+            Some("outer")
+        );
+    }
+}

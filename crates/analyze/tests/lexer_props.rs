@@ -1,0 +1,106 @@
+//! Lexer properties over generated fragment soup: the token stream must
+//! tile the source (every non-whitespace char belongs to exactly one
+//! token, spans sorted and in bounds, line/col consistent with the
+//! newlines), and masking must round-trip the source's length and line
+//! structure while never leaking string/comment content.
+//!
+//! Every string/comment fragment carries the sentinel `SECRET`; the code
+//! fragments never do, so a single substring check proves the masked view
+//! cannot leak literal content no matter how fragments are interleaved.
+
+use proptest::prelude::*;
+
+use hierdiff_analyze::lexer::{lex, TokenKind};
+
+/// Well-terminated lexical fragments. Joined with `\n` so no token can
+/// span a fragment boundary (block comments and raw strings are closed
+/// within their fragment).
+const FRAGMENTS: &[&str] = &[
+    "let x = 1;",
+    "fn f(v: &[u8]) -> u8 { v[0] }",
+    "// SECRET line comment",
+    "//! SECRET inner doc",
+    "/// SECRET outer doc",
+    "/* SECRET /* nested SECRET */ still SECRET */",
+    "\"SECRET plain\\\" escaped\"",
+    "r\"SECRET raw\"",
+    "r#\"SECRET one hash \"\" inside\"#",
+    "r##\"SECRET \"#\" two hashes\"##",
+    "b\"SECRET bytes\"",
+    "br#\"SECRET raw bytes\"#",
+    "'x'",
+    "'\\n'",
+    "fn g<'a>(s: &'a str) -> &'a str { s }",
+    "struct S<T: Clone> { field: Vec<T> }",
+    "match n { 0..=9 => n, _ => 0 }",
+    "impl<'b> S<u8> { }",
+    "let y = a.b.c(1, 2.5, 0xff);",
+    "#[cfg(test)]",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn token_stream_tiles_and_masking_never_leaks(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..40)
+    ) {
+        let source: String = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let lexed = lex(&source);
+        let chars: Vec<char> = source.chars().collect();
+        let masked = lexed.masked();
+        let masked_chars: Vec<char> = masked.chars().collect();
+
+        // Masking round-trips length and line structure exactly.
+        prop_assert_eq!(masked_chars.len(), chars.len());
+        for (i, &c) in chars.iter().enumerate() {
+            prop_assert_eq!(masked_chars[i] == '\n', c == '\n',
+                "newline structure diverged at char {}", i);
+        }
+
+        // Masking never leaks string/comment content.
+        prop_assert!(!masked.contains("SECRET"), "leak in: {:?}", masked);
+
+        // Tokens are sorted, non-empty, non-overlapping, and in bounds;
+        // every char between tokens is whitespace.
+        let mut prev_end = 0usize;
+        for t in &lexed.tokens {
+            prop_assert!(t.start >= prev_end, "overlap at {}..{}", t.start, t.end);
+            prop_assert!(t.end > t.start && t.end <= chars.len());
+            prop_assert!(chars[prev_end..t.start].iter().all(|c| c.is_whitespace()),
+                "non-whitespace outside tokens in {}..{}", prev_end, t.start);
+            prev_end = t.end;
+        }
+        prop_assert!(chars[prev_end..].iter().all(|c| c.is_whitespace()));
+
+        // Line/col agree with the newlines actually in the source, and
+        // code tokens survive masking verbatim while literal/comment
+        // tokens are blanked.
+        for t in &lexed.tokens {
+            let line = 1 + chars[..t.start].iter().filter(|&&c| c == '\n').count();
+            let col = 1 + chars[..t.start]
+                .iter()
+                .rev()
+                .take_while(|&&c| c != '\n')
+                .count();
+            prop_assert_eq!(t.line, line);
+            prop_assert_eq!(t.col, col);
+
+            let span_masked = &masked_chars[t.start..t.end];
+            let span_source = &chars[t.start..t.end];
+            match t.kind {
+                TokenKind::LineComment
+                | TokenKind::BlockComment
+                | TokenKind::StrLit
+                | TokenKind::CharLit => {
+                    prop_assert!(span_masked.iter().all(|&c| c == ' ' || c == '\n'));
+                }
+                _ => prop_assert_eq!(span_masked, span_source),
+            }
+        }
+    }
+}

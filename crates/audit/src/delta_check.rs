@@ -172,7 +172,7 @@ mod tests {
     }
 
     fn delta_for(t1: &Tree<String>, t2: &Tree<String>) -> DeltaTree<String> {
-        let m = fast_match(t1, t2, MatchParams::default()).matching;
+        let m = fast_match(t1, t2, MatchParams::default()).unwrap().matching;
         let res = edit_script(t1, t2, &m).unwrap();
         build_delta_tree(t1, t2, &m, &res)
     }

@@ -174,8 +174,8 @@ fn script_not_conforming_to_claimed_matching_is_a024() {
 fn genuine_prune_seed_is_clean() {
     let t1 = doc(r#"(D (P (S "same") (S "same2")) (P (S "x")))"#);
     let t2 = doc(r#"(D (P (S "same") (S "same2")) (P (S "y")))"#);
-    let (seed, _) = prune_identical(&t1, &t2);
-    let matched = fast_match(&t1, &t2, MatchParams::default());
+    let (seed, _) = prune_identical(&t1, &t2).unwrap();
+    let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let r = audit_prune(&t1, &t2, &seed, Some(&matched.matching));
     assert!(r.is_clean(), "{r}");
 }
@@ -213,7 +213,7 @@ fn prune_pair_dropped_by_matcher_is_a031() {
 fn delta_audited_against_wrong_new_tree_is_a040() {
     let t1 = doc(r#"(D (S "a") (S "b"))"#);
     let t2 = doc(r#"(D (S "b") (S "a"))"#);
-    let matched = fast_match(&t1, &t2, MatchParams::default());
+    let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &matched.matching).unwrap();
     let delta = hierdiff_delta::build_delta_tree(&t1, &t2, &matched.matching, &res);
     let other = doc(r#"(D (S "b") (S "a") (S "extra"))"#);
@@ -225,7 +225,7 @@ fn delta_audited_against_wrong_new_tree_is_a040() {
 fn delta_audited_against_wrong_old_tree_is_a041() {
     let t1 = doc(r#"(D (S "a") (S "b"))"#);
     let t2 = doc(r#"(D (S "b") (S "a"))"#);
-    let matched = fast_match(&t1, &t2, MatchParams::default());
+    let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &matched.matching).unwrap();
     let delta = hierdiff_delta::build_delta_tree(&t1, &t2, &matched.matching, &res);
     let other = doc(r#"(D (S "a"))"#);

@@ -23,7 +23,7 @@ fn setup(
     };
     let t1 = generate_document(91, &profile);
     let (t2, _) = perturb(&t1, 92, 12, &EditMix::default(), &profile);
-    let m = fast_match(&t1, &t2, MatchParams::default());
+    let m = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &m.matching).expect("live matching");
     (t1, t2, m.matching, res)
 }

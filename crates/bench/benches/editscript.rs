@@ -18,7 +18,7 @@ fn bench_moves_sweep(c: &mut Criterion) {
             &EditMix::moves_only(),
             &profile,
         );
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(moves), &moves, |bench, _| {
             bench.iter(|| {
                 edit_script(&t1, &t2, &matched.matching)
@@ -41,7 +41,7 @@ fn bench_size_sweep(c: &mut Criterion) {
         };
         let t1 = generate_document(41, &profile);
         let (t2, _) = perturb(&t1, 42, 8, &EditMix::default(), &profile);
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         g.bench_with_input(
             BenchmarkId::from_parameter(t1.len()),
             &sections,

@@ -16,6 +16,7 @@ fn bench_fastmatch_vs_e(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(edits), &edits, |bench, _| {
             bench.iter(|| {
                 fast_match(&t1, &t2, MatchParams::default())
+                    .unwrap()
                     .counters
                     .total()
             })

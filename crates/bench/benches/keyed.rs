@@ -42,17 +42,23 @@ fn bench_keyed_vs_content(c: &mut Criterion) {
         let t2 = dump(5, rows, 2); // same keys, different payloads
         let n = t1.len();
         g.bench_with_input(BenchmarkId::new("by_key", n), &rows, |b, _| {
-            b.iter(|| match_by_key(&t1, &t2, key_of).len())
+            b.iter(|| match_by_key(&t1, &t2, key_of).unwrap().len())
         });
         g.bench_with_input(BenchmarkId::new("keyed_then_content", n), &rows, |b, _| {
             b.iter(|| {
                 match_keyed_then_content(&t1, &t2, MatchParams::default(), key_of)
+                    .unwrap()
                     .matching
                     .len()
             })
         });
         g.bench_with_input(BenchmarkId::new("content_only", n), &rows, |b, _| {
-            b.iter(|| fast_match(&t1, &t2, MatchParams::default()).matching.len())
+            b.iter(|| {
+                fast_match(&t1, &t2, MatchParams::default())
+                    .unwrap()
+                    .matching
+                    .len()
+            })
         });
     }
     g.finish();

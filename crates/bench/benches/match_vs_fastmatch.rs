@@ -18,11 +18,17 @@ fn bench_matchers(c: &mut Criterion) {
         let (t2, _) = perturb(&t1, 52, 10, &EditMix::default(), &profile);
         let n = t1.leaves().count() + t2.leaves().count();
         g.bench_with_input(BenchmarkId::new("fastmatch", n), &n, |bench, _| {
-            bench.iter(|| fast_match(&t1, &t2, MatchParams::default()).matching.len())
+            bench.iter(|| {
+                fast_match(&t1, &t2, MatchParams::default())
+                    .unwrap()
+                    .matching
+                    .len()
+            })
         });
         g.bench_with_input(BenchmarkId::new("match", n), &n, |bench, _| {
             bench.iter(|| {
                 match_simple(&t1, &t2, MatchParams::default())
+                    .unwrap()
                     .matching
                     .len()
             })
@@ -39,11 +45,17 @@ fn bench_dissimilar_inputs(c: &mut Criterion) {
     let t1 = generate_document(61, &profile);
     let t2 = generate_document(9_999_961, &profile);
     g.bench_function("fastmatch", |bench| {
-        bench.iter(|| fast_match(&t1, &t2, MatchParams::default()).matching.len())
+        bench.iter(|| {
+            fast_match(&t1, &t2, MatchParams::default())
+                .unwrap()
+                .matching
+                .len()
+        })
     });
     g.bench_function("match", |bench| {
         bench.iter(|| {
             match_simple(&t1, &t2, MatchParams::default())
+                .unwrap()
                 .matching
                 .len()
         })

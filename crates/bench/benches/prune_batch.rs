@@ -35,11 +35,17 @@ fn bench_prune_sweep(c: &mut Criterion) {
         let (t1, t2) = revision_pair(sections, 12, 9_000 + sections as u64);
         let nodes = t1.len();
         g.bench_with_input(BenchmarkId::new("plain", nodes), &nodes, |b, _| {
-            b.iter(|| fast_match(&t1, &t2, MatchParams::default()).matching.len())
+            b.iter(|| {
+                fast_match(&t1, &t2, MatchParams::default())
+                    .unwrap()
+                    .matching
+                    .len()
+            })
         });
         g.bench_with_input(BenchmarkId::new("pruned", nodes), &nodes, |b, _| {
             b.iter(|| {
                 fast_match_accelerated(&t1, &t2, MatchParams::default())
+                    .unwrap()
                     .matching
                     .len()
             })

@@ -21,7 +21,7 @@ fn bench_scaling(c: &mut Criterion) {
         let nodes = t1.len();
         g.bench_with_input(BenchmarkId::new("chawathe", nodes), &nodes, |bench, _| {
             bench.iter(|| {
-                let m = fast_match(&t1, &t2, MatchParams::default());
+                let m = fast_match(&t1, &t2, MatchParams::default()).unwrap();
                 edit_script(&t1, &t2, &m.matching).unwrap().script.len()
             })
         });

@@ -44,7 +44,7 @@ fn main() {
         .audit(Audit::Off)
         .diff(&t1, &t2)
         .expect("10k-node diff succeeds");
-    let matched = fast_match(&t1, &t2, MatchParams::default());
+    let matched = fast_match(&t1, &t2, MatchParams::default()).expect("ungoverned matcher");
     let direct = edit_script(&t1, &t2, &matched.matching).expect("baseline MCES");
     assert_eq!(facade.script, direct.script, "facade diverged from stages");
 
@@ -58,7 +58,7 @@ fn main() {
         let mut best = [f64::MAX; 3];
         for _ in 0..RUNS_PER_ROUND {
             let start = Instant::now();
-            let m = fast_match(&t1, &t2, MatchParams::default());
+            let m = fast_match(&t1, &t2, MatchParams::default()).expect("ungoverned matcher");
             let r = edit_script(&t1, &t2, &m.matching).expect("baseline MCES");
             let d = build_delta_tree(&t1, &t2, &m.matching, &r);
             let dt = start.elapsed().as_secs_f64();

@@ -9,6 +9,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use crate::must;
 use hierdiff_doc::{ladiff, DocValue, LaDiffOptions};
 use hierdiff_edit::{edit_script, CostModel, Matching};
 use hierdiff_matching::{
@@ -338,7 +339,7 @@ pub fn zs_compare() -> String {
             nodes = t1.len();
 
             let t_start = Instant::now();
-            let matched = fast_match(&t1, &t2, MatchParams::default());
+            let matched = must(fast_match(&t1, &t2, MatchParams::default()));
             let res = edit_script(&t1, &t2, &matched.matching).expect("live matching");
             chawathe_times.push(t_start.elapsed().as_secs_f64());
 
@@ -399,7 +400,7 @@ pub fn editscript_scaling() -> String {
             &EditMix::shuffles_only(),
             &profile,
         );
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = must(fast_match(&t1, &t2, MatchParams::default()));
         // Median of repeated timed runs: the per-run cost is microseconds,
         // so single samples are noise.
         let mut times = Vec::new();
@@ -441,7 +442,7 @@ pub fn editscript_scaling() -> String {
             &EditMix::shuffles_only(),
             &flat_profile,
         );
-        let matched = fast_match(&base, &t2, MatchParams::default());
+        let matched = must(fast_match(&base, &t2, MatchParams::default()));
         let start = Instant::now();
         let res = edit_script(&base, &t2, &matched.matching).expect("live matching");
         let dt = start.elapsed();
@@ -482,12 +483,12 @@ pub fn postprocess_experiment() -> String {
         let t1 = generate_document(12_000 + seed, &profile);
         let (t2, _) = perturb(&t1, 12_100 + seed, 10, &EditMix::default(), &profile);
         let c3 = check_criterion3(&t1, &t2);
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = must(fast_match(&t1, &t2, MatchParams::default()));
         let before = edit_script(&t1, &t2, &matched.matching).expect("live matching");
         let cost_before = before.cost_on(&t1, &CostModel::paper()).unwrap();
 
         let mut m2 = matched.matching.clone();
-        let rematched = postprocess(&t1, &t2, MatchParams::default(), &mut m2);
+        let rematched = must(postprocess(&t1, &t2, MatchParams::default(), &mut m2));
         let after = edit_script(&t1, &t2, &m2).expect("live matching");
         let cost_after = after.cost_on(&t1, &CostModel::paper()).unwrap();
 
@@ -552,7 +553,7 @@ pub fn accuracy() -> String {
                 &profile,
             );
             let truth = ground_truth_matching(&t1, &t2);
-            let found = fast_match(&t1, &t2, MatchParams::default());
+            let found = must(fast_match(&t1, &t2, MatchParams::default()));
             let q = match_quality(&found.matching, &truth);
             agg_p += q.precision();
             agg_r += q.recall();
@@ -632,7 +633,7 @@ pub fn ak_sweep() -> String {
         let mut time_sum = 0.0;
         for (t1, t2, zs_ref) in &cases {
             let start = Instant::now();
-            let h = match_with_optimality(t1, t2, MatchParams::default(), k);
+            let h = must(match_with_optimality(t1, t2, MatchParams::default(), k));
             time_sum += start.elapsed().as_secs_f64() * 1e6;
             let res = edit_script(t1, t2, &h.matching).expect("live matching");
             cost_sum += res.cost_on(t1, &CostModel::paper()).expect("replays");
@@ -675,7 +676,7 @@ pub fn align_ablation() -> String {
             &EditMix::shuffles_only(),
             &profile,
         );
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = must(fast_match(&t1, &t2, MatchParams::default()));
         let res = edit_script(&t1, &t2, &matched.matching).expect("live matching");
         let lcs_moves = res.stats.intra_moves;
         let greedy = greedy_alignment_moves(&t1, &t2, &matched.matching);
@@ -756,8 +757,8 @@ pub fn prematch_ablation() -> String {
             &EditMix::default(),
             &profile,
         );
-        let plain = fast_match(&t1, &t2, MatchParams::default());
-        let accel = fast_match_accelerated(&t1, &t2, MatchParams::default());
+        let plain = must(fast_match(&t1, &t2, MatchParams::default()));
+        let accel = must(fast_match_accelerated(&t1, &t2, MatchParams::default()));
         let pc = plain.counters.total();
         let ac = accel.counters.total();
         table.row(&[
@@ -993,7 +994,7 @@ mod tests {
         for seed in 0..5u64 {
             let t1 = generate_document(500 + seed, &profile);
             let (t2, _) = perturb(&t1, 600 + seed, 10, &EditMix::shuffles_only(), &profile);
-            let matched = fast_match(&t1, &t2, MatchParams::default());
+            let matched = must(fast_match(&t1, &t2, MatchParams::default()));
             let res = edit_script(&t1, &t2, &matched.matching).unwrap();
             let greedy = greedy_alignment_moves(&t1, &t2, &matched.matching);
             assert!(

@@ -12,3 +12,13 @@ pub mod measure;
 pub mod table;
 
 pub use measure::{measure_pair, PairMeasurement};
+
+/// Unwraps a matcher result that is infallible by construction: the
+/// experiments run ungoverned (no budgets, no cancellation), so the only
+/// possible error is an internal matcher invariant bug.
+pub(crate) fn must<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => unreachable!("ungoverned matcher failed: {e}"),
+    }
+}

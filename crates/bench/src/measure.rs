@@ -97,8 +97,8 @@ pub fn measure_pair(
 
     let t_match = Instant::now();
     let matched = match which {
-        WhichMatcher::Fast => fast_match(t1, t2, params),
-        WhichMatcher::Simple => match_simple(t1, t2, params),
+        WhichMatcher::Fast => crate::must(fast_match(t1, t2, params)),
+        WhichMatcher::Simple => crate::must(match_simple(t1, t2, params)),
     };
     let match_time = t_match.elapsed();
 

@@ -207,7 +207,8 @@ fn differ_for(cli: &Cli) -> Result<Differ<'static>, String> {
         if cli.prune {
             return Err("--prune applies to the built-in matcher; drop it or use -k 0".to_string());
         }
-        let hybrid = match_with_optimality(&cli.old, &cli.new, cli.params, cli.k);
+        let hybrid = match_with_optimality(&cli.old, &cli.new, cli.params, cli.k)
+            .map_err(|e| format!("matching failed: {e}"))?;
         Differ::new().params(cli.params).matching(hybrid.matching)
     };
     differ = differ.budget(cli.budgets);

@@ -17,7 +17,7 @@
 
 use hierdiff_audit::{audit_matching, AuditReport};
 use hierdiff_edit::Matching;
-use hierdiff_matching::{fast_match, postprocess, MatchCounters, MatchParams};
+use hierdiff_matching::{fast_match, postprocess, MatchCounters, MatchError, MatchParams};
 use hierdiff_tree::{NodeId, NodeValue, Tree};
 use hierdiff_zs::{tree_mapping, UnitCost};
 
@@ -55,12 +55,12 @@ pub fn match_with_optimality<V: NodeValue>(
     t2: &Tree<V>,
     params: MatchParams,
     k: u32,
-) -> HybridMatch {
-    let base = fast_match(t1, t2, params);
+) -> Result<HybridMatch, MatchError> {
+    let base = fast_match(t1, t2, params)?;
     let mut matching = base.matching;
     let mut rematched = 0;
     if k >= 1 {
-        rematched = postprocess(t1, t2, params, &mut matching);
+        rematched = postprocess(t1, t2, params, &mut matching)?;
     }
     let mut zs_adopted = 0;
     let mut zs_runs = 0;
@@ -104,14 +104,14 @@ pub fn match_with_optimality<V: NodeValue>(
         }
     }
     let audit = crate::audit_default().then(|| audit_matching(t1, t2, &matching));
-    HybridMatch {
+    Ok(HybridMatch {
         matching,
         counters: base.counters,
         rematched,
         zs_adopted,
         zs_runs,
         audit,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -137,8 +137,8 @@ mod tests {
     fn k0_equals_fastmatch() {
         let t1 = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
         let t2 = doc(r#"(D (P (S "c")) (P (S "a") (S "b")))"#);
-        let h = match_with_optimality(&t1, &t2, MatchParams::default(), 0);
-        let f = hierdiff_matching::fast_match(&t1, &t2, MatchParams::default());
+        let h = match_with_optimality(&t1, &t2, MatchParams::default(), 0).unwrap();
+        let f = hierdiff_matching::fast_match(&t1, &t2, MatchParams::default()).unwrap();
         assert_eq!(h.matching.len(), f.matching.len());
         assert_eq!(h.rematched, 0);
         assert_eq!(h.zs_runs, 0);
@@ -156,8 +156,8 @@ mod tests {
         let t2 = doc(
             r#"(D (P (S "anchor one") (S "completely different wording now") (S "anchor two")))"#,
         );
-        let fast = match_with_optimality(&t1, &t2, MatchParams::default(), 0);
-        let refined = match_with_optimality(&t1, &t2, MatchParams::default(), 2);
+        let fast = match_with_optimality(&t1, &t2, MatchParams::default(), 0).unwrap();
+        let refined = match_with_optimality(&t1, &t2, MatchParams::default(), 2).unwrap();
         assert!(refined.matching.len() > fast.matching.len());
         assert!(refined.zs_adopted >= 1);
 
@@ -189,9 +189,9 @@ mod tests {
             "(D (P {} (S \"rewritten fully now\")))",
             body.join(" ")
         ));
-        let k2 = match_with_optimality(&t1, &t2, MatchParams::default(), 2);
+        let k2 = match_with_optimality(&t1, &t2, MatchParams::default(), 2).unwrap();
         assert_eq!(k2.zs_runs, 0, "31-node paragraph exceeds the k=2 budget");
-        let k4 = match_with_optimality(&t1, &t2, MatchParams::default(), 4);
+        let k4 = match_with_optimality(&t1, &t2, MatchParams::default(), 4).unwrap();
         assert!(k4.zs_runs > 0);
         assert!(k4.zs_adopted >= 1);
     }
@@ -202,7 +202,7 @@ mod tests {
         let t2 = doc(r#"(D (P (S "a") (S "y1")) (P (S "b") (S "y2")))"#);
         let mut last = 0;
         for k in 0..4 {
-            let h = match_with_optimality(&t1, &t2, MatchParams::default(), k);
+            let h = match_with_optimality(&t1, &t2, MatchParams::default(), k).unwrap();
             assert!(h.matching.len() >= last, "k={k}");
             last = h.matching.len();
         }

@@ -60,6 +60,7 @@ use hierdiff_edit::{
 };
 use hierdiff_guard::Guard;
 pub use hierdiff_guard::{Budget, Budgets, CancelToken, ChaosObserver, Fault, GuardError};
+pub use hierdiff_matching::MatchError;
 use hierdiff_matching::{
     bounded_greedy_match, fast_match_seeded_guarded, match_simple, postprocess, prune_identical,
     MatchCounters, MatchParams, GREEDY_WINDOW,
@@ -217,6 +218,10 @@ pub enum DiffError {
     /// A resource budget with no degraded tier ran out; the payload names
     /// the exhausted dimension ([`DiffOptions::budgets`]).
     BudgetExhausted(Budget),
+    /// The matcher rejected the inputs (label-schema cycle) or tripped an
+    /// internal invariant. Guard trips inside the matcher surface as
+    /// [`DiffError::Cancelled`] / [`DiffError::BudgetExhausted`] instead.
+    Match(MatchError),
 }
 
 impl std::fmt::Display for DiffError {
@@ -236,6 +241,7 @@ impl std::fmt::Display for DiffError {
             }
             DiffError::Cancelled => write!(f, "diff cancelled"),
             DiffError::BudgetExhausted(b) => write!(f, "budget exhausted: {b}"),
+            DiffError::Match(e) => write!(f, "matching failed: {e}"),
         }
     }
 }
@@ -253,6 +259,16 @@ impl From<GuardError> for DiffError {
         match e {
             GuardError::Cancelled => DiffError::Cancelled,
             GuardError::Budget(b) => DiffError::BudgetExhausted(b),
+        }
+    }
+}
+
+impl From<MatchError> for DiffError {
+    fn from(e: MatchError) -> DiffError {
+        match e {
+            // Governance trips keep their established surface forms.
+            MatchError::Guard(g) => g.into(),
+            other => DiffError::Match(other),
         }
     }
 }
@@ -412,17 +428,25 @@ pub(crate) fn diff_observed<V: NodeValue>(
     // `fast_match_accelerated`); keeping the seed around also lets the
     // audit check the exact pairs the matcher started from instead of
     // re-deriving them.
-    let prune_seed = (options.prune && options.matcher == Matcher::Fast).then(|| {
+    let prune_seed = if options.prune && options.matcher == Matcher::Fast {
         span_start(&mut obs, Phase::Prune);
-        let (seed, stats) = prune_identical(old, new);
+        let (seed, stats) = match prune_identical(old, new) {
+            Ok(v) => v,
+            Err(e) => {
+                span_end(&mut obs, Phase::Prune);
+                return Err(e.into());
+            }
+        };
         if let Some(o) = obs.as_mut() {
             o.add(Counter::NodesPruned, stats.nodes_pruned as u64);
             o.add(Counter::PruneCandidates, stats.candidates as u64);
             o.add(Counter::PruneCollisions, stats.collisions as u64);
         }
         span_end(&mut obs, Phase::Prune);
-        (seed, stats)
-    });
+        Some((seed, stats))
+    } else {
+        None
+    };
     guard.checkpoint()?;
     span_start(&mut obs, Phase::Match);
     let seed = || {
@@ -435,7 +459,7 @@ pub(crate) fn diff_observed<V: NodeValue>(
         Matcher::Fast => {
             match fast_match_seeded_guarded(old, new, options.params, seed(), &guard) {
                 Ok(r) => Ok((r.matching, r.counters)),
-                Err(GuardError::Budget(Budget::LcsCells)) => {
+                Err(MatchError::Guard(GuardError::Budget(Budget::LcsCells))) => {
                     // The degradation ladder: FastMatch ran out of LCS
                     // cells, so rerun the chains through the LCS-free
                     // bounded greedy matcher — a valid (criteria-enforcing)
@@ -448,10 +472,9 @@ pub(crate) fn diff_observed<V: NodeValue>(
                 Err(e) => Err(e.into()),
             }
         }
-        Matcher::Simple => {
-            let r = match_simple(old, new, options.params);
-            Ok((r.matching, r.counters))
-        }
+        Matcher::Simple => match_simple(old, new, options.params)
+            .map(|r| (r.matching, r.counters))
+            .map_err(DiffError::from),
         Matcher::Provided => options
             .provided
             .clone()
@@ -469,7 +492,13 @@ pub(crate) fn diff_observed<V: NodeValue>(
         counters.absorb_prune(stats);
     }
     let rematched = if options.postprocess {
-        postprocess(old, new, options.params, &mut matching)
+        match postprocess(old, new, options.params, &mut matching) {
+            Ok(n) => n,
+            Err(e) => {
+                span_end(&mut obs, Phase::Match);
+                return Err(e.into());
+            }
+        }
     } else {
         0
     };
@@ -727,7 +756,7 @@ mod tests {
     fn hybrid_match_audits_clean() {
         let t1 = doc(r#"(D (P (S "anchor") (S "totally original phrasing here")))"#);
         let t2 = doc(r#"(D (P (S "anchor") (S "completely different wording now")))"#);
-        let h = match_with_optimality(&t1, &t2, MatchParams::default(), 3);
+        let h = match_with_optimality(&t1, &t2, MatchParams::default(), 3).unwrap();
         let report = h.audit.expect("audit defaults on under debug assertions");
         assert!(report.is_clean(), "{report}");
     }

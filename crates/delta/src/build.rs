@@ -246,7 +246,7 @@ mod tests {
     /// End-to-end helper: match, script, delta; then verify both
     /// projections.
     fn delta_for(t1: &Tree<String>, t2: &Tree<String>) -> DeltaTree<String> {
-        let matched = fast_match(t1, t2, MatchParams::default());
+        let matched = fast_match(t1, t2, MatchParams::default()).unwrap();
         let res = edit_script(t1, t2, &matched.matching).unwrap();
         let delta = build_delta_tree(t1, t2, &matched.matching, &res);
         let new = delta.project_new();

@@ -142,7 +142,7 @@ mod tests {
     fn delta_of(t1: &str, t2: &str) -> (Tree<String>, Tree<String>, DeltaTree<String>) {
         let t1 = Tree::parse_sexpr(t1).unwrap();
         let t2 = Tree::parse_sexpr(t2).unwrap();
-        let m = fast_match(&t1, &t2, MatchParams::default());
+        let m = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &m.matching).unwrap();
         let d = crate::build_delta_tree(&t1, &t2, &m.matching, &res);
         (t1, t2, d)

@@ -99,7 +99,7 @@ mod tests {
     fn feed(t1: &str, t2: &str) -> Vec<ChangeRecord<String>> {
         let t1 = Tree::parse_sexpr(t1).unwrap();
         let t2 = Tree::parse_sexpr(t2).unwrap();
-        let m = fast_match(&t1, &t2, MatchParams::default());
+        let m = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &m.matching).unwrap();
         let delta = crate::build_delta_tree(&t1, &t2, &m.matching, &res);
         change_feed(&delta)

@@ -173,7 +173,7 @@ mod tests {
     fn delta(t1: &str, t2: &str) -> DeltaTree<String> {
         let t1 = Tree::parse_sexpr(t1).unwrap();
         let t2 = Tree::parse_sexpr(t2).unwrap();
-        let m = fast_match(&t1, &t2, MatchParams::default());
+        let m = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &m.matching).unwrap();
         crate::build_delta_tree(&t1, &t2, &m.matching, &res)
     }

@@ -230,7 +230,7 @@ mod tests {
     fn markup(old: &str, new: &str) -> String {
         let t1 = parse_latex(old);
         let t2 = parse_latex(new);
-        let m = fast_match(&t1, &t2, MatchParams::default());
+        let m = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &m.matching).unwrap();
         let delta = build_delta_tree(&t1, &t2, &m.matching, &res);
         render_latex(&delta)

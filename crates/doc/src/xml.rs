@@ -318,7 +318,7 @@ mod tests {
             let l = t.label(n);
             l.as_str().starts_with('@').then(|| l.as_str().to_string())
         };
-        let matched = match_keyed_then_content(&old, &new, MatchParams::default(), key);
+        let matched = match_keyed_then_content(&old, &new, MatchParams::default(), key).unwrap();
         let res = edit_script(&old, &new, &matched.matching).unwrap();
         let ops = res.script.op_counts();
         // The cache block moved to the front (1 move) and its ttl changed

@@ -48,16 +48,17 @@ impl CostModel {
 
     /// Cost of one operation. For updates this needs the *old* value, so the
     /// script must be costed against the tree it applies to; see
-    /// [`script_cost`].
+    /// [`script_cost`]. An update costed without its old value is charged
+    /// the full `update_scale` — the worst case `compare` can report.
     pub fn op_cost<V: NodeValue>(&self, op: &EditOp<V>, old_value: Option<&V>) -> f64 {
         match op {
             EditOp::Insert { .. } => self.insert,
             EditOp::Delete { .. } => self.delete,
             EditOp::Move { .. } => self.move_subtree,
-            EditOp::Update { value, .. } => {
-                let old = old_value.expect("update cost needs the old value");
-                self.update_scale * old.compare(value)
-            }
+            EditOp::Update { value, .. } => match old_value {
+                Some(old) => self.update_scale * old.compare(value),
+                None => self.update_scale,
+            },
         }
     }
 }

@@ -1,3 +1,5 @@
+//! hierdiff-analyze: hot-module
+//!
 //! Algorithm *EditScript* — the Minimum Conforming Edit Script (Figures 8
 //! and 9 of the paper).
 //!

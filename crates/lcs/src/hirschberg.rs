@@ -69,11 +69,18 @@ fn solve<T, U>(
     let (a1, a2) = a.split_at(mid);
     let fwd = last_row(a1, b, equal);
     let rev = last_row_rev(a2, b, equal);
-    // Split b at the j maximizing fwd[j] + rev[m - j].
+    // Split b at the j maximizing fwd[j] + rev[m - j] (ties keep the
+    // rightmost j, matching `Iterator::max_by_key` semantics).
     let m = b.len();
-    let split = (0..=m)
-        .max_by_key(|&j| fwd[j] + rev[m - j])
-        .expect("range 0..=m non-empty");
+    let mut split = 0;
+    let mut best = fwd[0] + rev[m];
+    for j in 1..=m {
+        let score = fwd[j] + rev[m - j];
+        if score >= best {
+            best = score;
+            split = j;
+        }
+    }
     let (b1, b2) = b.split_at(split);
     solve(a1, b1, a_off, b_off, equal, out);
     solve(a2, b2, a_off + mid, b_off + split, equal, out);

@@ -1,3 +1,5 @@
+//! hierdiff-analyze: hot-module
+//!
 //! Myers' O(ND) greedy LCS algorithm \[Mye86\], the paper's choice
 //! (Section 4.2): time O((N)·D) where `N = |a| + |b|` and
 //! `D = N − 2·|LCS|` is the length of the shortest edit script. Near-equal

@@ -5,10 +5,11 @@
 //! [`bounded_greedy_match`], the LCS-free bounded matcher that serves as
 //! the degraded tier when FastMatch exhausts its LCS-cell budget.
 
-use hierdiff_guard::{Guard, GuardError};
+use hierdiff_guard::Guard;
 use hierdiff_tree::{NodeId, NodeValue, Tree};
 
 use crate::criteria::{MatchCtx, MatchParams};
+use crate::error::MatchError;
 use crate::schema::LabelClasses;
 use crate::simple::{label_chains, MatchResult};
 
@@ -45,7 +46,7 @@ pub fn bounded_greedy_match<V: NodeValue>(
     seed: hierdiff_edit::Matching,
     guard: &Guard,
     window: usize,
-) -> Result<MatchResult, GuardError> {
+) -> Result<MatchResult, MatchError> {
     let classes = LabelClasses::classify(t1, t2);
     let mut ctx = MatchCtx::new(t1, t2, params, &classes);
     let mut m = seed;
@@ -96,9 +97,8 @@ pub fn bounded_greedy_match<V: NodeValue>(
                         ctx.equal_internal(x, y, &m)
                     };
                     if eq {
-                        if m.insert(x, y).is_err() {
-                            unreachable!("both sides checked unmatched");
-                        }
+                        m.insert(x, y)
+                            .map_err(|_| MatchError::Internal("greedy pair already matched"))?;
                         break;
                     }
                 }
@@ -175,7 +175,7 @@ pub fn e_over_d(i: &BoundInputs) -> f64 {
 mod tests {
     use super::*;
     use crate::fast_match;
-    use hierdiff_guard::{Budget, Budgets, CancelToken};
+    use hierdiff_guard::{Budget, Budgets, CancelToken, GuardError};
 
     fn doc(s: &str) -> Tree<String> {
         Tree::parse_sexpr(s).unwrap()
@@ -196,7 +196,7 @@ mod tests {
         .unwrap();
         assert_eq!(res.matching.len(), t1.len());
         // Parity with FastMatch on an in-order input.
-        let fast = fast_match(&t1, &t2, MatchParams::default());
+        let fast = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         assert_eq!(res.matching.len(), fast.matching.len());
     }
 
@@ -281,7 +281,7 @@ mod tests {
             64,
         )
         .unwrap_err();
-        assert_eq!(err, GuardError::Cancelled);
+        assert_eq!(err, MatchError::Guard(GuardError::Cancelled));
     }
 
     #[test]
@@ -293,7 +293,7 @@ mod tests {
         let t2 = doc(&format!("(D {})", leaves2.join(" ")));
         let guard = Guard::new(Budgets::unlimited().with_max_lcs_cells(20), None);
         let err = crate::fast_match_guarded(&t1, &t2, MatchParams::default(), &guard).unwrap_err();
-        assert_eq!(err, GuardError::Budget(Budget::LcsCells));
+        assert_eq!(err, MatchError::Guard(GuardError::Budget(Budget::LcsCells)));
         // The degraded tier completes on the same input under the same
         // guard (no leaves satisfy Criterion 1 here, so the matching is
         // legitimately empty — the point is it returns instead of failing).

@@ -17,6 +17,7 @@ use hierdiff_edit::Matching;
 use hierdiff_tree::{NodeValue, Tree};
 
 use crate::criteria::MatchParams;
+use crate::error::MatchError;
 use crate::fast::fast_match_seeded;
 use crate::prune::prune_identical;
 use crate::simple::MatchResult;
@@ -26,8 +27,11 @@ use crate::simple::MatchResult;
 /// matching (a matched subtree's interior is paired wholesale). Use
 /// [`crate::prune_identical`] directly to also receive the
 /// [`PruneStats`](crate::PruneStats).
-pub fn prematch_unique_identical<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>) -> Matching {
-    prune_identical(t1, t2).0
+pub fn prematch_unique_identical<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+) -> Result<Matching, MatchError> {
+    Ok(prune_identical(t1, t2)?.0)
 }
 
 /// [`fast_match`](crate::fast_match) with the identical-subtree pruning
@@ -40,11 +44,11 @@ pub fn fast_match_accelerated<V: NodeValue>(
     t1: &Tree<V>,
     t2: &Tree<V>,
     params: MatchParams,
-) -> MatchResult {
-    let (seed, stats) = prune_identical(t1, t2);
-    let mut result = fast_match_seeded(t1, t2, params, seed);
+) -> Result<MatchResult, MatchError> {
+    let (seed, stats) = prune_identical(t1, t2)?;
+    let mut result = fast_match_seeded(t1, t2, params, seed)?;
     result.counters.absorb_prune(&stats);
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -60,7 +64,7 @@ mod tests {
     fn identical_trees_prematch_entirely() {
         let t1 = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
         let t2 = t1.clone();
-        let seed = prematch_unique_identical(&t1, &t2);
+        let seed = prematch_unique_identical(&t1, &t2).unwrap();
         assert_eq!(seed.len(), t1.len(), "whole tree pre-matched");
     }
 
@@ -68,7 +72,7 @@ mod tests {
     fn changed_regions_left_unmatched() {
         let t1 = doc(r#"(D (P (S "a") (S "b")) (P (S "old")))"#);
         let t2 = doc(r#"(D (P (S "a") (S "b")) (P (S "new")))"#);
-        let seed = prematch_unique_identical(&t1, &t2);
+        let seed = prematch_unique_identical(&t1, &t2).unwrap();
         // The (a b) paragraph subtree pre-matches (3 nodes); the root and
         // the changed paragraph do not.
         let p1 = t1.children(t1.root())[0];
@@ -86,7 +90,7 @@ mod tests {
         // keeps the roots from wholesale-matching.
         let t1 = doc(r#"(D (P (S "dup")) (P (S "dup")) (S "anchor") (S "old"))"#);
         let t2 = doc(r#"(D (P (S "dup")) (P (S "dup")) (S "anchor") (S "new"))"#);
-        let seed = prematch_unique_identical(&t1, &t2);
+        let seed = prematch_unique_identical(&t1, &t2).unwrap();
         let p1 = t1.children(t1.root())[0];
         assert!(!seed.is_matched1(p1), "ambiguous subtree pre-matched");
         // The unique anchor does pre-match.
@@ -101,8 +105,8 @@ mod tests {
         for seed_n in 0..6u64 {
             let t1 = generate_document(4_400 + seed_n, &profile);
             let (t2, _) = perturb(&t1, 4_500 + seed_n, 10, &EditMix::default(), &profile);
-            let plain = fast_match(&t1, &t2, MatchParams::default());
-            let fast = fast_match_accelerated(&t1, &t2, MatchParams::default());
+            let plain = fast_match(&t1, &t2, MatchParams::default()).unwrap();
+            let fast = fast_match_accelerated(&t1, &t2, MatchParams::default()).unwrap();
             assert_eq!(
                 plain.matching.len(),
                 fast.matching.len(),
@@ -139,7 +143,7 @@ mod tests {
         // should happen (at the root), covering everything exactly once.
         let t1 = doc(r#"(D (P (S "x") (S "y")) (Q (S "z")))"#);
         let t2 = t1.clone();
-        let seed = prematch_unique_identical(&t1, &t2);
+        let seed = prematch_unique_identical(&t1, &t2).unwrap();
         assert_eq!(seed.len(), t1.len());
         for (a, b) in seed.iter() {
             assert_eq!(t1.label(a), t2.label(b));

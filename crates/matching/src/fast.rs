@@ -1,3 +1,5 @@
+//! hierdiff-analyze: hot-module
+//!
 //! Algorithm *FastMatch* (Figure 11): the paper's fast matcher,
 //! `O((ne + e²)c + 2lne)` where `e` is the weighted edit distance.
 //!
@@ -8,16 +10,25 @@
 //! O(ND) LCS makes the common near-identical case cheap.
 
 use hierdiff_edit::Matching;
-use hierdiff_guard::{Guard, GuardError};
+use hierdiff_guard::Guard;
 use hierdiff_lcs::{lcs_counted_guarded, LcsStats};
 use hierdiff_tree::{NodeId, NodeValue, Tree};
 
 use crate::criteria::{MatchCtx, MatchParams};
+use crate::error::MatchError;
 use crate::schema::LabelClasses;
 use crate::simple::{label_chains, MatchResult};
 
 /// Algorithm *FastMatch* (Figure 11).
-pub fn fast_match<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>, params: MatchParams) -> MatchResult {
+///
+/// Runs ungoverned; the only possible error is [`MatchError::Internal`]
+/// (an invariant bug), so callers that trust the matcher may treat the
+/// result as infallible.
+pub fn fast_match<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    params: MatchParams,
+) -> Result<MatchResult, MatchError> {
     fast_match_seeded(t1, t2, params, Matching::new())
 }
 
@@ -31,26 +42,28 @@ pub fn fast_match_seeded<V: NodeValue>(
     t2: &Tree<V>,
     params: MatchParams,
     seed: Matching,
-) -> MatchResult {
-    match fast_match_governed(t1, t2, params, seed, &Guard::unlimited()) {
-        Ok(result) => result,
-        Err(_) => unreachable!("an unlimited guard cannot trip"),
-    }
+) -> Result<MatchResult, MatchError> {
+    fast_match_governed(t1, t2, params, seed, &Guard::unlimited()).map_err(|e| match e {
+        // An unlimited guard cannot trip; if it somehow does, that is an
+        // invariant violation, not a governance outcome.
+        MatchError::Guard(_) => MatchError::Internal("unlimited guard tripped"),
+        other => other,
+    })
 }
 
 /// Algorithm *FastMatch* under resource governance: `guard` is ticked once
 /// per chain scan and (strided) per quadratic-fallback candidate, and every
 /// per-chain LCS runs against the guard's `max_lcs_cells` budget.
 ///
-/// On `Err(GuardError::Budget(Budget::LcsCells))` the caller should fall
-/// back to [`crate::bounded_greedy_match`], the LCS-free degraded tier;
-/// cancellation and deadline errors are terminal.
+/// On `Err(MatchError::Guard(GuardError::Budget(Budget::LcsCells)))` the
+/// caller should fall back to [`crate::bounded_greedy_match`], the LCS-free
+/// degraded tier; cancellation and deadline errors are terminal.
 pub fn fast_match_guarded<V: NodeValue>(
     t1: &Tree<V>,
     t2: &Tree<V>,
     params: MatchParams,
     guard: &Guard,
-) -> Result<MatchResult, GuardError> {
+) -> Result<MatchResult, MatchError> {
     fast_match_governed(t1, t2, params, Matching::new(), guard)
 }
 
@@ -62,7 +75,7 @@ pub fn fast_match_seeded_guarded<V: NodeValue>(
     params: MatchParams,
     seed: Matching,
     guard: &Guard,
-) -> Result<MatchResult, GuardError> {
+) -> Result<MatchResult, MatchError> {
     fast_match_governed(t1, t2, params, seed, guard)
 }
 
@@ -72,7 +85,7 @@ fn fast_match_governed<V: NodeValue>(
     params: MatchParams,
     seed: Matching,
     guard: &Guard,
-) -> Result<MatchResult, GuardError> {
+) -> Result<MatchResult, MatchError> {
     // The setup passes are each O(N); checkpoints between them bound how
     // long a fired cancel token or expired deadline can go unnoticed on
     // very large inputs (the per-label loops below tick per element).
@@ -87,6 +100,11 @@ fn fast_match_governed<V: NodeValue>(
     guard.checkpoint()?;
 
     let empty: Vec<NodeId> = Vec::new();
+    // The filtered-chain buffers live outside the per-label loop: one
+    // allocation pair for the whole run (hot-loop discipline — the loop
+    // body itself must stay allocation-free).
+    let mut s1: Vec<NodeId> = Vec::new();
+    let mut s2: Vec<NodeId> = Vec::new();
     for (phase, phase_labels) in [&classes.leaf_labels, &classes.internal_labels]
         .into_iter()
         .enumerate()
@@ -99,14 +117,14 @@ fn fast_match_governed<V: NodeValue>(
             // but keeps Myers' O(ND) fast when a pre-pass seeded most of the
             // chain: a mostly-matched chain otherwise has no common elements
             // left, driving D to l1+l2 and the LCS to quadratic.)
-            let mut s1: Vec<NodeId> = Vec::new();
+            s1.clear();
             for &x in chains1.get(&label).unwrap_or(&empty) {
                 guard.tick()?;
                 if !m.is_matched1(x) {
                     s1.push(x);
                 }
             }
-            let mut s2: Vec<NodeId> = Vec::new();
+            s2.clear();
             for &y in chains2.get(&label).unwrap_or(&empty) {
                 guard.tick()?;
                 if !m.is_matched2(y) {
@@ -140,10 +158,11 @@ fn fast_match_governed<V: NodeValue>(
             };
             ctx.counters.lcs_cells += lcs_stats.cells;
             let pairs = lcs_outcome?;
-            // 2d. Adopt the LCS pairs.
+            // 2d. Adopt the LCS pairs (checked unmatched, strictly
+            // increasing — a rejected insert is an invariant bug).
             for &(i, j) in &pairs {
                 m.insert(s1[i], s2[j])
-                    .expect("LCS pairs checked unmatched, strictly increasing");
+                    .map_err(|_| MatchError::Internal("LCS pair already matched"))?;
             }
             // 2e. Pair remaining unmatched nodes as in Algorithm Match.
             for &x in &s1 {
@@ -161,7 +180,8 @@ fn fast_match_governed<V: NodeValue>(
                         ctx.equal_internal(x, y, &m)
                     };
                     if eq {
-                        m.insert(x, y).expect("both sides unmatched");
+                        m.insert(x, y)
+                            .map_err(|_| MatchError::Internal("fallback pair already matched"))?;
                         break;
                     }
                 }
@@ -189,7 +209,7 @@ mod tests {
     fn identical_trees_fully_matched() {
         let t1 = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
         let t2 = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
-        let res = fast_match(&t1, &t2, MatchParams::default());
+        let res = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         assert_eq!(res.matching.len(), t1.len());
     }
 
@@ -197,8 +217,8 @@ mod tests {
     fn agrees_with_match_on_running_example() {
         let t1 = doc(r#"(D (P (S "a")) (P (S "b") (S "c") (S "e")) (P (S "d")))"#);
         let t2 = doc(r#"(D (P (S "a")) (P (S "d")) (P (S "b") (S "e") (S "c")))"#);
-        let fast = fast_match(&t1, &t2, MatchParams::default());
-        let simple = match_simple(&t1, &t2, MatchParams::default());
+        let fast = fast_match(&t1, &t2, MatchParams::default()).unwrap();
+        let simple = match_simple(&t1, &t2, MatchParams::default()).unwrap();
         assert_eq!(fast.matching.len(), simple.matching.len());
         for (x, y) in simple.matching.iter() {
             assert!(
@@ -217,8 +237,8 @@ mod tests {
         let mut body2 = body.clone();
         body2[20] = "(S \"changed sentence\")".to_string();
         let t2 = doc(&format!("(D (P {}))", body2.join(" ")));
-        let fast = fast_match(&t1, &t2, MatchParams::default());
-        let simple = match_simple(&t1, &t2, MatchParams::default());
+        let fast = fast_match(&t1, &t2, MatchParams::default()).unwrap();
+        let simple = match_simple(&t1, &t2, MatchParams::default()).unwrap();
         assert!(
             fast.counters.leaf_compares < simple.counters.leaf_compares,
             "fast {} !< simple {}",
@@ -233,7 +253,7 @@ mod tests {
     fn work_counters_populated() {
         let t1 = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
         let t2 = doc(r#"(D (P (S "a") (S "b")) (P (S "c") (S "d")))"#);
-        let res = fast_match(&t1, &t2, MatchParams::default());
+        let res = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let c = res.counters;
         // One S chain, one P chain, one D chain → 3 scans across phases.
         assert_eq!(c.chain_scans, 3);
@@ -243,7 +263,12 @@ mod tests {
             "every leaf compare is a candidate evaluation"
         );
         // Determinism: identical inputs give identical counters.
-        assert_eq!(fast_match(&t1, &t2, MatchParams::default()).counters, c);
+        assert_eq!(
+            fast_match(&t1, &t2, MatchParams::default())
+                .unwrap()
+                .counters,
+            c
+        );
     }
 
     #[test]
@@ -253,7 +278,7 @@ mod tests {
         // matching is order-independent).
         let t1 = doc(r#"(D (S "a") (S "b") (S "c"))"#);
         let t2 = doc(r#"(D (S "c") (S "b") (S "a"))"#);
-        let res = fast_match(&t1, &t2, MatchParams::default());
+        let res = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         assert_eq!(res.matching.len(), 4);
         for x in t1.leaves() {
             let y = res.matching.partner1(x).unwrap();
@@ -265,7 +290,7 @@ mod tests {
     fn moved_subtree_still_matches() {
         let t1 = doc(r#"(D (Sec (P (S "a") (S "b"))) (Sec (P (S "c"))))"#);
         let t2 = doc(r#"(D (Sec (P (S "c"))) (Sec (P (S "a") (S "b"))))"#);
-        let res = fast_match(&t1, &t2, MatchParams::default());
+        let res = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         // Everything matches: 3 sentences, 2 paragraphs, 2 sections, root.
         assert_eq!(res.matching.len(), 8);
         let sec1 = t1.children(t1.root())[0];
@@ -278,7 +303,7 @@ mod tests {
         let t1 = doc(r#"(D (S "a"))"#);
         let t2 = doc(r#"(D (P (S "a")))"#);
         // P exists only in t2; S chain matches; D roots match (1/1 common).
-        let res = fast_match(&t1, &t2, MatchParams::default());
+        let res = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         assert_eq!(res.matching.len(), 2);
     }
 
@@ -311,8 +336,8 @@ mod tests {
             let t1 = doc(&mk(&mut rng, 0));
             let offset = rng.gen_range(0..6);
             let t2 = doc(&mk(&mut rng, offset));
-            let fast = fast_match(&t1, &t2, MatchParams::default());
-            let simple = match_simple(&t1, &t2, MatchParams::default());
+            let fast = fast_match(&t1, &t2, MatchParams::default()).unwrap();
+            let simple = match_simple(&t1, &t2, MatchParams::default()).unwrap();
             proptest::prop_assert_eq!(fast.matching.len(), simple.matching.len());
             for (x, y) in simple.matching.iter() {
                 proptest::prop_assert!(fast.matching.contains(x, y));

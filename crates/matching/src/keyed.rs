@@ -17,6 +17,7 @@ use hierdiff_edit::Matching;
 use hierdiff_tree::{NodeId, NodeValue, Tree};
 
 use crate::criteria::MatchParams;
+use crate::error::MatchError;
 use crate::fast::fast_match_seeded;
 use crate::simple::MatchResult;
 
@@ -28,7 +29,7 @@ pub fn match_by_key<V: NodeValue, K: Eq + Hash>(
     t1: &Tree<V>,
     t2: &Tree<V>,
     mut key: impl FnMut(&Tree<V>, NodeId) -> Option<K>,
-) -> Matching {
+) -> Result<Matching, MatchError> {
     let mut by_key: HashMap<(hierdiff_tree::Label, K), NodeId> = HashMap::new();
     for x in t1.preorder() {
         if let Some(k) = key(t1, x) {
@@ -42,12 +43,13 @@ pub fn match_by_key<V: NodeValue, K: Eq + Hash>(
                 // First-come-first-served: a key reused in T2 only binds
                 // once, and a T1 node already claimed stays claimed.
                 if !m.is_matched1(x) && !m.is_matched2(y) {
-                    m.insert(x, y).expect("both sides checked");
+                    m.insert(x, y)
+                        .map_err(|_| MatchError::Internal("keyed pair already matched"))?;
                 }
             }
         }
     }
-    m
+    Ok(m)
 }
 
 /// Mixed-mode matching: pair keyed nodes first (cheap, exact), then run
@@ -61,8 +63,8 @@ pub fn match_keyed_then_content<V: NodeValue, K: Eq + Hash>(
     t2: &Tree<V>,
     params: MatchParams,
     key: impl FnMut(&Tree<V>, NodeId) -> Option<K>,
-) -> MatchResult {
-    let seeded = match_by_key(t1, t2, key);
+) -> Result<MatchResult, MatchError> {
+    let seeded = match_by_key(t1, t2, key)?;
     fast_match_seeded(t1, t2, params, seeded)
 }
 
@@ -82,7 +84,7 @@ mod tests {
     fn keys_match_across_positions() {
         let t1 = Tree::parse_sexpr(r#"(D (R "id=a x") (R "id=b y") (R "id=c z"))"#).unwrap();
         let t2 = Tree::parse_sexpr(r#"(D (R "id=c z") (R "id=a x2") (R "id=b y"))"#).unwrap();
-        let m = match_by_key(&t1, &t2, key_of);
+        let m = match_by_key(&t1, &t2, key_of).unwrap();
         assert_eq!(m.len(), 3);
         // "id=a" pairs despite its payload changing and its position moving.
         let a1 = t1.children(t1.root())[0];
@@ -94,7 +96,7 @@ mod tests {
     fn labels_must_agree() {
         let t1 = Tree::parse_sexpr(r#"(D (R "id=a"))"#).unwrap();
         let t2 = Tree::parse_sexpr(r#"(D (Q "id=a"))"#).unwrap();
-        let m = match_by_key(&t1, &t2, key_of);
+        let m = match_by_key(&t1, &t2, key_of).unwrap();
         assert_eq!(m.len(), 0);
     }
 
@@ -102,7 +104,7 @@ mod tests {
     fn duplicate_keys_bind_once() {
         let t1 = Tree::parse_sexpr(r#"(D (R "id=a 1") (R "id=a 2"))"#).unwrap();
         let t2 = Tree::parse_sexpr(r#"(D (R "id=a 3") (R "id=a 4"))"#).unwrap();
-        let m = match_by_key(&t1, &t2, key_of);
+        let m = match_by_key(&t1, &t2, key_of).unwrap();
         assert_eq!(m.len(), 1);
         assert_eq!(
             m.partner1(t1.children(t1.root())[0]),
@@ -119,9 +121,9 @@ mod tests {
             r#"(D (S "another line") (R "id=a rec changed") (S "free text sentence"))"#,
         )
         .unwrap();
-        let keyed = match_by_key(&t1, &t2, key_of);
+        let keyed = match_by_key(&t1, &t2, key_of).unwrap();
         assert_eq!(keyed.len(), 1);
-        let mixed = match_keyed_then_content(&t1, &t2, MatchParams::default(), key_of);
+        let mixed = match_keyed_then_content(&t1, &t2, MatchParams::default(), key_of).unwrap();
         // Keyed record + both sentences + the root.
         assert_eq!(mixed.matching.len(), 4);
         // The keyed pair survives even though its values differ beyond the
@@ -137,7 +139,7 @@ mod tests {
         // *records* correspond even though their texts were swapped.
         let t1 = Tree::parse_sexpr(r#"(D (R "id=a alpha") (R "id=b beta"))"#).unwrap();
         let t2 = Tree::parse_sexpr(r#"(D (R "id=a beta") (R "id=b alpha"))"#).unwrap();
-        let mixed = match_keyed_then_content(&t1, &t2, MatchParams::default(), key_of);
+        let mixed = match_keyed_then_content(&t1, &t2, MatchParams::default(), key_of).unwrap();
         let a1 = t1.children(t1.root())[0];
         let a2 = t2.children(t2.root())[0];
         assert_eq!(mixed.matching.partner1(a1), Some(a2), "key beats content");

@@ -24,7 +24,7 @@
 //!
 //! let t1 = Tree::parse_sexpr(r#"(D (P (S "a") (S "b")) (P (S "c")))"#).unwrap();
 //! let t2 = Tree::parse_sexpr(r#"(D (P (S "c")) (P (S "a") (S "b")))"#).unwrap();
-//! let matched = fast_match(&t1, &t2, MatchParams::default());
+//! let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
 //! let result = edit_script(&t1, &t2, &matched.matching).unwrap();
 //! assert_eq!(result.script.len(), 1); // the two paragraphs swapped: one move
 //! ```
@@ -34,6 +34,7 @@
 
 mod bound;
 mod criteria;
+mod error;
 mod exact;
 mod fast;
 mod keyed;
@@ -48,6 +49,7 @@ pub use bound::{
     bounded_greedy_match, e_over_d, fastmatch_bound, match_bound, Bound, BoundInputs, GREEDY_WINDOW,
 };
 pub use criteria::{LeafRanges, MatchCounters, MatchCtx, MatchParams};
+pub use error::MatchError;
 pub use exact::{fast_match_accelerated, prematch_unique_identical};
 pub use fast::{fast_match, fast_match_guarded, fast_match_seeded, fast_match_seeded_guarded};
 pub use keyed::{match_by_key, match_keyed_then_content};

@@ -13,6 +13,7 @@ use hierdiff_edit::Matching;
 use hierdiff_tree::{NodeValue, Tree};
 
 use crate::criteria::{MatchCtx, MatchParams};
+use crate::error::MatchError;
 use crate::schema::LabelClasses;
 
 /// Runs the post-processing pass over `matching`, mutating it in place.
@@ -31,7 +32,7 @@ pub fn postprocess<V: NodeValue>(
     t2: &Tree<V>,
     params: MatchParams,
     matching: &mut Matching,
-) -> usize {
+) -> Result<usize, MatchError> {
     let classes = LabelClasses::classify(t1, t2);
     let mut ctx = MatchCtx::new(t1, t2, params, &classes);
     let mut rematched = 0;
@@ -72,12 +73,14 @@ pub fn postprocess<V: NodeValue>(
             if let Some(c2) = candidate {
                 matching.remove1(c);
                 matching.remove2(c2);
-                matching.insert(c, c2).expect("both sides freed above");
+                matching
+                    .insert(c, c2)
+                    .map_err(|_| MatchError::Internal("rematch pair not freed"))?;
                 rematched += 1;
             }
         }
     }
-    rematched
+    Ok(rematched)
 }
 
 #[cfg(test)]
@@ -95,8 +98,8 @@ mod tests {
     fn noop_when_matching_is_consistent() {
         let t1 = doc(r#"(D (P (S "a") (S "b")))"#);
         let t2 = doc(r#"(D (P (S "a") (S "b")))"#);
-        let mut res = fast_match(&t1, &t2, MatchParams::default());
-        let n = postprocess(&t1, &t2, MatchParams::default(), &mut res.matching);
+        let mut res = fast_match(&t1, &t2, MatchParams::default()).unwrap();
+        let n = postprocess(&t1, &t2, MatchParams::default(), &mut res.matching).unwrap();
         assert_eq!(n, 0);
     }
 
@@ -115,10 +118,10 @@ mod tests {
         // matcher pair "dup"s positionally (first-to-first), crossing the
         // paragraph correspondence.
         let t2 = doc(r#"(D (P (S "dup") (S "p2a") (S "p2b")) (P (S "dup") (S "p1a") (S "p1b")))"#);
-        let mut res = fast_match(&t1, &t2, MatchParams::default());
+        let mut res = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let m0 = res.matching.clone();
         let before = edit_script(&t1, &t2, &m0).unwrap();
-        let n = postprocess(&t1, &t2, MatchParams::default(), &mut res.matching);
+        let n = postprocess(&t1, &t2, MatchParams::default(), &mut res.matching).unwrap();
         let after = edit_script(&t1, &t2, &res.matching).unwrap();
         assert!(n > 0, "expected at least one rematch");
         assert!(
@@ -141,9 +144,9 @@ mod tests {
         // y's only same-label child is already matched: nothing to do.
         let t1 = doc(r#"(D (P (S "x") (S "q")))"#);
         let t2 = doc(r#"(D (P (S "x") (S "q")))"#);
-        let mut res = fast_match(&t1, &t2, MatchParams::default());
+        let mut res = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let len_before = res.matching.len();
-        let n = postprocess(&t1, &t2, MatchParams::default(), &mut res.matching);
+        let n = postprocess(&t1, &t2, MatchParams::default(), &mut res.matching).unwrap();
         assert_eq!(n, 0);
         assert_eq!(res.matching.len(), len_before);
     }
@@ -152,8 +155,8 @@ mod tests {
     fn matching_stays_one_to_one() {
         let t1 = doc(r#"(D (P (S "dup") (S "a1") (S "a2")) (P (S "dup") (S "b1") (S "b2")))"#);
         let t2 = doc(r#"(D (P (S "dup") (S "b1") (S "b2")) (P (S "dup") (S "a1") (S "a2")))"#);
-        let mut res = fast_match(&t1, &t2, MatchParams::default());
-        postprocess(&t1, &t2, MatchParams::default(), &mut res.matching);
+        let mut res = fast_match(&t1, &t2, MatchParams::default()).unwrap();
+        postprocess(&t1, &t2, MatchParams::default(), &mut res.matching).unwrap();
         // Bijectivity is structurally enforced; verify coverage sanity.
         for (x, y) in res.matching.iter() {
             assert_eq!(res.matching.partner2(y), Some(x));

@@ -20,6 +20,8 @@
 use hierdiff_edit::Matching;
 use hierdiff_tree::{isomorphic_subtrees, FingerprintIndex, NodeValue, Tree};
 
+use crate::error::MatchError;
+
 /// What the pruning pre-pass did, for instrumentation
 /// ([`MatchCounters::absorb_prune`](crate::MatchCounters::absorb_prune)).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -42,7 +44,10 @@ pub struct PruneStats {
 /// tree and isomorphism verification confirms the pair. Scanning `t1`'s
 /// nodes tallest-first makes accepted subtrees maximal: once a subtree is
 /// matched, its whole interior is paired node-by-node and skipped.
-pub fn prune_identical<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>) -> (Matching, PruneStats) {
+pub fn prune_identical<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+) -> Result<(Matching, PruneStats), MatchError> {
     let idx1 = FingerprintIndex::build(t1);
     let idx2 = FingerprintIndex::build(t2);
     prune_identical_indexed(t1, &idx1, t2, &idx2)
@@ -56,7 +61,7 @@ pub fn prune_identical_indexed<V: NodeValue>(
     idx1: &FingerprintIndex,
     t2: &Tree<V>,
     idx2: &FingerprintIndex,
-) -> (Matching, PruneStats) {
+) -> Result<(Matching, PruneStats), MatchError> {
     let mut m = Matching::with_capacity(t1.arena_len(), t2.arena_len());
     let mut stats = PruneStats::default();
     for &x in idx1.tallest_first() {
@@ -83,13 +88,14 @@ pub fn prune_identical_indexed<V: NodeValue>(
         let ys = hierdiff_tree::traverse::preorder_of(t2, y);
         let mut paired = 0usize;
         for (a, b) in xs.zip(ys) {
-            m.insert(a, b).expect("disjoint subtrees, fresh pairs");
+            m.insert(a, b)
+                .map_err(|_| MatchError::Internal("pruned subtree pair already matched"))?;
             paired += 1;
         }
         stats.subtrees_pruned += 1;
         stats.nodes_pruned += paired;
     }
-    (m, stats)
+    Ok((m, stats))
 }
 
 #[cfg(test)]
@@ -104,7 +110,7 @@ mod tests {
     fn identical_trees_prune_to_one_subtree() {
         let t1 = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
         let t2 = t1.clone();
-        let (m, stats) = prune_identical(&t1, &t2);
+        let (m, stats) = prune_identical(&t1, &t2).unwrap();
         assert_eq!(m.len(), t1.len());
         assert_eq!(stats.subtrees_pruned, 1, "one maximal subtree: the root");
         assert_eq!(stats.nodes_pruned, t1.len());
@@ -118,7 +124,7 @@ mod tests {
         // subtree, not as three separate nodes.
         let t1 = doc(r#"(D (P (S "a") (S "b")) (S "old"))"#);
         let t2 = doc(r#"(D (P (S "a") (S "b")) (S "new"))"#);
-        let (m, stats) = prune_identical(&t1, &t2);
+        let (m, stats) = prune_identical(&t1, &t2).unwrap();
         let p = t1.children(t1.root())[0];
         assert!(m.is_matched1(p));
         assert_eq!(stats.subtrees_pruned, 1);
@@ -132,7 +138,7 @@ mod tests {
         // skipped. The unique anchor still prunes.
         let t1 = doc(r#"(D (S "dup") (S "dup") (S "twin") (S "anchor") (S "x"))"#);
         let t2 = doc(r#"(D (S "dup") (S "twin") (S "twin") (S "anchor") (S "y"))"#);
-        let (m, stats) = prune_identical(&t1, &t2);
+        let (m, stats) = prune_identical(&t1, &t2).unwrap();
         let kids1 = t1.children(t1.root());
         assert!(!m.is_matched1(kids1[0]), "dup ambiguous in t1");
         assert!(!m.is_matched1(kids1[1]), "dup ambiguous in t1");
@@ -145,7 +151,7 @@ mod tests {
     fn pruned_pairs_are_isomorphic_and_consistent() {
         let t1 = doc(r#"(D (Sec (P (S "k") (S "l"))) (Sec (P (S "m"))) (S "q"))"#);
         let t2 = doc(r#"(D (Sec (P (S "m"))) (Sec (P (S "k") (S "l"))) (S "r"))"#);
-        let (m, stats) = prune_identical(&t1, &t2);
+        let (m, stats) = prune_identical(&t1, &t2).unwrap();
         assert!(stats.nodes_pruned >= 7, "both sections pruned despite move");
         for (a, b) in m.iter() {
             assert_eq!(t1.label(a), t2.label(b));
@@ -161,7 +167,7 @@ mod tests {
         let idx1 = hierdiff_tree::FingerprintIndex::build(&t1);
         for t2 in [&t2a, &t2b] {
             let idx2 = hierdiff_tree::FingerprintIndex::build(t2);
-            let (m, _) = prune_identical_indexed(&t1, &idx1, t2, &idx2);
+            let (m, _) = prune_identical_indexed(&t1, &idx1, t2, &idx2).unwrap();
             let p = t1.children(t1.root())[0];
             assert!(m.is_matched1(p));
         }
@@ -171,7 +177,7 @@ mod tests {
     fn empty_stats_on_disjoint_trees() {
         let t1 = doc(r#"(D (S "a"))"#);
         let t2 = doc(r#"(E (S "b"))"#);
-        let (m, stats) = prune_identical(&t1, &t2);
+        let (m, stats) = prune_identical(&t1, &t2).unwrap();
         assert_eq!(m.len(), 0);
         assert_eq!(stats, PruneStats::default());
     }

@@ -17,6 +17,8 @@ use std::fmt;
 
 use hierdiff_tree::{Label, NodeValue, Tree};
 
+use crate::error::MatchError;
+
 /// Classification of the labels appearing in a tree pair, with the
 /// bottom-up processing order used by Algorithms *Match* and *FastMatch*.
 #[derive(Clone, Debug)]
@@ -113,8 +115,9 @@ impl std::error::Error for LabelCycle {}
 
 /// Checks the acyclic-labels condition over the parent→child label edges of
 /// both trees; on success returns a topological order of the labels (most
-/// deeply nestable first — a valid `<ₗ`).
-pub fn check_acyclic<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>) -> Result<Vec<Label>, LabelCycle> {
+/// deeply nestable first — a valid `<ₗ`). A violation surfaces as
+/// [`MatchError::Cycle`] carrying the offending [`LabelCycle`].
+pub fn check_acyclic<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>) -> Result<Vec<Label>, MatchError> {
     // Build the "child-label under parent-label" edge set.
     let mut edges: HashMap<Label, Vec<Label>> = HashMap::new(); // parent -> children
     let mut labels: Vec<Label> = Vec::new();
@@ -134,7 +137,7 @@ pub fn check_acyclic<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>) -> Result<Vec<Lab
                     }
                 } else {
                     // A label nested under itself is a 1-cycle.
-                    return Err(LabelCycle { labels: vec![l, l] });
+                    return Err(MatchError::Cycle(LabelCycle { labels: vec![l, l] }));
                 }
             }
         }
@@ -155,17 +158,22 @@ pub fn check_acyclic<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>) -> Result<Vec<Lab
         state: &mut HashMap<Label, State>,
         order: &mut Vec<Label>,
         path: &mut Vec<Label>,
-    ) -> Result<(), LabelCycle> {
+    ) -> Result<(), MatchError> {
         state.insert(l, State::Gray);
         path.push(l);
         for &c in edges.get(&l).map(Vec::as_slice).unwrap_or(&[]) {
             match state[&c] {
                 State::White => visit(c, edges, state, order, path)?,
                 State::Gray => {
-                    let start = path.iter().position(|&p| p == c).expect("gray on path");
+                    // A gray node is by construction on the DFS path; its
+                    // absence would be an invariant bug, reported as data.
+                    let start = path
+                        .iter()
+                        .position(|&p| p == c)
+                        .ok_or(MatchError::Internal("gray label missing from DFS path"))?;
                     let mut cyc: Vec<Label> = path[start..].to_vec();
                     cyc.push(c);
-                    return Err(LabelCycle { labels: cyc });
+                    return Err(MatchError::Cycle(LabelCycle { labels: cyc }));
                 }
                 State::Black => {}
             }
@@ -189,6 +197,13 @@ pub fn check_acyclic<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>) -> Result<Vec<Lab
 mod tests {
     use super::*;
     use hierdiff_tree::Tree;
+
+    fn expect_cycle(r: Result<Vec<Label>, MatchError>) -> LabelCycle {
+        match r {
+            Err(MatchError::Cycle(c)) => c,
+            other => panic!("expected a label cycle, got {other:?}"),
+        }
+    }
 
     fn doc(s: &str) -> Tree<String> {
         Tree::parse_sexpr(s).unwrap()
@@ -242,7 +257,7 @@ mod tests {
     fn self_nesting_is_a_cycle() {
         let t1 = doc(r#"(List (List (S "a")))"#);
         let t2 = doc(r#"(List)"#);
-        let err = check_acyclic(&t1, &t2).unwrap_err();
+        let err = expect_cycle(check_acyclic(&t1, &t2));
         assert_eq!(
             err.labels,
             vec![Label::intern("List"), Label::intern("List")]
@@ -254,7 +269,7 @@ mod tests {
         // itemize under enumerate in t1, enumerate under itemize in t2.
         let t1 = doc(r#"(Doc (Enum (Item (Itemize (S "a")))))"#);
         let t2 = doc(r#"(Doc (Itemize (Item (Enum (S "b")))))"#);
-        let err = check_acyclic(&t1, &t2).unwrap_err();
+        let err = expect_cycle(check_acyclic(&t1, &t2));
         assert!(err.labels.len() >= 3, "{err}");
         assert_eq!(err.labels.first(), err.labels.last());
     }

@@ -12,6 +12,7 @@ use hierdiff_edit::Matching;
 use hierdiff_tree::{Label, NodeId, NodeValue, Tree};
 
 use crate::criteria::{MatchCounters, MatchCtx, MatchParams};
+use crate::error::MatchError;
 use crate::schema::LabelClasses;
 
 /// Result of a matching run.
@@ -37,7 +38,14 @@ pub fn label_chains<V: NodeValue>(tree: &Tree<V>) -> HashMap<Label, Vec<NodeId>>
 }
 
 /// Algorithm *Match* (Figure 10).
-pub fn match_simple<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>, params: MatchParams) -> MatchResult {
+///
+/// Runs ungoverned; the only possible error is [`MatchError::Internal`]
+/// (an invariant bug in the matcher).
+pub fn match_simple<V: NodeValue>(
+    t1: &Tree<V>,
+    t2: &Tree<V>,
+    params: MatchParams,
+) -> Result<MatchResult, MatchError> {
     let classes = LabelClasses::classify(t1, t2);
     let mut ctx = MatchCtx::new(t1, t2, params, &classes);
     let mut m = Matching::with_capacity(t1.arena_len(), t2.arena_len());
@@ -70,7 +78,8 @@ pub fn match_simple<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>, params: MatchParam
                         ctx.equal_internal(x, y, &m)
                     };
                     if eq {
-                        m.insert(x, y).expect("both sides unmatched");
+                        m.insert(x, y)
+                            .map_err(|_| MatchError::Internal("fallback pair already matched"))?;
                         break;
                     }
                 }
@@ -78,11 +87,11 @@ pub fn match_simple<V: NodeValue>(t1: &Tree<V>, t2: &Tree<V>, params: MatchParam
         }
     }
 
-    MatchResult {
+    Ok(MatchResult {
         matching: m,
         counters: ctx.counters,
         classes,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +115,7 @@ mod tests {
         // and the sentences move within their paragraphs.
         let t1 = doc(r#"(D (P (S "a")) (P (S "b") (S "c") (S "e")) (P (S "d")))"#);
         let t2 = doc(r#"(D (P (S "a")) (P (S "d")) (P (S "b") (S "e") (S "c")))"#);
-        let res = match_simple(&t1, &t2, MatchParams::default());
+        let res = match_simple(&t1, &t2, MatchParams::default()).unwrap();
         let m = &res.matching;
         // All 5 sentences + 3 paragraphs + root matched.
         assert_eq!(m.len(), 9);
@@ -127,7 +136,7 @@ mod tests {
     fn unmatchable_leaves_stay_unmatched() {
         let t1 = doc(r#"(D (S "alpha"))"#);
         let t2 = doc(r#"(D (S "omega"))"#);
-        let res = match_simple(&t1, &t2, MatchParams::default());
+        let res = match_simple(&t1, &t2, MatchParams::default()).unwrap();
         // Exact-match String compare: distinct values never match; the roots
         // (0 common leaves) don't either.
         assert_eq!(res.matching.len(), 0);
@@ -137,7 +146,7 @@ mod tests {
     fn duplicate_leaves_match_in_document_order() {
         let t1 = doc(r#"(D (S "x") (S "x"))"#);
         let t2 = doc(r#"(D (S "x") (S "x"))"#);
-        let res = match_simple(&t1, &t2, MatchParams::default());
+        let res = match_simple(&t1, &t2, MatchParams::default()).unwrap();
         let m = &res.matching;
         let a: Vec<_> = t1.children(t1.root()).to_vec();
         let b: Vec<_> = t2.children(t2.root()).to_vec();
@@ -152,12 +161,12 @@ mod tests {
         // sharing 2 of 3 (2/3 > 0.6) matches.
         let t1 = doc(r#"(D (P (S "a") (S "b") (S "c")))"#);
         let t2 = doc(r#"(D (P (S "a") (S "x") (S "y")))"#);
-        let res = match_simple(&t1, &t2, MatchParams::default());
+        let res = match_simple(&t1, &t2, MatchParams::default()).unwrap();
         let p1 = t1.children(t1.root())[0];
         assert_eq!(res.matching.partner1(p1), None);
 
         let t3 = doc(r#"(D (P (S "a") (S "b") (S "z")))"#);
-        let res = match_simple(&t1, &t3, MatchParams::default());
+        let res = match_simple(&t1, &t3, MatchParams::default()).unwrap();
         let p1 = t1.children(t1.root())[0];
         assert!(res.matching.partner1(p1).is_some());
     }
@@ -166,7 +175,7 @@ mod tests {
     fn counters_populated() {
         let t1 = doc(r#"(D (P (S "a") (S "b")))"#);
         let t2 = doc(r#"(D (P (S "a") (S "b")))"#);
-        let res = match_simple(&t1, &t2, MatchParams::default());
+        let res = match_simple(&t1, &t2, MatchParams::default()).unwrap();
         assert!(res.counters.leaf_compares >= 2);
         assert!(res.counters.partner_checks >= 2);
         assert!(res.counters.total() > 0);
@@ -188,7 +197,7 @@ mod tests {
     fn matching_is_one_to_one() {
         let t1 = doc(r#"(D (S "x") (S "x") (S "x"))"#);
         let t2 = doc(r#"(D (S "x"))"#);
-        let res = match_simple(&t1, &t2, MatchParams::default());
+        let res = match_simple(&t1, &t2, MatchParams::default()).unwrap();
         // One sentence pair; the root pair fails Criterion 2 (1/3 ≤ 0.6).
         assert_eq!(res.matching.len(), 1);
     }

@@ -80,22 +80,25 @@ impl DocSet {
 pub fn generate_docset(profile: &DocSetProfile) -> DocSet {
     use rand::{rngs::StdRng, Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x5eed);
-    let mut versions = vec![generate_document(profile.seed, &profile.doc)];
+    // `current` is always the newest version; it joins `versions` once its
+    // successor exists, so no back-indexing into the chain is needed.
+    let mut versions = Vec::with_capacity(profile.versions.max(1));
+    let mut current = generate_document(profile.seed, &profile.doc);
     let mut reports = Vec::new();
     for step in 1..profile.versions {
         let (lo, hi) = profile.edits_per_version;
         let edits = rng.gen_range(lo..=hi);
-        let prev = versions.last().expect("non-empty chain");
         let (next, report) = perturb(
-            prev,
+            &current,
             profile.seed.wrapping_mul(31).wrapping_add(step as u64),
             edits,
             &profile.mix,
             &profile.doc,
         );
-        versions.push(next);
+        versions.push(std::mem::replace(&mut current, next));
         reports.push(report);
     }
+    versions.push(current);
     DocSet {
         versions,
         reports,

@@ -485,7 +485,7 @@ mod tests {
         // delete+insert pairs.
         let t = base();
         let (t2, _) = perturb(&t, 5, 15, &EditMix::updates_only(), &DocProfile::default());
-        let m = fast_match(&t, &t2, MatchParams::default());
+        let m = fast_match(&t, &t2, MatchParams::default()).unwrap();
         // At least 90% of nodes should match.
         assert!(
             m.matching.len() * 10 >= t.len() * 9,
@@ -529,7 +529,7 @@ mod tests {
         let t = base();
         let applied = 12;
         let (t2, _) = perturb(&t, 21, applied, &EditMix::default(), &DocProfile::default());
-        let m = fast_match(&t, &t2, MatchParams::default());
+        let m = fast_match(&t, &t2, MatchParams::default()).unwrap();
         let res = hierdiff_edit::edit_script(&t, &t2, &m.matching).unwrap();
         let d = res.stats.unweighted_distance();
         assert!(d >= applied / 3, "d = {d} too small for {applied} edits");

@@ -1,26 +1,38 @@
 //! Workspace automation tasks (`cargo run -p xtask -- <task>`).
 //!
-//! The only task so far is `lint`: the std-only `L0xx` source linter over
-//! `crates/*/src`, with a checked-in burn-down allowlist at
-//! `crates/xtask/lint-allow.txt`. See `lint.rs` for the lint catalogue and
-//! `DESIGN.md` ("Diagnostics & static analysis") for how the `L0xx` codes
-//! relate to the runtime `A0xx` audit codes.
+//! * `lint` — the `L0xx` source lints over `crates/*/src`, with a
+//!   checked-in burn-down allowlist at `crates/xtask/lint-allow.txt`.
+//! * `analyze` — the `S0xx` token-level analyzer: panic reachability from
+//!   the pipeline entrypoints, hot-loop discipline in marked modules, and
+//!   public-API surface snapshots under `api/`, with its own allowlist at
+//!   `crates/xtask/analyze-allow.txt`.
+//!
+//! Both engines live in `hierdiff-analyze`; this binary is argument
+//! parsing and file I/O. See DESIGN.md ("Diagnostics & static analysis")
+//! for how the `L0xx`/`S0xx` codes relate to the runtime `A0xx` audit
+//! codes.
 
 #![forbid(unsafe_code)]
-
-mod lint;
-mod scan;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--write-allowlist]\n\
+use hierdiff_analyze as analyze;
+
+const USAGE: &str = "usage: cargo run -p xtask -- <task>\n\
 \n\
   lint                 run the L0xx source lints over crates/*/src and\n\
                        compare against crates/xtask/lint-allow.txt; new\n\
                        offences and stale allowlist entries both fail\n\
   lint --write-allowlist   rewrite the allowlist from the current findings\n\
-                           (for intentional burn-down updates only)";
+                           (for intentional burn-down updates only)\n\
+  analyze              run the S0xx analyzer (panic reachability, hot-loop\n\
+                       discipline, API surface) and compare against\n\
+                       crates/xtask/analyze-allow.txt\n\
+  analyze --json PATH      additionally write the JSON report to PATH\n\
+  analyze --check-api      only check api/*.txt snapshots for drift\n\
+  analyze --write-api      regenerate api/*.txt from the current sources\n\
+  analyze --write-allowlist    rewrite the analyzer allowlist";
 
 fn repo_root() -> PathBuf {
     // crates/xtask -> crates -> repo root.
@@ -31,13 +43,47 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// Loads an allowlist file, treating "not found" as empty.
+fn load_allowlist(
+    path: &Path,
+) -> Result<std::collections::BTreeMap<(String, String), usize>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(analyze::parse_allowlist(&text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Default::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Prints a verdict and returns whether the run passes.
+fn report_verdict(task: &str, verdict: &analyze::Verdict, allowed_total: usize) -> bool {
+    for f in &verdict.new_offences {
+        println!("{f}");
+    }
+    for (path, code, n) in &verdict.stale {
+        println!("{path}: stale allowlist entry {code} (x{n}) — offence fixed, delete the line");
+    }
+    println!(
+        "{task}: {} finding(s), {} allowlisted, {} new, {} stale",
+        verdict.total,
+        allowed_total,
+        verdict.new_offences.len(),
+        verdict.stale.len()
+    );
+    verdict.ok()
+}
+
 fn run_lint(write: bool) -> Result<bool, String> {
     let root = repo_root();
-    let findings = lint::run_lints(&root).map_err(|e| format!("scanning sources: {e}"))?;
+    let findings = analyze::run_l_lints(&root).map_err(|e| format!("scanning sources: {e}"))?;
     let allowlist_path = root.join("crates/xtask/lint-allow.txt");
 
     if write {
-        let rendered = lint::render_allowlist(&findings);
+        let rendered = analyze::render_allowlist(
+            &findings,
+            "Known L0xx offences, one `<path> <CODE>` line per offence.\n\
+             This list is a burn-down: entries may only be removed (fixing the\n\
+             offence), never added. Stale entries fail `cargo run -p xtask -- lint`.",
+        );
         std::fs::write(&allowlist_path, rendered)
             .map_err(|e| format!("{}: {e}", allowlist_path.display()))?;
         println!(
@@ -48,28 +94,87 @@ fn run_lint(write: bool) -> Result<bool, String> {
         return Ok(true);
     }
 
-    let allowed = match std::fs::read_to_string(&allowlist_path) {
-        Ok(text) => lint::parse_allowlist(&text),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
-        Err(e) => return Err(format!("{}: {e}", allowlist_path.display())),
-    };
+    let allowed = load_allowlist(&allowlist_path)?;
     let allowed_total: usize = allowed.values().sum();
-    let verdict = lint::judge(findings, &allowed);
+    let verdict = analyze::judge(findings, &allowed);
+    Ok(report_verdict("lint", &verdict, allowed_total))
+}
 
-    for f in &verdict.new_offences {
-        println!("{f}");
+/// What `analyze` should do, parsed from its flags.
+enum AnalyzeMode {
+    Check { json: Option<PathBuf> },
+    CheckApiOnly,
+    WriteApi,
+    WriteAllowlist,
+}
+
+fn run_analyze(mode: AnalyzeMode) -> Result<bool, String> {
+    let root = repo_root();
+    match mode {
+        AnalyzeMode::WriteApi => {
+            let n = analyze::write_api_snapshots(&root)
+                .map_err(|e| format!("writing API snapshots: {e}"))?;
+            println!("wrote {n} API snapshots to {}/", analyze::API_DIR);
+            Ok(true)
+        }
+        AnalyzeMode::CheckApiOnly => {
+            let ws = analyze::workspace::load_workspace(&root)
+                .map_err(|e| format!("scanning sources: {e}"))?;
+            let findings = analyze::workspace::check_api_snapshots(&root, &ws)
+                .map_err(|e| format!("reading API snapshots: {e}"))?;
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("analyze: API surface matches the checked-in snapshots");
+                Ok(true)
+            } else {
+                println!(
+                    "analyze: API surface drift — review the report above, then run\n\
+                     `cargo run -p xtask -- analyze --write-api` to regenerate the snapshots"
+                );
+                Ok(false)
+            }
+        }
+        AnalyzeMode::WriteAllowlist => {
+            let analysis =
+                analyze::run_analysis(&root).map_err(|e| format!("analyzing sources: {e}"))?;
+            let path = root.join("crates/xtask/analyze-allow.txt");
+            let rendered = analyze::render_allowlist(
+                &analysis.findings,
+                "Known S0xx offences, one `<path> <CODE>` line per offence.\n\
+                 This list is a burn-down: entries may only be removed (fixing the\n\
+                 offence), never added. Stale entries fail `cargo run -p xtask -- analyze`.",
+            );
+            std::fs::write(&path, rendered).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!(
+                "wrote {} entries to {}",
+                analysis.findings.len(),
+                path.display()
+            );
+            Ok(true)
+        }
+        AnalyzeMode::Check { json } => {
+            let analysis =
+                analyze::run_analysis(&root).map_err(|e| format!("analyzing sources: {e}"))?;
+            let allowlist_path = root.join("crates/xtask/analyze-allow.txt");
+            let allowed = load_allowlist(&allowlist_path)?;
+            let allowed_total: usize = allowed.values().sum();
+            if let Some(json_path) = json {
+                let rendered =
+                    analyze::render_json(&analysis.findings, allowed_total, analysis.waived);
+                std::fs::write(&json_path, rendered)
+                    .map_err(|e| format!("{}: {e}", json_path.display()))?;
+                println!("wrote JSON report to {}", json_path.display());
+            }
+            let verdict = analyze::judge(analysis.findings, &allowed);
+            let ok = report_verdict("analyze", &verdict, allowed_total);
+            if analysis.waived > 0 {
+                println!("analyze: {} site(s) waived inline", analysis.waived);
+            }
+            Ok(ok)
+        }
     }
-    for (path, code, n) in &verdict.stale {
-        println!("{path}: stale allowlist entry {code} (x{n}) — offence fixed, delete the line");
-    }
-    println!(
-        "lint: {} finding(s), {} allowlisted, {} new, {} stale",
-        verdict.total,
-        allowed_total,
-        verdict.new_offences.len(),
-        verdict.stale.len()
-    );
-    Ok(verdict.ok())
 }
 
 fn main() -> ExitCode {
@@ -78,6 +183,13 @@ fn main() -> ExitCode {
     let ok = match args.as_slice() {
         ["lint"] => run_lint(false),
         ["lint", "--write-allowlist"] => run_lint(true),
+        ["analyze"] => run_analyze(AnalyzeMode::Check { json: None }),
+        ["analyze", "--json", path] => run_analyze(AnalyzeMode::Check {
+            json: Some(PathBuf::from(path)),
+        }),
+        ["analyze", "--check-api"] => run_analyze(AnalyzeMode::CheckApiOnly),
+        ["analyze", "--write-api"] => run_analyze(AnalyzeMode::WriteApi),
+        ["analyze", "--write-allowlist"] => run_analyze(AnalyzeMode::WriteAllowlist),
         ["-h"] | ["--help"] => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -15,7 +15,7 @@ fn accelerated_pipeline_end_to_end() {
     for seed in 0..4u64 {
         let t1 = generate_document(5_000 + seed, &profile);
         let (t2, _) = perturb(&t1, 5_100 + seed, 15, &EditMix::revision(), &profile);
-        let accel = fast_match_accelerated(&t1, &t2, MatchParams::default());
+        let accel = fast_match_accelerated(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &accel.matching).unwrap();
         let replayed = res.replay_on(&t1).unwrap();
         assert!(isomorphic(&replayed, &res.edited), "seed {seed}");
@@ -30,7 +30,7 @@ fn prematch_is_always_a_valid_seed() {
     for seed in 0..4u64 {
         let t1 = generate_document(5_200 + seed, &profile);
         let (t2, _) = perturb(&t1, 5_300 + seed, 10, &EditMix::default(), &profile);
-        let seed_m = prematch_unique_identical(&t1, &t2);
+        let seed_m = prematch_unique_identical(&t1, &t2).unwrap();
         let res = edit_script(&t1, &t2, &seed_m).unwrap();
         let replayed = res.replay_on(&t1).unwrap();
         assert!(isomorphic(&replayed, &res.edited), "seed {seed}");
@@ -84,8 +84,8 @@ fn savings_grow_with_document_size_at_fixed_churn() {
             &EditMix::default(),
             &profile,
         );
-        let plain = fast_match(&t1, &t2, MatchParams::default());
-        let accel = fast_match_accelerated(&t1, &t2, MatchParams::default());
+        let plain = fast_match(&t1, &t2, MatchParams::default()).unwrap();
+        let accel = fast_match_accelerated(&t1, &t2, MatchParams::default()).unwrap();
         assert_eq!(plain.matching.len(), accel.matching.len());
         ratios.push(accel.counters.total() as f64 / plain.counters.total().max(1) as f64);
     }

@@ -17,7 +17,7 @@ fn invert_roundtrips_on_corpora() {
     for seed in 0..8u64 {
         let t1 = generate_document(900 + seed, &profile);
         let (t2, _) = perturb(&t1, 950 + seed, 10, &EditMix::default(), &profile);
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &matched.matching).unwrap();
         if res.wrapped {
             continue; // inverse is defined against the wrapped tree
@@ -38,7 +38,7 @@ fn delta_query_and_extract_consistency() {
     for seed in 0..8u64 {
         let t1 = generate_document(800 + seed, &profile);
         let (t2, _) = perturb(&t1, 850 + seed, 8, &EditMix::default(), &profile);
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &matched.matching).unwrap();
         let delta = build_delta_tree(&t1, &t2, &matched.matching, &res);
 
@@ -100,7 +100,7 @@ fn hybrid_levels_monotone_quality() {
         let truth = ground_truth_matching(&t1, &t2);
         let mut last_f1 = 0.0;
         for k in 0..3u32 {
-            let h = match_with_optimality(&t1, &t2, MatchParams::default(), k);
+            let h = match_with_optimality(&t1, &t2, MatchParams::default(), k).unwrap();
             let q = match_quality(&h.matching, &truth);
             assert!(
                 q.f1() + 0.05 >= last_f1,
@@ -145,7 +145,7 @@ fn keyed_matching_exact_on_keyed_data() {
             .strip_prefix("id=")
             .map(|r| r.split(' ').next().unwrap_or(r).to_string())
     };
-    let keyed = match_by_key(&t1, &t2, key);
+    let keyed = match_by_key(&t1, &t2, key).unwrap();
     // Every keyed node survives, so the matching is total minus the root.
     assert_eq!(keyed.len(), t1.len() - 1);
     let res = edit_script(&t1, &t2, &{

@@ -20,7 +20,7 @@ fn running_example_end_to_end() {
 
     // The matching of Example 5.1: all five old sentences, paragraphs by
     // content, the roots.
-    let matched = fast_match(&t1, &t2, MatchParams::default());
+    let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     assert_eq!(matched.matching.len(), 9);
     let p_bcd = t1.children(t1.root())[1];
     let q_bcdg = t2.children(t2.root())[2];

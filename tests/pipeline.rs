@@ -20,7 +20,7 @@ fn random_documents_full_verification() {
         let edits = 3 + (seed as usize * 7) % 40;
         let (t2, _) = perturb(&t1, seed + 1000, edits, &EditMix::default(), &profile);
 
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &matched.matching).unwrap();
 
         verify_result(&t1, &t2, &matched.matching, &res)
@@ -60,8 +60,8 @@ fn matchers_agree_on_clean_corpora() {
     for seed in 0..6u64 {
         let t1 = generate_document(100 + seed, &profile);
         let (t2, _) = perturb(&t1, 200 + seed, 10, &EditMix::default(), &profile);
-        let fast = fast_match(&t1, &t2, MatchParams::default());
-        let simple = match_simple(&t1, &t2, MatchParams::default());
+        let fast = fast_match(&t1, &t2, MatchParams::default()).unwrap();
+        let simple = match_simple(&t1, &t2, MatchParams::default()).unwrap();
         assert_eq!(fast.matching.len(), simple.matching.len(), "seed {seed}");
         for (x, y) in simple.matching.iter() {
             assert!(fast.matching.contains(x, y), "seed {seed}: ({x}, {y})");
@@ -80,9 +80,9 @@ fn postprocess_preserves_correctness() {
     for seed in 0..8u64 {
         let t1 = generate_document(300 + seed, &profile);
         let (t2, _) = perturb(&t1, 400 + seed, 8, &EditMix::default(), &profile);
-        let mut matched = fast_match(&t1, &t2, MatchParams::default());
+        let mut matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let before = edit_script(&t1, &t2, &matched.matching).unwrap();
-        postprocess(&t1, &t2, MatchParams::default(), &mut matched.matching);
+        postprocess(&t1, &t2, MatchParams::default(), &mut matched.matching).unwrap();
         let after = edit_script(&t1, &t2, &matched.matching).unwrap();
         verify_result(&t1, &t2, &matched.matching, &after)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -101,7 +101,7 @@ fn postprocess_preserves_correctness() {
 fn version_chain_replays() {
     let set = generate_docset(&DocSetProfile::paper_sets()[0]);
     for w in set.versions.windows(2) {
-        let matched = fast_match(&w[0], &w[1], MatchParams::default());
+        let matched = fast_match(&w[0], &w[1], MatchParams::default()).unwrap();
         let res = edit_script(&w[0], &w[1], &matched.matching).unwrap();
         let replayed = res.replay_on(&w[0]).unwrap();
         assert!(isomorphic(&replayed, &res.edited));
@@ -117,7 +117,7 @@ fn detected_distance_tracks_applied_edits() {
     let mut last_d = 0usize;
     for &edits in &[2usize, 10, 40] {
         let (t2, _) = perturb(&t1, 888, edits, &EditMix::updates_only(), &profile);
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &matched.matching).unwrap();
         let d = res.stats.unweighted_distance();
         assert!(d >= last_d, "distance should grow with edits");

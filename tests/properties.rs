@@ -107,7 +107,7 @@ proptest! {
         t1 in arb_tree(24, &["D", "P", "S"]),
         t2 in arb_tree(24, &["D", "P", "S"]),
     ) {
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &matched.matching).unwrap();
         prop_assert!(res.script.len() <= t1.len() + t2.len() + 2);
         let replayed = res.replay_on(&t1).unwrap();
@@ -118,7 +118,7 @@ proptest! {
     /// identity and the script has no operations.
     #[test]
     fn self_diff_is_empty(t in arb_tree(24, &["D", "P", "S"])) {
-        let matched = fast_match(&t, &t.clone(), MatchParams::default());
+        let matched = fast_match(&t, &t.clone(), MatchParams::default()).unwrap();
         prop_assert_eq!(matched.matching.len(), t.len());
         let res = edit_script(&t, &t.clone(), &matched.matching).unwrap();
         prop_assert!(res.script.is_empty(), "script: {}", res.script);
@@ -134,7 +134,7 @@ proptest! {
         ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..10),
     ) {
         let t2 = apply_random_edits(&t1, &ops);
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &matched.matching).unwrap();
         let replayed = res.replay_on(&t1).unwrap();
         prop_assert!(isomorphic(&replayed, &res.edited));
@@ -153,7 +153,7 @@ proptest! {
         t1 in arb_tree(20, &["D", "P", "S"]),
         t2 in arb_tree(20, &["D", "P", "S"]),
     ) {
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let classes = hierdiff::matching::LabelClasses::classify(&t1, &t2);
         for (x, y) in matched.matching.iter() {
             prop_assert_eq!(t1.label(x), t2.label(y));
@@ -214,8 +214,8 @@ proptest! {
         let profile = DocProfile::small();
         let t1 = generate_document(20_000 + seed as u64, &profile);
         let (t2, _) = perturb(&t1, 30_000 + seed as u64, edits, &EditMix::revision(), &profile);
-        let plain = fast_match(&t1, &t2, MatchParams::default());
-        let accel = fast_match_accelerated(&t1, &t2, MatchParams::default());
+        let plain = fast_match(&t1, &t2, MatchParams::default()).unwrap();
+        let accel = fast_match_accelerated(&t1, &t2, MatchParams::default()).unwrap();
         prop_assert_eq!(plain.matching.len(), accel.matching.len());
         let r1 = edit_script(&t1, &t2, &plain.matching).unwrap();
         let r2 = edit_script(&t1, &t2, &accel.matching).unwrap();
@@ -365,7 +365,7 @@ proptest! {
         ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..8),
     ) {
         let t2 = apply_random_edits(&t1, &ops);
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &matched.matching).unwrap();
         let delta = hierdiff::delta::build_delta_tree(&t1, &t2, &matched.matching, &res);
         let wrap = |t: &Tree<String>| {

@@ -32,7 +32,7 @@ fn large_document_pipeline() {
     let (t2, _) = perturb(&t1, 424_243, 30, &EditMix::default(), &profile);
 
     let start = Instant::now();
-    let matched = fast_match(&t1, &t2, MatchParams::default());
+    let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &matched.matching).unwrap();
     let elapsed = start.elapsed();
 
@@ -83,7 +83,7 @@ fn comparisons_scale_subquadratically() {
             &EditMix::default(),
             &profile,
         );
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         counts.push((t1.leaves().count(), matched.counters.total()));
     }
     for w in counts.windows(2) {
@@ -129,7 +129,7 @@ fn deep_chain_no_stack_overflow() {
     )
     .unwrap();
 
-    let matched = fast_match(&t1, &t2, MatchParams::default());
+    let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &matched.matching).unwrap();
     assert_eq!(res.script.op_counts().updates, 1, "script: {}", res.script);
     let replayed = res.replay_on(&t1).unwrap();
@@ -157,7 +157,7 @@ fn very_wide_parent() {
     t2.move_subtree(kids[500], t2.children(t2.root())[0], 3)
         .unwrap();
 
-    let matched = fast_match(&t1, &t2, MatchParams::default());
+    let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &matched.matching).unwrap();
     let c = res.script.op_counts();
     assert_eq!(c.deletes, 1);

@@ -33,7 +33,7 @@ fn tree_json_roundtrip() {
 #[test]
 fn script_json_roundtrip_and_replay() {
     let (t1, t2) = corpus();
-    let m = fast_match(&t1, &t2, MatchParams::default());
+    let m = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &m.matching).unwrap();
     let json = serde_json::to_string(&res.script).unwrap();
     let back: EditScript<DocValue> = serde_json::from_str(&json).unwrap();
@@ -50,7 +50,7 @@ fn script_json_roundtrip_and_replay() {
 #[test]
 fn delta_tree_json_roundtrip() {
     let (t1, t2) = corpus();
-    let m = fast_match(&t1, &t2, MatchParams::default());
+    let m = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &m.matching).unwrap();
     let delta = build_delta_tree(&t1, &t2, &m.matching, &res);
     let json = serde_json::to_string(&delta).unwrap();
@@ -66,7 +66,7 @@ fn shipped_delta_reconstructs_remote_snapshot() {
     // Full warehouse loop: site A has old+new, ships (old-id-space) script
     // JSON to site B which holds only the old snapshot JSON.
     let (t1, t2) = corpus();
-    let m = fast_match(&t1, &t2, MatchParams::default());
+    let m = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &m.matching).unwrap();
     if res.wrapped {
         return;

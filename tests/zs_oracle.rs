@@ -57,7 +57,7 @@ fn fastmatch_cost_near_zs_optimum_under_criterion3() {
         let t1 = generate_document(100 + seed, &profile);
         let (t2, _) = perturb(&t1, 150 + seed, 4, &EditMix::default(), &profile);
         assert!(check_criterion3(&t1, &t2).holds(), "seed {seed}");
-        let matched = fast_match(&t1, &t2, MatchParams::default());
+        let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
         let res = edit_script(&t1, &t2, &matched.matching).unwrap();
         let cost = res.cost_on(&t1, &CostModel::paper()).unwrap();
         let zs = tree_distance(&t1, &t2, &UnitCost);
@@ -107,11 +107,11 @@ fn randomized_differential_vs_zs_with_and_without_pruning() {
             cases += 1;
             let zs = tree_distance(&t1, &t2, &UnitCost);
 
-            let plain = fast_match(&t1, &t2, MatchParams::default());
+            let plain = fast_match(&t1, &t2, MatchParams::default()).unwrap();
             let plain_res = edit_script(&t1, &t2, &plain.matching).unwrap();
             let plain_cost = plain_res.cost_on(&t1, &CostModel::paper()).unwrap();
 
-            let accel = fast_match_accelerated(&t1, &t2, MatchParams::default());
+            let accel = fast_match_accelerated(&t1, &t2, MatchParams::default()).unwrap();
             let accel_res = edit_script(&t1, &t2, &accel.matching).unwrap();
             let accel_cost = accel_res.cost_on(&t1, &CostModel::paper()).unwrap();
 
@@ -154,7 +154,7 @@ fn randomized_differential_vs_zs_with_and_without_pruning() {
 fn moves_cheaper_than_zs_reinsertion() {
     let t1 = Tree::parse_sexpr(r#"(D (Q (P (S "a") (S "b") (S "c") (S "d"))) (Q))"#).unwrap();
     let t2 = Tree::parse_sexpr(r#"(D (Q) (Q (P (S "a") (S "b") (S "c") (S "d"))))"#).unwrap();
-    let matched = fast_match(&t1, &t2, MatchParams::default());
+    let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &matched.matching).unwrap();
     let cost = res.cost_on(&t1, &CostModel::paper()).unwrap();
     let zs = tree_distance(&t1, &t2, &UnitCost);
@@ -170,7 +170,7 @@ fn zs_cheaper_when_promoting_children() {
     let t2 = Tree::parse_sexpr(r#"(D (S "a") (S "b") (S "c"))"#).unwrap();
     let zs = tree_distance(&t1, &t2, &UnitCost);
     assert_eq!(zs, 1.0, "one child-promoting delete");
-    let matched = fast_match(&t1, &t2, MatchParams::default());
+    let matched = fast_match(&t1, &t2, MatchParams::default()).unwrap();
     let res = edit_script(&t1, &t2, &matched.matching).unwrap();
     let cost = res.cost_on(&t1, &CostModel::paper()).unwrap();
     // Chawathe must move the three sentences out and delete the wrapper.
