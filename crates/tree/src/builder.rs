@@ -75,9 +75,13 @@ impl<V: NodeValue> TreeBuilder<V> {
         }
     }
 
-    /// Finishes the tree. Any still-open nodes are implicitly closed.
+    /// Finishes the tree. Any still-open nodes are implicitly closed. The
+    /// builder emits nodes in depth-first order, so the finished tree is
+    /// [compact](Tree::is_compact).
     pub fn finish(self) -> Tree<V> {
-        self.tree
+        let mut tree = self.tree;
+        tree.refresh_layout();
+        tree
     }
 
     /// Read access to the partially built tree.

@@ -138,6 +138,16 @@ fn node_hash<V: NodeValue>(tree: &Tree<V>, id: NodeId, out: &[u64]) -> u64 {
 /// post-order pass.
 pub fn subtree_hashes<V: NodeValue>(tree: &Tree<V>) -> Vec<u64> {
     let mut out = vec![0u64; tree.arena_len()];
+    if tree.is_compact() {
+        // Preorder-contiguous layout: every child has a larger index than
+        // its parent, so a reverse index scan fills the same table as the
+        // post-order walk without a worklist.
+        for i in (0..tree.arena_len()).rev() {
+            let id = NodeId(i as u32);
+            out[i] = node_hash(tree, id, &out);
+        }
+        return out;
+    }
     for id in tree.postorder() {
         out[id.index()] = node_hash(tree, id, &out);
     }
@@ -166,14 +176,25 @@ impl FingerprintIndex {
     pub fn build<V: NodeValue>(tree: &Tree<V>) -> FingerprintIndex {
         let mut hashes = vec![0u64; tree.arena_len()];
         let mut heights = vec![0u32; tree.arena_len()];
-        for id in tree.postorder() {
-            hashes[id.index()] = node_hash(tree, id, &hashes);
+        let fill = |id: NodeId, hashes: &mut Vec<u64>, heights: &mut Vec<u32>| {
+            hashes[id.index()] = node_hash(tree, id, hashes);
             heights[id.index()] = tree
                 .children(id)
                 .iter()
                 .map(|&c| heights[c.index()] + 1)
                 .max()
                 .unwrap_or(0);
+        };
+        if tree.is_compact() {
+            // Children carry larger indices in the preorder-contiguous
+            // layout; a reverse index scan is an in-place post-order.
+            for i in (0..tree.arena_len()).rev() {
+                fill(NodeId(i as u32), &mut hashes, &mut heights);
+            }
+        } else {
+            for id in tree.postorder() {
+                fill(id, &mut hashes, &mut heights);
+            }
         }
         let mut chains =
             ChainMap::with_capacity_and_hasher(tree.len(), BuildHasherDefault::default());

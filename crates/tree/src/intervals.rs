@@ -25,6 +25,15 @@ pub struct Intervals {
 impl Intervals {
     /// Numbers every live node of `tree` in pre-order.
     pub fn new<V: NodeValue>(tree: &Tree<V>) -> Intervals {
+        if let Some(skips) = tree.skips_raw() {
+            // Ids already are preorder ranks, and the exit clock of `i` is
+            // one past its contiguous subtree: the recorded skip offset.
+            let enter: Vec<u32> = (0..tree.arena_len() as u32).collect();
+            return Intervals {
+                enter,
+                exit: skips.to_vec(),
+            };
+        }
         let mut enter = vec![u32::MAX; tree.arena_len()];
         let mut exit = vec![0u32; tree.arena_len()];
         let mut clock = 0u32;
@@ -109,6 +118,20 @@ mod tests {
         let pre: Vec<_> = t.preorder().collect();
         for w in pre.windows(2) {
             assert!(iv.preorder_rank(w[0]) < iv.preorder_rank(w[1]));
+        }
+    }
+
+    #[test]
+    fn compact_fast_path_matches_general_numbering() {
+        let t = Tree::parse_sexpr(r#"(D (P (S "a") (S "b")) (P (S "c")) (S "d"))"#).unwrap();
+        assert!(t.is_compact());
+        let iv = Intervals::new(&t);
+        let ids: Vec<_> = t.preorder().collect();
+        for &a in &ids {
+            for &b in &ids {
+                assert_eq!(iv.is_ancestor(a, b), t.is_ancestor(a, b));
+            }
+            assert_eq!(iv.preorder_rank(a) as usize, a.index());
         }
     }
 

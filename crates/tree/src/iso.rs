@@ -12,6 +12,21 @@ use crate::value::NodeValue;
 /// identical except for node identifiers: same labels, same values, same
 /// child orders, recursively.
 pub fn isomorphic_subtrees<V: NodeValue>(ta: &Tree<V>, a: NodeId, tb: &Tree<V>, b: NodeId) -> bool {
+    // When both subtrees are preorder-contiguous index ranges, the
+    // (label, subtree-size, value) sequence in index order uniquely
+    // determines the shape: compare the ranges elementwise — two linear
+    // scans, no worklist.
+    if let (Some(ra), Some(rb)) = (ta.subtree_range(a), tb.subtree_range(b)) {
+        if ra.len() != rb.len() {
+            return false;
+        }
+        return ra.zip(rb).all(|(i, j)| {
+            let (x, y) = (NodeId(i as u32), NodeId(j as u32));
+            ta.label(x) == tb.label(y)
+                && ta.subtree_size(x) == tb.subtree_size(y)
+                && ta.value(x) == tb.value(y)
+        });
+    }
     // Iterative pairwise comparison to avoid recursion-depth limits on deep
     // trees.
     let mut stack = vec![(a, b)];
@@ -103,6 +118,30 @@ mod tests {
         let kids = a.children(a.root());
         assert!(isomorphic_subtrees(&a, kids[0], &a, kids[1]));
         assert!(!isomorphic_subtrees(&a, a.root(), &a, kids[0]));
+    }
+
+    #[test]
+    fn compact_and_dirty_paths_agree() {
+        // Parsed trees take the slice-compare fast path; trees built via
+        // push_child stay dirty and take the pairwise walk. Mixed pairs must
+        // agree with both.
+        let l = Label::intern;
+        let compact = doc(r#"(D (P (S "a") (S "b")) (S "c"))"#);
+        assert!(compact.is_compact());
+        let mut dirty = Tree::new(l("D"), String::null());
+        let r = dirty.root();
+        let p = dirty.push_child(r, l("P"), String::null());
+        dirty.push_child(p, l("S"), "a".into());
+        dirty.push_child(p, l("S"), "b".into());
+        dirty.push_child(r, l("S"), "c".into());
+        assert!(!dirty.is_compact());
+        assert!(isomorphic(&compact, &dirty));
+        assert!(isomorphic(&dirty, &compact));
+        assert!(isomorphic(&compact, &compact.clone()));
+        // Same node multiset, different nesting: sizes differ, fast path
+        // must reject.
+        let reshaped = doc(r#"(D (P (S "a")) (S "b") (S "c"))"#);
+        assert!(!isomorphic(&compact, &reshaped));
     }
 
     #[test]

@@ -162,6 +162,108 @@ proptest! {
         prop_assert!(snapshot.validate().is_ok());
     }
 
+    /// After `compact()`, the preorder-contiguity layout invariants hold:
+    /// every subtree occupies the index range `[n, n + size(n))` and the
+    /// skip offsets tile each node's child list.
+    #[test]
+    fn compact_restores_contiguity(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut t = Tree::new(Label::intern("R"), String::null());
+        for op in &ops {
+            apply_spec(&mut t, op);
+        }
+        let before: Vec<(crate::Label, String)> = t
+            .preorder()
+            .map(|id| (t.label(id), t.value(id).clone()))
+            .collect();
+        t.compact();
+        prop_assert!(t.is_compact());
+        prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+        prop_assert_eq!(t.arena_len(), t.len());
+        // Contiguity: the subtree of n is exactly the ids [n, n + size(n)).
+        for id in t.preorder() {
+            let range = t.subtree_range(id).expect("compact");
+            prop_assert_eq!(range.start, id.index());
+            prop_assert_eq!(range.len(), t.subtree_size(id));
+            let members: Vec<usize> =
+                crate::traverse::preorder_of(&t, id).map(NodeId::index).collect();
+            prop_assert_eq!(members, range.collect::<Vec<_>>());
+            // Skip offsets tile the child list left to right.
+            let mut cursor = id.index() + 1;
+            for &c in t.children(id) {
+                prop_assert_eq!(c.index(), cursor);
+                cursor = t.skip_offset(c).expect("compact");
+            }
+            prop_assert_eq!(cursor, t.skip_offset(id).expect("compact"));
+        }
+        // Compaction reorders ids, not content: the preorder
+        // (label, value) sequence is unchanged.
+        let after: Vec<(crate::Label, String)> = t
+            .preorder()
+            .map(|id| (t.label(id), t.value(id).clone()))
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// The `compact()` remap table is a faithful old-id → new-id carrier:
+    /// every live node keeps its label/value, dead slots map to `None`.
+    #[test]
+    fn compact_remap_faithful(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut t = Tree::new(Label::intern("R"), String::null());
+        for op in &ops {
+            apply_spec(&mut t, op);
+        }
+        let old: Vec<(NodeId, crate::Label, String)> = t
+            .preorder()
+            .map(|id| (id, t.label(id), t.value(id).clone()))
+            .collect();
+        let old_arena = t.arena_len();
+        let remap = t.compact();
+        prop_assert_eq!(remap.len(), old_arena);
+        for (old_id, label, value) in old {
+            let new_id = remap[old_id.index()].expect("live node survives compaction");
+            prop_assert_eq!(t.label(new_id), label);
+            prop_assert_eq!(t.value(new_id), &value);
+        }
+        prop_assert_eq!(remap.iter().filter(|m| m.is_some()).count(), t.len());
+    }
+
+    /// Label interning round-trips: resolving and re-interning every label
+    /// in the tree yields the same interned id (so label equality stays a
+    /// u32 compare across the arena refactor).
+    #[test]
+    fn label_interning_round_trips(ops in proptest::collection::vec(arb_op(), 0..30)) {
+        let mut t = Tree::new(Label::intern("R"), String::null());
+        for op in &ops {
+            apply_spec(&mut t, op);
+        }
+        for id in t.preorder() {
+            let label = t.label(id);
+            prop_assert_eq!(Label::intern(label.as_str()), label);
+            prop_assert_eq!(Label::intern(label.as_str()).as_str(), label.as_str());
+        }
+    }
+
+    /// Traversals and derived tables are invariant under compaction (modulo
+    /// the id remap): preorder label/value sequences, leaf counts, and
+    /// fingerprints all agree before and after.
+    #[test]
+    fn compaction_preserves_semantics(ops in proptest::collection::vec(arb_op(), 0..30)) {
+        let mut t = Tree::new(Label::intern("R"), String::null());
+        for op in &ops {
+            apply_spec(&mut t, op);
+        }
+        let dirty = t.clone();
+        t.compact();
+        prop_assert!(isomorphic(&dirty, &t));
+        let dirty_fp = crate::subtree_hashes(&dirty);
+        let compact_fp = crate::subtree_hashes(&t);
+        prop_assert_eq!(dirty_fp[dirty.root().index()], compact_fp[t.root().index()]);
+        prop_assert_eq!(
+            dirty.leaf_counts()[dirty.root().index()],
+            t.leaf_counts()[t.root().index()]
+        );
+    }
+
     /// Extracted subtrees are valid standalone trees whose back-map is
     /// label/value faithful.
     #[test]

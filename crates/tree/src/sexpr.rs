@@ -235,6 +235,9 @@ impl Tree<String> {
         if p.pos != p.src.len() {
             return Err(SexprError::TrailingInput { at: p.pos });
         }
+        // The recursive-descent parse issues ids in preorder, so the compact
+        // layout applies directly.
+        tree.refresh_layout();
         Ok(tree)
     }
 

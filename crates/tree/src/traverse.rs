@@ -21,11 +21,19 @@ pub fn bfs_of<V: NodeValue>(tree: &Tree<V>, start: NodeId) -> Bfs<'_, V> {
 
 /// Pre-order (document-order / "in-order position" of the paper) traversal of
 /// the subtree rooted at `start`.
+///
+/// On a [compact](Tree::is_compact) tree ids are preorder ranks and the
+/// subtree is the contiguous index range `[start, start + size)`, so the
+/// traversal degenerates to counting — a linear scan with no stack.
 pub fn preorder_of<V: NodeValue>(tree: &Tree<V>, start: NodeId) -> Preorder<'_, V> {
-    Preorder {
-        tree,
-        stack: vec![start],
-    }
+    let mode = match tree.subtree_range(start) {
+        Some(range) => Mode::Scan {
+            next: range.start as u32,
+            end: range.end as u32,
+        },
+        None => Mode::Stack(vec![start]),
+    };
+    Preorder { tree, mode }
 }
 
 /// Post-order traversal of the subtree rooted at `start`: children before
@@ -63,21 +71,49 @@ impl<V: NodeValue> Iterator for Bfs<'_, V> {
     }
 }
 
+enum Mode {
+    /// Compact layout: preorder is the index range `[next, end)`.
+    Scan { next: u32, end: u32 },
+    /// General (dirty) layout: explicit DFS worklist.
+    Stack(Vec<NodeId>),
+}
+
 /// See [`preorder_of`].
 pub struct Preorder<'t, V> {
     tree: &'t Tree<V>,
-    stack: Vec<NodeId>,
+    mode: Mode,
 }
 
 impl<V: NodeValue> Iterator for Preorder<'_, V> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        let id = self.stack.pop()?;
-        // Push children reversed so the leftmost child pops first.
-        self.stack
-            .extend(self.tree.children(id).iter().rev().copied());
-        Some(id)
+        match &mut self.mode {
+            Mode::Scan { next, end } => {
+                if next == end {
+                    return None;
+                }
+                let id = NodeId(*next);
+                *next += 1;
+                Some(id)
+            }
+            Mode::Stack(stack) => {
+                let id = stack.pop()?;
+                // Push children reversed so the leftmost child pops first.
+                stack.extend(self.tree.children(id).iter().rev().copied());
+                Some(id)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.mode {
+            Mode::Scan { next, end } => {
+                let n = (end - next) as usize;
+                (n, Some(n))
+            }
+            Mode::Stack(stack) => (stack.len(), None),
+        }
     }
 }
 
@@ -241,6 +277,24 @@ mod tests {
         assert_eq!(sub, vec![n[4], n[5], n[1]]);
         let sub: Vec<_> = crate::traverse::bfs_of(&t, n[1]).collect();
         assert_eq!(sub, vec![n[1], n[4], n[5]]);
+    }
+
+    #[test]
+    fn compact_scan_matches_stack_walk() {
+        // Same shape as `sample()` but parsed, hence compact: preorder takes
+        // the linear-scan path and must agree with the general DFS.
+        let t = Tree::parse_sexpr(r#"(D (P (S "a") (S "b")) (P (S "c")) (S "d"))"#).unwrap();
+        assert!(t.is_compact());
+        let scan: Vec<_> = t.preorder().collect();
+        let ids: Vec<_> = (0..t.len()).map(crate::NodeId::from_index).collect();
+        assert_eq!(scan, ids);
+        let p2 = t.children(t.root())[1];
+        let sub: Vec<_> = crate::traverse::preorder_of(&t, p2).collect();
+        assert_eq!(sub.len(), t.subtree_size(p2));
+        assert_eq!(sub[0], p2);
+        // Descendants ride the same fast path.
+        let d: Vec<_> = t.descendants(p2).collect();
+        assert_eq!(d, sub[1..]);
     }
 
     #[test]

@@ -113,6 +113,12 @@ pub fn generate_document(seed: u64, profile: &DocProfile) -> Tree<DocValue> {
             }
         }
     }
+    // Children were appended in depth-first order, so ids are already
+    // preorder ranks: sealing the compact layout is an identity remap and
+    // turns on the linear-scan fast paths for every consumer of the
+    // generated document.
+    tree.compact();
+    debug_assert!(tree.is_compact());
     tree
 }
 
