@@ -142,9 +142,18 @@ mod tests {
 
     #[test]
     fn serde_tampered_live_count_is_caught() {
+        // A directly tampered `live` counter is rejected at the
+        // deserialization boundary, before any checker runs.
         let t = Tree::parse_sexpr(r#"(D (S "a"))"#).unwrap();
         let mut v = to_tamperable(&t);
         *field_mut(&mut v, "live") = to_tamperable(&5usize);
+        assert!(serde::de::from_value::<Tree<String>>(v).is_err());
+        // Count drift that survives the boundary checks — a live node
+        // missing from every child list, hence unreachable — is the
+        // checker's job: A004.
+        let t = Tree::parse_sexpr(r#"(D (S "a") (S "b"))"#).unwrap();
+        let mut v = to_tamperable(&t);
+        *node_field_mut(&mut v, 0, "children") = to_tamperable(&vec![NodeId::from_index(1)]);
         let bad: Tree<String> = from_tampered(v);
         let r = audit_tree(&bad, Side::New);
         assert!(r.has_code(Code::A004), "{r}");
