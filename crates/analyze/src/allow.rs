@@ -27,14 +27,21 @@ pub fn parse_allowlist(text: &str) -> BTreeMap<(String, String), usize> {
     allowed
 }
 
-/// Renders findings in allowlist format (sorted, one line per offence),
-/// prefixed with `header` lines (each gets a `# `).
+/// Renders findings in allowlist format, prefixed with `header` lines
+/// (each gets a `# `). The sort key is the explicit `(path, line, code)`
+/// triple — not the rendered string — so regeneration is byte-for-byte
+/// deterministic regardless of the order the analyzer discovered the
+/// findings in.
 pub fn render_allowlist(findings: &[Finding], header: &str) -> String {
-    let mut lines: Vec<String> = findings
+    let mut keyed: Vec<(&str, usize, &str)> = findings
         .iter()
-        .map(|f| format!("{} {}", f.path, f.code))
+        .map(|f| (f.path.as_str(), f.line, f.code))
         .collect();
-    lines.sort();
+    keyed.sort_unstable();
+    let lines: Vec<String> = keyed
+        .into_iter()
+        .map(|(path, _, code)| format!("{path} {code}"))
+        .collect();
     let mut out = String::new();
     for h in header.lines() {
         out.push_str("# ");
@@ -128,6 +135,31 @@ mod tests {
             vec![("crates/b/src/y.rs".to_string(), "L003".to_string(), 1)]
         );
         assert_eq!(v.total, 3);
+    }
+
+    #[test]
+    fn render_is_discovery_order_independent() {
+        let mk_at = |path: &str, line: usize, code: &'static str| Finding {
+            path: path.to_string(),
+            line,
+            col: 0,
+            code,
+            message: String::new(),
+        };
+        let forward = vec![
+            mk_at("crates/a/src/x.rs", 2, "L001"),
+            mk_at("crates/a/src/x.rs", 9, "L002"),
+            mk_at("crates/b/src/y.rs", 5, "L001"),
+        ];
+        let shuffled = vec![
+            mk_at("crates/b/src/y.rs", 5, "L001"),
+            mk_at("crates/a/src/x.rs", 9, "L002"),
+            mk_at("crates/a/src/x.rs", 2, "L001"),
+        ];
+        assert_eq!(
+            render_allowlist(&forward, "h"),
+            render_allowlist(&shuffled, "h")
+        );
     }
 
     #[test]

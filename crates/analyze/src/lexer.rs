@@ -173,6 +173,10 @@ pub fn lex(source: &str) -> Lexed {
             }
             i = j;
             TokenKind::BlockComment
+        } else if let Some(end) = raw_ident_end(&chars, i) {
+            // `r#type` / `r#match`: a raw identifier, not a raw string.
+            i = end;
+            TokenKind::Ident
         } else if let Some(end) = raw_string_end(&chars, i) {
             i = end;
             TokenKind::StrLit
@@ -228,6 +232,24 @@ pub fn lex(source: &str) -> Lexed {
     }
 
     Lexed { chars, tokens }
+}
+
+/// If a raw identifier (`r#type`, `r#match`) starts at `i`, returns the
+/// char index one past its end. Exactly one `#` followed by an identifier
+/// start distinguishes it from a raw string (`r#"…"#`, where a quote
+/// follows the hashes) and from multi-hash raw strings (`r##"…"##`).
+fn raw_ident_end(chars: &[char], i: usize) -> Option<usize> {
+    if chars.get(i) != Some(&'r') || chars.get(i + 1) != Some(&'#') {
+        return None;
+    }
+    if !chars.get(i + 2).copied().is_some_and(is_ident_start) {
+        return None;
+    }
+    let mut j = i + 3;
+    while j < chars.len() && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    Some(j)
 }
 
 /// If a raw (byte) string starts at `i` (`r"…"`, `r#"…"#`, `br"…"`, any
@@ -469,6 +491,39 @@ mod tests {
         assert!(m.contains("let barr = 1;"), "{m}");
         // `barr"…"` is an ident then a plain string, not a raw string.
         assert!(!m.contains("not raw"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        // `r#type` is one identifier token, not an `r` + `#` + keyword and
+        // certainly not the start of a raw string swallowing the rest of
+        // the line.
+        let l = lex("let r#type = r#match; call();");
+        let idents: Vec<String> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| l.text(t))
+            .collect();
+        assert_eq!(idents, vec!["let", "r#type", "r#match", "call"]);
+        // Nothing got masked: no literal was recognised.
+        assert!(l.masked().contains("call();"));
+    }
+
+    #[test]
+    fn raw_identifier_does_not_shadow_raw_strings() {
+        // A single-hash raw string still lexes as a string, and the
+        // two-hash form keeps its exact-terminator rule.
+        let m =
+            mask("let a = r#\"has .unwrap() inside\"#; let r#fn = 1; r##\"x \"# y\"##; done();");
+        assert!(!m.contains(".unwrap()"));
+        assert!(!m.contains("\"# y"));
+        assert!(m.contains("done();"));
+        let l = lex("let r#fn = 1;");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| l.text(t) == "r#fn" && t.kind == TokenKind::Ident));
     }
 
     #[test]

@@ -9,12 +9,21 @@
 //!   view the substring lints are defined against.
 //! * [`parser`] — item/block recovery: `fn` scopes, loop bodies,
 //!   `#[cfg(test)]` regions, `use` imports, `dyn`-typed parameters.
+//! * [`resolve`] — the path-, import-, and impl-resolved call graph every
+//!   reachability pass walks; trait objects and generics stay documented
+//!   over-approximations.
 //! * [`panics`] — **S001–S004**: panicking constructs transitively
 //!   reachable from the `Differ` facade, batch workers, and CLI mains.
 //! * [`hotloop`] — **S010/S011**: allocation and `dyn` dispatch inside
 //!   loop bodies of `hierdiff-analyze: hot-module`-marked files.
 //! * [`api`] — **S020/S021**: public-API surface snapshots under `api/`,
 //!   failing on un-reviewed drift.
+//! * [`guardcov`] — **S030/S031**: every loop in the governed kernels and
+//!   every `Differ::diff`-reachable loop in the governed crates must carry
+//!   a `tick()`/`checkpoint()` guard.
+//! * [`arena`] — **S040–S042**: the flat arena's SoA indexing, narrowing
+//!   casts, and NIL-sentinel comparisons must flow through the blessed
+//!   helpers in `crates/tree`.
 //! * [`lints`] — the **L001–L008** workspace lints, rewritten over the
 //!   shared token stream (the old line scanner is retired).
 //! * [`allow`] — the burn-down allowlist contract both lint families use.
@@ -31,14 +40,20 @@
 
 pub mod allow;
 pub mod api;
+pub mod arena;
+pub mod guardcov;
 pub mod hotloop;
 pub mod lexer;
 pub mod lints;
 pub mod panics;
 pub mod parser;
 pub mod report;
+pub mod resolve;
 pub mod workspace;
 
 pub use allow::{judge, parse_allowlist, render_allowlist, Verdict};
 pub use report::{render_json, Finding};
-pub use workspace::{run_analysis, run_l_lints, write_api_snapshots, Analysis, Workspace, API_DIR};
+pub use workspace::{
+    run_analysis, run_analysis_threads, run_l_lints, write_api_snapshots, Analysis, Workspace,
+    API_DIR,
+};

@@ -1,24 +1,23 @@
 //! Panic-reachability (S001–S004): which panicking constructs are
 //! transitively reachable from the pipeline entrypoints.
 //!
-//! The call graph is a deliberate *over*-approximation: a call edge links
-//! the caller to every workspace function with the callee's bare name,
-//! narrowed to one crate when the callee is path- or `use`-resolvable.
-//! There is no trait-object or generic resolution — a method call `.get(…)`
-//! reaches every workspace `fn get`. Over-approximation errs on the side
-//! of reporting: a site flagged reachable may be a false positive, but a
-//! site *not* flagged is genuinely unreachable from the entrypoints under
-//! name resolution. The burn-down allowlist absorbs the standing set.
-
-use std::collections::{BTreeMap, VecDeque};
+//! Reachability runs over the resolved call graph (see [`crate::resolve`]):
+//! bare calls resolve through same-file items and imports, path calls
+//! through the crate layout and impl owners, method calls through receiver
+//! typing. The remaining over-approximations (generics, trait objects,
+//! untyped receivers) err on the side of reporting: a site flagged
+//! reachable may be a false positive, but a site *not* flagged is
+//! genuinely unreachable from the entrypoints under this resolution. The
+//! burn-down allowlist absorbs the standing set.
 
 use crate::lexer::TokenKind;
 use crate::parser::FileModel;
 use crate::report::Finding;
+use crate::resolve::{CallGraph, FnNode, KEYWORDS};
 
 /// The designated entrypoints: `(file suffix, fn name)`. The `Differ`
 /// facade, the batch workers, and the two CLI mains.
-const ENTRYPOINTS: &[(&str, &str)] = &[
+pub const ENTRYPOINTS: &[(&str, &str)] = &[
     ("crates/core/src/differ.rs", "diff"),
     ("crates/core/src/differ.rs", "diff_batch"),
     ("crates/core/src/differ.rs", "diff_batch_with"),
@@ -26,28 +25,6 @@ const ENTRYPOINTS: &[(&str, &str)] = &[
     ("crates/core/src/batch.rs", "diff_batch_with"),
     ("crates/core/src/bin/treediff.rs", "main"),
     ("crates/doc/src/bin/ladiff.rs", "main"),
-];
-
-/// Keywords that can directly precede `[` or `(` without forming an index
-/// or call expression.
-const KEYWORDS: &[&str] = &[
-    "as", "async", "await", "box", "break", "continue", "const", "crate", "dyn", "else", "enum",
-    "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
-    "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
-    "where", "while", "yield",
-];
-
-/// Path roots that never resolve into the workspace.
-const EXTERNAL_ROOTS: &[&str] = &[
-    "std",
-    "core",
-    "alloc",
-    "rand",
-    "serde",
-    "serde_json",
-    "proptest",
-    "criterion",
-    "crossbeam",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
@@ -62,112 +39,40 @@ struct PanicSite {
     what: String,
 }
 
-/// A call edge: caller plus bare callee name and an optional crate hint.
-struct CallEdge {
-    file: usize,
-    fn_idx: usize,
-    callee: String,
-    crate_hint: Option<String>,
-}
-
-/// The crate directory name of a `crates/<dir>/src/...` path.
-fn crate_of(rel: &str) -> Option<&str> {
-    rel.strip_prefix("crates/")?.split('/').next()
-}
-
-/// Normalizes a path/use root to a crate directory name: `hierdiff_tree`
-/// -> `tree`; `crate`/`self`/`Self`/`super` -> the current crate.
-fn root_to_crate<'a>(root: &'a str, current: &'a str) -> Option<&'a str> {
-    if let Some(rest) = root.strip_prefix("hierdiff_") {
-        return Some(rest);
-    }
-    if matches!(root, "crate" | "self" | "Self" | "super") {
-        return Some(current);
-    }
-    None
-}
-
-/// Computes the panic-reachability findings over the workspace files.
-/// `waived` is incremented for sites suppressed by inline annotations.
-pub fn panic_reachability(files: &[FileModel], waived: &mut usize) -> Vec<Finding> {
-    // ---- global function table ----
-    // name -> [(file, fn)] over non-test fns with a body.
-    let mut by_name: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+/// The labelled roots matching `entrypoints` over `files`: each root node
+/// tagged with its entrypoint fn name.
+pub fn entry_roots(files: &[FileModel], entrypoints: &[(&str, &str)]) -> Vec<(FnNode, String)> {
+    let mut roots = Vec::new();
     for (fi, model) in files.iter().enumerate() {
-        for (gi, f) in model.fns.iter().enumerate() {
-            if !f.is_test && f.body.is_some() {
-                by_name.entry(f.name.clone()).or_default().push((fi, gi));
-            }
-        }
-    }
-
-    // ---- sites and edges, one scan per file ----
-    let mut sites: Vec<PanicSite> = Vec::new();
-    let mut edges: Vec<CallEdge> = Vec::new();
-    for (fi, model) in files.iter().enumerate() {
-        scan_file(fi, model, &mut sites, &mut edges);
-    }
-
-    // ---- reachability BFS from the entrypoints ----
-    // reached: (file, fn) -> name of the entrypoint it was reached from.
-    let mut reached: BTreeMap<(usize, usize), String> = BTreeMap::new();
-    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
-    for (fi, model) in files.iter().enumerate() {
-        for &(suffix, name) in ENTRYPOINTS {
+        for &(suffix, name) in entrypoints {
             if model.rel.ends_with(suffix) {
                 for (gi, f) in model.fns.iter().enumerate() {
                     if f.name == name && !f.is_test && f.body.is_some() {
-                        reached.entry((fi, gi)).or_insert_with(|| name.to_string());
-                        queue.push_back((fi, gi));
+                        roots.push(((fi, gi), name.to_string()));
                     }
                 }
             }
         }
     }
-    // Group edges per caller for the walk.
-    let mut out_edges: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
-    for (ei, e) in edges.iter().enumerate() {
-        out_edges.entry((e.file, e.fn_idx)).or_default().push(ei);
+    roots
+}
+
+/// Computes the panic-reachability findings over the workspace files,
+/// walking the pre-built resolved call graph. `waived` is incremented for
+/// sites suppressed by inline annotations.
+pub fn panic_reachability(
+    files: &[FileModel],
+    graph: &CallGraph,
+    waived: &mut usize,
+) -> Vec<Finding> {
+    // ---- sites, one scan per file ----
+    let mut sites: Vec<PanicSite> = Vec::new();
+    for (fi, model) in files.iter().enumerate() {
+        scan_file(fi, model, &mut sites);
     }
-    while let Some(caller) = queue.pop_front() {
-        let root = reached.get(&caller).cloned().unwrap_or_default();
-        let Some(edge_ids) = out_edges.get(&caller) else {
-            continue;
-        };
-        for &ei in edge_ids {
-            let Some(e) = edges.get(ei) else { continue };
-            let Some(candidates) = by_name.get(&e.callee) else {
-                continue;
-            };
-            // Narrow to the hinted crate when the hint matches anything.
-            let hinted: Vec<(usize, usize)> = match &e.crate_hint {
-                Some(hint) => {
-                    let narrowed: Vec<(usize, usize)> = candidates
-                        .iter()
-                        .copied()
-                        .filter(|&(cf, _)| {
-                            files
-                                .get(cf)
-                                .and_then(|m| crate_of(&m.rel))
-                                .is_some_and(|c| c == hint)
-                        })
-                        .collect();
-                    if narrowed.is_empty() {
-                        candidates.clone()
-                    } else {
-                        narrowed
-                    }
-                }
-                None => candidates.clone(),
-            };
-            for target in hinted {
-                if let std::collections::btree_map::Entry::Vacant(v) = reached.entry(target) {
-                    v.insert(root.clone());
-                    queue.push_back(target);
-                }
-            }
-        }
-    }
+
+    // ---- reachability from the entrypoints ----
+    let reached = graph.reachable(entry_roots(files, ENTRYPOINTS));
 
     // ---- findings ----
     let mut findings = Vec::new();
@@ -201,10 +106,9 @@ pub fn panic_reachability(files: &[FileModel], waived: &mut usize) -> Vec<Findin
     findings
 }
 
-/// One scan over a file's significant tokens: collects panic sites and
-/// call edges, attributing each to the innermost enclosing function.
-fn scan_file(fi: usize, model: &FileModel, sites: &mut Vec<PanicSite>, edges: &mut Vec<CallEdge>) {
-    let current_crate = crate_of(&model.rel).unwrap_or("").to_string();
+/// One scan over a file's significant tokens: collects panic sites,
+/// attributing each to the innermost enclosing function.
+fn scan_file(fi: usize, model: &FileModel, sites: &mut Vec<PanicSite>) {
     let n = model.sig.len();
     let mut s = 0;
     while s < n {
@@ -240,66 +144,47 @@ fn scan_file(fi: usize, model: &FileModel, sites: &mut Vec<PanicSite>, edges: &m
         };
         let line = tok.line;
         let col = tok.col;
-        let in_test = model.is_test_line(line);
-        let enclosing = model.enclosing_fn(s);
+        if model.is_test_line(line) {
+            s += 1;
+            continue;
+        }
+        let Some(fn_idx) = model.enclosing_fn(s) else {
+            s += 1;
+            continue;
+        };
 
-        if !in_test {
-            if let Some(fn_idx) = enclosing {
-                // `.unwrap()` / `.expect(`
-                if model.punct(s, '.') && tok_is_ident(model, s + 1) {
-                    if model.word(s + 1, "unwrap")
-                        && model.punct(s + 2, '(')
-                        && model.punct(s + 3, ')')
-                    {
-                        push_site(sites, fi, fn_idx, model, s + 1, "S001", ".unwrap()");
-                    } else if model.word(s + 1, "expect") && model.punct(s + 2, '(') {
-                        push_site(sites, fi, fn_idx, model, s + 1, "S002", ".expect(…)");
-                    }
-                }
-                // panic-family macros
-                if tok.kind == TokenKind::Ident && model.punct(s + 1, '!') {
-                    let text = model.lexed.text(tok);
-                    if PANIC_MACROS.contains(&text.as_str()) {
-                        sites.push(PanicSite {
-                            file: fi,
-                            fn_idx,
-                            line,
-                            col,
-                            code: "S003",
-                            what: format!("{text}!"),
-                        });
-                    }
-                }
-                // raw indexing `expr[…]`
-                if model.punct(s, '[') && is_index_expr_prefix(model, s) {
-                    sites.push(PanicSite {
-                        file: fi,
-                        fn_idx,
-                        line,
-                        col,
-                        code: "S004",
-                        what: "[…] indexing".to_string(),
-                    });
-                }
+        // `.unwrap()` / `.expect(`
+        if model.punct(s, '.') && tok_is_ident(model, s + 1) {
+            if model.word(s + 1, "unwrap") && model.punct(s + 2, '(') && model.punct(s + 3, ')') {
+                push_site(sites, fi, fn_idx, model, s + 1, "S001", ".unwrap()");
+            } else if model.word(s + 1, "expect") && model.punct(s + 2, '(') {
+                push_site(sites, fi, fn_idx, model, s + 1, "S002", ".expect(…)");
             }
         }
-
-        // Call edges (from test fns too — harmless, they are never reached).
-        if let Some(fn_idx) = enclosing {
-            if tok.kind == TokenKind::Ident && model.punct(s + 1, '(') {
-                let text = model.lexed.text(tok);
-                if !KEYWORDS.contains(&text.as_str()) && !model.word(s.wrapping_sub(1), "fn") {
-                    let crate_hint = resolve_hint(model, s, &current_crate);
-                    if !hint_is_external(&crate_hint) {
-                        edges.push(CallEdge {
-                            file: fi,
-                            fn_idx,
-                            callee: text,
-                            crate_hint: crate_hint.flatten(),
-                        });
-                    }
-                }
+        // panic-family macros
+        if tok.kind == TokenKind::Ident && model.punct(s + 1, '!') {
+            let text = model.lexed.text(tok);
+            if PANIC_MACROS.contains(&text.as_str()) {
+                sites.push(PanicSite {
+                    file: fi,
+                    fn_idx,
+                    line,
+                    col,
+                    code: "S003",
+                    what: format!("{text}!"),
+                });
             }
+        }
+        // raw indexing `expr[…]`
+        if model.punct(s, '[') && is_index_expr_prefix(model, s) {
+            sites.push(PanicSite {
+                file: fi,
+                fn_idx,
+                line,
+                col,
+                code: "S004",
+                what: "[…] indexing".to_string(),
+            });
         }
         s += 1;
     }
@@ -347,67 +232,6 @@ fn is_index_expr_prefix(model: &FileModel, s: usize) -> bool {
     !KEYWORDS.contains(&text.as_str())
 }
 
-/// Resolves a crate hint for the call whose callee ident sits at `s`:
-/// `Outer(None)` = no path/import information (fan out to every crate);
-/// `Outer(Some(c))` = narrow to crate `c`; the sentinel returned through
-/// [`hint_is_external`] drops edges rooted in external crates entirely.
-fn resolve_hint(model: &FileModel, s: usize, current: &str) -> Option<Option<String>> {
-    // Walk back over `root::seg::…::callee`.
-    let mut j = s;
-    while j >= 3 && model.punct(j - 1, ':') && model.punct(j - 2, ':') && tok_is_ident(model, j - 3)
-    {
-        j -= 3;
-    }
-    if j != s {
-        // Path call: root ident at j.
-        let root = model
-            .tok(j)
-            .map(|t| model.lexed.text(t))
-            .unwrap_or_default();
-        if EXTERNAL_ROOTS.contains(&root.as_str()) {
-            return None; // external: drop the edge
-        }
-        if let Some(c) = root_to_crate(&root, current) {
-            return Some(Some(c.to_string()));
-        }
-        // A type root (`Tree::parse_sexpr`): resolve through the imports.
-        for u in &model.uses {
-            if u.names.iter().any(|n| n == &root) {
-                if EXTERNAL_ROOTS.contains(&u.root.as_str()) {
-                    return None;
-                }
-                if let Some(c) = root_to_crate(&u.root, current) {
-                    return Some(Some(c.to_string()));
-                }
-            }
-        }
-        return Some(None);
-    }
-    if model.punct(s.wrapping_sub(1), '.') {
-        return Some(None); // method call: no receiver typing
-    }
-    // Bare call: resolve the name itself through the imports.
-    let name = model
-        .tok(s)
-        .map(|t| model.lexed.text(t))
-        .unwrap_or_default();
-    for u in &model.uses {
-        if u.names.iter().any(|n| n == &name) {
-            if EXTERNAL_ROOTS.contains(&u.root.as_str()) {
-                return None;
-            }
-            if let Some(c) = root_to_crate(&u.root, current) {
-                return Some(Some(c.to_string()));
-            }
-        }
-    }
-    Some(None)
-}
-
-fn hint_is_external(hint: &Option<Option<String>>) -> bool {
-    hint.is_none()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +241,11 @@ mod tests {
             .iter()
             .map(|(rel, src)| FileModel::build(rel, src))
             .collect()
+    }
+
+    fn run(files: &[FileModel], waived: &mut usize) -> Vec<Finding> {
+        let graph = CallGraph::build(files);
+        panic_reachability(files, &graph, waived)
     }
 
     fn codes_at(findings: &[Finding]) -> Vec<(&'static str, String)> {
@@ -430,7 +259,7 @@ mod tests {
             "fn diff() { x.unwrap(); v[0]; panic!(\"boom\"); }\n",
         )]);
         let mut waived = 0;
-        let f = panic_reachability(&files, &mut waived);
+        let f = run(&files, &mut waived);
         let codes: Vec<&str> = f.iter().map(|x| x.code).collect();
         assert_eq!(codes, vec!["S001", "S004", "S003"]);
         assert!(
@@ -441,20 +270,38 @@ mod tests {
     }
 
     #[test]
-    fn transitive_reachability_through_bare_calls() {
+    fn transitive_reachability_through_imported_calls() {
         let files = ws(&[
-            ("crates/core/src/differ.rs", "fn diff() { helper(); }\n"),
+            (
+                "crates/core/src/differ.rs",
+                "use hierdiff_edit::helper;\nfn diff() { helper(); }\n",
+            ),
             (
                 "crates/edit/src/x.rs",
                 "pub fn helper() { y.expect(\"msg\"); }\npub fn unrelated() { z.unwrap(); }\n",
             ),
         ]);
         let mut waived = 0;
-        let f = panic_reachability(&files, &mut waived);
+        let f = run(&files, &mut waived);
         assert_eq!(
             codes_at(&f),
             vec![("S002", "crates/edit/src/x.rs".to_string())]
         );
+    }
+
+    #[test]
+    fn unimported_bare_calls_do_not_fan_out() {
+        // Without an import, a bare `helper()` cannot name another crate's
+        // fn — the edge is dropped and the panic stays unreached.
+        let files = ws(&[
+            ("crates/core/src/differ.rs", "fn diff() { helper(); }\n"),
+            (
+                "crates/edit/src/x.rs",
+                "pub fn helper() { y.expect(\"msg\"); }\n",
+            ),
+        ]);
+        let mut waived = 0;
+        assert!(run(&files, &mut waived).is_empty());
     }
 
     #[test]
@@ -467,11 +314,11 @@ mod tests {
             ("crates/edit/src/x.rs", "pub fn island() { q.unwrap(); }\n"),
         ]);
         let mut waived = 0;
-        assert!(panic_reachability(&files, &mut waived).is_empty());
+        assert!(run(&files, &mut waived).is_empty());
     }
 
     #[test]
-    fn crate_hint_narrows_candidates() {
+    fn crate_path_narrows_candidates() {
         // Two `helper` fns; the path call names the edit crate, so the
         // panic in crates/tree's helper stays unreached.
         let files = ws(&[
@@ -483,7 +330,7 @@ mod tests {
             ("crates/tree/src/y.rs", "pub fn helper() { q.unwrap(); }\n"),
         ]);
         let mut waived = 0;
-        assert!(panic_reachability(&files, &mut waived).is_empty());
+        assert!(run(&files, &mut waived).is_empty());
     }
 
     #[test]
@@ -493,7 +340,7 @@ mod tests {
             "fn diff() {}\n#[cfg(test)]\nmod tests {\n    fn diff() { x.unwrap(); }\n}\n",
         )]);
         let mut waived = 0;
-        assert!(panic_reachability(&files, &mut waived).is_empty());
+        assert!(run(&files, &mut waived).is_empty());
     }
 
     #[test]
@@ -503,7 +350,7 @@ mod tests {
             "fn diff() {\n    x.unwrap(); // analyze: allow(S001) startup invariant\n}\n",
         )]);
         let mut waived = 0;
-        assert!(panic_reachability(&files, &mut waived).is_empty());
+        assert!(run(&files, &mut waived).is_empty());
         assert_eq!(waived, 1);
     }
 
@@ -514,7 +361,7 @@ mod tests {
             "fn diff(v: &[u8]) {\n    #[allow(unused)]\n    let [a, b] = [1, 2];\n    let t: [u8; 2] = [a, b];\n    consume(t);\n}\n",
         )]);
         let mut waived = 0;
-        assert!(panic_reachability(&files, &mut waived).is_empty());
+        assert!(run(&files, &mut waived).is_empty());
     }
 
     #[test]
@@ -528,6 +375,25 @@ mod tests {
             ("crates/tree/src/x.rs", "pub fn replace() { q.unwrap(); }\n"),
         ]);
         let mut waived = 0;
-        assert!(panic_reachability(&files, &mut waived).is_empty());
+        assert!(run(&files, &mut waived).is_empty());
+    }
+
+    #[test]
+    fn method_calls_on_typed_receivers_narrow() {
+        // `t.load()` with `t: Tree` reaches Tree::load only — the panic in
+        // Other::load stays unreached.
+        let files = ws(&[
+            (
+                "crates/core/src/differ.rs",
+                "use hierdiff_tree::Tree;\nfn diff(t: &Tree) { t.load(); }\n",
+            ),
+            (
+                "crates/tree/src/t.rs",
+                "pub struct Tree;\nimpl Tree {\n    pub fn load(&self) {}\n}\n\
+                 pub struct Other;\nimpl Other {\n    pub fn load(&self) { q.unwrap(); }\n}\n",
+            ),
+        ]);
+        let mut waived = 0;
+        assert!(run(&files, &mut waived).is_empty());
     }
 }

@@ -25,6 +25,50 @@ pub struct FnItem {
     /// Parameter names whose declared type mentions `dyn` (the receivers
     /// the hot-loop pass treats as dynamic dispatch).
     pub dyn_params: Vec<String>,
+    /// All parameters with the leading identifier of their declared type
+    /// (`None` for `impl Trait`, `dyn`, tuple, and slice types). Feeds
+    /// receiver typing in the resolved call graph.
+    pub params: Vec<Param>,
+    /// Generic type-parameter names declared on the `fn` itself
+    /// (`fn f<T, U>` → `["T", "U"]`).
+    pub generics: Vec<String>,
+}
+
+/// One recovered parameter: its name and the first path identifier of its
+/// declared type (`x: &'a mut Tree<V>` → `Some("Tree")`).
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Binding name.
+    pub name: String,
+    /// Leading type identifier, when the type starts with a path.
+    pub ty: Option<String>,
+    /// Whether the declared type mentions `dyn`.
+    pub is_dyn: bool,
+}
+
+/// A recovered `impl` block: the implemented type plus the body span.
+#[derive(Clone, Debug)]
+pub struct ImplBlock {
+    /// The type the block implements (for `impl Trait for Type`, the
+    /// `Type`; path prefixes and generic arguments stripped).
+    pub owner: String,
+    /// Generic type-parameter names of the block (`impl<V> Tree<V>` →
+    /// `["V"]`).
+    pub generics: Vec<String>,
+    /// Significant-token index range of the body, inclusive of braces.
+    pub body: (usize, usize),
+}
+
+/// An inline `mod name { … }` block (declarations `mod name;` are file
+/// layout, handled by path mapping in the resolver).
+#[derive(Clone, Debug)]
+pub struct ModBlock {
+    /// The module name.
+    pub name: String,
+    /// Significant-token index of the `{`.
+    pub open: usize,
+    /// Significant-token index of the matching `}`.
+    pub close: usize,
 }
 
 /// A loop body inside some function: significant-token index range,
@@ -44,6 +88,9 @@ pub struct UseImport {
     pub root: String,
     /// Leaf names made visible by this import (aliases included).
     pub names: Vec<String>,
+    /// Whether the import ends in a `*` glob (`use hierdiff_tree::*;`),
+    /// which makes every item of the rooted path visible by bare name.
+    pub glob: bool,
 }
 
 /// A lexed + structurally recovered source file.
@@ -64,6 +111,10 @@ pub struct FileModel {
     pub loops: Vec<LoopRegion>,
     /// `use` imports.
     pub uses: Vec<UseImport>,
+    /// `impl` blocks, in source order.
+    pub impls: Vec<ImplBlock>,
+    /// Inline `mod` blocks, in source order.
+    pub mods: Vec<ModBlock>,
     /// Whether the file opts into hot-loop discipline via the
     /// `hierdiff-analyze: hot-module` marker comment.
     pub hot: bool,
@@ -106,11 +157,15 @@ impl FileModel {
             fns: Vec::new(),
             loops: Vec::new(),
             uses: Vec::new(),
+            impls: Vec::new(),
+            mods: Vec::new(),
             hot,
         };
         model.recover_fns();
         model.recover_loops();
         model.recover_uses();
+        model.recover_impls();
+        model.recover_mods();
         model
     }
 
@@ -174,6 +229,33 @@ impl FileModel {
         self.loops.iter().any(|l| l.open <= s && s <= l.close)
     }
 
+    /// The innermost `impl` block whose body contains significant index `s`.
+    pub fn enclosing_impl(&self, s: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, im) in self.impls.iter().enumerate() {
+            let (open, close) = im.body;
+            if open <= s && s <= close {
+                let span = close - open;
+                if best.is_none_or(|(b, _)| span < b) {
+                    best = Some((span, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// The inline-module path at significant index `s`, outermost first
+    /// (file-level module layout is prepended by the resolver).
+    pub fn module_path_at(&self, s: usize) -> Vec<String> {
+        let mut containing: Vec<&ModBlock> = self
+            .mods
+            .iter()
+            .filter(|m| m.open <= s && s <= m.close)
+            .collect();
+        containing.sort_by_key(|m| m.open);
+        containing.iter().map(|m| m.name.clone()).collect()
+    }
+
     /// Finds the matching `}` for the `{` at significant index `open`.
     fn matching_brace(&self, open: usize) -> Option<usize> {
         let mut depth = 0usize;
@@ -213,8 +295,11 @@ impl FileModel {
             // the body `{` (or `;` for a bodyless declaration) at bracket
             // depth zero.
             let mut p = s + 2;
+            let mut generics = Vec::new();
             if self.punct(p, '<') {
-                p = self.skip_angle_group(p);
+                let close = self.skip_angle_group(p);
+                generics = self.generic_names_in(p, close);
+                p = close;
             }
             let mut depth = 0isize;
             let mut body = None;
@@ -243,9 +328,14 @@ impl FileModel {
                 p += 1;
             }
 
-            let dyn_params = params
-                .map(|(open, close)| self.dyn_params_in(open, close))
+            let params = params
+                .map(|(open, close)| self.params_in(open, close))
                 .unwrap_or_default();
+            let dyn_params = params
+                .iter()
+                .filter(|p| p.is_dyn)
+                .map(|p| p.name.clone())
+                .collect();
             fns.push(FnItem {
                 name,
                 line,
@@ -253,9 +343,51 @@ impl FileModel {
                 body,
                 is_test,
                 dyn_params,
+                params,
+                generics,
             });
         }
         self.fns = fns;
+    }
+
+    /// Generic type-parameter names declared in the `<…>` group
+    /// `[open, close)`: idents at angle depth 1 that open a declaration
+    /// (followed by `:`, `,`, or the closing `>`), lifetimes skipped.
+    fn generic_names_in(&self, open: usize, close: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut depth = 0isize;
+        let mut at_decl = true; // start of a parameter declaration
+        let mut s = open;
+        while s < close {
+            if self.punct(s, '<') {
+                depth += 1;
+            } else if self.punct(s, '>') {
+                depth -= 1;
+            } else if depth == 1 {
+                if self.punct(s, ',') {
+                    at_decl = true;
+                } else if at_decl {
+                    if let Some(t) = self.tok(s) {
+                        if t.kind == TokenKind::Ident && !self.word(s, "const") {
+                            out.push(self.lexed.text(t));
+                            at_decl = false;
+                        }
+                        // Lifetimes leave `at_decl` set: `'a, T` still
+                        // records `T`.
+                        if t.kind == TokenKind::Ident && self.word(s, "const") {
+                            // `const N: usize`: the next ident is a value
+                            // parameter, not a type.
+                            at_decl = false;
+                        }
+                    }
+                } else if self.punct(s, ':') {
+                    // Bounds until the next comma are not declarations.
+                    at_decl = false;
+                }
+            }
+            s += 1;
+        }
+        out
     }
 
     /// Skips a `<…>` generic group starting at `open`, tolerating `->`
@@ -277,10 +409,12 @@ impl FileModel {
         self.sig.len()
     }
 
-    /// Parameter names in `(open..=close)` whose type tokens mention `dyn`.
-    fn dyn_params_in(&self, open: usize, close: usize) -> Vec<String> {
+    /// Parameters declared in `(open..=close)`: binding name, leading type
+    /// identifier, and whether the type mentions `dyn`.
+    fn params_in(&self, open: usize, close: usize) -> Vec<Param> {
         let mut out = Vec::new();
         let mut depth = 0isize;
+        let mut angle = 0isize;
         let mut seg_start = open + 1;
         let mut s = open;
         while s <= close {
@@ -289,26 +423,82 @@ impl FileModel {
                 depth += 1;
             } else if self.punct(s, ')') || self.punct(s, ']') {
                 depth -= 1;
+            } else if self.punct(s, '<') {
+                angle += 1;
+            } else if self.punct(s, '>') && !self.punct(s.wrapping_sub(1), '-') {
+                angle -= 1;
             }
-            if (self.punct(s, ',') && depth == 1) || (at_end && depth == 0) {
-                let seg = seg_start..s;
-                let has_dyn = seg.clone().any(|q| self.word(q, "dyn"));
-                if has_dyn {
-                    // First ident that isn't `mut` names the parameter.
-                    for q in seg {
-                        if let Some(t) = self.tok(q) {
-                            if t.kind == TokenKind::Ident && !self.word(q, "mut") {
-                                out.push(self.lexed.text(t));
-                                break;
-                            }
-                        }
-                    }
+            if (self.punct(s, ',') && depth == 1 && angle == 0) || (at_end && depth == 0) {
+                if let Some(param) = self.param_from_segment(seg_start, s) {
+                    out.push(param);
                 }
                 seg_start = s + 1;
             }
             s += 1;
         }
         out
+    }
+
+    /// Recovers one parameter from the token segment `[start, end)`:
+    /// `name : Type` with the name a plain ident (patterns and `self`
+    /// receivers yield `None` — `self` typing goes through the enclosing
+    /// impl instead).
+    fn param_from_segment(&self, start: usize, end: usize) -> Option<Param> {
+        // Find the `:` separating pattern from type (skip `::`).
+        let mut colon = None;
+        let mut q = start;
+        while q < end {
+            if self.punct(q, ':') && !self.punct(q + 1, ':') && !self.punct(q.wrapping_sub(1), ':')
+            {
+                colon = Some(q);
+                break;
+            }
+            q += 1;
+        }
+        let colon = colon?;
+        // The name: the last ident before the colon that isn't `mut`/`ref`.
+        let mut name = None;
+        for q in start..colon {
+            if let Some(t) = self.tok(q) {
+                if t.kind == TokenKind::Ident && !self.word(q, "mut") && !self.word(q, "ref") {
+                    name = Some(self.lexed.text(t));
+                }
+            }
+        }
+        let name = name?;
+        let is_dyn = (colon + 1..end).any(|q| self.word(q, "dyn"));
+        // The type head: first ident after the colon, skipping `&`, `mut`,
+        // and lifetimes. Tuple/slice/pointer heads and `impl`/`dyn`/`fn`
+        // types have no leading path ident — stop at the first decisive
+        // token rather than picking an ident from inside the type.
+        let mut ty = None;
+        for q in colon + 1..end {
+            let Some(t) = self.tok(q) else { break };
+            match t.kind {
+                TokenKind::Lifetime => continue,
+                TokenKind::Ident => {
+                    if self.word(q, "mut") {
+                        continue;
+                    }
+                    if !self.word(q, "dyn") && !self.word(q, "impl") && !self.word(q, "fn") {
+                        // Follow a path to its final segment
+                        // (`tree::Tree<V>` → `Tree`).
+                        let mut q = q;
+                        while self.punct(q + 1, ':')
+                            && self.punct(q + 2, ':')
+                            && self.tok(q + 3).is_some_and(|t| t.kind == TokenKind::Ident)
+                        {
+                            q += 3;
+                        }
+                        ty = self.tok(q).map(|t| self.lexed.text(t));
+                    }
+                    break;
+                }
+                TokenKind::Punct if self.lexed.chars.get(t.start) == Some(&'&') => continue,
+                _ => break,
+            }
+        }
+        Some(Param { name, ty, is_dyn })
     }
 
     fn recover_loops(&mut self) {
@@ -358,6 +548,7 @@ impl FileModel {
             }
             let mut root = None;
             let mut names = Vec::new();
+            let mut glob = false;
             let mut p = s + 1;
             while p < n && !self.punct(p, ';') {
                 if let Some(t) = self.tok(p) {
@@ -372,15 +563,108 @@ impl FileModel {
                         {
                             names.push(self.lexed.text(t));
                         }
+                    } else if t.kind == TokenKind::Punct
+                        && self.lexed.chars.get(t.start) == Some(&'*')
+                    {
+                        glob = true;
                     }
                 }
                 p += 1;
             }
             if let Some(root) = root {
-                uses.push(UseImport { root, names });
+                uses.push(UseImport { root, names, glob });
             }
         }
         self.uses = uses;
+    }
+
+    fn recover_impls(&mut self) {
+        let mut impls = Vec::new();
+        let n = self.sig.len();
+        for s in 0..n {
+            if !self.word(s, "impl") {
+                continue;
+            }
+            let mut p = s + 1;
+            let mut generics = Vec::new();
+            if self.punct(p, '<') {
+                let close = self.skip_angle_group(p);
+                generics = self.generic_names_in(p, close);
+                p = close;
+            }
+            // Scan the header up to the body `{`, tracking the last
+            // angle-depth-zero path ident seen after the later of the start
+            // and any `for` keyword — that is the implemented type
+            // (`impl Tree<V>`, `impl fmt::Display for Tree<V>`).
+            let mut owner: Option<String> = None;
+            let mut angle = 0isize;
+            let mut open = None;
+            while p < n {
+                if self.punct(p, '<') {
+                    angle += 1;
+                } else if self.punct(p, '>') && !self.punct(p.wrapping_sub(1), '-') {
+                    angle -= 1;
+                } else if angle == 0 && self.punct(p, '{') {
+                    open = Some(p);
+                    break;
+                } else if angle == 0 && self.punct(p, ';') {
+                    break; // `impl Trait for Type;` style or recovery bail
+                } else if angle == 0 {
+                    if self.word(p, "for") {
+                        owner = None; // the type follows the `for`
+                    } else if let Some(t) = self.tok(p) {
+                        if t.kind == TokenKind::Ident && !self.word(p, "where") {
+                            owner = Some(self.lexed.text(t));
+                        }
+                        if self.word(p, "where") {
+                            // Bounds follow; the owner is already final.
+                            while p < n && !self.punct(p, '{') {
+                                p += 1;
+                            }
+                            if self.punct(p, '{') {
+                                open = Some(p);
+                            }
+                            break;
+                        }
+                    }
+                }
+                p += 1;
+            }
+            if let (Some(owner), Some(open)) = (owner, open) {
+                if let Some(close) = self.matching_brace(open) {
+                    impls.push(ImplBlock {
+                        owner,
+                        generics,
+                        body: (open, close),
+                    });
+                }
+            }
+        }
+        self.impls = impls;
+    }
+
+    fn recover_mods(&mut self) {
+        let mut mods = Vec::new();
+        let n = self.sig.len();
+        for s in 0..n {
+            if !self.word(s, "mod") {
+                continue;
+            }
+            let Some(name_tok) = self.tok(s + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident || !self.punct(s + 2, '{') {
+                continue; // `mod name;` declarations carry no inline body
+            }
+            if let Some(close) = self.matching_brace(s + 2) {
+                mods.push(ModBlock {
+                    name: self.lexed.text(name_tok),
+                    open: s + 2,
+                    close,
+                });
+            }
+        }
+        self.mods = mods;
     }
 }
 
@@ -483,6 +767,60 @@ mod tests {
         assert!(m.waived(3, "S010"));
         assert!(!m.waived(3, "S011"));
         assert!(!m.waived(2, "S010"));
+    }
+
+    #[test]
+    fn impls_recovered_with_owner_and_generics() {
+        let m = model(
+            "struct Tree<V> { v: V }\n\
+             impl<V: Clone> Tree<V> {\n    fn len(&self) -> usize { 0 }\n}\n\
+             impl std::fmt::Display for Tree<u8> {\n    fn fmt(&self) {}\n}\n",
+        );
+        assert_eq!(m.impls.len(), 2);
+        assert_eq!(m.impls[0].owner, "Tree");
+        assert_eq!(m.impls[0].generics, vec!["V".to_string()]);
+        assert_eq!(m.impls[1].owner, "Tree");
+        // `len` sits inside the first impl body.
+        let len = (0..m.sig.len()).find(|&s| m.word(s, "len")).expect("len");
+        assert_eq!(m.enclosing_impl(len), Some(0));
+    }
+
+    #[test]
+    fn inline_mods_recovered() {
+        let m = model("mod outer {\n    mod inner {\n        fn f() {}\n    }\n}\nmod decl;\n");
+        assert_eq!(m.mods.len(), 2);
+        let f = (0..m.sig.len()).find(|&s| m.word(s, "f")).expect("f");
+        assert_eq!(
+            m.module_path_at(f),
+            vec!["outer".to_string(), "inner".to_string()]
+        );
+    }
+
+    #[test]
+    fn params_recover_declared_type_heads() {
+        let m = model(
+            "fn f(t: &mut tree::Tree<V>, id: NodeId, n: usize, pair: (u8, u8), s: &[u8]) {}\n",
+        );
+        let p = &m.fns[0].params;
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0].ty.as_deref(), Some("Tree"));
+        assert_eq!(p[1].ty.as_deref(), Some("NodeId"));
+        assert_eq!(p[2].ty.as_deref(), Some("usize"));
+        assert_eq!(p[3].ty, None);
+        assert_eq!(p[4].ty, None);
+    }
+
+    #[test]
+    fn glob_imports_flagged() {
+        let m = model("use hierdiff_tree::*;\nuse crate::helper;\n");
+        assert!(m.uses[0].glob);
+        assert!(!m.uses[1].glob);
+    }
+
+    #[test]
+    fn fn_generics_recovered() {
+        let m = model("fn f<T: Clone, const N: usize, U>(x: T) {}\n");
+        assert_eq!(m.fns[0].generics, vec!["T".to_string(), "U".to_string()]);
     }
 
     #[test]

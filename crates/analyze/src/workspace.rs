@@ -6,11 +6,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::api;
+use crate::arena::arena_discipline;
+use crate::guardcov::guard_coverage;
 use crate::hotloop::hot_loop_lints;
 use crate::lints::lint_file;
 use crate::panics::panic_reachability;
 use crate::parser::FileModel;
 use crate::report::Finding;
+use crate::resolve::CallGraph;
 
 /// Where the API snapshots live, relative to the repo root.
 pub const API_DIR: &str = "api";
@@ -40,6 +43,12 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 
 /// Loads and recovers every source file under `crates/*/src`.
 pub fn load_workspace(repo_root: &Path) -> io::Result<Workspace> {
+    load_workspace_threads(repo_root, 1)
+}
+
+/// [`load_workspace`] with lex/recovery fanned out over `threads` worker
+/// threads (file order stays deterministic regardless of thread count).
+pub fn load_workspace_threads(repo_root: &Path, threads: usize) -> io::Result<Workspace> {
     let crates_dir = repo_root.join("crates");
     let mut roots: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok().map(|e| e.path().join("src")))
@@ -47,7 +56,7 @@ pub fn load_workspace(repo_root: &Path) -> io::Result<Workspace> {
         .collect();
     roots.sort();
 
-    let mut files = Vec::new();
+    let mut inputs: Vec<(String, String)> = Vec::new();
     for root in roots {
         let mut paths = Vec::new();
         rust_files(&root, &mut paths)?;
@@ -58,10 +67,49 @@ pub fn load_workspace(repo_root: &Path) -> io::Result<Workspace> {
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            files.push(FileModel::build(&rel, &source));
+            inputs.push((rel, source));
         }
     }
-    Ok(Workspace { files })
+
+    let threads = threads.max(1).min(inputs.len().max(1));
+    if threads == 1 {
+        return Ok(Workspace {
+            files: inputs
+                .iter()
+                .map(|(rel, src)| FileModel::build(rel, src))
+                .collect(),
+        });
+    }
+    // Strided fan-out: worker `w` builds files w, w+threads, …; slots are
+    // filled by index so the output order matches the sequential path.
+    let mut slots: Vec<Option<FileModel>> = Vec::new();
+    slots.resize_with(inputs.len(), || None);
+    let inputs_ref = &inputs;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut built = Vec::new();
+                let mut i = w;
+                while i < inputs_ref.len() {
+                    let (rel, src) = &inputs_ref[i];
+                    built.push((i, FileModel::build(rel, src)));
+                    i += threads;
+                }
+                built
+            }));
+        }
+        for h in handles {
+            if let Ok(built) = h.join() {
+                for (i, model) in built {
+                    slots[i] = Some(model);
+                }
+            }
+        }
+    });
+    Ok(Workspace {
+        files: slots.into_iter().flatten().collect(),
+    })
 }
 
 /// Runs the `L0xx` lints over the workspace (the `xtask lint` engine).
@@ -83,13 +131,24 @@ pub struct Analysis {
 }
 
 /// Runs the full `S0xx` analysis: panic reachability (S001–S004),
-/// hot-loop discipline (S010/S011), and API snapshot checks (S020/S021).
+/// hot-loop discipline (S010/S011), API snapshot checks (S020/S021),
+/// guard coverage (S030/S031), and arena discipline (S040–S042).
 pub fn run_analysis(repo_root: &Path) -> io::Result<Analysis> {
-    let ws = load_workspace(repo_root)?;
+    run_analysis_threads(repo_root, 1)
+}
+
+/// [`run_analysis`] with workspace loading fanned out over `threads`.
+pub fn run_analysis_threads(repo_root: &Path, threads: usize) -> io::Result<Analysis> {
+    let ws = load_workspace_threads(repo_root, threads)?;
+    let graph = CallGraph::build(&ws.files);
     let mut waived = 0usize;
-    let mut findings = panic_reachability(&ws.files, &mut waived);
+    let mut findings = panic_reachability(&ws.files, &graph, &mut waived);
     for model in &ws.files {
         hot_loop_lints(model, &mut findings, &mut waived);
+    }
+    guard_coverage(&ws.files, &graph, &mut findings, &mut waived);
+    for model in &ws.files {
+        arena_discipline(model, &mut findings, &mut waived);
     }
     findings.extend(check_api_snapshots(repo_root, &ws)?);
     Ok(Analysis { findings, waived })

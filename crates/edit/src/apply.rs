@@ -68,6 +68,7 @@ pub fn apply_script<V: NodeValue>(
         remap.get(&id).copied().unwrap_or(id)
     };
     for (op_index, op) in script.iter().enumerate() {
+        // analyze: allow(S031) replay of an already-governed script, one op per step
         {
             let ctx = ApplyCtx {
                 tree: &*tree,

@@ -76,6 +76,7 @@ pub fn bounded_greedy_match<V: NodeValue>(
                     continue;
                 }
                 while start < s2.len() && m.is_matched2(s2[start]) {
+                    guard.tick()?;
                     start += 1;
                 }
                 if start >= s2.len() {

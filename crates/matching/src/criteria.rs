@@ -20,6 +20,26 @@ use hierdiff_tree::{Intervals, NodeId, NodeValue, Tree};
 
 use crate::schema::LabelClasses;
 
+/// Blessed indexing funnels (see DESIGN.md, "Static analysis"): every
+/// leaf-range table access flows through these, keeping the S004
+/// panic-reachability audit to three waived sites. Indices are
+/// `NodeId::index()` values bounded by the arena length the table was
+/// sized with; range endpoints come from the same table.
+#[inline(always)]
+fn at<T: Copy>(v: &[T], i: usize) -> T {
+    v[i] // analyze: allow(S004) the blessed funnel
+}
+
+#[inline(always)]
+fn at_mut<T>(v: &mut [T], i: usize) -> &mut T {
+    &mut v[i] // analyze: allow(S004) the blessed funnel
+}
+
+#[inline(always)]
+fn span<T>(v: &[T], lo: usize, hi: usize) -> &[T] {
+    &v[lo..hi] // analyze: allow(S004) the blessed funnel
+}
+
 /// Parameters of the matching criteria.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MatchParams {
@@ -137,18 +157,20 @@ impl LeafRanges {
         // Iterative pre/post pass assigning [start, end) leaf slices.
         let mut stack = vec![(tree.root(), false)];
         while let Some((id, done)) = stack.pop() {
+            // analyze: allow(S031) O(n) leaf-range precompute before the governed match loops
             if done {
-                let start = range[id.index()].0;
-                range[id.index()] = (start, order.len() as u32);
+                let start = at(&range, id.index()).0;
+                *at_mut(&mut range, id.index()) = (start, order.len() as u32);
                 continue;
             }
-            range[id.index()].0 = order.len() as u32;
+            at_mut(&mut range, id.index()).0 = order.len() as u32;
             if tree.is_leaf(id) && classes.is_leaf_label(tree.label(id)) {
                 order.push(id);
-                range[id.index()] = (order.len() as u32 - 1, order.len() as u32);
+                *at_mut(&mut range, id.index()) = (order.len() as u32 - 1, order.len() as u32);
             } else {
                 stack.push((id, true));
                 for &c in tree.children(id).iter().rev() {
+                    // analyze: allow(S031) O(n) leaf-range precompute before the governed match loops
                     stack.push((c, false));
                 }
             }
@@ -158,13 +180,13 @@ impl LeafRanges {
 
     /// The leaves contained in `node`, in document order.
     pub fn leaves_of(&self, node: NodeId) -> &[NodeId] {
-        let (s, e) = self.range[node.index()];
-        &self.order[s as usize..e as usize]
+        let (s, e) = at(&self.range, node.index());
+        span(&self.order, s as usize, e as usize)
     }
 
     /// `|node|` — the number of leaves contained in `node`.
     pub fn count(&self, node: NodeId) -> usize {
-        let (s, e) = self.range[node.index()];
+        let (s, e) = at(&self.range, node.index());
         (e - s) as usize
     }
 }
@@ -255,6 +277,7 @@ impl<'a, V: NodeValue> MatchCtx<'a, V> {
         if nx <= ny {
             self.counters.partner_checks += nx;
             for &w in self.leaves1.leaves_of(x) {
+                // analyze: allow(S031) cost charged to partner_checks; callers tick per pair
                 if let Some(z) = m.partner1(w) {
                     if self.iv2.is_ancestor(y, z) {
                         common += 1;
@@ -264,6 +287,7 @@ impl<'a, V: NodeValue> MatchCtx<'a, V> {
         } else {
             self.counters.partner_checks += ny;
             for &z in self.leaves2.leaves_of(y) {
+                // analyze: allow(S031) cost charged to partner_checks; callers tick per pair
                 if let Some(w) = m.partner2(z) {
                     if self.iv1.is_ancestor(x, w) {
                         common += 1;

@@ -109,6 +109,7 @@ fn fast_match_governed<V: NodeValue>(
         .into_iter()
         .enumerate()
     {
+        guard.checkpoint()?;
         let is_leaf_phase = phase == 0;
         for &label in phase_labels {
             // Seeded/already-matched nodes can never pair again, so drop them
@@ -161,11 +162,13 @@ fn fast_match_governed<V: NodeValue>(
             // 2d. Adopt the LCS pairs (checked unmatched, strictly
             // increasing — a rejected insert is an invariant bug).
             for &(i, j) in &pairs {
-                m.insert(s1[i], s2[j])
+                guard.tick()?;
+                m.insert(s1[i], s2[j]) // analyze: allow(S004) LCS pairs index into the chains they came from
                     .map_err(|_| MatchError::Internal("LCS pair already matched"))?;
             }
             // 2e. Pair remaining unmatched nodes as in Algorithm Match.
             for &x in &s1 {
+                guard.tick()?;
                 if m.is_matched1(x) {
                     continue;
                 }

@@ -40,11 +40,13 @@ pub fn postprocess<V: NodeValue>(
     // Top-down over T1 (BFS = parents before children).
     let order: Vec<_> = t1.bfs().collect();
     for x in order {
+        // analyze: allow(S031) single top-down repair pass, bounded by tree size
         let Some(y) = matching.partner1(x) else {
             continue;
         };
         let children: Vec<_> = t1.children(x).to_vec();
         for c in children {
+            // analyze: allow(S031) one candidate scan per child, bounded by arity
             if matching
                 .partner1(c)
                 .is_some_and(|c1| t2.parent(c1) == Some(y))

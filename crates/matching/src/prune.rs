@@ -65,6 +65,7 @@ pub fn prune_identical_indexed<V: NodeValue>(
     let mut m = Matching::with_capacity(t1.arena_len(), t2.arena_len());
     let mut stats = PruneStats::default();
     for &x in idx1.tallest_first() {
+        // analyze: allow(S031) single pass over the fingerprint index
         if m.is_matched1(x) {
             continue; // interior of an already-pruned subtree
         }
@@ -88,6 +89,7 @@ pub fn prune_identical_indexed<V: NodeValue>(
         let ys = hierdiff_tree::traverse::preorder_of(t2, y);
         let mut paired = 0usize;
         for (a, b) in xs.zip(ys) {
+            // analyze: allow(S031) pairs each pruned node exactly once
             m.insert(a, b)
                 .map_err(|_| MatchError::Internal("pruned subtree pair already matched"))?;
             paired += 1;

@@ -40,10 +40,12 @@ impl LabelClasses {
         let mut any_internal: HashMap<Label, bool> = HashMap::new();
         let mut seen_order: Vec<Label> = Vec::new();
         for tree in [t1, t2] {
+            // analyze: allow(S031) O(n) label-classification pre-pass
             // Dense per-node heights in one postorder pass (Tree::height
             // recomputes recursively per call — O(subtree) each).
             let mut heights = vec![0usize; tree.arena_len()];
             for id in tree.postorder() {
+                // analyze: allow(S031) O(n) height pass
                 heights[id.index()] = tree
                     .children(id)
                     .iter()
@@ -52,6 +54,7 @@ impl LabelClasses {
                     .unwrap_or(0);
             }
             for id in tree.preorder() {
+                // analyze: allow(S031) O(n) label scan
                 let l = tree.label(id);
                 let h = heights[id.index()];
                 let e = max_height.entry(l).or_insert_with(|| {
@@ -65,6 +68,7 @@ impl LabelClasses {
         let mut leaf_labels = Vec::new();
         let mut internal_labels = Vec::new();
         for &l in &seen_order {
+            // analyze: allow(S031) bounded by distinct labels
             if any_internal[&l] {
                 internal_labels.push(l);
             } else {

@@ -32,6 +32,7 @@ pub struct MatchResult {
 pub fn label_chains<V: NodeValue>(tree: &Tree<V>) -> HashMap<Label, Vec<NodeId>> {
     let mut chains: HashMap<Label, Vec<NodeId>> = HashMap::new();
     for id in tree.preorder() {
+        // analyze: allow(S031) O(n) chain-building pre-pass
         chains.entry(tree.label(id)).or_default().push(id);
     }
     chains
@@ -60,15 +61,19 @@ pub fn match_simple<V: NodeValue>(
         .into_iter()
         .enumerate()
     {
+        // analyze: allow(S031) Algorithm Match runs ungoverned by design
         let is_leaf_phase = phase == 0;
         for &label in phase_labels {
+            // analyze: allow(S031) Algorithm Match runs ungoverned by design
             let xs = chains1.get(&label).unwrap_or(&empty);
             let ys = chains2.get(&label).unwrap_or(&empty);
             for &x in xs {
+                // analyze: allow(S031) Algorithm Match runs ungoverned by design
                 if m.is_matched1(x) {
                     continue;
                 }
                 for &y in ys {
+                    // analyze: allow(S031) Algorithm Match runs ungoverned by design
                     if m.is_matched2(y) {
                         continue;
                     }

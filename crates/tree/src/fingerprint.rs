@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 
-use crate::tree::{NodeId, Tree};
+use crate::tree::{at, at_mut, NodeId, Tree};
 use crate::value::NodeValue;
 
 /// A fast non-cryptographic streaming hasher (FxHash-style multiply-xor)
@@ -128,7 +128,7 @@ fn node_hash<V: NodeValue>(tree: &Tree<V>, id: NodeId, out: &[u64]) -> u64 {
     tree.value(id).hash(&mut h);
     tree.arity(id).hash(&mut h);
     for &c in tree.children(id) {
-        out[c.index()].hash(&mut h);
+        at(out, c.index()).hash(&mut h);
     }
     h.finish()
 }
@@ -143,13 +143,13 @@ pub fn subtree_hashes<V: NodeValue>(tree: &Tree<V>) -> Vec<u64> {
         // its parent, so a reverse index scan fills the same table as the
         // post-order walk without a worklist.
         for i in (0..tree.arena_len()).rev() {
-            let id = NodeId(i as u32);
-            out[i] = node_hash(tree, id, &out);
+            let id = NodeId::from_index(i);
+            *at_mut(&mut out, i) = node_hash(tree, id, &out);
         }
         return out;
     }
     for id in tree.postorder() {
-        out[id.index()] = node_hash(tree, id, &out);
+        *at_mut(&mut out, id.index()) = node_hash(tree, id, &out);
     }
     out
 }
@@ -177,11 +177,11 @@ impl FingerprintIndex {
         let mut hashes = vec![0u64; tree.arena_len()];
         let mut heights = vec![0u32; tree.arena_len()];
         let fill = |id: NodeId, hashes: &mut Vec<u64>, heights: &mut Vec<u32>| {
-            hashes[id.index()] = node_hash(tree, id, hashes);
-            heights[id.index()] = tree
+            *at_mut(hashes, id.index()) = node_hash(tree, id, hashes);
+            *at_mut(heights, id.index()) = tree
                 .children(id)
                 .iter()
-                .map(|&c| heights[c.index()] + 1)
+                .map(|&c| at(heights, c.index()) + 1)
                 .max()
                 .unwrap_or(0);
         };
@@ -189,7 +189,7 @@ impl FingerprintIndex {
             // Children carry larger indices in the preorder-contiguous
             // layout; a reverse index scan is an in-place post-order.
             for i in (0..tree.arena_len()).rev() {
-                fill(NodeId(i as u32), &mut hashes, &mut heights);
+                fill(NodeId::from_index(i), &mut hashes, &mut heights);
             }
         } else {
             for id in tree.postorder() {
@@ -198,14 +198,14 @@ impl FingerprintIndex {
         }
         let mut chains =
             ChainMap::with_capacity_and_hasher(tree.len(), BuildHasherDefault::default());
-        let root_height = heights[tree.root().index()] as usize;
+        let root_height = at(&heights, tree.root().index()) as usize;
         let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); root_height + 1];
         for id in tree.preorder() {
             chains
-                .entry(hashes[id.index()])
+                .entry(at(&hashes, id.index()))
                 .and_modify(|e| e.push(id))
                 .or_insert(ChainEntry::One(id));
-            buckets[heights[id.index()] as usize].push(id);
+            at_mut(&mut buckets, at(&heights, id.index()) as usize).push(id);
         }
         // Bucket sort, tallest first; per-bucket document order is preserved
         // (equivalent to a stable sort on Reverse(height)).
@@ -223,12 +223,12 @@ impl FingerprintIndex {
 
     /// The fingerprint of `id`'s subtree.
     pub fn hash(&self, id: NodeId) -> u64 {
-        self.hashes[id.index()]
+        at(&self.hashes, id.index())
     }
 
     /// The height of `id`'s subtree (0 for leaves).
     pub fn height(&self, id: NodeId) -> u32 {
-        self.heights[id.index()]
+        at(&self.heights, id.index())
     }
 
     /// All nodes whose subtree bears `hash`, in document order.

@@ -8,7 +8,7 @@
 //! internal-node comparison — interval numbering is what makes each of those
 //! charged units O(1).
 
-use crate::tree::{NodeId, Tree};
+use crate::tree::{at, at_mut, n32, NodeId, Tree};
 use crate::value::NodeValue;
 
 /// Pre-order entry/exit intervals for a frozen snapshot of a tree.
@@ -28,7 +28,7 @@ impl Intervals {
         if let Some(skips) = tree.skips_raw() {
             // Ids already are preorder ranks, and the exit clock of `i` is
             // one past its contiguous subtree: the recorded skip offset.
-            let enter: Vec<u32> = (0..tree.arena_len() as u32).collect();
+            let enter: Vec<u32> = (0..n32(tree.arena_len())).collect();
             return Intervals {
                 enter,
                 exit: skips.to_vec(),
@@ -41,10 +41,10 @@ impl Intervals {
         let mut stack = vec![(tree.root(), false)];
         while let Some((id, done)) = stack.pop() {
             if done {
-                exit[id.index()] = clock;
+                *at_mut(&mut exit, id.index()) = clock;
                 continue;
             }
-            enter[id.index()] = clock;
+            *at_mut(&mut enter, id.index()) = clock;
             clock += 1;
             stack.push((id, true));
             for &c in tree.children(id).iter().rev() {
@@ -59,13 +59,13 @@ impl Intervals {
     pub fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
         let a = ancestor.index();
         let n = node.index();
-        self.enter[a] <= self.enter[n] && self.enter[n] < self.exit[a]
+        at(&self.enter, a) <= at(&self.enter, n) && at(&self.enter, n) < at(&self.exit, a)
     }
 
     /// Pre-order rank of `node` (0-based). Nodes earlier in document order
     /// have smaller ranks.
     pub fn preorder_rank(&self, node: NodeId) -> u32 {
-        self.enter[node.index()]
+        at(&self.enter, node.index())
     }
 }
 

@@ -21,7 +21,7 @@ pub fn isomorphic_subtrees<V: NodeValue>(ta: &Tree<V>, a: NodeId, tb: &Tree<V>, 
             return false;
         }
         return ra.zip(rb).all(|(i, j)| {
-            let (x, y) = (NodeId(i as u32), NodeId(j as u32));
+            let (x, y) = (NodeId::from_index(i), NodeId::from_index(j));
             ta.label(x) == tb.label(y)
                 && ta.subtree_size(x) == tb.subtree_size(y)
                 && ta.value(x) == tb.value(y)

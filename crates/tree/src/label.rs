@@ -50,7 +50,7 @@ impl Label {
             return Label(id);
         }
         assert!(int.names.len() < u32::MAX as usize, "label space exhausted");
-        let id = int.names.len() as u32;
+        let id = crate::tree::n32(int.names.len());
         let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
         int.names.push(leaked);
         int.by_name.insert(leaked, id);
@@ -60,7 +60,7 @@ impl Label {
     /// The label's string form.
     pub fn as_str(self) -> &'static str {
         let int = interner().lock().unwrap_or_else(PoisonError::into_inner);
-        int.names[self.0 as usize]
+        crate::tree::at(&int.names, self.0 as usize)
     }
 
     /// The dense integer id of this label. Useful for keying per-label tables

@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use crate::tree::{NodeId, Tree};
+use crate::tree::{n32, NodeId, Tree};
 use crate::value::NodeValue;
 
 /// Breadth-first traversal starting at `start` (inclusive): parents before
@@ -28,8 +28,8 @@ pub fn bfs_of<V: NodeValue>(tree: &Tree<V>, start: NodeId) -> Bfs<'_, V> {
 pub fn preorder_of<V: NodeValue>(tree: &Tree<V>, start: NodeId) -> Preorder<'_, V> {
     let mode = match tree.subtree_range(start) {
         Some(range) => Mode::Scan {
-            next: range.start as u32,
-            end: range.end as u32,
+            next: n32(range.start),
+            end: n32(range.end),
         },
         None => Mode::Stack(vec![start]),
     };

@@ -3,9 +3,12 @@
 //! * `lint` — the `L0xx` source lints over `crates/*/src`, with a
 //!   checked-in burn-down allowlist at `crates/xtask/lint-allow.txt`.
 //! * `analyze` — the `S0xx` token-level analyzer: panic reachability from
-//!   the pipeline entrypoints, hot-loop discipline in marked modules, and
-//!   public-API surface snapshots under `api/`, with its own allowlist at
+//!   the pipeline entrypoints, hot-loop and guard-coverage discipline,
+//!   arena discipline in `crates/tree`, and public-API surface snapshots
+//!   under `api/`, with its own allowlist at
 //!   `crates/xtask/analyze-allow.txt`.
+//! * `ratchet` — ceilings over both allowlists (total and per code) in
+//!   `crates/xtask/ratchet.txt`; the burn-down lists may only shrink.
 //!
 //! Both engines live in `hierdiff-analyze`; this binary is argument
 //! parsing and file I/O. See DESIGN.md ("Diagnostics & static analysis")
@@ -14,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -32,7 +36,13 @@ const USAGE: &str = "usage: cargo run -p xtask -- <task>\n\
   analyze --json PATH      additionally write the JSON report to PATH\n\
   analyze --check-api      only check api/*.txt snapshots for drift\n\
   analyze --write-api      regenerate api/*.txt from the current sources\n\
-  analyze --write-allowlist    rewrite the analyzer allowlist";
+  analyze --write-allowlist    rewrite the analyzer allowlist\n\
+  analyze --bench PATH     time the analyzer at 1/2/4 loader threads and\n\
+                           write the medians to PATH as JSON\n\
+  ratchet              check both allowlists against the ceilings recorded\n\
+                       in crates/xtask/ratchet.txt; any growth fails\n\
+  ratchet --write          record the current (smaller) counts as the new\n\
+                           ceilings; refuses to raise any ceiling";
 
 fn repo_root() -> PathBuf {
     // crates/xtask -> crates -> repo root.
@@ -52,6 +62,34 @@ fn load_allowlist(
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Default::default()),
         Err(e) => Err(format!("{}: {e}", path.display())),
     }
+}
+
+/// Rewrites an allowlist from `findings`: drops any finding whose file is
+/// no longer on disk (so a deleted module never re-records entries), and
+/// reports how many entries of the *previous* list pointed at dead files.
+/// Rendering sorts by the explicit `(path, line, code)` key, so the output
+/// is byte-for-byte deterministic.
+fn write_allowlist_file(
+    root: &Path,
+    rel: &str,
+    mut findings: Vec<analyze::Finding>,
+    header: &str,
+) -> Result<(), String> {
+    let path = root.join(rel);
+    let prev = load_allowlist(&path)?;
+    let dead: usize = prev
+        .iter()
+        .filter(|((p, _), _)| !root.join(p).is_file())
+        .map(|(_, n)| *n)
+        .sum();
+    findings.retain(|f| root.join(&f.path).is_file());
+    let rendered = analyze::render_allowlist(&findings, header);
+    std::fs::write(&path, rendered).map_err(|e| format!("{}: {e}", path.display()))?;
+    if dead > 0 {
+        println!("stripped {dead} previous entries pointing at deleted files");
+    }
+    println!("wrote {} entries to {}", findings.len(), path.display());
+    Ok(())
 }
 
 /// Prints a verdict and returns whether the run passes.
@@ -78,19 +116,14 @@ fn run_lint(write: bool) -> Result<bool, String> {
     let allowlist_path = root.join("crates/xtask/lint-allow.txt");
 
     if write {
-        let rendered = analyze::render_allowlist(
-            &findings,
+        write_allowlist_file(
+            &root,
+            "crates/xtask/lint-allow.txt",
+            findings,
             "Known L0xx offences, one `<path> <CODE>` line per offence.\n\
              This list is a burn-down: entries may only be removed (fixing the\n\
              offence), never added. Stale entries fail `cargo run -p xtask -- lint`.",
-        );
-        std::fs::write(&allowlist_path, rendered)
-            .map_err(|e| format!("{}: {e}", allowlist_path.display()))?;
-        println!(
-            "wrote {} entries to {}",
-            findings.len(),
-            allowlist_path.display()
-        );
+        )?;
         return Ok(true);
     }
 
@@ -106,6 +139,7 @@ enum AnalyzeMode {
     CheckApiOnly,
     WriteApi,
     WriteAllowlist,
+    Bench { json: PathBuf },
 }
 
 fn run_analyze(mode: AnalyzeMode) -> Result<bool, String> {
@@ -139,19 +173,44 @@ fn run_analyze(mode: AnalyzeMode) -> Result<bool, String> {
         AnalyzeMode::WriteAllowlist => {
             let analysis =
                 analyze::run_analysis(&root).map_err(|e| format!("analyzing sources: {e}"))?;
-            let path = root.join("crates/xtask/analyze-allow.txt");
-            let rendered = analyze::render_allowlist(
-                &analysis.findings,
+            write_allowlist_file(
+                &root,
+                "crates/xtask/analyze-allow.txt",
+                analysis.findings,
                 "Known S0xx offences, one `<path> <CODE>` line per offence.\n\
                  This list is a burn-down: entries may only be removed (fixing the\n\
                  offence), never added. Stale entries fail `cargo run -p xtask -- analyze`.",
+            )?;
+            Ok(true)
+        }
+        AnalyzeMode::Bench { json } => {
+            const RUNS: usize = 5;
+            let mut points = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let mut wall_ms = Vec::with_capacity(RUNS);
+                let mut findings = 0usize;
+                for _ in 0..RUNS {
+                    let t0 = std::time::Instant::now();
+                    let analysis = analyze::run_analysis_threads(&root, threads)
+                        .map_err(|e| format!("analyzing sources: {e}"))?;
+                    wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    findings = analysis.findings.len();
+                }
+                wall_ms.sort_by(f64::total_cmp);
+                let median = wall_ms[wall_ms.len() / 2];
+                println!(
+                    "analyze bench: {threads} thread(s): median {median:.3} ms over {RUNS} runs"
+                );
+                points.push(format!(
+                    "    {{\n      \"threads\": {threads},\n      \"median_wall_ms\": {median:.6},\n      \"findings\": {findings}\n    }}"
+                ));
+            }
+            let rendered = format!(
+                "{{\n  \"bench\": \"S0xx analyzer wall time over the workspace\",\n  \"runs\": {RUNS},\n  \"points\": [\n{}\n  ]\n}}\n",
+                points.join(",\n")
             );
-            std::fs::write(&path, rendered).map_err(|e| format!("{}: {e}", path.display()))?;
-            println!(
-                "wrote {} entries to {}",
-                analysis.findings.len(),
-                path.display()
-            );
+            std::fs::write(&json, rendered).map_err(|e| format!("{}: {e}", json.display()))?;
+            println!("wrote analyzer bench to {}", json.display());
             Ok(true)
         }
         AnalyzeMode::Check { json } => {
@@ -177,6 +236,139 @@ fn run_analyze(mode: AnalyzeMode) -> Result<bool, String> {
     }
 }
 
+/// The allowlists governed by the ratchet, as `(key, path)` pairs.
+const RATCHET_LISTS: &[(&str, &str)] = &[
+    ("analyze-allow", "crates/xtask/analyze-allow.txt"),
+    ("lint-allow", "crates/xtask/lint-allow.txt"),
+];
+
+const RATCHET_FILE: &str = "crates/xtask/ratchet.txt";
+
+/// Current allowlist sizes keyed `<list>` (total) and `<list>:<CODE>`
+/// (per-code breakdown). Totals are always present, even at zero, so a
+/// fully burned-down list still gets a `0` ceiling on `--write`.
+fn ratchet_counts(root: &Path) -> Result<BTreeMap<String, usize>, String> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (key, rel) in RATCHET_LISTS {
+        let allowed = load_allowlist(&root.join(rel))?;
+        let mut total = 0usize;
+        for ((_path, code), n) in &allowed {
+            total += n;
+            *counts.entry(format!("{key}:{code}")).or_insert(0) += n;
+        }
+        counts.insert((*key).to_string(), total);
+    }
+    Ok(counts)
+}
+
+/// Parses `ratchet.txt`: `<key> <ceiling>` lines, blanks and `#` comments
+/// skipped; unparsable ceilings are ignored (they fail the check as
+/// missing keys rather than being silently treated as zero).
+fn parse_ratchet(text: &str) -> BTreeMap<String, usize> {
+    let mut ceilings = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(key), Some(n)) = (parts.next(), parts.next()) {
+            if let Ok(n) = n.parse::<usize>() {
+                ceilings.insert(key.to_string(), n);
+            }
+        }
+    }
+    ceilings
+}
+
+fn render_ratchet(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# Allowlist ratchet: ceilings on the burn-down allowlists, one total\n\
+         # per list plus per-code breakdowns. `cargo run -p xtask -- ratchet`\n\
+         # fails when any current count exceeds its ceiling — the lists may\n\
+         # only shrink. After burning entries down, record the progress with\n\
+         # `cargo run -p xtask -- ratchet --write`, which refuses to raise a\n\
+         # ceiling.\n",
+    );
+    for (key, n) in counts {
+        out.push_str(&format!("{key} {n}\n"));
+    }
+    out
+}
+
+/// The allowlist ratchet: compares current allowlist sizes against the
+/// ceilings in `ratchet.txt`. Checking fails on any growth or on a count
+/// with no recorded ceiling; `--write` records the current counts but
+/// refuses to raise an existing ceiling.
+fn run_ratchet(write: bool) -> Result<bool, String> {
+    let root = repo_root();
+    let counts = ratchet_counts(&root)?;
+    let path = root.join(RATCHET_FILE);
+    let ceilings = match std::fs::read_to_string(&path) {
+        Ok(text) => parse_ratchet(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+
+    if write {
+        let mut ok = true;
+        for (key, &n) in &counts {
+            if let Some(&c) = ceilings.get(key) {
+                if n > c {
+                    println!(
+                        "ratchet: refusing to raise `{key}` from {c} to {n} — \
+                         the ratchet only tightens; fix the offence or carry an \
+                         inline `analyze: allow(..)` waiver instead"
+                    );
+                    ok = false;
+                }
+            }
+        }
+        if !ok {
+            return Ok(false);
+        }
+        std::fs::write(&path, render_ratchet(&counts))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote {} ceilings to {}", counts.len(), path.display());
+        return Ok(true);
+    }
+
+    let mut ok = true;
+    let mut slack = 0usize;
+    for (key, &n) in &counts {
+        match ceilings.get(key) {
+            Some(&c) if n <= c => slack += c - n,
+            Some(&c) => {
+                println!(
+                    "ratchet: `{key}` grew to {n} (ceiling {c}) — allowlists \
+                     may only shrink; fix the offence or carry an inline waiver"
+                );
+                ok = false;
+            }
+            None if n > 0 => {
+                println!(
+                    "ratchet: `{key}` has {n} entries but no recorded ceiling — \
+                     review them, then `cargo run -p xtask -- ratchet --write`"
+                );
+                ok = false;
+            }
+            None => {}
+        }
+    }
+    if ok {
+        println!(
+            "ratchet: all {} ceilings hold{}",
+            ceilings.len(),
+            if slack > 0 {
+                format!(" ({slack} entries of slack — tighten with `ratchet --write`)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let args: Vec<&str> = args.iter().map(String::as_str).collect();
@@ -190,6 +382,11 @@ fn main() -> ExitCode {
         ["analyze", "--check-api"] => run_analyze(AnalyzeMode::CheckApiOnly),
         ["analyze", "--write-api"] => run_analyze(AnalyzeMode::WriteApi),
         ["analyze", "--write-allowlist"] => run_analyze(AnalyzeMode::WriteAllowlist),
+        ["analyze", "--bench", path] => run_analyze(AnalyzeMode::Bench {
+            json: PathBuf::from(path),
+        }),
+        ["ratchet"] => run_ratchet(false),
+        ["ratchet", "--write"] => run_ratchet(true),
         ["-h"] | ["--help"] => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
