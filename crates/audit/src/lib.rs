@@ -32,7 +32,7 @@
 //! [`audit_tree`] first on untrusted input); the pair-level checkers then
 //! validate matchings, scripts, prune seeds, and delta trees against them.
 //! The `hierdiff-core` crate calls these at stage boundaries when
-//! `DiffOptions::audit` is enabled (the default under debug assertions).
+//! `Differ::audit` is enabled (the default under debug assertions).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

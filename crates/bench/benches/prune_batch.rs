@@ -10,7 +10,7 @@
 //!    where static assignment strands the heavy work on one thread.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hierdiff_core::{DiffOptions, Differ};
+use hierdiff_core::Differ;
 use hierdiff_doc::DocValue;
 use hierdiff_matching::{fast_match, fast_match_accelerated, MatchParams};
 use hierdiff_tree::Tree;
@@ -59,23 +59,21 @@ fn bench_prune_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("prune/diff-10k");
     g.sample_size(10);
     let (t1, t2) = revision_pair(425, 12, 9_500);
-    let base = DiffOptions {
-        build_delta: false,
-        ..DiffOptions::default()
-    };
     g.bench_function("plain", |b| {
         b.iter(|| {
-            Differ::from_options(base.clone())
+            Differ::new()
+                .delta(false)
                 .diff(&t1, &t2)
                 .unwrap()
                 .script
                 .len()
         })
     });
-    let pruned = base.clone().with_prune(true);
     g.bench_function("pruned", |b| {
         b.iter(|| {
-            Differ::from_options(pruned.clone())
+            Differ::new()
+                .delta(false)
+                .prune(true)
                 .diff(&t1, &t2)
                 .unwrap()
                 .script
@@ -87,11 +85,7 @@ fn bench_prune_end_to_end(c: &mut Criterion) {
 
 /// The scheduling baseline this PR replaced: pair `i` is pinned to worker
 /// `i % workers`, no rebalancing.
-fn diff_batch_static(
-    pairs: &[(&Tree<DocValue>, &Tree<DocValue>)],
-    options: &DiffOptions,
-    workers: usize,
-) -> usize {
+fn diff_batch_static(pairs: &[(&Tree<DocValue>, &Tree<DocValue>)], workers: usize) -> usize {
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -100,13 +94,7 @@ fn diff_batch_static(
                         .iter()
                         .skip(w)
                         .step_by(workers)
-                        .map(|(a, b)| {
-                            Differ::from_options(options.clone())
-                                .diff(a, b)
-                                .unwrap()
-                                .script
-                                .len()
-                        })
+                        .map(|(a, b)| Differ::new().delta(false).diff(a, b).unwrap().script.len())
                         .sum::<usize>()
                 })
             })
@@ -139,20 +127,16 @@ fn bench_batch_skewed(c: &mut Criterion) {
     for l in light_iter {
         ordered.push((&l.0, &l.1));
     }
-    let options = DiffOptions {
-        build_delta: false,
-        ..DiffOptions::default()
-    };
-
     let mut g = c.benchmark_group("batch/skewed-32");
     g.sample_size(10);
     g.bench_function("static-chunking", |b| {
-        b.iter(|| diff_batch_static(&ordered, &options, workers))
+        b.iter(|| diff_batch_static(&ordered, workers))
     });
     g.bench_function("work-stealing", |b| {
         b.iter(|| {
             let mut total = 0usize;
-            Differ::from_options(options.clone())
+            Differ::new()
+                .delta(false)
                 .workers(workers)
                 .diff_batch_with(&ordered, |_, r| total += r.unwrap().script.len());
             total

@@ -790,7 +790,7 @@ pub fn prematch_ablation() -> String {
 /// meaningful on multi-core hosts; this report is scheduling-quality
 /// evidence that holds regardless.)
 pub fn batch_schedule() -> String {
-    use hierdiff_core::{DiffOptions, Differ};
+    use hierdiff_core::Differ;
     use std::time::Duration;
 
     let workers = 4usize;
@@ -832,23 +832,17 @@ pub fn batch_schedule() -> String {
     for l in light_iter {
         pairs.push((&l.0, &l.1));
     }
-    let options = DiffOptions {
-        build_delta: false,
-        ..DiffOptions::default()
-    };
-
     // Static baseline: per-worker busy time under `i % workers` pinning.
     let t0 = Instant::now();
     let static_busy: Vec<Duration> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let pairs = &pairs;
-                let options = &options;
                 scope.spawn(move || {
                     let mut busy = Duration::ZERO;
                     for (a, b) in pairs.iter().skip(w).step_by(workers) {
                         let t = Instant::now();
-                        let _ = Differ::from_options(options.clone()).diff(a, b).unwrap();
+                        let _ = Differ::new().delta(false).diff(a, b).unwrap();
                         busy += t.elapsed();
                     }
                     busy
@@ -859,7 +853,8 @@ pub fn batch_schedule() -> String {
     });
     let static_wall = t0.elapsed();
 
-    let report = Differ::from_options(options.clone())
+    let report = Differ::new()
+        .delta(false)
         .workers(workers)
         .diff_batch_with(&pairs, |_, r| {
             let _ = r.unwrap();

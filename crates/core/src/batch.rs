@@ -10,7 +10,7 @@
 //! cannot strand one worker with all the heavy work while the rest idle —
 //! idle workers pull the excess over. [`BatchReport`] exposes per-worker
 //! completion/steal counts and busy-time utilization so the rebalancing is
-//! observable, and — with [`BatchOptions::with_profile`] — per-worker
+//! observable, and — with [`Differ::profile`](crate::Differ::profile) — per-worker
 //! [`DiffProfile`]s whose phase timings and paper-cost counters aggregate
 //! across the whole batch.
 //!
@@ -27,14 +27,17 @@ use crossbeam::deque::{Steal, Stealer, Worker};
 use hierdiff_obs::{CounterSample, DiffProfile, Recorder};
 use hierdiff_tree::{NodeValue, Tree};
 
-use crate::{diff_observed, AuditReport, DiffError, DiffOptions, DiffResult, Matcher};
+use crate::{diff_observed, AuditReport, DiffError, DiffResult, MatchStrategy, PipelineConfig};
 
-/// Options for [`diff_batch_with`].
+/// Options for a batch run, assembled by
+/// [`Differ::diff_batch`](crate::Differ::diff_batch) /
+/// [`diff_batch_with`](crate::Differ::diff_batch_with).
 #[derive(Clone, Debug, Default)]
-pub struct BatchOptions {
-    /// Per-pair diff options; [`Matcher::Provided`] is rejected (a single
-    /// provided matching cannot describe multiple pairs).
-    pub diff: DiffOptions,
+pub(crate) struct BatchOptions {
+    /// Per-pair pipeline configuration; [`MatchStrategy::Provided`] is
+    /// rejected (a single provided matching cannot describe multiple
+    /// pairs).
+    pub diff: PipelineConfig,
     /// Worker-thread count; defaults to `available_parallelism` (capped at
     /// the number of pairs).
     pub workers: Option<NonZeroUsize>,
@@ -44,22 +47,15 @@ pub struct BatchOptions {
 }
 
 impl BatchOptions {
-    /// Batch options wrapping `diff` options, with default worker count.
-    pub fn new(diff: DiffOptions) -> BatchOptions {
-        BatchOptions {
-            diff,
-            workers: None,
-            profile: false,
-        }
-    }
-
     /// Forces a specific worker count.
+    #[cfg(test)]
     pub fn with_workers(mut self, workers: usize) -> BatchOptions {
         self.workers = NonZeroUsize::new(workers);
         self
     }
 
     /// Toggles per-worker profile recording.
+    #[cfg(test)]
     pub fn with_profile(mut self, profile: bool) -> BatchOptions {
         self.profile = profile;
         self
@@ -76,7 +72,7 @@ pub struct WorkerStats {
     /// Time spent diffing (as opposed to looking for work).
     pub busy: Duration,
     /// Total audit findings (warnings and errors) across this worker's
-    /// pairs; always 0 when [`DiffOptions::audit`] is off.
+    /// pairs; always 0 when [`Differ::audit`](crate::Differ::audit) is off.
     pub audit_findings: usize,
 }
 
@@ -89,7 +85,8 @@ pub struct BatchReport {
     pub wall: Duration,
     /// Per-worker pipeline profiles, present (parallel to
     /// [`workers`](BatchReport::workers)) when
-    /// [`BatchOptions::profile`] was set.
+    /// per-worker profiling was requested
+    /// ([`Differ::profile`](crate::Differ::profile)).
     pub profiles: Vec<DiffProfile>,
     /// Worker-level failures ([`DiffError::WorkerPanicked`]); empty on a
     /// healthy run. Pairs a failed worker never streamed are retried once
@@ -190,18 +187,6 @@ fn worker_count(requested: Option<NonZeroUsize>, pairs: usize) -> usize {
 ///
 /// `sink` is shared by all workers behind a lock; keep it cheap (push to a
 /// channel or vector) or it becomes the bottleneck.
-pub fn diff_batch_with<V, F>(
-    pairs: &[(&Tree<V>, &Tree<V>)],
-    options: &BatchOptions,
-    sink: F,
-) -> BatchReport
-where
-    V: NodeValue + Send + Sync,
-    F: FnMut(usize, Result<DiffResult<V>, DiffError>) + Send,
-{
-    diff_batch_inner(pairs, options, sink)
-}
-
 pub(crate) fn diff_batch_inner<V, F>(
     pairs: &[(&Tree<V>, &Tree<V>)],
     options: &BatchOptions,
@@ -214,7 +199,7 @@ where
     // The sink shares a lock with a delivered-index bitmap so the retry
     // pass below knows exactly which pairs a dead worker never streamed.
     let state = Mutex::new((vec![false; pairs.len()], sink));
-    if options.diff.matcher == Matcher::Provided {
+    if matches!(options.diff.strategy, MatchStrategy::Provided(_)) {
         let (_, mut sink) = state.into_inner().unwrap_or_else(PoisonError::into_inner);
         for i in 0..pairs.len() {
             sink(i, Err(DiffError::MissingProvidedMatching));
@@ -384,25 +369,11 @@ fn steal_any(stealers: &[Stealer<usize>], me: usize) -> Option<usize> {
     }
 }
 
-/// Diffs every `(old, new)` pair concurrently, preserving input order.
-///
-/// `options` applies to every pair; [`Matcher::Provided`] is rejected (a
-/// single provided matching cannot describe multiple pairs — run a
-/// per-pair [`Differ::diff`](crate::Differ::diff) instead). This is the
-/// collecting form of [`diff_batch_with`]; prefer
-/// [`Differ::diff_batch`](crate::Differ::diff_batch), which also returns
-/// the scheduling report.
-pub fn diff_batch<V: NodeValue + Send + Sync>(
-    pairs: &[(&Tree<V>, &Tree<V>)],
-    options: &DiffOptions,
-) -> Vec<Result<DiffResult<V>, DiffError>> {
-    diff_batch_run(pairs, &BatchOptions::new(options.clone())).results
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::diff;
+    use crate::Differ;
+    use hierdiff_edit::Matching;
     use hierdiff_tree::isomorphic;
 
     fn doc(s: &str) -> Tree<String> {
@@ -418,11 +389,11 @@ mod tests {
             .map(|i| doc(&format!(r#"(D (P (S "a{i}") (S "c{i}") (S "d{i}")))"#)))
             .collect();
         let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.iter().zip(news.iter()).collect();
-        let batch = diff_batch(&pairs, &DiffOptions::new());
+        let batch = Differ::new().diff_batch(&pairs).results;
         assert_eq!(batch.len(), 6);
         for (i, r) in batch.iter().enumerate() {
             let r = r.as_ref().unwrap();
-            let seq = diff(&olds[i], &news[i], &DiffOptions::new()).unwrap();
+            let seq = Differ::new().diff(&olds[i], &news[i]).unwrap();
             assert_eq!(r.script, seq.script, "pair {i}");
             assert!(isomorphic(&r.mces.edited, &news[i]));
         }
@@ -431,20 +402,19 @@ mod tests {
     #[test]
     fn empty_batch() {
         let pairs: Vec<(&Tree<String>, &Tree<String>)> = Vec::new();
-        assert!(diff_batch(&pairs, &DiffOptions::new()).is_empty());
+        assert!(Differ::new().diff_batch(&pairs).results.is_empty());
     }
 
     #[test]
-    fn provided_matcher_rejected() {
+    fn provided_strategy_rejected() {
         let a = doc(r#"(D)"#);
         let b = doc(r#"(D)"#);
         let pairs = vec![(&a, &b)];
-        let opts = DiffOptions {
-            matcher: Matcher::Provided,
-            ..DiffOptions::default()
-        };
-        let out = diff_batch(&pairs, &opts);
-        assert!(matches!(out[0], Err(DiffError::MissingProvidedMatching)));
+        let out = Differ::new().matching(Matching::new()).diff_batch(&pairs);
+        assert!(matches!(
+            out.results[0],
+            Err(DiffError::MissingProvidedMatching)
+        ));
     }
 
     #[test]
@@ -460,7 +430,7 @@ mod tests {
             })
             .collect();
         let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.iter().zip(news.iter()).collect();
-        let out = diff_batch(&pairs, &DiffOptions::default());
+        let out = Differ::new().diff_batch(&pairs).results;
         for (i, r) in out.into_iter().enumerate() {
             let r = r.unwrap();
             assert_eq!(r.script.op_counts().inserts, 1, "pair {i}");
@@ -477,14 +447,10 @@ mod tests {
             .collect();
         let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.iter().zip(news.iter()).collect();
         let mut seen = vec![0usize; pairs.len()];
-        let report = diff_batch_with(
-            &pairs,
-            &BatchOptions::new(DiffOptions::default()).with_workers(3),
-            |i, r| {
-                seen[i] += 1;
-                assert!(r.is_ok());
-            },
-        );
+        let report = Differ::new().workers(3).diff_batch_with(&pairs, |i, r| {
+            seen[i] += 1;
+            assert!(r.is_ok());
+        });
         assert!(
             seen.iter().all(|&c| c == 1),
             "each pair exactly once: {seen:?}"
@@ -503,14 +469,10 @@ mod tests {
         let b = doc(r#"(D (S "q") (S "p"))"#);
         let pairs = vec![(&a, &b); 5];
         let mut count = 0;
-        let report = diff_batch_with(
-            &pairs,
-            &BatchOptions::new(DiffOptions::default()).with_workers(1),
-            |_, r| {
-                assert!(r.is_ok());
-                count += 1;
-            },
-        );
+        let report = Differ::new().workers(1).diff_batch_with(&pairs, |_, r| {
+            assert!(r.is_ok());
+            count += 1;
+        });
         assert_eq!(count, 5);
         assert_eq!(report.workers.len(), 1);
         assert_eq!(report.steals(), 0, "nothing to steal from");
@@ -526,11 +488,9 @@ mod tests {
         let olds: Vec<&Tree<String>> = vec![&old_big; 8];
         let news: Vec<&Tree<String>> = vec![&new_big; 8];
         let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.into_iter().zip(news).collect();
-        let report = diff_batch_with(
-            &pairs,
-            &BatchOptions::new(DiffOptions::default()).with_workers(2),
-            |_, r| assert!(r.is_ok()),
-        );
+        let report = Differ::new()
+            .workers(2)
+            .diff_batch_with(&pairs, |_, r| assert!(r.is_ok()));
         assert_eq!(report.completed(), 8);
         assert_eq!(report.workers.len(), 2);
         // If a worker did nothing, its block was drained by the other via
@@ -549,10 +509,10 @@ mod tests {
             .map(|i| doc(&format!(r#"(D (P (S "b{i}") (S "a{i}")))"#)))
             .collect();
         let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.iter().zip(news.iter()).collect();
-        let options = BatchOptions::new(DiffOptions::new())
-            .with_workers(2)
-            .with_profile(true);
-        let report = diff_batch_with(&pairs, &options, |_, r| assert!(r.is_ok()));
+        let report = Differ::new()
+            .workers(2)
+            .profile(true)
+            .diff_batch_with(&pairs, |_, r| assert!(r.is_ok()));
         assert_eq!(report.profiles.len(), 2, "one profile per worker");
         let total = report.profile().expect("profiling was on");
         // Every pair entered the match phase exactly once.
@@ -572,10 +532,7 @@ mod tests {
         let a = doc(r#"(D (S "x"))"#);
         let b = doc(r#"(D (S "y"))"#);
         let pairs = vec![(&a, &b); 4];
-        let run = diff_batch_run(
-            &pairs,
-            &BatchOptions::new(DiffOptions::default()).with_workers(1),
-        );
+        let run = diff_batch_run(&pairs, &BatchOptions::default().with_workers(1));
         assert!(run.report.failures.is_empty());
         assert_eq!(run.results.len(), 4);
 
@@ -583,10 +540,10 @@ mod tests {
         // the batch still returns, and undelivered pairs carry the typed
         // worker error.
         let mut first = true;
-        let report = diff_batch_with(
+        let report = diff_batch_inner(
             &pairs,
-            &BatchOptions::new(DiffOptions::default()).with_workers(1),
-            move |_, _| {
+            &BatchOptions::default().with_workers(1),
+            move |_, _: Result<DiffResult<String>, DiffError>| {
                 if first {
                     first = false;
                     panic!("sink exploded");
@@ -608,17 +565,13 @@ mod tests {
         let mut slots: Vec<Option<Result<DiffResult<String>, DiffError>>> =
             (0..pairs.len()).map(|_| None).collect();
         let mut first = true;
-        let report = diff_batch_inner(
-            &pairs,
-            &BatchOptions::new(DiffOptions::default()).with_workers(1),
-            |i, r| {
-                if first {
-                    first = false;
-                    panic!("boom");
-                }
-                slots[i] = Some(r);
-            },
-        );
+        let report = diff_batch_inner(&pairs, &BatchOptions::default().with_workers(1), |i, r| {
+            if first {
+                first = false;
+                panic!("boom");
+            }
+            slots[i] = Some(r);
+        });
         assert_eq!(report.failures, vec![DiffError::WorkerPanicked(0)]);
         assert_eq!(report.retries, 2, "undelivered pairs re-run");
         // The pair consumed by the panicking sink call is not re-delivered
@@ -641,9 +594,7 @@ mod tests {
         let mut first = true;
         let report = diff_batch_inner(
             &pairs,
-            &BatchOptions::new(DiffOptions::default())
-                .with_workers(1)
-                .with_profile(true),
+            &BatchOptions::default().with_workers(1).with_profile(true),
             |i, r| {
                 if first {
                     first = false;
@@ -667,11 +618,15 @@ mod tests {
         let pairs = vec![(&a, &b); 4];
         let token = CancelToken::new();
         token.cancel();
-        let opts = DiffOptions {
-            cancel: Some(token),
+        let opts = BatchOptions {
+            diff: PipelineConfig {
+                cancel: Some(token),
+                ..Default::default()
+            },
             ..Default::default()
-        };
-        let run = diff_batch_run(&pairs, &BatchOptions::new(opts).with_workers(2));
+        }
+        .with_workers(2);
+        let run = diff_batch_run(&pairs, &opts);
         assert!(
             run.report.failures.is_empty(),
             "cancellation is not a panic"

@@ -8,7 +8,11 @@
 //!   -t, --threshold <0.5..1>    inner-node match threshold   [default 0.6]
 //!   -f, --leaf-threshold <0..1> leaf compare threshold       [default 0.5]
 //!   -k, --optimality <N>        A(k) optimality level        [default 0]
-//!   -p, --prune                 identical-subtree pruning pre-pass
+//!   -s, --strategy <NAME>       fastmatch|simple|gumtree     [default fastmatch]
+//!       --min-height <n>        gumtree top-down height floor    [default 1]
+//!       --sim-threshold <0..1>  gumtree bottom-up dice threshold [default 0.5]
+//!       --max-recovery <n>      gumtree TED recovery size bound  [default 100]
+//!   -p, --prune                 identical-subtree pruning pre-pass (fastmatch)
 //!       --audit / --no-audit    stage-boundary invariant auditing
 //!       --profile[=json]        per-phase timings + paper-cost counters
 //!                               on stderr (table, or JSON DiffProfile)
@@ -29,7 +33,8 @@
 use std::process::ExitCode;
 
 use hierdiff_core::{
-    match_with_optimality, Budgets, DiffError, Differ, Phase, PipelineObserver, Recorder,
+    match_with_optimality, Budgets, DiffError, Differ, FastMatchConfig, GumTreeParams,
+    MatchStrategy, Phase, PipelineObserver, Recorder,
 };
 use hierdiff_matching::MatchParams;
 use hierdiff_tree::Tree;
@@ -39,7 +44,20 @@ const USAGE: &str = "usage: treediff [OPTIONS] <OLD.sexpr> <NEW.sexpr>\n\
   -t, --threshold <0.5..1>      inner-node match threshold (default 0.6)\n\
   -f, --leaf-threshold <0..1>   leaf compare threshold (default 0.5)\n\
   -k, --optimality <N>          A(k) optimality level (default 0)\n\
+  -s, --strategy <NAME>         matching strategy: fastmatch (the paper's\n\
+                                FastMatch), simple (unanchored baseline), or\n\
+                                gumtree (top-down/bottom-up with bounded TED\n\
+                                recovery) (default fastmatch)\n\
+      --min-height <n>          gumtree: minimum subtree height anchored by\n\
+                                the top-down phase (default 1)\n\
+      --sim-threshold <0..1>    gumtree: dice similarity a container pair\n\
+                                must exceed in the bottom-up phase\n\
+                                (default 0.5)\n\
+      --max-recovery <n>        gumtree: largest container pair handed to\n\
+                                the TED recovery pass; 0 disables recovery\n\
+                                (default 100)\n\
   -p, --prune                   match identical subtrees wholesale first\n\
+                                (fastmatch only)\n\
       --audit                   audit the paper's invariants at every stage\n\
                                 boundary; error findings abort with a\n\
                                 diagnostic (default in debug builds)\n\
@@ -101,13 +119,22 @@ fn fail_for(e: DiffError) -> Failure {
 struct Cli {
     params: MatchParams,
     k: u32,
-    prune: bool,
+    strategy: MatchStrategy,
+    /// Whether `--strategy` appeared on the command line (as opposed to the
+    /// fastmatch default), so `-k`'s hybrid matcher can reject the combination.
+    strategy_explicit: bool,
     budgets: Budgets,
     audit: Option<bool>,
     profile: Option<ProfileFormat>,
     output: String,
     old: Tree<String>,
     new: Tree<String>,
+}
+
+impl Cli {
+    fn prune(&self) -> bool {
+        matches!(&self.strategy, MatchStrategy::FastMatch(c) if c.prune)
+    }
 }
 
 /// Parses arguments and loads both input trees. When `--profile` is on,
@@ -119,6 +146,9 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<(Cli, Option<Recorder
     let mut f = 0.5f64;
     let mut k = 0u32;
     let mut prune = false;
+    let mut strategy_name: Option<String> = None;
+    let mut gumtree = GumTreeParams::default();
+    let mut gumtree_flags: Vec<&str> = Vec::new();
     let mut budgets = Budgets::unlimited();
     let mut audit = None;
     let mut profile = None;
@@ -136,6 +166,43 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<(Cli, Option<Recorder
                 f = take("-f")?.parse().map_err(|e| format!("bad -f: {e}"))?
             }
             "-k" | "--optimality" => k = take("-k")?.parse().map_err(|e| format!("bad -k: {e}"))?,
+            "-s" | "--strategy" => {
+                let v = take("--strategy")?;
+                match v.as_str() {
+                    "fastmatch" | "simple" | "gumtree" => strategy_name = Some(v),
+                    other => {
+                        return Err(format!(
+                            "unknown strategy {other:?} (expected fastmatch, simple, or gumtree)"
+                        ))
+                    }
+                }
+            }
+            "--min-height" => {
+                gumtree = gumtree.with_min_height(
+                    take("--min-height")?
+                        .parse()
+                        .map_err(|e| format!("bad --min-height: {e}"))?,
+                );
+                gumtree_flags.push("--min-height");
+            }
+            "--sim-threshold" => {
+                let s: f64 = take("--sim-threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --sim-threshold: {e}"))?;
+                if !(0.0..=1.0).contains(&s) {
+                    return Err("bad --sim-threshold: need a value in 0..=1".to_string());
+                }
+                gumtree = gumtree.with_sim_threshold(s);
+                gumtree_flags.push("--sim-threshold");
+            }
+            "--max-recovery" => {
+                gumtree = gumtree.with_max_recovery_size(
+                    take("--max-recovery")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-recovery: {e}"))?,
+                );
+                gumtree_flags.push("--max-recovery");
+            }
             "-p" | "--prune" => prune = true,
             "--audit" => audit = Some(true),
             "--no-audit" => audit = Some(false),
@@ -174,6 +241,20 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<(Cli, Option<Recorder
             positional.len()
         ));
     }
+    let name = strategy_name.as_deref().unwrap_or("fastmatch");
+    if name != "gumtree" {
+        if let Some(flag) = gumtree_flags.first() {
+            return Err(format!("{flag} applies to --strategy gumtree"));
+        }
+    }
+    if prune && name != "fastmatch" {
+        return Err("--prune applies to --strategy fastmatch".to_string());
+    }
+    let strategy = match name {
+        "simple" => MatchStrategy::Simple,
+        "gumtree" => MatchStrategy::GumTree(gumtree),
+        _ => MatchStrategy::FastMatch(FastMatchConfig { prune }),
+    };
     let mut recorder = profile.map(|_| Recorder::new());
     if let Some(rec) = recorder.as_mut() {
         rec.phase_start(Phase::Parse);
@@ -189,7 +270,8 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<(Cli, Option<Recorder
     let cli = Cli {
         params: MatchParams::with_inner_threshold(t).with_leaf_threshold(f),
         k,
-        prune,
+        strategy,
+        strategy_explicit: strategy_name.is_some(),
         budgets,
         audit,
         profile,
@@ -202,9 +284,14 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<(Cli, Option<Recorder
 
 fn differ_for(cli: &Cli) -> Result<Differ<'static>, String> {
     let mut differ = if cli.k == 0 {
-        Differ::new().params(cli.params).prune(cli.prune)
+        Differ::new()
+            .params(cli.params)
+            .strategy(cli.strategy.clone())
     } else {
-        if cli.prune {
+        if cli.strategy_explicit {
+            return Err("--strategy picks the built-in matcher; drop it or use -k 0".to_string());
+        }
+        if cli.prune() {
             return Err("--prune applies to the built-in matcher; drop it or use -k 0".to_string());
         }
         let hybrid = match_with_optimality(&cli.old, &cli.new, cli.params, cli.k)
@@ -300,6 +387,12 @@ fn run_diff(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), Failure> {
         }
         "stats" => {
             let c = result.script.op_counts();
+            let strategy = if cli.k == 0 {
+                cli.strategy.name()
+            } else {
+                "hybrid A(k)"
+            };
+            println!("strategy:           {strategy}");
             println!("old nodes:          {}", cli.old.len());
             println!("new nodes:          {}", cli.new.len());
             println!("matched pairs:      {}", result.matching.len());
@@ -316,7 +409,7 @@ fn run_diff(cli: Cli, mut recorder: Option<Recorder>) -> Result<(), Failure> {
                 "comparisons:        {} leaf compares + {} partner checks",
                 result.counters.leaf_compares, result.counters.partner_checks
             );
-            if cli.prune {
+            if cli.prune() {
                 println!(
                     "pruned wholesale:   {} nodes ({} verified subtree pairs, {} hash collisions)",
                     result.counters.nodes_pruned,

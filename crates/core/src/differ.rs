@@ -1,8 +1,8 @@
 //! The [`Differ`] builder facade — the one supported entry point into the
 //! change-detection pipeline.
 //!
-//! The paper's pipeline has a handful of orthogonal knobs (matcher choice,
-//! criteria thresholds, pruning, auditing, delta construction) plus the
+//! The paper's pipeline has a handful of orthogonal knobs (matching
+//! strategy, criteria thresholds, auditing, delta construction) plus the
 //! observability layer of this workspace. [`Differ`] gathers them behind a
 //! fluent builder so single-pair, observed, profiled, and batch runs all
 //! start from the same expression:
@@ -24,6 +24,22 @@
 //! assert!(profile.counter("nodes_pruned") > 0, "identical leaves pruned");
 //! assert!(profile.phase("match").is_some(), "match phase was timed");
 //! ```
+//!
+//! The matching algorithm is pluggable via
+//! [`MatchStrategy`](crate::MatchStrategy):
+//!
+//! ```
+//! use hierdiff_core::{Differ, GumTreeParams, MatchStrategy};
+//! # use hierdiff_tree::Tree;
+//! # let old = Tree::parse_sexpr(r#"(D (S "a"))"#).unwrap();
+//! # let new = Tree::parse_sexpr(r#"(D (S "b"))"#).unwrap();
+//! let result = Differ::new()
+//!     .strategy(MatchStrategy::GumTree(
+//!         GumTreeParams::default().with_sim_threshold(0.3),
+//!     ))
+//!     .diff(&old, &new)
+//!     .unwrap();
+//! ```
 
 use std::num::NonZeroUsize;
 
@@ -32,10 +48,8 @@ use hierdiff_matching::MatchParams;
 use hierdiff_obs::{PipelineObserver, Recorder, Tee};
 use hierdiff_tree::{NodeValue, Tree};
 
-use crate::batch::{diff_batch_inner, BatchRun};
-use crate::{
-    audit_default, diff_observed, BatchOptions, DiffError, DiffOptions, DiffResult, Matcher,
-};
+use crate::batch::{diff_batch_inner, BatchOptions, BatchRun};
+use crate::{audit_default, diff_observed, DiffError, DiffResult, MatchStrategy, PipelineConfig};
 
 /// Stage-boundary invariant auditing policy for [`Differ::audit`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -66,11 +80,11 @@ impl Audit {
 /// [`diff_batch`](Differ::diff_batch), or
 /// [`diff_batch_with`](Differ::diff_batch_with).
 ///
-/// All setters are order-independent. The free function
-/// [`diff`](crate::diff) and the raw [`DiffOptions`] struct remain as the
-/// compatibility surface; this facade subsumes them.
+/// All setters are order-independent, except that strategy-scoped knobs
+/// ([`prune`](Differ::prune)) configure the *current* strategy — select
+/// the strategy first when combining them.
 pub struct Differ<'o> {
-    options: DiffOptions,
+    config: PipelineConfig,
     observer: Option<&'o mut dyn PipelineObserver>,
     profile: bool,
     workers: Option<NonZeroUsize>,
@@ -83,17 +97,11 @@ impl Default for Differ<'static> {
 }
 
 impl Differ<'static> {
-    /// A differ with the default options of [`DiffOptions::new`]
-    /// (FastMatch, delta tree on, audit per build profile).
+    /// A differ with the default pipeline (FastMatch, delta tree on, audit
+    /// per build profile).
     pub fn new() -> Differ<'static> {
-        Differ::from_options(DiffOptions::new())
-    }
-
-    /// A differ starting from pre-built options (the migration path for
-    /// code that still assembles [`DiffOptions`] by hand).
-    pub fn from_options(options: DiffOptions) -> Differ<'static> {
         Differ {
-            options,
+            config: PipelineConfig::default(),
             observer: None,
             profile: false,
             workers: None,
@@ -103,45 +111,54 @@ impl Differ<'static> {
 
 impl<'o> Differ<'o> {
     /// Sets the matching criteria parameters `f` and `t` (Section 5.1).
+    /// Used by the FastMatch and Simple strategies; GumTree has its own
+    /// parameters on its [`MatchStrategy::GumTree`] variant.
     pub fn params(mut self, params: MatchParams) -> Differ<'o> {
-        self.options.params = params;
+        self.config.params = params;
         self
     }
 
-    /// Selects the matching algorithm (FastMatch by default).
-    pub fn matcher(mut self, matcher: Matcher) -> Differ<'o> {
-        self.options.matcher = matcher;
+    /// Selects the matching strategy (FastMatch by default). Each variant
+    /// carries its own configuration — see [`MatchStrategy`].
+    pub fn strategy(mut self, strategy: MatchStrategy) -> Differ<'o> {
+        self.config.strategy = strategy;
         self
     }
 
     /// Uses a caller-provided matching and skips the Good Matching phase
-    /// (key-based domains). Implies [`Matcher::Provided`].
+    /// (key-based domains). Shorthand for
+    /// `strategy(MatchStrategy::Provided(matching))`.
     pub fn matching(mut self, matching: Matching) -> Differ<'o> {
-        self.options = self.options.with_matching(matching);
+        self.config.strategy = MatchStrategy::Provided(matching);
         self
     }
 
     /// Toggles the Section 8 post-processing pass after matching.
     pub fn postprocess(mut self, postprocess: bool) -> Differ<'o> {
-        self.options.postprocess = postprocess;
+        self.config.postprocess = postprocess;
         self
     }
 
     /// Toggles delta-tree construction (Section 6). On by default.
     pub fn delta(mut self, delta: bool) -> Differ<'o> {
-        self.options.build_delta = delta;
+        self.config.build_delta = delta;
         self
     }
 
-    /// Toggles the identical-subtree pruning pre-pass.
+    /// Toggles the identical-subtree pruning pre-pass of the FastMatch
+    /// strategy ([`FastMatchConfig::prune`](crate::FastMatchConfig)).
+    /// A no-op under any other strategy (GumTree's top-down phase already
+    /// anchors identical subtrees wholesale).
     pub fn prune(mut self, prune: bool) -> Differ<'o> {
-        self.options.prune = prune;
+        if let MatchStrategy::FastMatch(config) = &mut self.config.strategy {
+            config.prune = prune;
+        }
         self
     }
 
     /// Sets the stage-boundary invariant auditing policy.
     pub fn audit(mut self, audit: Audit) -> Differ<'o> {
-        self.options.audit = audit.enabled();
+        self.config.audit = audit.enabled();
         self
     }
 
@@ -149,7 +166,7 @@ impl<'o> Differ<'o> {
     /// `max_wall_time`, `max_memory_estimate`). Applies to batch runs too:
     /// each pair gets its own guard over the same ceilings.
     pub fn budget(mut self, budgets: hierdiff_guard::Budgets) -> Differ<'o> {
-        self.options.budgets = budgets;
+        self.config.budgets = budgets;
         self
     }
 
@@ -157,7 +174,7 @@ impl<'o> Differ<'o> {
     /// caller's copy cancels in-flight [`diff`](Differ::diff) runs and
     /// every pair of a batch).
     pub fn cancel(mut self, token: &hierdiff_guard::CancelToken) -> Differ<'o> {
-        self.options.cancel = Some(token.clone());
+        self.config.cancel = Some(token.clone());
         self
     }
 
@@ -185,21 +202,11 @@ impl<'o> Differ<'o> {
         'o: 'b,
     {
         Differ {
-            options: self.options,
+            config: self.config,
             observer: Some(observer),
             profile: self.profile,
             workers: self.workers,
         }
-    }
-
-    /// The options this builder currently describes.
-    pub fn options(&self) -> &DiffOptions {
-        &self.options
-    }
-
-    /// Consumes the builder, yielding the raw [`DiffOptions`].
-    pub fn into_options(self) -> DiffOptions {
-        self.options
     }
 
     /// Runs the pipeline on one `(old, new)` pair.
@@ -209,7 +216,7 @@ impl<'o> Differ<'o> {
         new: &Tree<V>,
     ) -> Result<DiffResult<V>, DiffError> {
         let Differ {
-            options,
+            config,
             observer,
             profile,
             ..
@@ -219,16 +226,16 @@ impl<'o> Differ<'o> {
             let result = match observer {
                 Some(user) => {
                     let mut tee = Tee::new(user, &mut recorder);
-                    diff_observed(old, new, &options, Some(&mut tee))
+                    diff_observed(old, new, &config, Some(&mut tee))
                 }
-                None => diff_observed(old, new, &options, Some(&mut recorder)),
+                None => diff_observed(old, new, &config, Some(&mut recorder)),
             };
             result.map(|mut r| {
                 r.profile = Some(recorder.profile());
                 r
             })
         } else {
-            diff_observed(old, new, &options, observer.map(|o| o as _))
+            diff_observed(old, new, &config, observer.map(|o| o as _))
         }
     }
 
@@ -260,8 +267,10 @@ impl<'o> Differ<'o> {
     }
 
     fn batch_options(&self) -> BatchOptions {
-        let mut batch = BatchOptions::new(self.options.clone()).with_profile(self.profile);
-        batch.workers = self.workers;
-        batch
+        BatchOptions {
+            diff: self.config.clone(),
+            workers: self.workers,
+            profile: self.profile,
+        }
     }
 }

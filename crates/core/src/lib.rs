@@ -8,8 +8,10 @@
 //! The paper splits change detection into two subproblems (Section 3):
 //!
 //! 1. **Good Matching** — find the correspondence between the nodes of the
-//!    old and new trees (`hierdiff-matching`: Algorithms *Match* and
-//!    *FastMatch*, Figures 10–11);
+//!    old and new trees. This stage is pluggable via [`MatchStrategy`]:
+//!    the paper's Algorithms *Match* and *FastMatch* (Figures 10–11, in
+//!    `hierdiff-matching`), a GumTree-style greedy matcher with bounded
+//!    Zhang–Shasha recovery, or a caller-provided matching;
 //! 2. **Minimum Conforming Edit Script** — given the matching, produce the
 //!    cheapest insert/delete/update/move script transforming the old tree
 //!    into the new (`hierdiff-edit`: Algorithm *EditScript*, Figures 8–9).
@@ -29,6 +31,20 @@
 //! println!("{}", result.script);      // MOV(n2, n0, 2)
 //! ```
 //!
+//! Swapping the matching algorithm is one builder call — the edit-script
+//! stage downstream is strategy-agnostic:
+//!
+//! ```
+//! use hierdiff_core::{Differ, MatchStrategy};
+//! # use hierdiff_tree::Tree;
+//! # let old = Tree::parse_sexpr(r#"(D (S "a"))"#).unwrap();
+//! # let new = Tree::parse_sexpr(r#"(D (S "b"))"#).unwrap();
+//! let result = Differ::new()
+//!     .strategy(MatchStrategy::gumtree())
+//!     .diff(&old, &new)
+//!     .unwrap();
+//! ```
+//!
 //! Observability: attach a [`hierdiff_obs::PipelineObserver`] with
 //! [`Differ::observer`] to receive phase spans and paper-cost work
 //! counters, or call [`Differ::profile`] to get a structured
@@ -44,13 +60,15 @@
 mod batch;
 mod differ;
 mod hybrid;
+mod strategy;
 
-pub use batch::{diff_batch, diff_batch_with, BatchOptions, BatchReport, BatchRun, WorkerStats};
+pub use batch::{BatchReport, BatchRun, WorkerStats};
 pub use differ::{Audit, Differ};
 pub use hierdiff_obs::{
     Counter, DiffProfile, NullObserver, Phase, PipelineObserver, Recorder, Tee,
 };
 pub use hybrid::{match_with_optimality, zs_budget, HybridMatch};
+pub use strategy::{FastMatchConfig, MatchStrategy};
 
 pub use hierdiff_audit::AuditReport;
 use hierdiff_audit::{audit_delta, audit_matching, audit_prune, audit_script, audit_tree, Side};
@@ -60,30 +78,13 @@ use hierdiff_edit::{
 };
 use hierdiff_guard::Guard;
 pub use hierdiff_guard::{Budget, Budgets, CancelToken, ChaosObserver, Fault, GuardError};
-pub use hierdiff_matching::MatchError;
-use hierdiff_matching::{
-    bounded_greedy_match, fast_match_seeded_guarded, match_simple, postprocess, prune_identical,
-    MatchCounters, MatchParams, GREEDY_WINDOW,
-};
+pub use hierdiff_matching::{GumTreeParams, MatchError};
+use hierdiff_matching::{MatchCounters, MatchParams};
 use hierdiff_tree::{NodeValue, Tree};
 
 pub use hierdiff_matching::MatchParams as Params;
 
-/// Matching algorithm selection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum Matcher {
-    /// Algorithm *FastMatch* (Figure 11) — the paper's recommendation:
-    /// `O((ne + e²)c + 2lne)`.
-    #[default]
-    Fast,
-    /// Algorithm *Match* (Figure 10) — the simple `O(n²c + mn)` matcher.
-    Simple,
-    /// Use a caller-provided matching and skip the Good Matching phase
-    /// entirely — the paper's "if the information ... does have unique
-    /// identifiers, then our algorithms can take advantage of them"
-    /// fast path.
-    Provided,
-}
+use crate::strategy::run_strategy;
 
 /// Whether stage-boundary auditing is on by default: always under debug
 /// assertions, and in release builds only with the `audit-release` feature.
@@ -91,108 +92,38 @@ pub(crate) fn audit_default() -> bool {
     cfg!(debug_assertions) || cfg!(feature = "audit-release")
 }
 
-/// Options for [`diff`].
+/// The resolved pipeline configuration assembled by the [`Differ`]
+/// builder — the one bag of knobs `diff_observed` runs from.
 #[derive(Clone, Debug)]
-pub struct DiffOptions {
-    /// Matching criteria parameters `f` and `t` (Section 5.1).
+pub(crate) struct PipelineConfig {
+    /// Matching criteria parameters `f` and `t` (Section 5.1), used by the
+    /// FastMatch and Simple strategies.
     pub params: MatchParams,
-    /// Which matcher to run.
-    pub matcher: Matcher,
-    /// A caller-provided matching (required iff `matcher` is
-    /// [`Matcher::Provided`]; key-based domains construct this directly).
-    pub provided: Option<Matching>,
+    /// Which matching strategy to run.
+    pub strategy: MatchStrategy,
     /// Run the Section 8 post-processing pass after matching.
     pub postprocess: bool,
-    /// Also build the delta tree (Section 6). On by default; turn off for
-    /// benchmarking the core algorithms alone.
+    /// Also build the delta tree (Section 6).
     pub build_delta: bool,
-    /// Run the identical-subtree pruning pre-pass before matching
-    /// ([`hierdiff_matching::prune_identical`]): maximal unchanged
-    /// fragments are fingerprint-matched wholesale and skipped by the
-    /// criteria. Applies to [`Matcher::Fast`]; counters surface in
-    /// [`DiffResult::counters`] (`nodes_pruned`, `prune_candidates`,
-    /// `prune_collisions`). Off by default.
-    pub prune: bool,
-    /// Audit the paper's formal invariants at every stage boundary
-    /// (`hierdiff-audit`): input-tree well-formedness, matching validity,
-    /// prune-seed soundness, script conformance and replay, delta
-    /// projections. Error-severity findings abort the diff with
-    /// [`DiffError::Audit`]; the full report (including warnings) surfaces
-    /// in [`DiffResult::audit`]. On by default under debug assertions (or
-    /// the `audit-release` feature); off by default in release builds.
+    /// Audit the paper's formal invariants at every stage boundary.
     pub audit: bool,
-    /// Resource budgets for the run ([`Budgets::unlimited`] by default).
-    /// Exhausting `max_lcs_cells` degrades (greedy matching, per-child-move
-    /// alignment — see [`DiffResult::degraded`]); exhausting any other
-    /// dimension aborts with [`DiffError::BudgetExhausted`].
+    /// Resource budgets for the run.
     pub budgets: Budgets,
-    /// Cooperative cancellation: firing the token makes the run return
-    /// [`DiffError::Cancelled`] at its next guard check (phase boundaries
-    /// plus strided checks inside the hot loops).
+    /// Cooperative cancellation token.
     pub cancel: Option<CancelToken>,
 }
 
-impl Default for DiffOptions {
-    fn default() -> DiffOptions {
-        DiffOptions {
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
             params: MatchParams::default(),
-            matcher: Matcher::default(),
-            provided: None,
+            strategy: MatchStrategy::default(),
             postprocess: false,
-            build_delta: false,
-            prune: false,
+            build_delta: true,
             audit: audit_default(),
             budgets: Budgets::unlimited(),
             cancel: None,
         }
-    }
-}
-
-impl DiffOptions {
-    /// Default options with delta-tree construction enabled.
-    pub fn new() -> DiffOptions {
-        DiffOptions {
-            build_delta: true,
-            ..DiffOptions::default()
-        }
-    }
-
-    /// Switches to a caller-provided matching (key-based domains).
-    ///
-    /// This is an order-independent builder method: settings applied before
-    /// it (prune, audit, thresholds, …) are preserved. (It used to be an
-    /// associated constructor built over `..DiffOptions::default()`, which
-    /// silently reset every previously chosen option.)
-    pub fn with_matching(mut self, matching: Matching) -> DiffOptions {
-        self.matcher = Matcher::Provided;
-        self.provided = Some(matching);
-        self
-    }
-
-    /// Toggles the identical-subtree pruning pre-pass.
-    pub fn with_prune(mut self, prune: bool) -> DiffOptions {
-        self.prune = prune;
-        self
-    }
-
-    /// Toggles stage-boundary invariant auditing, overriding the
-    /// build-profile default.
-    pub fn with_audit(mut self, audit: bool) -> DiffOptions {
-        self.audit = audit;
-        self
-    }
-
-    /// Sets the resource budgets for the run.
-    pub fn with_budgets(mut self, budgets: Budgets) -> DiffOptions {
-        self.budgets = budgets;
-        self
-    }
-
-    /// Attaches a cancellation token (a clone; firing the caller's copy
-    /// cancels the run).
-    pub fn with_cancel(mut self, token: &CancelToken) -> DiffOptions {
-        self.cancel = Some(token.clone());
-        self
     }
 }
 
@@ -203,20 +134,21 @@ impl DiffOptions {
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum DiffError {
-    /// `Matcher::Provided` selected but no matching supplied.
+    /// [`MatchStrategy::Provided`] selected for a batch run — a single
+    /// provided matching cannot describe multiple pairs.
     MissingProvidedMatching,
     /// The edit-script generator rejected the matching.
     Mces(McesError),
     /// Stage-boundary auditing found `Error`-severity invariant violations
-    /// (only raised when [`DiffOptions::audit`] is on).
+    /// (only raised when [`Differ::audit`] is on).
     Audit(Box<AuditReport>),
     /// A batch worker thread panicked; pairs it had not streamed yet carry
     /// this error instead of a result. The payload is the worker index.
     WorkerPanicked(usize),
-    /// The run's [`CancelToken`] fired ([`DiffOptions::cancel`]).
+    /// The run's [`CancelToken`] fired ([`Differ::cancel`]).
     Cancelled,
     /// A resource budget with no degraded tier ran out; the payload names
-    /// the exhausted dimension ([`DiffOptions::budgets`]).
+    /// the exhausted dimension ([`Differ::budget`]).
     BudgetExhausted(Budget),
     /// The matcher rejected the inputs (label-schema cycle) or tripped an
     /// internal invariant. Guard trips inside the matcher surface as
@@ -228,7 +160,10 @@ impl std::fmt::Display for DiffError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DiffError::MissingProvidedMatching => {
-                write!(f, "Matcher::Provided requires DiffOptions::provided")
+                write!(
+                    f,
+                    "MatchStrategy::Provided cannot describe a batch of pairs"
+                )
             }
             DiffError::Mces(e) => write!(f, "edit script generation failed: {e}"),
             DiffError::Audit(report) => write!(
@@ -320,7 +255,7 @@ pub struct DiffResult<V: NodeValue> {
     pub counters: MatchCounters,
     /// Nodes re-matched by post-processing (0 when disabled).
     pub rematched: usize,
-    /// The stage-boundary audit report, when [`DiffOptions::audit`] is on.
+    /// The stage-boundary audit report, when [`Differ::audit`] is on.
     /// Contains no errors (those abort with [`DiffError::Audit`]) but may
     /// carry warnings, e.g. an ancestor-order inversion (`A014`).
     pub audit: Option<AuditReport>,
@@ -344,39 +279,25 @@ impl<V: NodeValue> DiffResult<V> {
     }
 }
 
-/// Detects the changes from `old` to `new`: computes a good matching,
-/// generates the minimum conforming edit script, and (optionally) builds
-/// the delta tree.
-///
-/// **Deprecation note:** this free function is kept as a thin
-/// compatibility shim. New code should use the [`Differ`] builder facade —
-/// `Differ::from_options(options.clone()).diff(old, new)` is equivalent,
-/// and the facade additionally supports observers, profiles, and batch
-/// runs from one entry point.
-pub fn diff<V: NodeValue>(
-    old: &Tree<V>,
-    new: &Tree<V>,
-    options: &DiffOptions,
-) -> Result<DiffResult<V>, DiffError> {
-    diff_observed(old, new, options, None)
-}
-
 /// Opens a span for `phase` on the observer, if one is attached.
-fn span_start(obs: &mut Option<&mut dyn hierdiff_obs::PipelineObserver>, phase: Phase) {
+pub(crate) fn span_start(obs: &mut Option<&mut dyn hierdiff_obs::PipelineObserver>, phase: Phase) {
     if let Some(o) = obs.as_mut() {
         o.phase_start(phase);
     }
 }
 
 /// Closes the span for `phase` on the observer, if one is attached.
-fn span_end(obs: &mut Option<&mut dyn hierdiff_obs::PipelineObserver>, phase: Phase) {
+pub(crate) fn span_end(obs: &mut Option<&mut dyn hierdiff_obs::PipelineObserver>, phase: Phase) {
     if let Some(o) = obs.as_mut() {
         o.phase_end(phase);
     }
 }
 
 /// Bulk-flushes the matching-phase counters to the observer.
-fn flush_match_counters(obs: &mut dyn hierdiff_obs::PipelineObserver, c: &MatchCounters) {
+pub(crate) fn flush_match_counters(
+    obs: &mut dyn hierdiff_obs::PipelineObserver,
+    c: &MatchCounters,
+) {
     obs.add(Counter::LeafCompares, c.leaf_compares as u64);
     obs.add(Counter::PartnerChecks, c.partner_checks as u64);
     obs.add(Counter::InternalCompares, c.internal_compares as u64);
@@ -401,20 +322,20 @@ fn flush_mces_stats(obs: &mut dyn hierdiff_obs::PipelineObserver, s: &hierdiff_e
 /// each stage; work counters are flushed in bulk at stage boundaries, so a
 /// `None` observer costs a handful of `Option` checks per diff — the hot
 /// loops are untouched (they accumulate into plain integer counters either
-/// way). This is the engine behind both [`diff`] and [`Differ`].
+/// way). This is the engine behind [`Differ`].
 pub(crate) fn diff_observed<V: NodeValue>(
     old: &Tree<V>,
     new: &Tree<V>,
-    options: &DiffOptions,
+    config: &PipelineConfig,
     mut obs: Option<&mut dyn hierdiff_obs::PipelineObserver>,
 ) -> Result<DiffResult<V>, DiffError> {
     // Resource governance: one guard per run, threaded through every stage.
     // `max_nodes` / `max_memory_estimate` are admission checks — they
     // reject the run before any pipeline work starts.
-    let guard = Guard::new(options.budgets, options.cancel.clone());
+    let guard = Guard::new(config.budgets, config.cancel.clone());
     guard.admit(old.len() + new.len())?;
     let mut degraded = Degraded::default();
-    let mut audit = options.audit.then(AuditReport::new);
+    let mut audit = config.audit.then(AuditReport::new);
     if let Some(report) = audit.as_mut() {
         span_start(&mut obs, Phase::Audit);
         report.merge(audit_tree(old, Side::Old));
@@ -424,94 +345,16 @@ pub(crate) fn diff_observed<V: NodeValue>(
             return Err(DiffError::Audit(Box::new(report.clone())));
         }
     }
-    // The pruning pre-pass runs as its own phase (it used to hide inside
-    // `fast_match_accelerated`); keeping the seed around also lets the
-    // audit check the exact pairs the matcher started from instead of
-    // re-deriving them.
-    let prune_seed = if options.prune && options.matcher == Matcher::Fast {
-        span_start(&mut obs, Phase::Prune);
-        let (seed, stats) = match prune_identical(old, new) {
-            Ok(v) => v,
-            Err(e) => {
-                span_end(&mut obs, Phase::Prune);
-                return Err(e.into());
-            }
-        };
-        if let Some(o) = obs.as_mut() {
-            o.add(Counter::NodesPruned, stats.nodes_pruned as u64);
-            o.add(Counter::PruneCandidates, stats.candidates as u64);
-            o.add(Counter::PruneCollisions, stats.collisions as u64);
-        }
-        span_end(&mut obs, Phase::Prune);
-        Some((seed, stats))
-    } else {
-        None
-    };
-    guard.checkpoint()?;
-    span_start(&mut obs, Phase::Match);
-    let seed = || {
-        prune_seed
-            .as_ref()
-            .map(|(seed, _)| seed.clone())
-            .unwrap_or_default()
-    };
-    let match_outcome: Result<(Matching, MatchCounters), DiffError> = match options.matcher {
-        Matcher::Fast => {
-            match fast_match_seeded_guarded(old, new, options.params, seed(), &guard) {
-                Ok(r) => Ok((r.matching, r.counters)),
-                Err(MatchError::Guard(GuardError::Budget(Budget::LcsCells))) => {
-                    // The degradation ladder: FastMatch ran out of LCS
-                    // cells, so rerun the chains through the LCS-free
-                    // bounded greedy matcher — a valid (criteria-enforcing)
-                    // but possibly non-maximal matching.
-                    degraded.matching = true;
-                    bounded_greedy_match(old, new, options.params, seed(), &guard, GREEDY_WINDOW)
-                        .map(|r| (r.matching, r.counters))
-                        .map_err(DiffError::from)
-                }
-                Err(e) => Err(e.into()),
-            }
-        }
-        Matcher::Simple => match_simple(old, new, options.params)
-            .map(|r| (r.matching, r.counters))
-            .map_err(DiffError::from),
-        Matcher::Provided => options
-            .provided
-            .clone()
-            .ok_or(DiffError::MissingProvidedMatching)
-            .map(|m| (m, MatchCounters::default())),
-    };
-    let (mut matching, mut counters) = match match_outcome {
-        Ok(v) => v,
-        Err(e) => {
-            span_end(&mut obs, Phase::Match);
-            return Err(e);
-        }
-    };
-    if let Some((_, stats)) = &prune_seed {
-        counters.absorb_prune(stats);
-    }
-    let rematched = if options.postprocess {
-        match postprocess(old, new, options.params, &mut matching) {
-            Ok(n) => n,
-            Err(e) => {
-                span_end(&mut obs, Phase::Match);
-                return Err(e.into());
-            }
-        }
-    } else {
-        0
-    };
-    if let Some(o) = obs.as_mut() {
-        flush_match_counters(*o, &counters);
-        if degraded.matching {
-            o.add(Counter::DegradedMatching, 1);
-        }
-    }
-    span_end(&mut obs, Phase::Match);
+    // The strategy owns the whole tree-pair→Matching stage (pruning
+    // pre-pass, match dispatch, degradation ladder, post-processing).
+    let outcome = run_strategy(old, new, config, &guard, &mut obs)?;
+    degraded.matching = outcome.degraded_matching;
+    let matching = outcome.matching;
+    let counters = outcome.counters;
+    let rematched = outcome.rematched;
     if let Some(report) = audit.as_mut() {
         span_start(&mut obs, Phase::Audit);
-        if let Some((seed, _)) = &prune_seed {
+        if let Some((seed, _)) = &outcome.prune_seed {
             report.merge(audit_prune(old, new, seed, Some(&matching)));
         }
         report.merge(audit_matching(old, new, &matching));
@@ -550,7 +393,7 @@ pub(crate) fn diff_observed<V: NodeValue>(
         }
     }
     guard.checkpoint()?;
-    let delta = options.build_delta.then(|| {
+    let delta = config.build_delta.then(|| {
         span_start(&mut obs, Phase::Delta);
         let d = build_delta_tree(old, new, &matching, &mces);
         if let Some(o) = obs.as_mut() {
@@ -604,12 +447,12 @@ mod tests {
     fn end_to_end_default() {
         let old = doc(r#"(D (P (S "a") (S "b") (S "c")) (P (S "d") (S "e")))"#);
         let new = doc(r#"(D (P (S "a") (S "c")) (P (S "d") (S "e") (S "f")))"#);
-        let r = diff(&old, &new, &DiffOptions::new()).unwrap();
+        let r = Differ::new().diff(&old, &new).unwrap();
         assert!(isomorphic(&r.mces.edited, &new));
         let c = r.script.op_counts();
         assert_eq!(c.deletes, 1);
         assert_eq!(c.inserts, 1);
-        let delta = r.delta.expect("delta requested by default options");
+        let delta = r.delta.expect("delta on by default");
         assert!(isomorphic(&delta.project_new(), &new));
         assert!(isomorphic(&delta.project_old(), &old));
     }
@@ -622,47 +465,65 @@ mod tests {
         m.insert(old.root(), new.root()).unwrap();
         m.insert(old.children(old.root())[0], new.children(new.root())[0])
             .unwrap();
-        let r = diff(&old, &new, &DiffOptions::new().with_matching(m)).unwrap();
+        let r = Differ::new().matching(m).diff(&old, &new).unwrap();
         assert_eq!(r.counters.total(), 0, "no comparisons with provided keys");
         assert_eq!(r.script.op_counts().updates, 1);
     }
 
     #[test]
-    fn provided_matching_missing_is_an_error() {
-        let old = doc(r#"(D)"#);
-        let new = doc(r#"(D)"#);
-        let opts = DiffOptions {
-            matcher: Matcher::Provided,
-            ..DiffOptions::default()
-        };
-        assert!(matches!(
-            diff(&old, &new, &opts).map(|_| ()).unwrap_err(),
-            DiffError::MissingProvidedMatching
-        ));
+    fn strategies_agree_on_clean_input() {
+        let old = doc(r#"(D (P (S "u1") (S "u2")) (P (S "u3") (S "u4")))"#);
+        let new = doc(r#"(D (P (S "u3") (S "u4")) (P (S "u1") (S "u2")))"#);
+        let fast = Differ::new().diff(&old, &new).unwrap();
+        let simple = Differ::new()
+            .strategy(MatchStrategy::Simple)
+            .diff(&old, &new)
+            .unwrap();
+        assert_eq!(fast.script, simple.script);
+        let gumtree = Differ::new()
+            .strategy(MatchStrategy::gumtree())
+            .diff(&old, &new)
+            .unwrap();
+        assert_eq!(
+            fast.script, gumtree.script,
+            "pure swap: every strategy sees it"
+        );
     }
 
     #[test]
-    fn matchers_agree_on_clean_input() {
-        let old = doc(r#"(D (P (S "u1") (S "u2")) (P (S "u3") (S "u4")))"#);
-        let new = doc(r#"(D (P (S "u3") (S "u4")) (P (S "u1") (S "u2")))"#);
-        let fast = diff(&old, &new, &DiffOptions::default()).unwrap();
-        let simple = diff(
-            &old,
-            &new,
-            &DiffOptions {
-                matcher: Matcher::Simple,
-                ..DiffOptions::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(fast.script, simple.script);
+    fn gumtree_strategy_end_to_end() {
+        let old = doc(r#"(D (P (S "alpha") (S "beta")) (P (S "gamma") (S "delta")))"#);
+        let new = doc(r#"(D (P (S "gamma") (S "delta")) (P (S "alpha") (S "beta") (S "eps")))"#);
+        let r = Differ::new()
+            .strategy(MatchStrategy::gumtree())
+            .audit(Audit::On)
+            .diff(&old, &new)
+            .unwrap();
+        assert!(isomorphic(&r.mces.edited, &new));
+        assert!(r.audit.expect("audit on").is_clean());
+    }
+
+    #[test]
+    fn gumtree_counters_surface_in_profile() {
+        let old = doc(r#"(D (P (S "alpha") (S "beta")) (P (S "gamma")))"#);
+        let new = doc(r#"(D (P (S "gamma")) (P (S "alpha") (S "beta")))"#);
+        let r = Differ::new()
+            .strategy(MatchStrategy::gumtree())
+            .profile(true)
+            .diff(&old, &new)
+            .unwrap();
+        let profile = r.profile.expect("profile requested");
+        assert!(profile.counter("gumtree_anchors") > 0, "{profile:?}");
+        // FastMatch runs leave the gumtree counters untouched.
+        let fast = Differ::new().profile(true).diff(&old, &new).unwrap();
+        assert_eq!(fast.profile.unwrap().counter("gumtree_anchors"), 0);
     }
 
     #[test]
     fn distances_exposed() {
         let old = doc(r#"(D (P (S "a") (S "b") (S "c")))"#);
         let new = doc(r#"(D (P (S "a") (S "b")))"#);
-        let r = diff(&old, &new, &DiffOptions::default()).unwrap();
+        let r = Differ::new().diff(&old, &new).unwrap();
         assert_eq!(r.unweighted_distance(), 1);
         assert_eq!(r.weighted_distance(), 1);
     }
@@ -675,8 +536,8 @@ mod tests {
         let new = doc(
             r#"(D (P (S "stable1") (S "stable2")) (P (S "stable3") (S "stable4")) (P (S "new")))"#,
         );
-        let plain = diff(&old, &new, &DiffOptions::new()).unwrap();
-        let pruned = diff(&old, &new, &DiffOptions::new().with_prune(true)).unwrap();
+        let plain = Differ::new().diff(&old, &new).unwrap();
+        let pruned = Differ::new().prune(true).diff(&old, &new).unwrap();
         assert_eq!(
             plain.script.len(),
             pruned.script.len(),
@@ -692,43 +553,41 @@ mod tests {
     }
 
     #[test]
+    fn prune_is_a_fastmatch_knob() {
+        // prune(true) configures the FastMatch strategy in place; on any
+        // other strategy it is a documented no-op.
+        let old = doc(r#"(D (P (S "stable1") (S "stable2")) (P (S "old")))"#);
+        let new = doc(r#"(D (P (S "stable1") (S "stable2")) (P (S "new")))"#);
+        let pruned = Differ::new().prune(true).diff(&old, &new).unwrap();
+        assert!(pruned.counters.nodes_pruned > 0);
+        let gumtree = Differ::new()
+            .strategy(MatchStrategy::gumtree())
+            .prune(true)
+            .profile(true)
+            .diff(&old, &new)
+            .unwrap();
+        assert!(
+            gumtree.profile.unwrap().phase("prune").is_none(),
+            "gumtree has its own top-down phase; prune() does not apply"
+        );
+        assert!(isomorphic(&gumtree.mces.edited, &new));
+    }
+
+    #[test]
     fn audit_on_by_default_in_debug_and_clean() {
         let old = doc(r#"(D (P (S "a") (S "b")) (P (S "c")))"#);
         let new = doc(r#"(D (P (S "c")) (P (S "a") (S "b") (S "x")))"#);
-        let r = diff(&old, &new, &DiffOptions::new().with_prune(true)).unwrap();
+        let r = Differ::new().prune(true).diff(&old, &new).unwrap();
         let report = r.audit.expect("audit defaults on under debug assertions");
         assert!(report.is_clean(), "{report}");
         assert!(report.checks_run > 0);
     }
 
     #[test]
-    fn with_matching_is_order_independent() {
-        // Regression: with_matching used to be an associated constructor
-        // built over `..DiffOptions::default()`, silently resetting any
-        // prune/audit/threshold settings applied before it in the chain.
-        let m = Matching::new();
-        let before = DiffOptions::new()
-            .with_prune(true)
-            .with_audit(true)
-            .with_matching(m.clone());
-        let after = DiffOptions::new()
-            .with_matching(m)
-            .with_prune(true)
-            .with_audit(true);
-        for (name, o) in [("matching last", &before), ("matching first", &after)] {
-            assert!(o.prune, "{name}: prune dropped");
-            assert!(o.audit, "{name}: audit dropped");
-            assert!(o.build_delta, "{name}: delta dropped");
-            assert_eq!(o.matcher, Matcher::Provided, "{name}");
-            assert!(o.provided.is_some(), "{name}");
-        }
-    }
-
-    #[test]
     fn audit_skippable() {
         let old = doc(r#"(D (S "a"))"#);
         let new = doc(r#"(D (S "b"))"#);
-        let r = diff(&old, &new, &DiffOptions::new().with_audit(false)).unwrap();
+        let r = Differ::new().audit(Audit::Off).diff(&old, &new).unwrap();
         assert!(r.audit.is_none());
     }
 
@@ -743,8 +602,7 @@ mod tests {
         m.insert(old.root(), new.root()).unwrap();
         m.insert(old.children(old.root())[0], new.children(new.root())[0])
             .unwrap(); // S matched to P
-        let opts = DiffOptions::new().with_matching(m).with_audit(true);
-        match diff(&old, &new, &opts) {
+        match Differ::new().matching(m).audit(Audit::On).diff(&old, &new) {
             Err(DiffError::Audit(report)) => {
                 assert!(report.has_code(hierdiff_audit::Code::A012), "{report}");
             }
@@ -770,11 +628,9 @@ mod tests {
             .map(|i| doc(&format!(r#"(D (S "b{i}") (S "a{i}"))"#)))
             .collect();
         let pairs: Vec<(&Tree<String>, &Tree<String>)> = olds.iter().zip(news.iter()).collect();
-        let report = crate::diff_batch_with(
-            &pairs,
-            &crate::BatchOptions::new(DiffOptions::new().with_audit(true)),
-            |_, r| assert!(r.is_ok()),
-        );
+        let report = Differ::new()
+            .audit(Audit::On)
+            .diff_batch_with(&pairs, |_, r| assert!(r.is_ok()));
         assert_eq!(report.audit_findings(), 0, "clean pipelines audit clean");
     }
 
@@ -784,9 +640,12 @@ mod tests {
         let new = doc(r#"(D (S "b"))"#);
         let token = CancelToken::new();
         token.cancel();
-        let opts = DiffOptions::new().with_cancel(&token);
         assert!(matches!(
-            diff(&old, &new, &opts).map(|_| ()).unwrap_err(),
+            Differ::new()
+                .cancel(&token)
+                .diff(&old, &new)
+                .map(|_| ())
+                .unwrap_err(),
             DiffError::Cancelled
         ));
     }
@@ -795,25 +654,30 @@ mod tests {
     fn node_budget_rejects_at_admission() {
         let old = doc(r#"(D (S "a") (S "b"))"#);
         let new = doc(r#"(D (S "a") (S "b"))"#);
-        let opts = DiffOptions::new().with_budgets(Budgets::unlimited().with_max_nodes(3));
         assert!(matches!(
-            diff(&old, &new, &opts).map(|_| ()).unwrap_err(),
+            Differ::new()
+                .budget(Budgets::unlimited().with_max_nodes(3))
+                .diff(&old, &new)
+                .map(|_| ())
+                .unwrap_err(),
             DiffError::BudgetExhausted(Budget::Nodes)
         ));
         // At the ceiling the run is admitted.
-        let opts = DiffOptions::new().with_budgets(Budgets::unlimited().with_max_nodes(6));
-        assert!(diff(&old, &new, &opts).is_ok());
+        assert!(Differ::new()
+            .budget(Budgets::unlimited().with_max_nodes(6))
+            .diff(&old, &new)
+            .is_ok());
     }
 
     #[test]
     fn zero_wall_time_budget_trips_at_first_boundary() {
         let old = doc(r#"(D (S "a"))"#);
         let new = doc(r#"(D (S "a"))"#);
-        let opts = DiffOptions::new()
-            .with_budgets(Budgets::unlimited().with_max_wall_time(std::time::Duration::ZERO));
+        let differ = Differ::new()
+            .budget(Budgets::unlimited().with_max_wall_time(std::time::Duration::ZERO));
         std::thread::sleep(std::time::Duration::from_millis(2));
         assert!(matches!(
-            diff(&old, &new, &opts).map(|_| ()).unwrap_err(),
+            differ.diff(&old, &new).map(|_| ()).unwrap_err(),
             DiffError::BudgetExhausted(Budget::WallTime)
         ));
     }
@@ -829,17 +693,18 @@ mod tests {
         let rev: Vec<String> = (0..n).rev().map(|i| format!("(S \"v{i}\")")).collect();
         let old = doc(&format!("(D {})", fwd.join(" ")));
         let new = doc(&format!("(D {})", rev.join(" ")));
-        let opts = DiffOptions::new()
-            .with_audit(true)
-            .with_budgets(Budgets::unlimited().with_max_lcs_cells(1));
-        let r = diff(&old, &new, &opts).unwrap();
+        let r = Differ::new()
+            .audit(Audit::On)
+            .budget(Budgets::unlimited().with_max_lcs_cells(1))
+            .diff(&old, &new)
+            .unwrap();
         assert!(r.degraded.matching, "FastMatch must have degraded");
         assert!(r.degraded.any());
         assert!(isomorphic(&r.mces.edited, &new), "degraded yet conforming");
         let report = r.audit.expect("audit was on");
         assert!(report.is_clean(), "degraded results audit clean: {report}");
         // Ungoverned runs never degrade.
-        let plain = diff(&old, &new, &DiffOptions::new()).unwrap();
+        let plain = Differ::new().diff(&old, &new).unwrap();
         assert!(!plain.degraded.any());
     }
 
@@ -874,11 +739,12 @@ mod tests {
             doc(r#"(D (P (S "stable1") (S "stable2")) (P (S "a") (S "b") (S "c")) (P (S "old")))"#);
         let new =
             doc(r#"(D (P (S "stable1") (S "stable2")) (P (S "c") (S "b") (S "a")) (P (S "new")))"#);
-        let opts = DiffOptions::new()
-            .with_prune(true)
-            .with_audit(true)
-            .with_budgets(Budgets::unlimited().with_max_lcs_cells(1));
-        let r = diff(&old, &new, &opts).unwrap();
+        let r = Differ::new()
+            .prune(true)
+            .audit(Audit::On)
+            .budget(Budgets::unlimited().with_max_lcs_cells(1))
+            .diff(&old, &new)
+            .unwrap();
         assert!(r.degraded.matching);
         assert!(r.counters.nodes_pruned > 0, "prune pre-pass still ran");
         assert!(r.audit.unwrap().is_clean());
@@ -889,15 +755,20 @@ mod tests {
     fn delta_skippable() {
         let old = doc(r#"(D (S "a"))"#);
         let new = doc(r#"(D (S "a"))"#);
-        let r = diff(
-            &old,
-            &new,
-            &DiffOptions {
-                build_delta: false,
-                ..DiffOptions::default()
-            },
-        )
-        .unwrap();
+        let r = Differ::new().delta(false).diff(&old, &new).unwrap();
         assert!(r.delta.is_none());
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(MatchStrategy::fast().name(), "fastmatch");
+        assert_eq!(MatchStrategy::fast_pruned().name(), "fastmatch");
+        assert_eq!(MatchStrategy::Simple.name(), "simple");
+        assert_eq!(MatchStrategy::gumtree().name(), "gumtree");
+        assert_eq!(MatchStrategy::Provided(Matching::new()).name(), "provided");
+        assert!(matches!(
+            MatchStrategy::default(),
+            MatchStrategy::FastMatch(FastMatchConfig { prune: false })
+        ));
     }
 }

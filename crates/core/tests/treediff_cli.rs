@@ -166,8 +166,103 @@ fn no_audit_flag_skips_auditing() {
 fn help_documents_all_flags() {
     let out = treediff().arg("--help").output().unwrap();
     let text = String::from_utf8_lossy(&out.stderr);
-    for flag in ["--prune", "--audit", "--no-audit", "--output", "audit "] {
+    for flag in [
+        "--prune",
+        "--audit",
+        "--no-audit",
+        "--output",
+        "--strategy",
+        "--min-height",
+        "--sim-threshold",
+        "--max-recovery",
+        "audit ",
+    ] {
         assert!(text.contains(flag), "help is missing {flag}: {text}");
+    }
+}
+
+#[test]
+fn strategy_flag_selects_gumtree() {
+    let old = write_temp("sg_old.sexpr", OLD);
+    let new = write_temp("sg_new.sexpr", NEW);
+    let out = treediff()
+        .args(["--strategy", "gumtree", "--output", "stats"])
+        .args(["--min-height", "1", "--sim-threshold", "0.3"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("strategy:           gumtree"), "{stdout}");
+}
+
+#[test]
+fn strategy_choice_visible_in_profile_counters() {
+    let old = write_temp("sp_old.sexpr", OLD);
+    let new = write_temp("sp_new.sexpr", NEW);
+    let run = |strategy: &str| {
+        let out = treediff()
+            .args(["--strategy", strategy, "--profile=json"])
+            .arg(&old)
+            .arg(&new)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        hierdiff_core::DiffProfile::from_json(&String::from_utf8_lossy(&out.stderr)).unwrap()
+    };
+    // The gumtree run anchors isomorphic subtrees top-down; the fastmatch
+    // run never touches the gumtree counters.
+    assert!(run("gumtree").counter("gumtree_anchors") > 0);
+    assert_eq!(run("fastmatch").counter("gumtree_anchors"), 0);
+}
+
+#[test]
+fn audit_subcommand_clean_under_every_strategy() {
+    let old = write_temp("as_old.sexpr", OLD);
+    let new = write_temp("as_new.sexpr", NEW);
+    for strategy in ["fastmatch", "simple", "gumtree"] {
+        let out = treediff()
+            .args(["audit", "--strategy", strategy])
+            .arg(&old)
+            .arg(&new)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{strategy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn gumtree_knobs_and_prune_rejected_off_strategy() {
+    let old = write_temp("gr_old.sexpr", OLD);
+    let new = write_temp("gr_new.sexpr", NEW);
+    for (extra, needle) in [
+        (vec!["--min-height", "2"], "--min-height"),
+        (vec!["--strategy", "gumtree", "--prune"], "--prune"),
+        (vec!["--strategy", "gumtree", "-k", "2"], "--strategy"),
+        (vec!["--strategy", "mystery"], "mystery"),
+    ] {
+        let out = treediff()
+            .args(&extra)
+            .arg(&old)
+            .arg(&new)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{extra:?} should be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{extra:?}: {stderr}");
     }
 }
 

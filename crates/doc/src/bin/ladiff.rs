@@ -6,7 +6,12 @@
 //!
 //!   -t, --threshold <0.5..1.0>   inner-node match threshold t  [default 0.6]
 //!   -f, --leaf-threshold <0..1>  leaf compare threshold f      [default 0.5]
-//!       --engine fast|simple     matching algorithm            [default fast]
+//!   -s, --strategy fastmatch|simple|gumtree
+//!                                matching strategy             [default fastmatch]
+//!       --engine fast|simple|gumtree   alias for --strategy
+//!       --min-height <n>         gumtree top-down height floor    [default 1]
+//!       --sim-threshold <0..1>   gumtree bottom-up dice threshold [default 0.5]
+//!       --max-recovery <n>       gumtree TED recovery size bound  [default 100]
 //!       --format latex|html|markdown|xml|auto input format     [default auto]
 //!       --postprocess            run the Section 8 recovery pass
 //!       --timeout <secs>         wall-clock budget for the diff
@@ -24,7 +29,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use hierdiff_core::{Budgets, DiffError};
+use hierdiff_core::{Budgets, DiffError, GumTreeParams};
 use hierdiff_doc::{ladiff, DocError, DocFormat, Engine, LaDiffOptions};
 use hierdiff_matching::MatchParams;
 
@@ -89,7 +94,12 @@ fn fail_for(e: DocError) -> Failure {
 const USAGE: &str = "usage: ladiff [OPTIONS] <OLD> <NEW>\n\
   -t, --threshold <0.5..1.0>    inner-node match threshold t (default 0.6)\n\
   -f, --leaf-threshold <0..1>   leaf compare threshold f (default 0.5)\n\
-      --engine fast|simple      matching algorithm (default fast)\n\
+  -s, --strategy fastmatch|simple|gumtree\n\
+                                matching strategy (default fastmatch);\n\
+                                --engine is accepted as an alias\n\
+      --min-height <n>          gumtree: top-down anchoring height floor (default 1)\n\
+      --sim-threshold <0..1>    gumtree: bottom-up dice threshold (default 0.5)\n\
+      --max-recovery <n>        gumtree: TED recovery size bound, 0 disables (default 100)\n\
       --format latex|html|markdown|xml|auto  input format (default auto)\n\
       --postprocess             run the Section 8 recovery pass\n\
       --timeout <secs>          wall-clock budget for the diff\n\
@@ -112,6 +122,9 @@ fn parse_args() -> Result<Args, String> {
         max_depth: hierdiff_doc::DEFAULT_MAX_DEPTH,
         output: Output::Markup,
     };
+    let mut min_height: Option<u32> = None;
+    let mut sim_threshold: Option<f64> = None;
+    let mut max_recovery: Option<usize> = None;
     let mut positional = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -130,12 +143,40 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad -f: {e}"))?
             }
-            "--engine" => {
-                args.engine = match take("--engine")?.as_str() {
-                    "fast" => Engine::Fast,
+            "-s" | "--strategy" | "--engine" => {
+                args.engine = match take("--strategy")?.as_str() {
+                    "fast" | "fastmatch" => Engine::Fast,
                     "simple" => Engine::Simple,
-                    other => return Err(format!("unknown engine {other:?}")),
+                    "gumtree" => Engine::GumTree(GumTreeParams::default()),
+                    other => {
+                        return Err(format!(
+                            "unknown strategy {other:?} (expected fastmatch, simple, or gumtree)"
+                        ))
+                    }
                 }
+            }
+            "--min-height" => {
+                min_height = Some(
+                    take("--min-height")?
+                        .parse()
+                        .map_err(|e| format!("bad --min-height: {e}"))?,
+                )
+            }
+            "--sim-threshold" => {
+                let s: f64 = take("--sim-threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --sim-threshold: {e}"))?;
+                if !(0.0..=1.0).contains(&s) {
+                    return Err("bad --sim-threshold: need a value in 0..=1".to_string());
+                }
+                sim_threshold = Some(s);
+            }
+            "--max-recovery" => {
+                max_recovery = Some(
+                    take("--max-recovery")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-recovery: {e}"))?,
+                )
             }
             "--format" => {
                 args.format = match take("--format")?.as_str() {
@@ -186,6 +227,25 @@ fn parse_args() -> Result<Args, String> {
             other => positional.push(other.to_string()),
         }
     }
+    // The gumtree knobs are applied after the loop so they compose with
+    // `--strategy` in either order.
+    if let Engine::GumTree(params) = &mut args.engine {
+        if let Some(h) = min_height {
+            *params = params.with_min_height(h);
+        }
+        if let Some(s) = sim_threshold {
+            *params = params.with_sim_threshold(s);
+        }
+        if let Some(n) = max_recovery {
+            *params = params.with_max_recovery_size(n);
+        }
+    } else if min_height.is_some() {
+        return Err("--min-height applies to --strategy gumtree".to_string());
+    } else if sim_threshold.is_some() {
+        return Err("--sim-threshold applies to --strategy gumtree".to_string());
+    } else if max_recovery.is_some() {
+        return Err("--max-recovery applies to --strategy gumtree".to_string());
+    }
     match positional.len() {
         2 => {
             args.old = positional.remove(0);
@@ -218,6 +278,12 @@ fn run() -> Result<(), Failure> {
         Output::Delta => println!("{}", hierdiff_delta::render_text(&out.delta)),
         Output::Stats => {
             let s = &out.stats;
+            let strategy = match args.engine {
+                Engine::Fast => "fastmatch",
+                Engine::Simple => "simple",
+                Engine::GumTree(_) => "gumtree",
+            };
+            println!("strategy:          {strategy}");
             println!("old nodes:         {}", s.old_nodes);
             println!("new nodes:         {}", s.new_nodes);
             println!("matched pairs:     {}", s.matched);

@@ -2,7 +2,7 @@
 //! versions, find the good matching, generate the minimum conforming edit
 //! script, build the delta tree, and render the marked-up output.
 
-use hierdiff_core::{Audit, Budgets, Differ, Matcher};
+use hierdiff_core::{Audit, Budgets, Differ, GumTreeParams, MatchStrategy};
 use hierdiff_delta::{AnnotationCounts, DeltaTree};
 use hierdiff_edit::McesResult;
 use hierdiff_matching::{MatchCounters, MatchParams};
@@ -75,13 +75,16 @@ impl DocFormat {
 }
 
 /// Which matching algorithm drives the pipeline.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum Engine {
     /// Algorithm *FastMatch* (Figure 11) — the paper's recommendation.
     #[default]
     Fast,
     /// Algorithm *Match* (Figure 10) — the simple quadratic matcher.
     Simple,
+    /// GumTree-style greedy top-down/bottom-up matching with bounded
+    /// Zhang–Shasha recovery (Falleri et al., ASE 2014).
+    GumTree(GumTreeParams),
 }
 
 /// Pipeline options.
@@ -199,13 +202,14 @@ pub fn diff_trees(
 ) -> Result<LaDiffOutput, DocError> {
     check_depth(&old_tree, options.max_depth)?;
     check_depth(&new_tree, options.max_depth)?;
-    let matcher = match options.engine {
-        Engine::Fast => Matcher::Fast,
-        Engine::Simple => Matcher::Simple,
+    let strategy = match options.engine {
+        Engine::Fast => MatchStrategy::fast(),
+        Engine::Simple => MatchStrategy::Simple,
+        Engine::GumTree(params) => MatchStrategy::GumTree(params),
     };
     let r = Differ::new()
         .params(options.params)
-        .matcher(matcher)
+        .strategy(strategy)
         .postprocess(options.postprocess)
         .audit(Audit::Off)
         .budget(options.budgets)
@@ -286,6 +290,23 @@ mod tests {
         .unwrap();
         assert_eq!(fast.stats.matched, simple.stats.matched);
         assert_eq!(fast.stats.ops, simple.stats.ops);
+    }
+
+    #[test]
+    fn gumtree_engine_end_to_end() {
+        let out = ladiff(
+            OLD,
+            NEW,
+            &LaDiffOptions {
+                engine: Engine::GumTree(GumTreeParams::default()),
+                ..LaDiffOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(isomorphic(&out.result.edited, &out.new_tree) || out.result.wrapped);
+        assert!(out.stats.matched > 0);
+        // The unchanged Conclusion section survives as matches.
+        assert!(out.markup.contains("Conclusion"), "{}", out.markup);
     }
 
     #[test]

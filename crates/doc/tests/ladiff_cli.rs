@@ -99,6 +99,72 @@ fn threshold_flag_accepted() {
 }
 
 #[test]
+fn strategy_flag_selects_gumtree() {
+    let old = write_temp("g_old.tex", OLD);
+    let new = write_temp("g_new.tex", NEW);
+    let out = ladiff()
+        .args(["--strategy", "gumtree", "--output", "stats"])
+        .args([
+            "--min-height",
+            "1",
+            "--sim-threshold",
+            "0.4",
+            "--max-recovery",
+            "50",
+        ])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("strategy:          gumtree"), "{stdout}");
+    assert!(stdout.contains("edit script:"), "{stdout}");
+}
+
+#[test]
+fn gumtree_knobs_compose_with_strategy_in_either_order() {
+    let old = write_temp("go_old.tex", OLD);
+    let new = write_temp("go_new.tex", NEW);
+    let out = ladiff()
+        .args(["--min-height", "2", "-s", "gumtree", "--output", "stats"])
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn gumtree_knobs_rejected_without_gumtree() {
+    let old = write_temp("gx_old.tex", OLD);
+    let new = write_temp("gx_new.tex", NEW);
+    for (flag, value) in [
+        ("--min-height", "2"),
+        ("--sim-threshold", "0.4"),
+        ("--max-recovery", "10"),
+    ] {
+        let out = ladiff()
+            .args([flag, value])
+            .arg(&old)
+            .arg(&new)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{flag} should be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("applies to --strategy gumtree"), "{err}");
+    }
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = ladiff()
         .args(["/nonexistent/a.tex", "/nonexistent/b.tex"])

@@ -1,0 +1,170 @@
+//! Dice similarity over already-matched descendants — the container
+//! acceptance measure of GumTree's bottom-up phase (Falleri et al.,
+//! ASE 2014).
+//!
+//! For a candidate container pair `(x, y)`,
+//!
+//! ```text
+//! dice(x, y) = 2·|{(a, b) ∈ M : a ∈ desc(x), b ∈ desc(y)}|
+//!              ─────────────────────────────────────────────
+//!                       |desc(x)| + |desc(y)|
+//! ```
+//!
+//! where `M` is the matching accumulated so far and `desc` is the set of
+//! *proper* descendants. Alongside the ratio, [`DiceStats`] reports how
+//! many matched descendants on either side *escape* the other's subtree —
+//! the bottom-up phase only adopts containers with zero escapes, which is
+//! what makes the accepted pair ancestor-consistent with the rest of the
+//! matching (see `gumtree.rs`).
+
+use hierdiff_edit::Matching;
+use hierdiff_tree::{NodeId, NodeValue, Tree};
+
+/// Descendant bookkeeping behind one dice evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiceStats {
+    /// Proper descendants of the old-side candidate `x`.
+    pub desc1: usize,
+    /// Proper descendants of the new-side candidate `y`.
+    pub desc2: usize,
+    /// Matched pairs `(a, b)` with `a` under `x` *and* `b` under `y`.
+    pub common: usize,
+    /// Matched descendants of `x` whose partner lies outside `y`.
+    pub escaped1: usize,
+    /// Matched descendants of `y` whose partner lies outside `x`.
+    pub escaped2: usize,
+    /// Descendant partner probes performed (for the cost-model counters).
+    pub probes: usize,
+}
+
+impl DiceStats {
+    /// The dice coefficient in `[0, 1]`; `0` for a pair of leaves (no
+    /// descendants on either side).
+    pub fn dice(&self) -> f64 {
+        let denom = self.desc1 + self.desc2;
+        if denom == 0 {
+            0.0
+        } else {
+            2.0 * self.common as f64 / denom as f64
+        }
+    }
+
+    /// Whether every matched descendant on each side maps into the other
+    /// side's subtree. Containment is the structural precondition for
+    /// adopting the pair without creating an ancestor-order inversion.
+    pub fn contained(&self) -> bool {
+        self.escaped1 == 0 && self.escaped2 == 0
+    }
+}
+
+/// Evaluates [`DiceStats`] for the candidate container pair `(x, y)`
+/// under the partial matching `m`.
+///
+/// Cost is `O(|sub(x)| + |sub(y)|)` ancestor-interval probes; the caller
+/// ticks its guard once per candidate pair evaluated.
+pub fn dice_stats<V: NodeValue>(
+    t1: &Tree<V>,
+    x: NodeId,
+    t2: &Tree<V>,
+    y: NodeId,
+    m: &Matching,
+) -> DiceStats {
+    let mut stats = DiceStats::default();
+    for a in t1.descendants(x) {
+        // analyze: allow(S031) bounded by the candidate subtree; the caller ticks per pair
+        stats.desc1 += 1;
+        stats.probes += 1;
+        if let Some(b) = m.partner1(a) {
+            if t2.is_ancestor(y, b) && b != y {
+                stats.common += 1;
+            } else {
+                stats.escaped1 += 1;
+            }
+        }
+    }
+    for b in t2.descendants(y) {
+        // analyze: allow(S031) bounded by the candidate subtree; the caller ticks per pair
+        stats.desc2 += 1;
+        stats.probes += 1;
+        if let Some(a) = m.partner2(b) {
+            if !(t1.is_ancestor(x, a) && a != x) {
+                stats.escaped2 += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(s: &str) -> Tree<String> {
+        Tree::parse_sexpr(s).unwrap()
+    }
+
+    #[test]
+    fn identical_children_score_one() {
+        let t1 = doc(r#"(D (P (S "a") (S "b")))"#);
+        let t2 = doc(r#"(D (P (S "a") (S "b")))"#);
+        let p1 = t1.children(t1.root())[0];
+        let p2 = t2.children(t2.root())[0];
+        let mut m = Matching::new();
+        for (a, b) in t1.children(p1).iter().zip(t2.children(p2).iter()) {
+            m.insert(*a, *b).unwrap();
+        }
+        let s = dice_stats(&t1, p1, &t2, p2, &m);
+        assert_eq!(s.common, 2);
+        assert!((s.dice() - 1.0).abs() < 1e-9);
+        assert!(s.contained());
+    }
+
+    #[test]
+    fn half_overlap_scores_half() {
+        let t1 = doc(r#"(D (P (S "a") (S "b")))"#);
+        let t2 = doc(r#"(D (P (S "a") (S "z")))"#);
+        let p1 = t1.children(t1.root())[0];
+        let p2 = t2.children(t2.root())[0];
+        let mut m = Matching::new();
+        m.insert(t1.children(p1)[0], t2.children(p2)[0]).unwrap();
+        let s = dice_stats(&t1, p1, &t2, p2, &m);
+        assert_eq!(s.common, 1);
+        assert!((s.dice() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn escapes_detected_on_both_sides() {
+        // t1's "a" under P matches t2's "a" under Q (a different container):
+        // evaluating (P, P') must report the escape both ways.
+        let t1 = doc(r#"(D (P (S "a")) (Q))"#);
+        let t2 = doc(r#"(D (P (S "x")) (Q (S "a")))"#);
+        let p1 = t1.children(t1.root())[0];
+        let p2 = t2.children(t2.root())[0];
+        let q2 = t2.children(t2.root())[1];
+        let mut m = Matching::new();
+        m.insert(t1.children(p1)[0], t2.children(q2)[0]).unwrap();
+        let s = dice_stats(&t1, p1, &t2, p2, &m);
+        assert_eq!(s.common, 0);
+        assert_eq!(s.escaped1, 1, "a's partner lies outside P'");
+        assert!(!s.contained());
+        // The symmetric evaluation (against Q') is contained.
+        let s2 = dice_stats(&t1, p1, &t2, q2, &m);
+        assert_eq!(s2.common, 1);
+        assert!(s2.contained());
+    }
+
+    #[test]
+    fn leaf_pair_scores_zero() {
+        let t1 = doc(r#"(D (S "a"))"#);
+        let t2 = doc(r#"(D (S "a"))"#);
+        let s = dice_stats(
+            &t1,
+            t1.children(t1.root())[0],
+            &t2,
+            t2.children(t2.root())[0],
+            &Matching::new(),
+        );
+        assert_eq!(s.dice(), 0.0);
+        assert!(s.contained());
+    }
+}

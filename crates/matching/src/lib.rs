@@ -10,6 +10,8 @@
 //! * [`match_simple`] — Algorithm *Match* (Figure 10), `O(n²c + mn)`.
 //! * [`fast_match`] — Algorithm *FastMatch* (Figure 11),
 //!   `O((ne + e²)c + 2lne)`; the paper's recommended matcher.
+//! * [`gumtree_match`] — GumTree-style greedy top-down/bottom-up matching
+//!   with bounded Zhang–Shasha recovery (Falleri et al., ASE 2014).
 //! * [`postprocess`] — the Section 8 optimality-recovery pass for when
 //!   Matching Criterion 3 fails.
 //! * [`check_criterion3`] / [`mismatch_upper_bound`] — the Criterion 3
@@ -34,9 +36,11 @@
 
 mod bound;
 mod criteria;
+mod dice;
 mod error;
 mod exact;
 mod fast;
+mod gumtree;
 mod keyed;
 mod mismatch;
 mod postprocess;
@@ -49,9 +53,13 @@ pub use bound::{
     bounded_greedy_match, e_over_d, fastmatch_bound, match_bound, Bound, BoundInputs, GREEDY_WINDOW,
 };
 pub use criteria::{LeafRanges, MatchCounters, MatchCtx, MatchParams};
+pub use dice::{dice_stats, DiceStats};
 pub use error::MatchError;
 pub use exact::{fast_match_accelerated, prematch_unique_identical};
 pub use fast::{fast_match, fast_match_guarded, fast_match_seeded, fast_match_seeded_guarded};
+pub use gumtree::{
+    gumtree_match, gumtree_match_guarded, GumTreeMatch, GumTreeParams, GumTreeStats,
+};
 pub use keyed::{match_by_key, match_keyed_then_content};
 pub use mismatch::{check_criterion3, mismatch_upper_bound, Criterion3Report};
 pub use postprocess::postprocess;

@@ -168,11 +168,17 @@ pub enum Counter {
     DegradedAlignment,
     /// Batch pairs re-run on the caller thread after a worker panic.
     BatchRetries,
+    /// Isomorphic subtree pairs anchored by GumTree's top-down phase.
+    GumtreeAnchors,
+    /// Container pairs adopted by GumTree's bottom-up dice phase.
+    GumtreeContainers,
+    /// Pairs added by GumTree's bounded Zhang–Shasha recovery pass.
+    GumtreeRecovered,
 }
 
 impl Counter {
     /// Every counter.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::LeafCompares,
         Counter::PartnerChecks,
         Counter::InternalCompares,
@@ -193,6 +199,9 @@ impl Counter {
         Counter::DegradedMatching,
         Counter::DegradedAlignment,
         Counter::BatchRetries,
+        Counter::GumtreeAnchors,
+        Counter::GumtreeContainers,
+        Counter::GumtreeRecovered,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -218,6 +227,9 @@ impl Counter {
             Counter::DegradedMatching => "degraded_matching",
             Counter::DegradedAlignment => "degraded_alignment",
             Counter::BatchRetries => "batch_retries",
+            Counter::GumtreeAnchors => "gumtree_anchors",
+            Counter::GumtreeContainers => "gumtree_containers",
+            Counter::GumtreeRecovered => "gumtree_recovered",
         }
     }
 
@@ -244,6 +256,9 @@ impl Counter {
             Counter::DegradedMatching => "—",
             Counter::DegradedAlignment => "§3.2 (non-minimal)",
             Counter::BatchRetries => "—",
+            Counter::GumtreeAnchors => "Falleri §4.1",
+            Counter::GumtreeContainers => "Falleri §4.2",
+            Counter::GumtreeRecovered => "Falleri §4.2 (TED)",
         }
     }
 

@@ -19,7 +19,7 @@ use std::path::Path;
 
 use hierdiff::tree::Tree;
 use hierdiff::workload::{generate_document, perturb, DocProfile, EditMix};
-use hierdiff::{Audit, DiffResult, Differ, Matcher};
+use hierdiff::{Audit, DiffResult, Differ, MatchStrategy};
 use hierdiff_doc::DocValue;
 
 const GOLDEN_PATH: &str = "fixtures/goldens/arena_differential.txt";
@@ -96,14 +96,13 @@ fn run_case<V: hierdiff::tree::NodeValue>(
     t1: &Tree<V>,
     t2: &Tree<V>,
 ) {
-    for (variant, prune, matcher) in [
-        ("fast", false, Matcher::Fast),
-        ("fast+prune", true, Matcher::Fast),
-        ("simple", false, Matcher::Simple),
+    for (variant, strategy) in [
+        ("fast", MatchStrategy::fast()),
+        ("fast+prune", MatchStrategy::fast_pruned()),
+        ("simple", MatchStrategy::Simple),
     ] {
         let r = Differ::new()
-            .matcher(matcher)
-            .prune(prune)
+            .strategy(strategy)
             .audit(Audit::On)
             .profile(true)
             .diff(t1, t2)

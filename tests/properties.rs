@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use hierdiff::edit::{edit_script, weighted_edit_distance, CostModel, Matching};
 use hierdiff::matching::{fast_match, fast_match_accelerated, MatchParams};
 use hierdiff::tree::{isomorphic, Label, NodeId, NodeValue, Tree};
-use hierdiff::{diff_batch, Differ};
+use hierdiff::Differ;
 
 /// A generated tree description: parent links + labels + values, decoded
 /// into a `Tree<String>`.
@@ -321,14 +321,13 @@ proptest! {
             .collect();
         let pairs: Vec<(&Tree<String>, &Tree<String>)> =
             pairs_owned.iter().map(|(a, b)| (a, b)).collect();
-        let opts = hierdiff::DiffOptions::new();
         let sequential: Vec<_> = pairs
             .iter()
             .map(|(a, b)| Differ::new().diff(a, b).unwrap())
             .collect();
 
         // Default scheduling.
-        let batch = diff_batch(&pairs, &opts);
+        let batch = Differ::new().diff_batch(&pairs).results;
         for (i, r) in batch.iter().enumerate() {
             prop_assert_eq!(&r.as_ref().unwrap().script, &sequential[i].script);
         }
@@ -338,7 +337,7 @@ proptest! {
         for workers in [1usize, 2, parallelism] {
             let mut slots: Vec<Option<hierdiff::DiffResult<String>>> =
                 (0..pairs.len()).map(|_| None).collect();
-            let report = Differ::from_options(opts.clone())
+            let report = Differ::new()
                 .workers(workers)
                 .diff_batch_with(&pairs, |i, r| slots[i] = Some(r.unwrap()));
             prop_assert_eq!(report.completed(), pairs.len());
