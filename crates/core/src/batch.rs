@@ -24,6 +24,7 @@ use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Steal, Stealer, Worker};
+use hierdiff_guard::RetryPolicy;
 use hierdiff_obs::{CounterSample, DiffProfile, Recorder};
 use hierdiff_tree::{NodeValue, Tree};
 
@@ -44,6 +45,11 @@ pub(crate) struct BatchOptions {
     /// Record a per-worker [`DiffProfile`] (phase timings + work counters
     /// across the worker's pairs) into [`BatchReport::profiles`].
     pub profile: bool,
+    /// Retry schedule for pairs a panicked worker never delivered
+    /// ([`Differ::retry`](crate::Differ::retry)). The default —
+    /// [`RetryPolicy::default`], one retry — matches the historical
+    /// retry-once-on-the-calling-thread behavior.
+    pub retry: RetryPolicy,
 }
 
 impl BatchOptions {
@@ -58,6 +64,13 @@ impl BatchOptions {
     #[cfg(test)]
     pub fn with_profile(mut self, profile: bool) -> BatchOptions {
         self.profile = profile;
+        self
+    }
+
+    /// Sets the retry schedule.
+    #[cfg(test)]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> BatchOptions {
+        self.retry = retry;
         self
     }
 }
@@ -89,14 +102,22 @@ pub struct BatchReport {
     /// ([`Differ::profile`](crate::Differ::profile)).
     pub profiles: Vec<DiffProfile>,
     /// Worker-level failures ([`DiffError::WorkerPanicked`]); empty on a
-    /// healthy run. Pairs a failed worker never streamed are retried once
-    /// on the calling thread; only pairs whose retry also failed carry the
-    /// error in per-pair results.
+    /// healthy run. Pairs a failed worker never streamed are re-run on
+    /// the calling thread per the configured
+    /// [`RetryPolicy`](crate::RetryPolicy).
     pub failures: Vec<DiffError>,
     /// Pairs re-run (successfully) on the calling thread after a worker
     /// panic. Also surfaced as the `batch_retries` counter on
     /// [`profile`](BatchReport::profile).
     pub retries: u64,
+    /// Input indexes of pairs whose every allowed retry attempt panicked;
+    /// each was delivered to the sink as
+    /// [`DiffError::RetryExhausted`] (never conflated with cancellation).
+    pub retry_failed: Vec<usize>,
+    /// Input indexes of pairs abandoned mid-retry because the run's
+    /// cancel token fired; each was delivered as
+    /// [`DiffError::Cancelled`] (never conflated with retry exhaustion).
+    pub retry_cancelled: Vec<usize>,
 }
 
 impl BatchReport {
@@ -179,11 +200,14 @@ fn worker_count(requested: Option<NonZeroUsize>, pairs: usize) -> usize {
 ///
 /// A worker that panics does not take the batch down: its failure is
 /// recorded in [`BatchReport::failures`], the remaining workers drain the
-/// queue, and pairs the dead worker never streamed are re-run once on the
-/// calling thread ([`BatchReport::retries`]). Only pairs whose retry also
-/// fails are lost to the sink — collect via
-/// [`Differ::diff_batch`](crate::Differ::diff_batch) to have them surfaced
-/// as [`DiffError::WorkerPanicked`] results instead.
+/// queue, and pairs the dead worker never streamed are re-run on the
+/// calling thread per the configured retry policy
+/// ([`Differ::retry`](crate::Differ::retry); [`BatchReport::retries`]).
+/// Pairs that exhaust the policy are streamed as
+/// [`DiffError::RetryExhausted`]; pairs abandoned because the cancel token
+/// fired mid-retry are streamed as [`DiffError::Cancelled`] — the report
+/// indexes each group separately ([`BatchReport::retry_failed`] /
+/// [`BatchReport::retry_cancelled`]).
 ///
 /// `sink` is shared by all workers behind a lock; keep it cheap (push to a
 /// channel or vector) or it becomes the bottleneck.
@@ -296,28 +320,57 @@ where
         }
     }
 
-    // Batch resilience: pairs a dead worker never streamed are re-run once
-    // on this thread, ungoverned by the dead worker's fate (the per-pair
-    // guard inside diff_observed still applies). A pair whose retry also
-    // panics stays undelivered and surfaces as WorkerPanicked downstream;
-    // a sink that panics again stops the pass (it is the sink that is
+    // Batch resilience: pairs a dead worker never streamed are re-run on
+    // this thread per the configured retry policy, ungoverned by the dead
+    // worker's fate (the per-pair guard inside diff_observed still
+    // applies). Attempts beyond the first back off per the policy's
+    // deterministic jittered schedule. Every terminal outcome is typed and
+    // kept distinct: success streams the result, exhausting the policy
+    // streams RetryExhausted, a cancel token firing mid-retry streams
+    // Cancelled. A sink that panics stops the pass (it is the sink that is
     // broken, not the pairs).
     if !report.failures.is_empty() {
+        let policy = options.retry;
+        let cancel = options.diff.cancel.as_ref();
         let (mut delivered, mut sink) = state.into_inner().unwrap_or_else(PoisonError::into_inner);
-        for (i, done) in delivered.iter_mut().enumerate() {
-            if *done {
+        'pairs: for (i, done) in delivered.iter_mut().enumerate() {
+            if *done || policy.retry_limit() == 0 {
                 continue;
             }
             let (old, new) = pairs[i];
-            let attempt = catch_unwind(AssertUnwindSafe(|| {
-                diff_observed(old, new, &options.diff, None)
-            }));
-            if let Ok(result) = attempt {
-                *done = true;
-                if catch_unwind(AssertUnwindSafe(|| sink(i, result))).is_err() {
-                    break;
+            for attempt in 1..=policy.retry_limit() {
+                if cancel.is_some_and(hierdiff_guard::CancelToken::is_cancelled) {
+                    report.retry_cancelled.push(i);
+                    *done = true;
+                    if catch_unwind(AssertUnwindSafe(|| sink(i, Err(DiffError::Cancelled))))
+                        .is_err()
+                    {
+                        break 'pairs;
+                    }
+                    continue 'pairs;
                 }
-                report.retries += 1;
+                if attempt > 1 {
+                    std::thread::sleep(policy.backoff(attempt - 1, i as u64));
+                }
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    diff_observed(old, new, &options.diff, None)
+                }));
+                if let Ok(result) = run {
+                    *done = true;
+                    if catch_unwind(AssertUnwindSafe(|| sink(i, result))).is_err() {
+                        break 'pairs;
+                    }
+                    report.retries += 1;
+                    continue 'pairs;
+                }
+            }
+            // Every allowed attempt panicked: a typed terminal outcome,
+            // distinct from cancellation.
+            report.retry_failed.push(i);
+            *done = true;
+            let exhausted = Err(DiffError::RetryExhausted(policy.retry_limit()));
+            if catch_unwind(AssertUnwindSafe(|| sink(i, exhausted))).is_err() {
+                break 'pairs;
             }
         }
     }
@@ -326,8 +379,9 @@ where
 }
 
 /// Collects a batch run into per-pair results (input order) plus the
-/// report. Pairs a panicked worker never delivered are retried once on the
-/// calling thread; only those whose retry also failed carry
+/// report. Pairs a panicked worker never delivered are retried on the
+/// calling thread per the retry policy; only pairs the policy never got
+/// to re-run (e.g. [`RetryPolicy::none`]) carry
 /// [`DiffError::WorkerPanicked`].
 pub(crate) fn diff_batch_run<V: NodeValue + Send + Sync>(
     pairs: &[(&Tree<V>, &Tree<V>)],
@@ -608,6 +662,138 @@ mod tests {
         assert_eq!(delivered.iter().filter(|s| s.is_some()).count(), 3);
         let profile = report.profile().expect("profiling was on");
         assert_eq!(profile.retries(), 3, "batch_retries surfaced in profile");
+    }
+
+    /// A node value whose criteria comparison panics when armed — the
+    /// only way to make the *diff itself* (not just the sink) die
+    /// deterministically, exercising the retry-exhaustion path.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Volatile {
+        text: String,
+        armed: bool,
+    }
+
+    impl hierdiff_tree::NodeValue for Volatile {
+        fn null() -> Self {
+            Volatile {
+                text: String::new(),
+                armed: false,
+            }
+        }
+        fn compare(&self, other: &Self) -> f64 {
+            assert!(!(self.armed || other.armed), "armed value compared");
+            if self == other {
+                0.0
+            } else {
+                2.0
+            }
+        }
+    }
+
+    fn volatile_pair(text: &str, armed: bool) -> Tree<Volatile> {
+        use hierdiff_tree::Label;
+        let mut t = Tree::new(Label::intern("D"), Volatile::null());
+        t.push_child(
+            t.root(),
+            Label::intern("S"),
+            Volatile {
+                text: text.to_string(),
+                armed,
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn retry_exhaustion_is_typed_and_indexed() {
+        let ok_old = volatile_pair("a", false);
+        let ok_new = volatile_pair("b", false);
+        let bad_old = volatile_pair("x", true);
+        let bad_new = volatile_pair("y", true);
+        let pairs = vec![(&ok_old, &ok_new), (&bad_old, &bad_new), (&ok_old, &ok_new)];
+        let opts = BatchOptions::default()
+            .with_workers(1)
+            .with_retry(RetryPolicy::retries(2).with_base_backoff(Duration::ZERO));
+        let slots = Mutex::new((0..pairs.len()).map(|_| None).collect::<Vec<_>>());
+        let report = diff_batch_inner(&pairs, &opts, |i, r| {
+            slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(r);
+        });
+        assert_eq!(report.failures, vec![DiffError::WorkerPanicked(0)]);
+        assert_eq!(report.retry_failed, vec![1], "the armed pair exhausted");
+        assert!(report.retry_cancelled.is_empty(), "no conflation");
+        assert_eq!(report.retries, 1, "the healthy trailing pair recovered");
+        let slots = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
+        assert!(
+            matches!(slots[0], Some(Ok(_))),
+            "delivered before the panic"
+        );
+        assert!(
+            matches!(slots[1], Some(Err(DiffError::RetryExhausted(2)))),
+            "typed exhaustion after 2 attempts: {:?}",
+            slots[1]
+        );
+        assert!(matches!(slots[2], Some(Ok(_))), "retried successfully");
+    }
+
+    #[test]
+    fn cancel_mid_retry_is_typed_cancelled_not_exhausted() {
+        use hierdiff_guard::CancelToken;
+        let a = doc(r#"(D (S "x"))"#);
+        let b = doc(r#"(D (S "y"))"#);
+        let pairs = vec![(&a, &b); 3];
+        let token = CancelToken::new();
+        let opts = BatchOptions {
+            diff: PipelineConfig {
+                cancel: Some(token.clone()),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .with_workers(1);
+        // The sink fires the cancel token and then kills the worker on its
+        // first delivery: the remaining pairs enter the retry pass with the
+        // token already fired and must surface as Cancelled, not as retry
+        // exhaustion.
+        let mut first = true;
+        let slots = Mutex::new((0..pairs.len()).map(|_| None).collect::<Vec<_>>());
+        let report = diff_batch_inner(&pairs, &opts, |i, r| {
+            if first {
+                first = false;
+                token.cancel();
+                panic!("worker dies after cancelling");
+            }
+            slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(r);
+        });
+        assert_eq!(report.failures, vec![DiffError::WorkerPanicked(0)]);
+        assert_eq!(report.retry_cancelled, vec![1, 2]);
+        assert!(report.retry_failed.is_empty(), "no conflation");
+        assert_eq!(report.retries, 0);
+        let slots = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
+        for i in [1, 2] {
+            assert!(
+                matches!(slots[i], Some(Err(DiffError::Cancelled))),
+                "pair {i}: {:?}",
+                slots[i]
+            );
+        }
+    }
+
+    #[test]
+    fn retry_none_leaves_pairs_as_worker_panicked() {
+        let ok_old = volatile_pair("a", false);
+        let ok_new = volatile_pair("b", false);
+        let bad_old = volatile_pair("x", true);
+        let bad_new = volatile_pair("y", true);
+        let pairs = vec![(&bad_old, &bad_new), (&ok_old, &ok_new)];
+        let run = diff_batch_run(
+            &pairs,
+            &BatchOptions::default()
+                .with_workers(1)
+                .with_retry(RetryPolicy::none()),
+        );
+        assert_eq!(run.report.failures, vec![DiffError::WorkerPanicked(0)]);
+        assert_eq!(run.report.retries, 0, "policy forbids retrying");
+        assert!(matches!(run.results[0], Err(DiffError::WorkerPanicked(0))));
     }
 
     #[test]

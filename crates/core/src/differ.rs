@@ -88,6 +88,7 @@ pub struct Differ<'o> {
     observer: Option<&'o mut dyn PipelineObserver>,
     profile: bool,
     workers: Option<NonZeroUsize>,
+    retry: hierdiff_guard::RetryPolicy,
 }
 
 impl Default for Differ<'static> {
@@ -105,6 +106,7 @@ impl Differ<'static> {
             observer: None,
             profile: false,
             workers: None,
+            retry: hierdiff_guard::RetryPolicy::default(),
         }
     }
 }
@@ -156,9 +158,33 @@ impl<'o> Differ<'o> {
         self
     }
 
+    /// Provides a pre-computed pruning seed for the FastMatch strategy:
+    /// wholesale-matched pairs the matcher starts from, replacing the
+    /// in-pipeline identical-subtree pre-pass. Intended for callers that
+    /// maintain [`FingerprintIndex`](hierdiff_tree::FingerprintIndex)es
+    /// across runs (e.g. a serving layer pruning along a version chain
+    /// with `prune_identical_indexed`). The seed is audited downstream as
+    /// seed ⊆ matching; ignored by non-FastMatch strategies.
+    pub fn prune_seed(mut self, seed: Matching) -> Differ<'o> {
+        self.config.prune_seed = Some(seed);
+        self
+    }
+
     /// Sets the stage-boundary invariant auditing policy.
     pub fn audit(mut self, audit: Audit) -> Differ<'o> {
         self.config.audit = audit.enabled();
+        self
+    }
+
+    /// Sets the batch retry schedule for pairs a panicked worker never
+    /// delivered (default: one retry on the calling thread, the
+    /// historical behavior). Pairs that exhaust the policy surface as
+    /// [`DiffError::RetryExhausted`](crate::DiffError::RetryExhausted);
+    /// pairs abandoned because the cancel token fired mid-retry surface
+    /// as [`DiffError::Cancelled`](crate::DiffError::Cancelled). Ignored
+    /// by single-pair [`diff`](Differ::diff).
+    pub fn retry(mut self, retry: hierdiff_guard::RetryPolicy) -> Differ<'o> {
+        self.retry = retry;
         self
     }
 
@@ -206,6 +232,7 @@ impl<'o> Differ<'o> {
             observer: Some(observer),
             profile: self.profile,
             workers: self.workers,
+            retry: self.retry,
         }
     }
 
@@ -271,6 +298,7 @@ impl<'o> Differ<'o> {
             diff: self.config.clone(),
             workers: self.workers,
             profile: self.profile,
+            retry: self.retry,
         }
     }
 }

@@ -77,7 +77,9 @@ use hierdiff_edit::{
     edit_script_guarded, EditScript, EditScriptError, Matching, McesError, McesResult,
 };
 use hierdiff_guard::Guard;
-pub use hierdiff_guard::{Budget, Budgets, CancelToken, ChaosObserver, Fault, GuardError};
+pub use hierdiff_guard::{
+    Budget, Budgets, CancelToken, ChaosObserver, Fault, GuardError, RetryPolicy,
+};
 pub use hierdiff_matching::{GumTreeParams, MatchError};
 use hierdiff_matching::{MatchCounters, MatchParams};
 use hierdiff_tree::{NodeValue, Tree};
@@ -111,6 +113,12 @@ pub(crate) struct PipelineConfig {
     pub budgets: Budgets,
     /// Cooperative cancellation token.
     pub cancel: Option<CancelToken>,
+    /// A caller-provided pruning seed for the FastMatch strategy
+    /// ([`Differ::prune_seed`]): wholesale-matched pairs computed outside
+    /// the pipeline (e.g. from cached fingerprint indexes along a version
+    /// chain). Replaces the in-pipeline pruning pre-pass; ignored by the
+    /// other strategies.
+    pub prune_seed: Option<Matching>,
 }
 
 impl Default for PipelineConfig {
@@ -123,6 +131,7 @@ impl Default for PipelineConfig {
             audit: audit_default(),
             budgets: Budgets::unlimited(),
             cancel: None,
+            prune_seed: None,
         }
     }
 }
@@ -154,6 +163,10 @@ pub enum DiffError {
     /// internal invariant. Guard trips inside the matcher surface as
     /// [`DiffError::Cancelled`] / [`DiffError::BudgetExhausted`] instead.
     Match(MatchError),
+    /// Every attempt allowed by the batch [`RetryPolicy`]
+    /// ([`Differ::retry`]) panicked; the payload is the number of retry
+    /// attempts that were made for the pair.
+    RetryExhausted(u32),
 }
 
 impl std::fmt::Display for DiffError {
@@ -177,6 +190,9 @@ impl std::fmt::Display for DiffError {
             DiffError::Cancelled => write!(f, "diff cancelled"),
             DiffError::BudgetExhausted(b) => write!(f, "budget exhausted: {b}"),
             DiffError::Match(e) => write!(f, "matching failed: {e}"),
+            DiffError::RetryExhausted(attempts) => {
+                write!(f, "all {attempts} retry attempt(s) panicked")
+            }
         }
     }
 }
@@ -749,6 +765,74 @@ mod tests {
         assert!(r.counters.nodes_pruned > 0, "prune pre-pass still ran");
         assert!(r.audit.unwrap().is_clean());
         assert!(isomorphic(&r.mces.edited, &new));
+    }
+
+    #[test]
+    fn provided_prune_seed_matches_in_pipeline_pruning() {
+        // The serving layer's chain-reuse path: prune against cached
+        // fingerprint indexes and hand the seed to the differ instead of
+        // letting the pipeline rebuild both indexes per request.
+        use hierdiff_matching::prune_identical_indexed;
+        use hierdiff_tree::FingerprintIndex;
+        let old = doc(r#"(D (P (S "keep1") (S "keep2")) (P (S "a") (S "b") (S "c")) (P (S "x")))"#);
+        let new = doc(r#"(D (P (S "keep1") (S "keep2")) (P (S "a") (S "b") (S "c")) (P (S "y")))"#);
+        let idx_old = FingerprintIndex::build(&old);
+        let idx_new = FingerprintIndex::build(&new);
+        let (seed, _) = prune_identical_indexed(&old, &idx_old, &new, &idx_new).unwrap();
+        assert!(!seed.is_empty(), "the stable fragment seeds the matcher");
+        let seeded = Differ::new()
+            .prune_seed(seed.clone())
+            .audit(Audit::On)
+            .profile(true)
+            .diff(&old, &new)
+            .unwrap();
+        assert!(seeded.audit.unwrap().is_clean(), "seed ⊆ matching holds");
+        assert!(isomorphic(&seeded.mces.edited, &new));
+        assert_eq!(
+            seeded.profile.unwrap().counter("nodes_pruned"),
+            seed.len() as u64,
+            "the provided seed is credited to the prune phase"
+        );
+        // The seeded run agrees with the in-pipeline pruning pre-pass.
+        let inline = Differ::new().prune(true).diff(&old, &new).unwrap();
+        assert_eq!(seeded.script, inline.script);
+        // Non-FastMatch strategies ignore the seed rather than feeding an
+        // unconsumed seed to the seed ⊆ matching audit.
+        let gum = Differ::new()
+            .prune_seed(seed)
+            .strategy(MatchStrategy::gumtree())
+            .audit(Audit::On)
+            .diff(&old, &new)
+            .unwrap();
+        assert!(gum.audit.unwrap().is_clean());
+    }
+
+    #[test]
+    fn gumtree_recovery_truncation_surfaces_as_degraded() {
+        // Distinct leaf multisets under similar containers force the
+        // bounded-ZS recovery pass; a 1-cell LCS budget truncates it. The
+        // run must stay valid (not error), flag the matching tier, and
+        // audit clean — the serve ladder keys off exactly this flag.
+        let n = 14;
+        let left: Vec<String> = (0..n).map(|i| format!("(S \"l{i}\")")).collect();
+        let right: Vec<String> = (0..n).map(|i| format!("(S \"r{i}\")")).collect();
+        let old = doc(&format!("(D (P {}) (P (S \"anchor\")))", left.join(" ")));
+        let new = doc(&format!("(D (P {}) (P (S \"anchor\")))", right.join(" ")));
+        let r = Differ::new()
+            .strategy(MatchStrategy::gumtree())
+            .audit(Audit::On)
+            .budget(Budgets::unlimited().with_max_lcs_cells(1))
+            .diff(&old, &new)
+            .unwrap();
+        assert!(r.degraded.matching, "truncated recovery flags the tier");
+        assert!(r.audit.unwrap().is_clean());
+        assert!(isomorphic(&r.mces.edited, &new), "degraded yet conforming");
+        // With room to run, the same input does not degrade.
+        let full = Differ::new()
+            .strategy(MatchStrategy::gumtree())
+            .diff(&old, &new)
+            .unwrap();
+        assert!(!full.degraded.matching);
     }
 
     #[test]

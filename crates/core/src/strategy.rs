@@ -138,7 +138,27 @@ pub(crate) fn run_strategy<V: NodeValue>(
     // The pruning pre-pass runs as its own phase; keeping the seed around
     // also lets the audit check the exact pairs the matcher started from
     // instead of re-deriving them.
-    let prune_seed = if matches!(&config.strategy, MatchStrategy::FastMatch(c) if c.prune) {
+    let provided_seed = config
+        .prune_seed
+        .as_ref()
+        .filter(|_| matches!(&config.strategy, MatchStrategy::FastMatch(_)));
+    let prune_seed = if let Some(seed) = provided_seed {
+        // A caller-provided seed (e.g. the serving layer pruning against
+        // cached fingerprint indexes along a version chain): adopt it as
+        // the pre-pass result without rebuilding any index. The audit
+        // still checks seed ⊆ matching downstream, so a stale or corrupt
+        // seed cannot silently survive.
+        span_start(obs, Phase::Prune);
+        let stats = PruneStats {
+            nodes_pruned: seed.len(),
+            ..PruneStats::default()
+        };
+        if let Some(o) = obs.as_mut() {
+            o.add(Counter::NodesPruned, stats.nodes_pruned as u64);
+        }
+        span_end(obs, Phase::Prune);
+        Some((seed.clone(), stats))
+    } else if matches!(&config.strategy, MatchStrategy::FastMatch(c) if c.prune) {
         span_start(obs, Phase::Prune);
         let (seed, stats) = match prune_identical(old, new) {
             Ok(v) => v,
@@ -189,6 +209,10 @@ pub(crate) fn run_strategy<V: NodeValue>(
             .map_err(DiffError::from),
         MatchStrategy::GumTree(params) => match gumtree_match_guarded(old, new, *params, guard) {
             Ok(r) => {
+                // GumTree's own degradation rung: the LCS-cell budget ran
+                // out inside the bounded-ZS recovery pass, which was
+                // truncated (phases 1–2 completed; valid, non-maximal).
+                degraded_matching = r.stats.recovery_truncated;
                 gumtree_stats = Some(r.stats);
                 Ok((r.matching, r.counters))
             }

@@ -40,8 +40,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 mod chaos;
+mod pool;
+mod retry;
 
-pub use chaos::{Boundary, ChaosObserver, ChaosPanic, Fault, Injection};
+pub use chaos::{
+    Boundary, ChaosObserver, ChaosPanic, Fault, FaultSite, Injection, ServeBoundary,
+    ServeChaosPanic, ServeInjection,
+};
+pub use pool::{BudgetPool, PoolExhausted, PoolGrant};
+pub use retry::RetryPolicy;
 
 /// A shared cancellation flag. Cloning shares the flag: firing any clone
 /// cancels every [`Guard`] holding one. Checking is a single relaxed

@@ -108,6 +108,11 @@ pub struct GumTreeStats {
     pub recovery_runs: usize,
     /// Pairs adopted from recovery mappings.
     pub recovered: usize,
+    /// Whether the LCS-cell budget ran out mid-recovery: the remaining
+    /// recovery passes were skipped and the matching is valid but
+    /// possibly non-maximal (the degradation ladder's GumTree rung —
+    /// phases 1–2 still completed in full).
+    pub recovery_truncated: bool,
 }
 
 /// Result of a GumTree matching run.
@@ -381,6 +386,7 @@ fn recover<V: NodeValue>(
     guard: &Guard,
 ) -> Result<(), MatchError> {
     if params.max_recovery_size == 0
+        || stats.recovery_truncated
         || t1.subtree_size(x) > params.max_recovery_size
         || t2.subtree_size(y) > params.max_recovery_size
     {
@@ -394,6 +400,20 @@ fn recover<V: NodeValue>(
     guard.checkpoint()?;
     let (sub1, map1) = t1.extract_subtree(x);
     let (sub2, map2) = t2.extract_subtree(y);
+    // ZS is O(n1·n2): charge its cell grid against the run's LCS-cell
+    // budget *before* doing the work. Exhaustion here degrades instead
+    // of failing — the pairs phases 1–2 adopted stand, the remaining
+    // "last chance" passes are skipped, and the caller sees
+    // `recovery_truncated` (surfaced as a degraded-matching run).
+    let cells = (sub1.len() as u64).saturating_mul(sub2.len() as u64);
+    match guard.charge_lcs_cells(cells) {
+        Ok(()) => {}
+        Err(hierdiff_guard::GuardError::Budget(hierdiff_guard::Budget::LcsCells)) => {
+            stats.recovery_truncated = true;
+            return Ok(());
+        }
+        Err(e) => return Err(MatchError::Guard(e)),
+    }
     stats.recovery_runs += 1;
     let zs = tree_mapping(&sub1, &sub2, &UnitCost);
     // Adopt ancestors-first (extracted ids are preorder-contiguous, so
@@ -584,6 +604,28 @@ mod tests {
                 );
                 assert_eq!(t1.is_ancestor(c, a), t2.is_ancestor(d, b));
             }
+        }
+    }
+
+    #[test]
+    fn recovery_truncates_gracefully_on_lcs_budget() {
+        use hierdiff_guard::Budgets;
+        let t1 = doc(r#"(D (P (S "totally original phrasing") (S "anchor")))"#);
+        let t2 = doc(r#"(D (P (S "completely different words") (S "anchor")))"#);
+        // Recovery would need 4×4 cells for the paragraph pair; a 1-cell
+        // budget exhausts immediately — the run must still succeed.
+        let guard = Guard::new(Budgets::unlimited().with_max_lcs_cells(1), None);
+        let r = gumtree_match_guarded(&t1, &t2, GumTreeParams::default(), &guard)
+            .expect("budget exhaustion inside recovery must degrade, not fail");
+        assert!(r.stats.recovery_truncated, "truncation recorded");
+        assert_eq!(r.stats.recovery_runs, 0, "no ZS run was paid for");
+        let full = gumtree_match(&t1, &t2, GumTreeParams::default()).unwrap();
+        assert!(
+            r.matching.len() < full.matching.len(),
+            "truncated run is non-maximal but valid"
+        );
+        for (a, b) in r.matching.iter() {
+            assert_eq!(t1.label(a), t2.label(b), "A012 holds under truncation");
         }
     }
 

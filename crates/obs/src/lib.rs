@@ -174,11 +174,29 @@ pub enum Counter {
     GumtreeContainers,
     /// Pairs added by GumTree's bounded Zhang–Shasha recovery pass.
     GumtreeRecovered,
+    /// Diff requests submitted to the serving layer.
+    ServeRequests,
+    /// Requests rejected at admission (queue or budget-pool backpressure).
+    ServeRejected,
+    /// Retry attempts spent recovering requests from transient failures.
+    ServeRetries,
+    /// Requests answered by a downgraded matching strategy or a degraded
+    /// pipeline tier (the serve-level degradation ladder engaged).
+    ServeDegraded,
+    /// Requests shed after exhausting the ladder (deadline passed or
+    /// retries exhausted without a servable result).
+    ServeShed,
+    /// Version-chain fingerprint indexes served from the cache.
+    ServeCacheHits,
+    /// Version-chain fingerprint indexes built because the cache missed.
+    ServeCacheMisses,
+    /// Cache entries quarantined after a panicking request touched them.
+    ServeQuarantined,
 }
 
 impl Counter {
     /// Every counter.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 31] = [
         Counter::LeafCompares,
         Counter::PartnerChecks,
         Counter::InternalCompares,
@@ -202,6 +220,14 @@ impl Counter {
         Counter::GumtreeAnchors,
         Counter::GumtreeContainers,
         Counter::GumtreeRecovered,
+        Counter::ServeRequests,
+        Counter::ServeRejected,
+        Counter::ServeRetries,
+        Counter::ServeDegraded,
+        Counter::ServeShed,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeQuarantined,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -230,6 +256,14 @@ impl Counter {
             Counter::GumtreeAnchors => "gumtree_anchors",
             Counter::GumtreeContainers => "gumtree_containers",
             Counter::GumtreeRecovered => "gumtree_recovered",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeRejected => "serve_rejected",
+            Counter::ServeRetries => "serve_retries",
+            Counter::ServeDegraded => "serve_degraded",
+            Counter::ServeShed => "serve_shed",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
+            Counter::ServeQuarantined => "serve_quarantined",
         }
     }
 
@@ -259,6 +293,14 @@ impl Counter {
             Counter::GumtreeAnchors => "Falleri §4.1",
             Counter::GumtreeContainers => "Falleri §4.2",
             Counter::GumtreeRecovered => "Falleri §4.2 (TED)",
+            Counter::ServeRequests => "—",
+            Counter::ServeRejected => "—",
+            Counter::ServeRetries => "—",
+            Counter::ServeDegraded => "—",
+            Counter::ServeShed => "—",
+            Counter::ServeCacheHits => "§4 (pruning reuse)",
+            Counter::ServeCacheMisses => "—",
+            Counter::ServeQuarantined => "—",
         }
     }
 

@@ -1,0 +1,104 @@
+//! The typed failure surface of the service.
+//!
+//! Every way a request can fail maps to exactly one [`ServeError`]
+//! variant — the chaos soak asserts that no fault, at any boundary,
+//! escapes this type (no abort, no untyped panic reaching the caller,
+//! no poisoned lock).
+
+use std::fmt;
+
+use hierdiff_core::DiffError;
+use hierdiff_guard::PoolExhausted;
+
+/// Why admission control turned a request away.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// The bounded request queue is full — workers are not keeping up.
+    QueueFull,
+    /// The service-level budget pool refused the reservation (concurrency
+    /// or memory-estimate ceiling).
+    Pool(PoolExhausted),
+}
+
+impl fmt::Display for OverloadReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverloadReason::QueueFull => write!(f, "request queue full"),
+            OverloadReason::Pool(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A typed request failure. See each variant for the retry contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Admission control shed the request before any work was done.
+    /// Always safe to retry later; the service did not touch the cache.
+    Overloaded(OverloadReason),
+    /// The named document was never ingested.
+    UnknownDocument(String),
+    /// The requested version index is outside the document's chain.
+    UnknownVersion {
+        /// The document whose chain was consulted.
+        doc: String,
+        /// The out-of-range version index.
+        version: usize,
+        /// The chain length at lookup time.
+        versions: usize,
+    },
+    /// The request's deadline elapsed before a result was produced —
+    /// either waiting in the queue or mid-computation after the
+    /// degradation ladder ran out of cheaper rungs.
+    DeadlineExceeded,
+    /// The request was cancelled (caller abandonment, service shutdown,
+    /// or an injected [`Fault::Cancel`](hierdiff_guard::Fault)).
+    Cancelled,
+    /// Every attempt the retry policy allowed panicked inside the crash
+    /// isolation scope. The cache entries the request touched were
+    /// quarantined and will be rebuilt on next access.
+    Panicked {
+        /// Attempts consumed (≥ 1).
+        attempts: u32,
+    },
+    /// The pipeline returned a typed error that the ladder and retry
+    /// policy could not absorb (e.g. a hard budget with no degraded tier).
+    Diff(DiffError),
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded(why) => write!(f, "overloaded: {why}"),
+            ServeError::UnknownDocument(doc) => write!(f, "unknown document {doc:?}"),
+            ServeError::UnknownVersion {
+                doc,
+                version,
+                versions,
+            } => write!(
+                f,
+                "document {doc:?} has {versions} version(s); {version} is out of range"
+            ),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Cancelled => write!(f, "request cancelled"),
+            ServeError::Panicked { attempts } => {
+                write!(f, "all {attempts} attempt(s) panicked; cache quarantined")
+            }
+            ServeError::Diff(e) => write!(f, "diff failed: {e}"),
+            ServeError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<DiffError> for ServeError {
+    fn from(e: DiffError) -> ServeError {
+        match e {
+            DiffError::Cancelled => ServeError::Cancelled,
+            other => ServeError::Diff(other),
+        }
+    }
+}

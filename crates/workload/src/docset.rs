@@ -70,9 +70,28 @@ pub struct DocSet {
 impl DocSet {
     /// All ordered intra-set pairs `(i, j)` with `i < j` — the paper
     /// compares pairs of files within each set.
+    ///
+    /// Iteration order is guaranteed lexicographic: `(0,1), (0,2), …,
+    /// (0,n-1), (1,2), …` — stable across releases, so callers may index
+    /// recorded results (benchmark baselines, golden files) by pair
+    /// position.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let n = self.versions.len();
         (0..n).flat_map(move |i| (i + 1..n).map(move |j| (i, j)))
+    }
+
+    /// Only the consecutive pairs `(i, i+1)`, oldest first — the chain a
+    /// serving layer walks when reusing per-version indexes. A subset of
+    /// [`pairs`](DocSet::pairs), in the same relative order.
+    pub fn adjacent_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (1..self.versions.len()).map(|j| (j - 1, j))
+    }
+
+    /// The non-adjacent subset of [`pairs`](DocSet::pairs) (`j > i + 1`),
+    /// in the same lexicographic order — version skips, where a diff
+    /// cannot be read off a single perturbation report.
+    pub fn skip_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pairs().filter(|&(i, j)| j > i + 1)
     }
 }
 
@@ -135,6 +154,23 @@ mod tests {
         assert_eq!(pairs.len(), 6 * 5 / 2);
         assert!(pairs.contains(&(0, 5)));
         assert!(pairs.iter().all(|&(i, j)| i < j));
+        // The documented lexicographic order is a stable contract.
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(pairs, sorted, "pairs() iterates lexicographically");
+    }
+
+    #[test]
+    fn adjacent_and_skip_pairs_partition_pairs() {
+        let set = generate_docset(&DocSetProfile::paper_sets()[0]);
+        let adjacent: Vec<_> = set.adjacent_pairs().collect();
+        assert_eq!(adjacent, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let skips: Vec<_> = set.skip_pairs().collect();
+        assert!(skips.iter().all(|&(i, j)| j > i + 1));
+        let mut union: Vec<_> = adjacent.iter().chain(&skips).copied().collect();
+        union.sort_unstable();
+        let all: Vec<_> = set.pairs().collect();
+        assert_eq!(union, all, "adjacent ∪ skip = pairs, disjoint");
     }
 
     #[test]

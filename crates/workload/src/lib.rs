@@ -20,8 +20,10 @@ mod docgen;
 mod docset;
 mod perturb;
 mod render;
+mod trace;
 
 pub use docgen::{generate_document, DocProfile};
 pub use docset::{generate_docset, DocSet, DocSetProfile};
 pub use perturb::{ground_truth_matching, perturb, EditMix, PerturbReport};
 pub use render::render_latex_source;
+pub use trace::{generate_trace, TraceProfile, TraceRequest};

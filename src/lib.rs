@@ -40,6 +40,7 @@ pub use hierdiff_guard as guard;
 pub use hierdiff_lcs as lcs;
 pub use hierdiff_matching as matching;
 pub use hierdiff_obs as obs;
+pub use hierdiff_serve as serve;
 pub use hierdiff_tree as tree;
 pub use hierdiff_workload as workload;
 pub use hierdiff_zs as zs;

@@ -225,3 +225,58 @@ fn shuffle_fixture_degrades_matching_tier() {
     );
     assert!(isomorphic(&r.mces.edited, &new));
 }
+
+/// Guard-budget exhaustion *inside* GumTree's bounded Zhang–Shasha
+/// recovery pass: the LCS-cell budget runs dry mid-recovery, the pass is
+/// truncated (not errored), the degradation ladder flags the matching
+/// tier, and the result still replays `T1` into `T2` and audits clean —
+/// deterministically across replays.
+#[test]
+fn gumtree_recovery_budget_exhaustion_degrades_cleanly() {
+    use hierdiff::MatchStrategy;
+    // Similar containers with disjoint leaf multisets force the
+    // bottom-up phase to adopt containers whose children only the
+    // recovery pass could match; a tiny cell budget truncates it there.
+    let leaves = |prefix: &str| -> String {
+        (0..24)
+            .map(|i| format!("(S \"{prefix}{i}\")"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let old = Tree::parse_sexpr(&format!(
+        "(D (P {}) (P (S \"anchor one\") (S \"anchor two\")))",
+        leaves("left ")
+    ))
+    .unwrap();
+    let new = Tree::parse_sexpr(&format!(
+        "(D (P {}) (P (S \"anchor one\") (S \"anchor two\")))",
+        leaves("right ")
+    ))
+    .unwrap();
+
+    let run = || {
+        Differ::new()
+            .strategy(MatchStrategy::gumtree())
+            .audit(Audit::On)
+            .budget(Budgets::unlimited().with_max_lcs_cells(1))
+            .diff(&old, &new)
+            .unwrap()
+    };
+    let r = run();
+    assert!(r.degraded.matching, "the ladder must engage");
+    let replayed = r.mces.replay_on(&old).unwrap();
+    assert!(isomorphic(&replayed, &r.mces.edited), "replay != edited");
+    assert!(
+        isomorphic(&r.mces.edited, &conformance_target(&r, &new)),
+        "truncated recovery still conforms to T2"
+    );
+    assert!(r.audit.expect("audit on").is_clean());
+    let again = run();
+    assert_eq!(r.script, again.script, "truncation is deterministic");
+    // An ungoverned run completes the recovery and does not degrade.
+    let full = Differ::new()
+        .strategy(MatchStrategy::gumtree())
+        .diff(&old, &new)
+        .unwrap();
+    assert!(!full.degraded.matching);
+}
