@@ -24,6 +24,10 @@
 //! * [`arena`] — **S040–S042**: the flat arena's SoA indexing, narrowing
 //!   casts, and NIL-sentinel comparisons must flow through the blessed
 //!   helpers in `crates/tree`.
+//! * [`concurrency`] — **S050–S055**: the serve/guard lock model —
+//!   lock-order cycles, `PoisonError::into_inner` recovery, foreign or
+//!   blocking calls under a lock, unwind-unsafe `catch_unwind`
+//!   boundaries, and guard checkpoints under a lock.
 //! * [`lints`] — the **L001–L008** workspace lints, rewritten over the
 //!   shared token stream (the old line scanner is retired).
 //! * [`allow`] — the burn-down allowlist contract both lint families use.
@@ -41,6 +45,7 @@
 pub mod allow;
 pub mod api;
 pub mod arena;
+pub mod concurrency;
 pub mod guardcov;
 pub mod hotloop;
 pub mod lexer;
@@ -52,6 +57,7 @@ pub mod resolve;
 pub mod workspace;
 
 pub use allow::{judge, parse_allowlist, render_allowlist, Verdict};
+pub use concurrency::LockModel;
 pub use report::{render_json, Finding};
 pub use workspace::{
     run_analysis, run_analysis_threads, run_l_lints, write_api_snapshots, Analysis, Workspace,

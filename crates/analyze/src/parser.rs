@@ -44,7 +44,38 @@ pub struct Param {
     pub ty: Option<String>,
     /// Whether the declared type mentions `dyn`.
     pub is_dyn: bool,
+    /// Whether the declared type mentions a lock type (`Mutex`/`RwLock`),
+    /// at any nesting depth (`&Arc<Mutex<T>>` counts). Feeds the
+    /// concurrency-discipline lock model.
+    pub is_lock: bool,
 }
+
+/// A recovered `struct` definition: its name and named fields. Tuple and
+/// unit structs carry no named fields and are recovered with an empty
+/// field list.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// The struct's name.
+    pub name: String,
+    /// Named fields, in declaration order.
+    pub fields: Vec<FieldDecl>,
+}
+
+/// One named struct field.
+#[derive(Clone, Debug)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// Whether the declared type mentions `Mutex`/`RwLock` at any depth
+    /// (`Option<Mutex<T>>` counts).
+    pub is_lock: bool,
+}
+
+/// Type names the lock model treats as locks wherever they appear in a
+/// declared type.
+pub const LOCK_TYPES: &[&str] = &["Mutex", "RwLock"];
 
 /// A recovered `impl` block: the implemented type plus the body span.
 #[derive(Clone, Debug)]
@@ -115,6 +146,8 @@ pub struct FileModel {
     pub impls: Vec<ImplBlock>,
     /// Inline `mod` blocks, in source order.
     pub mods: Vec<ModBlock>,
+    /// `struct` definitions, in source order.
+    pub structs: Vec<StructDef>,
     /// Whether the file opts into hot-loop discipline via the
     /// `hierdiff-analyze: hot-module` marker comment.
     pub hot: bool,
@@ -159,6 +192,7 @@ impl FileModel {
             uses: Vec::new(),
             impls: Vec::new(),
             mods: Vec::new(),
+            structs: Vec::new(),
             hot,
         };
         model.recover_fns();
@@ -166,6 +200,7 @@ impl FileModel {
         model.recover_uses();
         model.recover_impls();
         model.recover_mods();
+        model.recover_structs();
         model
     }
 
@@ -467,6 +502,7 @@ impl FileModel {
         }
         let name = name?;
         let is_dyn = (colon + 1..end).any(|q| self.word(q, "dyn"));
+        let is_lock = self.mentions_lock_type(colon + 1, end);
         // The type head: first ident after the colon, skipping `&`, `mut`,
         // and lifetimes. Tuple/slice/pointer heads and `impl`/`dyn`/`fn`
         // types have no leading path ident — stop at the first decisive
@@ -498,7 +534,17 @@ impl FileModel {
                 _ => break,
             }
         }
-        Some(Param { name, ty, is_dyn })
+        Some(Param {
+            name,
+            ty,
+            is_dyn,
+            is_lock,
+        })
+    }
+
+    /// Whether any token in `[start, end)` names a lock type.
+    fn mentions_lock_type(&self, start: usize, end: usize) -> bool {
+        (start..end).any(|q| LOCK_TYPES.iter().any(|t| self.word(q, t)))
     }
 
     fn recover_loops(&mut self) {
@@ -585,6 +631,19 @@ impl FileModel {
             if !self.word(s, "impl") {
                 continue;
             }
+            // `impl` in type position (`f: impl FnOnce(…)`, `-> impl
+            // Iterator`) is not an item: an impl item starts the file or
+            // follows a block edge, `;`, an attribute's `]`, or `unsafe`.
+            let prev = s.wrapping_sub(1);
+            let item_pos = s == 0
+                || self.punct(prev, '{')
+                || self.punct(prev, '}')
+                || self.punct(prev, ';')
+                || self.punct(prev, ']')
+                || self.word(prev, "unsafe");
+            if !item_pos {
+                continue;
+            }
             let mut p = s + 1;
             let mut generics = Vec::new();
             if self.punct(p, '<') {
@@ -665,6 +724,111 @@ impl FileModel {
             }
         }
         self.mods = mods;
+    }
+
+    fn recover_structs(&mut self) {
+        let mut structs = Vec::new();
+        let n = self.sig.len();
+        for s in 0..n {
+            if !self.word(s, "struct") {
+                continue;
+            }
+            let Some(name_tok) = self.tok(s + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let name = self.lexed.text(name_tok);
+            // Skip a generic parameter list, then find the `{` of a named
+            // field body; `;` (unit) and `(` (tuple) structs carry no named
+            // fields.
+            let mut p = s + 2;
+            if self.punct(p, '<') {
+                p = self.skip_angle_group(p);
+            }
+            // A `where` clause may intervene; scan to the first `{`, `;` or
+            // `(` at angle depth zero.
+            let mut angle = 0isize;
+            let mut open = None;
+            while p < n {
+                if self.punct(p, '<') {
+                    angle += 1;
+                } else if self.punct(p, '>') && !self.punct(p.wrapping_sub(1), '-') {
+                    angle -= 1;
+                } else if angle == 0 && self.punct(p, '{') {
+                    open = Some(p);
+                    break;
+                } else if angle == 0 && (self.punct(p, ';') || self.punct(p, '(')) {
+                    break;
+                }
+                p += 1;
+            }
+            let fields = match open.and_then(|o| self.matching_brace(o).map(|c| (o, c))) {
+                Some((open, close)) => self.fields_in(open, close),
+                None => Vec::new(),
+            };
+            structs.push(StructDef { name, fields });
+        }
+        self.structs = structs;
+    }
+
+    /// Named fields declared in the struct body `(open..close)`: each is an
+    /// ident directly followed by a single `:` at body depth 1, its type
+    /// running to the next depth-1 comma.
+    fn fields_in(&self, open: usize, close: usize) -> Vec<FieldDecl> {
+        let mut out = Vec::new();
+        let mut depth = 0isize; // (), [], {} combined
+        let mut angle = 0isize;
+        let mut s = open;
+        while s < close {
+            if self.punct(s, '(') || self.punct(s, '[') || self.punct(s, '{') {
+                depth += 1;
+            } else if self.punct(s, ')') || self.punct(s, ']') || self.punct(s, '}') {
+                depth -= 1;
+            } else if self.punct(s, '<') {
+                angle += 1;
+            } else if self.punct(s, '>') && !self.punct(s.wrapping_sub(1), '-') {
+                angle -= 1;
+            } else if depth == 1
+                && angle == 0
+                && self.tok(s).is_some_and(|t| t.kind == TokenKind::Ident)
+                && self.punct(s + 1, ':')
+                && !self.punct(s + 2, ':')
+                && !self.punct(s.wrapping_sub(1), ':')
+            {
+                // Type segment: to the next comma at this depth, or the
+                // body close.
+                let mut e = s + 2;
+                let mut d = 0isize;
+                let mut a = 0isize;
+                while e < close {
+                    if self.punct(e, '(') || self.punct(e, '[') || self.punct(e, '{') {
+                        d += 1;
+                    } else if self.punct(e, ')') || self.punct(e, ']') || self.punct(e, '}') {
+                        d -= 1;
+                    } else if self.punct(e, '<') {
+                        a += 1;
+                    } else if self.punct(e, '>') && !self.punct(e.wrapping_sub(1), '-') {
+                        a -= 1;
+                    } else if d == 0 && a == 0 && self.punct(e, ',') {
+                        break;
+                    }
+                    e += 1;
+                }
+                if let Some(t) = self.tok(s) {
+                    out.push(FieldDecl {
+                        name: self.lexed.text(t),
+                        line: t.line,
+                        is_lock: self.mentions_lock_type(s + 2, e),
+                    });
+                }
+                s = e;
+                continue;
+            }
+            s += 1;
+        }
+        out
     }
 }
 
@@ -821,6 +985,44 @@ mod tests {
     fn fn_generics_recovered() {
         let m = model("fn f<T: Clone, const N: usize, U>(x: T) {}\n");
         assert_eq!(m.fns[0].generics, vec!["T".to_string(), "U".to_string()]);
+    }
+
+    #[test]
+    fn structs_recovered_with_lock_fields() {
+        let m = model(
+            "pub struct Shared {\n    config: Config,\n    pub stats: Mutex<Report>,\n    chaos: Option<Mutex<Chaos>>,\n    chains: RwLock<HashMap<String, Chain>>,\n}\n\
+             struct Unit;\nstruct Tuple(u8, Mutex<u8>);\n\
+             struct Generic<T> where T: Clone { inner: T }\n",
+        );
+        let names: Vec<&str> = m.structs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["Shared", "Unit", "Tuple", "Generic"]);
+        let shared = &m.structs[0];
+        let fields: Vec<(&str, bool)> = shared
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_lock))
+            .collect();
+        assert_eq!(
+            fields,
+            vec![
+                ("config", false),
+                ("stats", true),
+                ("chaos", true),
+                ("chains", true),
+            ]
+        );
+        assert!(m.structs[1].fields.is_empty());
+        assert!(m.structs[2].fields.is_empty());
+        assert_eq!(m.structs[3].fields.len(), 1);
+        assert!(!m.structs[3].fields[0].is_lock);
+    }
+
+    #[test]
+    fn lock_typed_params_flagged() {
+        let m =
+            model("fn f(rx: &Mutex<Receiver<Job>>, shared: &Shared, arc: Arc<RwLock<u8>>) {}\n");
+        let locks: Vec<bool> = m.fns[0].params.iter().map(|p| p.is_lock).collect();
+        assert_eq!(locks, vec![true, false, true]);
     }
 
     #[test]

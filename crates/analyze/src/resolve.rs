@@ -74,10 +74,24 @@ pub fn root_to_crate<'a>(root: &'a str, current: &'a str) -> Option<&'a str> {
 /// A function node: (file index, fn index) into the workspace models.
 pub type FnNode = (usize, usize);
 
+/// One resolved call site inside a caller's body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Significant-token index of the callee identifier.
+    pub at: usize,
+    /// The resolved targets (never empty — unresolved sites are dropped).
+    pub targets: Vec<FnNode>,
+}
+
 /// The resolved call graph over a set of file models.
 pub struct CallGraph {
     /// Caller -> resolved callees, deduplicated, deterministic order.
     pub out: BTreeMap<FnNode, Vec<FnNode>>,
+    /// Caller -> its resolved call sites in source order. The same edges
+    /// as `out`, but keyed by *where* the call happens — the concurrency
+    /// pass uses this to ask what a call inside a held-lock region can
+    /// reach.
+    pub sites: BTreeMap<FnNode, Vec<CallSite>>,
 }
 
 impl CallGraph {
@@ -86,14 +100,16 @@ impl CallGraph {
     pub fn build(files: &[FileModel]) -> CallGraph {
         let idx = Index::build(files);
         let mut out: BTreeMap<FnNode, BTreeSet<FnNode>> = BTreeMap::new();
+        let mut sites: BTreeMap<FnNode, Vec<CallSite>> = BTreeMap::new();
         for (fi, model) in files.iter().enumerate() {
-            scan_calls(fi, model, &idx, &mut out);
+            scan_calls(fi, model, &idx, &mut out, &mut sites);
         }
         CallGraph {
             out: out
                 .into_iter()
                 .map(|(k, v)| (k, v.into_iter().collect()))
                 .collect(),
+            sites,
         }
     }
 
@@ -244,6 +260,7 @@ fn scan_calls(
     model: &FileModel,
     idx: &Index,
     out: &mut BTreeMap<FnNode, BTreeSet<FnNode>>,
+    sites: &mut BTreeMap<FnNode, Vec<CallSite>>,
 ) {
     let current = idx.crate_name[fi].clone();
     let scope = scope_crates(model, &current, &idx.crates);
@@ -307,7 +324,13 @@ fn scan_calls(
             }
         };
         if !targets.is_empty() {
-            out.entry((fi, fn_idx)).or_default().extend(targets);
+            out.entry((fi, fn_idx))
+                .or_default()
+                .extend(targets.iter().copied());
+            sites
+                .entry((fi, fn_idx))
+                .or_default()
+                .push(CallSite { at: s, targets });
         }
         s += 1;
     }
@@ -850,6 +873,22 @@ mod tests {
             .position(|f| f.name == "caller")
             .unwrap();
         assert_eq!(g.out[&(0, caller)], vec![(0, 0)]);
+    }
+
+    #[test]
+    fn call_sites_carry_token_positions() {
+        let files = ws(&[(
+            "crates/core/src/a.rs",
+            "fn caller() { first(); second(); }\nfn first() {}\nfn second() {}\n",
+        )]);
+        let g = CallGraph::build(&files);
+        let sites = &g.sites[&(0, 0)];
+        assert_eq!(sites.len(), 2);
+        // Sites are in source order and point at the callee ident.
+        assert!(files[0].word(sites[0].at, "first"));
+        assert!(files[0].word(sites[1].at, "second"));
+        assert_eq!(sites[0].targets, vec![(0, 1)]);
+        assert_eq!(sites[1].targets, vec![(0, 2)]);
     }
 
     #[test]

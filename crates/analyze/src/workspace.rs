@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 
 use crate::api;
 use crate::arena::arena_discipline;
+use crate::concurrency::{concurrency_discipline, LockModel};
 use crate::guardcov::guard_coverage;
 use crate::hotloop::hot_loop_lints;
 use crate::lints::lint_file;
@@ -128,11 +129,17 @@ pub struct Analysis {
     pub findings: Vec<Finding>,
     /// Sites suppressed by inline `analyze: allow(…)` annotations.
     pub waived: usize,
+    /// The extracted serve/guard lock model (S050–S055); renders the
+    /// `--lock-graph` DOT artifact.
+    pub lock_model: LockModel,
+    /// Wall time spent in the concurrency pass, for `--bench`.
+    pub concurrency_nanos: u128,
 }
 
 /// Runs the full `S0xx` analysis: panic reachability (S001–S004),
 /// hot-loop discipline (S010/S011), API snapshot checks (S020/S021),
-/// guard coverage (S030/S031), and arena discipline (S040–S042).
+/// guard coverage (S030/S031), arena discipline (S040–S042), and
+/// concurrency discipline (S050–S055).
 pub fn run_analysis(repo_root: &Path) -> io::Result<Analysis> {
     run_analysis_threads(repo_root, 1)
 }
@@ -150,8 +157,16 @@ pub fn run_analysis_threads(repo_root: &Path, threads: usize) -> io::Result<Anal
     for model in &ws.files {
         arena_discipline(model, &mut findings, &mut waived);
     }
+    let started = std::time::Instant::now();
+    let lock_model = concurrency_discipline(&ws.files, &graph, &mut findings, &mut waived);
+    let concurrency_nanos = started.elapsed().as_nanos();
     findings.extend(check_api_snapshots(repo_root, &ws)?);
-    Ok(Analysis { findings, waived })
+    Ok(Analysis {
+        findings,
+        waived,
+        lock_model,
+        concurrency_nanos,
+    })
 }
 
 /// The library crates that carry an API snapshot: every `crates/<name>`

@@ -80,18 +80,25 @@ impl Matching {
         }
     }
 
+    /// The blessed table funnel: `grow` sized the table (insert), or the
+    /// one-to-one invariant guarantees the partner slot (remove1/remove2).
+    #[inline(always)]
+    fn slot(table: &mut [Option<NodeId>], idx: usize) -> &mut Option<NodeId> {
+        &mut table[idx] // analyze: allow(S004) the blessed funnel
+    }
+
     /// Adds the pair `(x, y)` — `x ∈ T1`, `y ∈ T2` — enforcing one-to-one-ness.
     pub fn insert(&mut self, x: NodeId, y: NodeId) -> Result<(), MatchingError> {
         Self::grow(&mut self.fwd, x.index());
         Self::grow(&mut self.bwd, y.index());
-        if let Some(prev) = self.fwd[x.index()] {
+        if let Some(prev) = *Self::slot(&mut self.fwd, x.index()) {
             return Err(MatchingError::AlreadyMatched1(x, prev));
         }
-        if let Some(prev) = self.bwd[y.index()] {
+        if let Some(prev) = *Self::slot(&mut self.bwd, y.index()) {
             return Err(MatchingError::AlreadyMatched2(y, prev));
         }
-        self.fwd[x.index()] = Some(y);
-        self.bwd[y.index()] = Some(x);
+        *Self::slot(&mut self.fwd, x.index()) = Some(y);
+        *Self::slot(&mut self.bwd, y.index()) = Some(x);
         self.len += 1;
         Ok(())
     }
@@ -101,7 +108,7 @@ impl Matching {
     /// nodes top-down.
     pub fn remove1(&mut self, x: NodeId) -> Option<NodeId> {
         let y = self.fwd.get_mut(x.index())?.take()?;
-        self.bwd[y.index()] = None;
+        *Self::slot(&mut self.bwd, y.index()) = None;
         self.len -= 1;
         Some(y)
     }
@@ -110,7 +117,7 @@ impl Matching {
     /// partner.
     pub fn remove2(&mut self, y: NodeId) -> Option<NodeId> {
         let x = self.bwd.get_mut(y.index())?.take()?;
-        self.fwd[x.index()] = None;
+        *Self::slot(&mut self.fwd, x.index()) = None;
         self.len -= 1;
         Some(x)
     }

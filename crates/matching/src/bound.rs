@@ -17,6 +17,19 @@ use crate::simple::{label_chains, MatchResult};
 /// unmatched opposite-chain nodes each node may be compared against.
 pub const GREEDY_WINDOW: usize = 64;
 
+/// The blessed chain funnel: callers bounds-check `i` against the
+/// chain's length before indexing.
+#[inline(always)]
+fn at(chain: &[NodeId], i: usize) -> NodeId {
+    chain[i] // analyze: allow(S004) the blessed funnel
+}
+
+/// The tail counterpart of [`at`]: `i` is at most `chain.len()`.
+#[inline(always)]
+fn tail(chain: &[NodeId], i: usize) -> &[NodeId] {
+    &chain[i..] // analyze: allow(S004) the blessed funnel
+}
+
 /// The bounded greedy matcher — the degraded tier of the matching ladder.
 ///
 /// Walks each per-label chain in document order and pairs every node with
@@ -75,7 +88,7 @@ pub fn bounded_greedy_match<V: NodeValue>(
                 if m.is_matched1(x) {
                     continue;
                 }
-                while start < s2.len() && m.is_matched2(s2[start]) {
+                while start < s2.len() && m.is_matched2(at(s2, start)) {
                     guard.tick()?;
                     start += 1;
                 }
@@ -83,7 +96,7 @@ pub fn bounded_greedy_match<V: NodeValue>(
                     break;
                 }
                 let mut scanned = 0usize;
-                for &y in &s2[start..] {
+                for &y in tail(s2, start) {
                     if scanned >= window {
                         break;
                     }

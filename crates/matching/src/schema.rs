@@ -19,6 +19,26 @@ use hierdiff_tree::{Label, NodeValue, Tree};
 
 use crate::error::MatchError;
 
+/// The blessed dense-height funnel: `heights` is sized to `arena_len()`
+/// and every id comes from the same tree's traversal.
+#[inline(always)]
+fn height_of(heights: &[usize], idx: usize) -> usize {
+    heights[idx] // analyze: allow(S004) the blessed funnel
+}
+
+/// The mutable counterpart of [`height_of`].
+#[inline(always)]
+fn height_slot(heights: &mut [usize], idx: usize) -> &mut usize {
+    &mut heights[idx] // analyze: allow(S004) the blessed funnel
+}
+
+/// The blessed map funnel: classification seeded every label it later
+/// reads back.
+#[inline(always)]
+fn seeded<'a, T>(map: &'a HashMap<Label, T>, l: &Label) -> &'a T {
+    &map[l] // analyze: allow(S004) the blessed funnel
+}
+
 /// Classification of the labels appearing in a tree pair, with the
 /// bottom-up processing order used by Algorithms *Match* and *FastMatch*.
 #[derive(Clone, Debug)]
@@ -46,17 +66,18 @@ impl LabelClasses {
             let mut heights = vec![0usize; tree.arena_len()];
             for id in tree.postorder() {
                 // analyze: allow(S031) O(n) height pass
-                heights[id.index()] = tree
+                let h = tree
                     .children(id)
                     .iter()
-                    .map(|&c| heights[c.index()] + 1)
+                    .map(|&c| height_of(&heights, c.index()) + 1)
                     .max()
                     .unwrap_or(0);
+                *height_slot(&mut heights, id.index()) = h;
             }
             for id in tree.preorder() {
                 // analyze: allow(S031) O(n) label scan
                 let l = tree.label(id);
-                let h = heights[id.index()];
+                let h = height_of(&heights, id.index());
                 let e = max_height.entry(l).or_insert_with(|| {
                     seen_order.push(l);
                     0
@@ -69,13 +90,13 @@ impl LabelClasses {
         let mut internal_labels = Vec::new();
         for &l in &seen_order {
             // analyze: allow(S031) bounded by distinct labels
-            if any_internal[&l] {
+            if *seeded(&any_internal, &l) {
                 internal_labels.push(l);
             } else {
                 leaf_labels.push(l);
             }
         }
-        internal_labels.sort_by_key(|l| max_height[l]);
+        internal_labels.sort_by_key(|l| *seeded(&max_height, l));
         LabelClasses {
             leaf_labels,
             internal_labels,

@@ -211,6 +211,7 @@ impl DocCache {
                     out.quarantined += 1;
                 }
                 let fresh = FingerprintIndex::build(&entry.tree);
+                // analyze: allow(S050) opaque-receiver fan: `tree.validate` is Tree::validate, not a DocCache::validate re-entry under `chains`
                 let ok = entry.tree.validate().is_ok()
                     && fresh.dense_hashes() == entry.index.dense_hashes();
                 if !ok {

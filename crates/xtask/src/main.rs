@@ -38,11 +38,16 @@ const USAGE: &str = "usage: cargo run -p xtask -- <task>\n\
   analyze --write-api      regenerate api/*.txt from the current sources\n\
   analyze --write-allowlist    rewrite the analyzer allowlist\n\
   analyze --bench PATH     time the analyzer at 1/2/4 loader threads and\n\
-                           write the medians to PATH as JSON\n\
+                           write the medians (total and concurrency-pass\n\
+                           wall time) to PATH as JSON\n\
+  analyze --lock-graph PATH    write the serve/guard lock acquisition-order\n\
+                               graph (S050) to PATH as Graphviz DOT\n\
   ratchet              check both allowlists against the ceilings recorded\n\
-                       in crates/xtask/ratchet.txt; any growth fails\n\
+                       in crates/xtask/ratchet.txt; growth and stale\n\
+                       ceiling keys both fail\n\
   ratchet --write          record the current (smaller) counts as the new\n\
-                           ceilings; refuses to raise any ceiling";
+                           ceilings, pruning ceilings for codes that no\n\
+                           longer occur; refuses to raise any ceiling";
 
 fn repo_root() -> PathBuf {
     // crates/xtask -> crates -> repo root.
@@ -140,6 +145,7 @@ enum AnalyzeMode {
     WriteApi,
     WriteAllowlist,
     Bench { json: PathBuf },
+    LockGraph { dot: PathBuf },
 }
 
 fn run_analyze(mode: AnalyzeMode) -> Result<bool, String> {
@@ -188,21 +194,26 @@ fn run_analyze(mode: AnalyzeMode) -> Result<bool, String> {
             let mut points = Vec::new();
             for threads in [1usize, 2, 4] {
                 let mut wall_ms = Vec::with_capacity(RUNS);
+                let mut conc_ms = Vec::with_capacity(RUNS);
                 let mut findings = 0usize;
                 for _ in 0..RUNS {
                     let t0 = std::time::Instant::now();
                     let analysis = analyze::run_analysis_threads(&root, threads)
                         .map_err(|e| format!("analyzing sources: {e}"))?;
                     wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    conc_ms.push(analysis.concurrency_nanos as f64 / 1e6);
                     findings = analysis.findings.len();
                 }
                 wall_ms.sort_by(f64::total_cmp);
+                conc_ms.sort_by(f64::total_cmp);
                 let median = wall_ms[wall_ms.len() / 2];
+                let conc = conc_ms[conc_ms.len() / 2];
                 println!(
-                    "analyze bench: {threads} thread(s): median {median:.3} ms over {RUNS} runs"
+                    "analyze bench: {threads} thread(s): median {median:.3} ms over {RUNS} runs \
+                     (concurrency pass {conc:.3} ms)"
                 );
                 points.push(format!(
-                    "    {{\n      \"threads\": {threads},\n      \"median_wall_ms\": {median:.6},\n      \"findings\": {findings}\n    }}"
+                    "    {{\n      \"threads\": {threads},\n      \"median_wall_ms\": {median:.6},\n      \"median_concurrency_ms\": {conc:.6},\n      \"findings\": {findings}\n    }}"
                 ));
             }
             let rendered = format!(
@@ -211,6 +222,21 @@ fn run_analyze(mode: AnalyzeMode) -> Result<bool, String> {
             );
             std::fs::write(&json, rendered).map_err(|e| format!("{}: {e}", json.display()))?;
             println!("wrote analyzer bench to {}", json.display());
+            Ok(true)
+        }
+        AnalyzeMode::LockGraph { dot } => {
+            let analysis =
+                analyze::run_analysis(&root).map_err(|e| format!("analyzing sources: {e}"))?;
+            let model = &analysis.lock_model;
+            std::fs::write(&dot, model.render_dot())
+                .map_err(|e| format!("{}: {e}", dot.display()))?;
+            println!(
+                "wrote lock-order graph to {} ({} lock(s), {} edge(s), {} cyclic)",
+                dot.display(),
+                model.locks.len(),
+                model.edges.len(),
+                model.cyclic.len()
+            );
             Ok(true)
         }
         AnalyzeMode::Check { json } => {
@@ -296,10 +322,26 @@ fn render_ratchet(counts: &BTreeMap<String, usize>) -> String {
     out
 }
 
+/// Ceiling keys with no corresponding current count: per-code keys whose
+/// last offence was burned down, or keys for retired lists. Totals are
+/// always present in `counts` (even at zero), so any leftover key is
+/// genuinely stale.
+fn stale_ceilings(
+    counts: &BTreeMap<String, usize>,
+    ceilings: &BTreeMap<String, usize>,
+) -> Vec<String> {
+    ceilings
+        .keys()
+        .filter(|k| !counts.contains_key(*k))
+        .cloned()
+        .collect()
+}
+
 /// The allowlist ratchet: compares current allowlist sizes against the
-/// ceilings in `ratchet.txt`. Checking fails on any growth or on a count
-/// with no recorded ceiling; `--write` records the current counts but
-/// refuses to raise an existing ceiling.
+/// ceilings in `ratchet.txt`. Checking fails on any growth, on a count
+/// with no recorded ceiling, or on a stale ceiling key; `--write` records
+/// the current counts — pruning stale keys — but refuses to raise an
+/// existing ceiling.
 fn run_ratchet(write: bool) -> Result<bool, String> {
     let root = repo_root();
     let counts = ratchet_counts(&root)?;
@@ -309,6 +351,7 @@ fn run_ratchet(write: bool) -> Result<bool, String> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
         Err(e) => return Err(format!("{}: {e}", path.display())),
     };
+    let stale = stale_ceilings(&counts, &ceilings);
 
     if write {
         let mut ok = true;
@@ -329,6 +372,13 @@ fn run_ratchet(write: bool) -> Result<bool, String> {
         }
         std::fs::write(&path, render_ratchet(&counts))
             .map_err(|e| format!("{}: {e}", path.display()))?;
+        if !stale.is_empty() {
+            println!(
+                "pruned {} stale ceiling(s): {}",
+                stale.len(),
+                stale.join(", ")
+            );
+        }
         println!("wrote {} ceilings to {}", counts.len(), path.display());
         return Ok(true);
     }
@@ -354,6 +404,13 @@ fn run_ratchet(write: bool) -> Result<bool, String> {
             }
             None => {}
         }
+    }
+    for key in &stale {
+        println!(
+            "ratchet: stale ceiling `{key}` — no such entries remain; run \
+             `cargo run -p xtask -- ratchet --write` to prune it"
+        );
+        ok = false;
     }
     if ok {
         println!(
@@ -385,6 +442,9 @@ fn main() -> ExitCode {
         ["analyze", "--bench", path] => run_analyze(AnalyzeMode::Bench {
             json: PathBuf::from(path),
         }),
+        ["analyze", "--lock-graph", path] => run_analyze(AnalyzeMode::LockGraph {
+            dot: PathBuf::from(path),
+        }),
         ["ratchet"] => run_ratchet(false),
         ["ratchet", "--write"] => run_ratchet(true),
         ["-h"] | ["--help"] => {
@@ -403,5 +463,50 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(k, n)| (k.to_string(), *n)).collect()
+    }
+
+    #[test]
+    fn stale_ceilings_flags_burned_down_codes() {
+        // S004 was fully burned: its per-code key vanishes from the
+        // counts (totals stay, even at zero), so its ceiling is stale.
+        let current = counts(&[("analyze-allow", 2), ("analyze-allow:S002", 2)]);
+        let recorded = counts(&[
+            ("analyze-allow", 5),
+            ("analyze-allow:S002", 3),
+            ("analyze-allow:S004", 2),
+        ]);
+        assert_eq!(
+            stale_ceilings(&current, &recorded),
+            vec!["analyze-allow:S004"]
+        );
+    }
+
+    #[test]
+    fn stale_ceilings_empty_when_every_key_is_live() {
+        let current = counts(&[("analyze-allow", 1), ("analyze-allow:S002", 1)]);
+        assert!(stale_ceilings(&current, &current).is_empty());
+        // A fully burned list keeps its zero total — not stale.
+        let zeroed = counts(&[("lint-allow", 0)]);
+        assert!(stale_ceilings(&zeroed, &counts(&[("lint-allow", 3)])).is_empty());
+    }
+
+    #[test]
+    fn render_ratchet_drops_keys_absent_from_counts() {
+        // `--write` renders from the current counts alone, so a stale key
+        // never survives a write.
+        let current = counts(&[("analyze-allow", 2), ("analyze-allow:S002", 2)]);
+        let rendered = render_ratchet(&current);
+        let reparsed = parse_ratchet(&rendered);
+        assert_eq!(reparsed, current);
+        assert!(!rendered.contains("S004"));
     }
 }
